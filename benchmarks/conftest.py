@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and
+prints the measured rows next to the paper-reported values.  The
+pytest-benchmark fixture times the *harness run* (one round — the
+simulations are deterministic); the scientific output is the printed
+table, echoed to stdout with ``-s`` or captured in the benchmark
+report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark a deterministic simulation exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture so tables land in the report."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,55 @@
+"""Ablation — Dragon exec vs native function mode (DESIGN.md §5.3).
+
+The paper runs Dragon *against its design* (launching executables) in
+Fig. 5(c) and notes its strength is in-memory functions.  This
+ablation quantifies the function-path advantage that motivates the
+hybrid routing policy.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.core import PartitionSpec, PilotDescription, Session
+from repro.core.description import MODE_EXECUTABLE, MODE_FUNCTION
+from repro.platform import frontier
+from repro.workloads import dummy_workload
+
+from .conftest import run_once
+
+
+def _throughput(mode: str, n_nodes: int = 16, n_tasks: int = 4000) -> float:
+    from repro.analytics import task_throughput
+
+    session = Session(cluster=frontier(n_nodes), seed=17)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=n_nodes, partitions=(PartitionSpec("dragon"),)))
+    tmgr.add_pilot(pilot)
+    tasks = tmgr.submit_tasks(dummy_workload(n_tasks, duration=0.0,
+                                             mode=mode))
+    session.run(tmgr.wait_tasks())
+    rate = task_throughput(tasks).avg
+    session.close()
+    return rate
+
+
+def test_ablation_dragon_exec_vs_function(benchmark, emit):
+    out = {}
+
+    def run():
+        out["executable"] = _throughput(MODE_EXECUTABLE)
+        out["function"] = _throughput(MODE_FUNCTION)
+        return out
+
+    run_once(benchmark, run)
+    speedup = out["function"] / out["executable"]
+    emit("Ablation: Dragon task modality (16 nodes, null tasks)\n"
+         + format_table(
+             ["mode", "avg tasks/s"],
+             [("executable (Fig. 5c config)", round(out["executable"], 1)),
+              ("function (native mode)", round(out["function"], 1)),
+              ("function/exec speedup", f"{speedup:.2f}x")]))
+
+    # The native function path is substantially faster — the premise
+    # of routing functions to Dragon in the hybrid configuration.
+    assert speedup > 1.5

@@ -1,0 +1,58 @@
+"""Ablation — Flux background-load and coordination models (DESIGN.md §5.2).
+
+Two calibration terms shape Fig. 5(b)/Fig. 6:
+
+* the per-run background-load factor (run-to-run variability and its
+  degradation with instance size), and
+* the per-instance agent coordination penalty ("overhead of managing
+  many Flux instances", §4.1.3).
+
+Ablating each shows why the gains from partitioning taper at scale.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import ExperimentConfig, run_repetitions
+from repro.platform import FRONTIER_LATENCIES
+
+from .conftest import run_once
+
+
+def test_ablation_flux_contention_terms(benchmark, emit):
+    cfg = ExperimentConfig(exp_id="flux_n", launcher="flux", workload="null",
+                           n_nodes=64, n_partitions=16, waves=2)
+    out = {}
+
+    def run():
+        out["full model"] = run_repetitions(cfg, n_reps=2)
+        out["no background load"] = run_repetitions(
+            cfg, n_reps=2,
+            latencies=FRONTIER_LATENCIES.with_overrides(
+                flux_load_degradation=0.0, flux_load_cv=0.0))
+        out["no coordination cost"] = run_repetitions(
+            cfg, n_reps=2,
+            latencies=FRONTIER_LATENCIES.with_overrides(
+                agent_coord_per_instance=0.0))
+        out["neither"] = run_repetitions(
+            cfg, n_reps=2,
+            latencies=FRONTIER_LATENCIES.with_overrides(
+                flux_load_degradation=0.0, flux_load_cv=0.0,
+                agent_coord_per_instance=0.0))
+        return out
+
+    run_once(benchmark, run)
+    emit("Ablation: Flux contention terms (64 nodes / 16 instances, null)\n"
+         + format_table(
+             ["variant", "avg tasks/s", "max tasks/s"],
+             [(k, round(v.throughput_avg, 1), round(v.throughput_max, 1))
+              for k, v in out.items()]))
+
+    # Each removed term recovers throughput; both together give the
+    # ideal-scaling upper bound.
+    assert out["no background load"].throughput_avg \
+        >= out["full model"].throughput_avg * 0.9
+    assert out["neither"].throughput_avg >= max(
+        out["no background load"].throughput_avg,
+        out["no coordination cost"].throughput_avg) * 0.9
+    assert out["neither"].throughput_avg > out["full model"].throughput_avg

@@ -1,0 +1,40 @@
+"""Ablation — the srun concurrency ceiling (DESIGN.md §5.1).
+
+Isolates *which* srun mechanism causes the paper's 50 % utilization:
+with the 112-srun ceiling lifted (but controller serialization kept),
+utilization recovers to ~100 %, proving the ceiling — not the launch
+rate — is the binding constraint of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.platform import FRONTIER_LATENCIES
+
+from .conftest import run_once
+
+
+def test_ablation_srun_ceiling(benchmark, emit):
+    cfg = ExperimentConfig(exp_id="srun", launcher="srun", workload="dummy",
+                           n_nodes=4, duration=180.0)
+    out = {}
+
+    def run():
+        out["ceiling=112"] = run_experiment(cfg)
+        out["ceiling=inf"] = run_experiment(
+            cfg, latencies=FRONTIER_LATENCIES.with_overrides(
+                srun_ceiling=10_000))
+        return out
+
+    run_once(benchmark, run)
+    emit("Ablation: srun concurrency ceiling (dummy 180 s on 4 nodes)\n"
+         + format_table(
+             ["variant", "utilization", "makespan [s]"],
+             [(k, f"{100 * r.utilization_cores:.1f} %", round(r.makespan))
+              for k, r in out.items()]))
+
+    assert abs(out["ceiling=112"].utilization_cores - 0.50) < 0.02
+    # Without the ceiling, srun saturates the 224 cores.
+    assert out["ceiling=inf"].utilization_cores > 0.90
+    assert out["ceiling=inf"].makespan < out["ceiling=112"].makespan

@@ -1,0 +1,72 @@
+"""Extension — PRRTE DVM in the launcher design space (§5).
+
+The paper positions PRRTE between srun and Flux: faster bootstrap and
+launch than srun (no ceiling, minimal per-task overhead) but no
+internal scheduler — RP supplies placement.  This bench places the
+PRRTE backend on the same throughput/overhead axes as the paper's
+evaluated launchers.
+"""
+
+from __future__ import annotations
+
+from repro.analytics import startup_overheads, task_throughput, utilization
+from repro.analytics.report import format_table
+from repro.core import PartitionSpec, PilotDescription, Session
+from repro.platform import frontier
+from repro.workloads import dummy_workload, task_count
+
+from .conftest import run_once
+
+N_NODES = 16
+
+
+def _run(backend: str, duration: float = 0.0):
+    session = Session(cluster=frontier(N_NODES), seed=37)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=N_NODES, partitions=(PartitionSpec(backend),)))
+    tmgr.add_pilot(pilot)
+    n = task_count(N_NODES, 56, 2)
+    tasks = tmgr.submit_tasks(dummy_workload(n, duration=duration))
+    session.run(tmgr.wait_tasks())
+    rate = task_throughput(tasks).avg
+    util = utilization(tasks, total_cores=N_NODES * 56)
+    bootstrap = startup_overheads(session.profiler)
+    boot = bootstrap[0][1] if bootstrap else 0.0
+    session.close()
+    return rate, util, boot
+
+
+def test_extension_prrte_design_point(benchmark, emit):
+    out = {}
+
+    def run():
+        for backend in ("srun", "prrte", "flux"):
+            out[backend] = _run(backend)
+        return out
+
+    run_once(benchmark, run)
+    emit(f"Extension: PRRTE in the launcher design space ({N_NODES} nodes, "
+         "null tasks)\n" + format_table(
+             ["backend", "avg tasks/s", "bootstrap [s]"],
+             [(k, round(v[0], 1), round(v[2], 1)) for k, v in out.items()]))
+
+    srun_rate, _, _ = out["srun"]
+    prrte_rate, _, prrte_boot = out["prrte"]
+    flux_rate, _, flux_boot = out["flux"]
+    # PRRTE launches much faster than srun at this scale (no ceiling,
+    # no controller blow-up)...
+    assert prrte_rate > 3 * srun_rate
+    # ...and bootstraps faster than a Flux instance (no scheduler).
+    assert prrte_boot < flux_boot
+
+
+def test_extension_prrte_utilization(benchmark, emit):
+    def run():
+        return _run("prrte", duration=180.0)
+
+    _, util, _ = run_once(benchmark, run)
+    emit(f"PRRTE dummy(180 s) utilization at {N_NODES} nodes: "
+         f"{100 * util:.1f} % (no srun-like ceiling)")
+    # Unlike srun's 50 % cap, the DVM saturates the allocation.
+    assert util > 0.90

@@ -1,0 +1,40 @@
+"""Fig. 4 — srun resource utilization under the concurrency ceiling.
+
+Paper: 896 single-core dummy(180 s) tasks on 4 nodes (224 cores at
+SMT=1).  Frontier's 112-concurrent-srun ceiling caps concurrency at
+112 running tasks, pinning utilization to 50 %.
+"""
+
+from __future__ import annotations
+
+from repro.analytics import concurrency_series
+from repro.analytics.report import format_series, format_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+from .conftest import run_once
+
+PAPER_UTILIZATION = 0.50
+PAPER_MAX_CONCURRENCY = 112
+
+
+def test_fig4_srun_utilization(benchmark, emit):
+    cfg = ExperimentConfig(exp_id="srun", launcher="srun", workload="dummy",
+                           n_nodes=4, duration=180.0, waves=4)
+    result = run_once(benchmark, lambda: run_experiment(cfg))
+
+    series = concurrency_series(result.tasks, resolution=10.0)
+    emit("Fig. 4: srun utilization, 896 x dummy(180 s) on 4 nodes\n"
+         + format_table(
+             ["metric", "paper", "measured"],
+             [("tasks", 896, result.n_tasks),
+              ("max concurrency", PAPER_MAX_CONCURRENCY, int(series.max())),
+              ("utilization", PAPER_UTILIZATION,
+               round(result.utilization_cores, 3))])
+         + "\n" + format_series(series.times, series.values,
+                                label="running tasks"))
+
+    assert result.n_tasks == 896
+    # The ceiling binds: concurrency plateaus at exactly 112.
+    assert series.max() == PAPER_MAX_CONCURRENCY
+    # Utilization is pinned at ~50 % (112 of 224 cores).
+    assert abs(result.utilization_cores - PAPER_UTILIZATION) < 0.02

@@ -1,0 +1,47 @@
+"""Fig. 5(a) — srun task throughput vs. node count.
+
+Paper: srun peaks at 152 tasks/s on a single node, degrades to
+61 tasks/s at 4 nodes and keeps declining with scale (controller
+serialization: per-launch service time grows with allocation size).
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import config_by_id, run_repetitions
+
+from .conftest import run_once
+
+#: node count -> paper-reported avg throughput [tasks/s] (declared
+#: values: 152 at 1 node, 61 at 4 nodes; larger scales only described
+#: qualitatively as "continues to decline").
+PAPER_AVG = {1: 152.0, 4: 61.0}
+NODES = (1, 2, 4, 16)
+
+
+def test_fig5a_srun_throughput(benchmark, emit):
+    results = {}
+
+    def sweep():
+        for n in NODES:
+            cfg = config_by_id("srun", n_nodes=n, waves=2)
+            results[n] = run_repetitions(cfg, n_reps=3)
+        return results
+
+    run_once(benchmark, sweep)
+
+    rows = []
+    for n in NODES:
+        agg = results[n]
+        rows.append((n, PAPER_AVG.get(n, "-"),
+                     round(agg.throughput_avg, 1),
+                     round(agg.throughput_max, 1)))
+    emit("Fig. 5(a): srun throughput vs nodes (null tasks)\n"
+         + format_table(["nodes", "paper avg/s", "avg/s", "max/s"], rows))
+
+    # Shape: monotone decline with node count.
+    avgs = [results[n].throughput_avg for n in NODES]
+    assert all(a > b for a, b in zip(avgs, avgs[1:]))
+    # Magnitudes near the two published anchors.
+    assert abs(results[1].throughput_avg - PAPER_AVG[1]) / PAPER_AVG[1] < 0.25
+    assert abs(results[4].throughput_avg - PAPER_AVG[4]) / PAPER_AVG[4] < 0.25

@@ -1,0 +1,51 @@
+"""Fig. 5(b) — single-Flux-instance throughput vs. node count.
+
+Paper: average throughput grows from ~28 tasks/s at 1 node to nearly
+300 tasks/s at 1024 nodes; peak reaches 744 tasks/s, with substantial
+variability across repetitions.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import config_by_id, run_repetitions
+
+from .conftest import run_once
+
+PAPER_AVG_1_NODE = 28.0
+PAPER_AVG_1024_NODES = 300.0
+PAPER_PEAK = 744.0
+
+#: (nodes, waves, reps): full 4-wave workloads up to 64 nodes; at 256
+#: and 1024 nodes one wave keeps the sweep tractable (throughput is a
+#: launch-window metric, so wave count does not change the rate).
+SWEEP = ((1, 4, 3), (4, 4, 3), (16, 4, 3), (64, 4, 3), (256, 1, 2),
+         (1024, 1, 2))
+
+
+def test_fig5b_flux1_throughput(benchmark, emit):
+    results = {}
+
+    def sweep():
+        for n, waves, reps in SWEEP:
+            cfg = config_by_id("flux_1", n_nodes=n, waves=waves)
+            results[n] = run_repetitions(cfg, n_reps=reps)
+        return results
+
+    run_once(benchmark, sweep)
+
+    rows = [(n, round(results[n].throughput_avg, 1),
+             round(results[n].throughput_max, 1))
+            for n, _, _ in SWEEP]
+    emit("Fig. 5(b): single Flux instance throughput vs nodes (null tasks)\n"
+         + format_table(["nodes", "avg tasks/s", "max tasks/s"], rows)
+         + f"\npaper anchors: ~{PAPER_AVG_1_NODE}/s @1 node, "
+           f"~{PAPER_AVG_1024_NODES}/s avg @1024 nodes, peak {PAPER_PEAK}/s")
+
+    # Shape: strong positive scaling with node count.
+    assert results[1024].throughput_avg > 5 * results[1].throughput_avg
+    # Anchors within a factor-of-two band.
+    assert 14 <= results[1].throughput_avg <= 56
+    assert 150 <= results[1024].throughput_avg <= 600
+    # A single instance sustains high peak rates at scale.
+    assert results[1024].throughput_max > 300

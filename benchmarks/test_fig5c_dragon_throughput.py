@@ -1,0 +1,43 @@
+"""Fig. 5(c) — Dragon (single centralized instance) exec-task throughput.
+
+Paper: ~343 tasks/s at 4 nodes, ~380 at 16 nodes, declining to
+~204 tasks/s at 64 nodes (centralized global services); max 622.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import config_by_id, run_repetitions
+
+from .conftest import run_once
+
+PAPER_AVG = {4: 343.0, 16: 380.0, 64: 204.0}
+NODES = (1, 4, 16, 64)
+
+
+def test_fig5c_dragon_throughput(benchmark, emit):
+    results = {}
+
+    def sweep():
+        for n in NODES:
+            cfg = config_by_id("dragon", n_nodes=n)
+            results[n] = run_repetitions(cfg, n_reps=3)
+        return results
+
+    run_once(benchmark, sweep)
+
+    rows = [(n, PAPER_AVG.get(n, "-"),
+             round(results[n].throughput_avg, 1),
+             round(results[n].throughput_max, 1)) for n in NODES]
+    emit("Fig. 5(c): Dragon exec-task throughput vs nodes (null tasks)\n"
+         + format_table(["nodes", "paper avg/s", "avg/s", "max/s"], rows))
+
+    # Shape: roughly flat at small/medium scale...
+    assert abs(results[4].throughput_avg
+               - results[16].throughput_avg) < 0.35 * results[4].throughput_avg
+    # ...and lower at 64 nodes (centralized GS contention).
+    assert results[64].throughput_avg < results[16].throughput_avg
+    # Magnitudes near the paper's three anchors (within 35 %).
+    for n, paper in PAPER_AVG.items():
+        measured = results[n].throughput_avg
+        assert abs(measured - paper) / paper < 0.35, (n, measured)

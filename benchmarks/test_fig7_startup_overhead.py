@@ -1,0 +1,85 @@
+"""Fig. 7 — runtime-instance launching overheads.
+
+Paper: bootstrap costs ~20 s per Flux instance and ~9 s per Dragon
+instance, nearly independent of instance size (1-64 nodes), and NOT
+additive across instances because they launch concurrently.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.core import PartitionSpec, PilotDescription, Session
+from repro.platform import frontier
+
+from .conftest import run_once
+
+PAPER_FLUX_STARTUP = 20.0
+PAPER_DRAGON_STARTUP = 9.0
+SIZES = (1, 4, 16, 64)
+
+
+def _measure_startup(backend: str, n_nodes: int, n_instances: int = 1):
+    from repro.analytics import startup_overheads
+
+    session = Session(cluster=frontier(max(n_nodes, 2)), seed=n_nodes)
+    pmgr = session.pilot_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=n_nodes,
+        partitions=(PartitionSpec(backend, n_instances=n_instances),)))
+    session.run(pilot.active_event())
+    overheads = startup_overheads(session.profiler, kind=backend)
+    session.close()
+    return overheads
+
+
+def test_fig7_startup_overheads(benchmark, emit):
+    measured = {}
+
+    def sweep():
+        for backend in ("flux", "dragon"):
+            for n in SIZES:
+                overheads = _measure_startup(backend, n)
+                measured[(backend, n)] = overheads[0][1]
+        return measured
+
+    run_once(benchmark, sweep)
+
+    rows = []
+    for backend, paper in (("flux", PAPER_FLUX_STARTUP),
+                           ("dragon", PAPER_DRAGON_STARTUP)):
+        for n in SIZES:
+            rows.append((backend, n, paper,
+                         round(measured[(backend, n)], 2)))
+    emit("Fig. 7: instance launching overheads (1-64 nodes/instance)\n"
+         + format_table(["runtime", "nodes/inst", "paper [s]",
+                         "measured [s]"], rows))
+
+    for n in SIZES:
+        assert abs(measured[("flux", n)] - PAPER_FLUX_STARTUP) < 6.0
+        assert abs(measured[("dragon", n)] - PAPER_DRAGON_STARTUP) < 4.0
+    # Near-flat in instance size: 64-node instance within ~25 % of
+    # the 1-node instance.
+    for backend in ("flux", "dragon"):
+        small, large = measured[(backend, 1)], measured[(backend, 64)]
+        assert abs(large - small) / small < 0.35
+
+
+def test_fig7_concurrent_launch_not_additive(benchmark, emit):
+    """16 concurrent instances bootstrap in ~the time of one."""
+
+    def run():
+        session = Session(cluster=frontier(16), seed=3)
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=16, partitions=(PartitionSpec("flux", n_instances=16),)))
+        session.run(pilot.active_event())
+        total = session.now
+        session.close()
+        return total
+
+    total = run_once(benchmark, run)
+    emit("Fig. 7 (concurrency): 16 Flux instances ready in "
+         f"{total:.1f} s total (one instance needs ~{PAPER_FLUX_STARTUP} s; "
+         "16x serial would be ~320 s)")
+    # Far below the 16x-serial bound; close to a single bootstrap.
+    assert total < 2.5 * PAPER_FLUX_STARTUP

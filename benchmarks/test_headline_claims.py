@@ -1,0 +1,107 @@
+"""Headline claims from the abstract / §6.
+
+* RP+Flux sustains up to 930 tasks/s (multi-instance).
+* RP+Flux+Dragon exceeds 1,500 tasks/s at >= 99.6 % utilization.
+* srun peaks at 152 tasks/s (1 node) and degrades with scale
+  (61 tasks/s at 4 nodes), with utilization below 50 %.
+* For IMPECCABLE, RP+Flux reduces makespan by 30-60 % relative to
+  srun/Slurm on up to 1,024 nodes.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import (
+    ExperimentConfig,
+    config_by_id,
+    run_experiment,
+    run_repetitions,
+)
+
+from .conftest import run_once
+
+
+def test_headline_throughput_ordering(benchmark, emit):
+    """srun << flux_n < hybrid, with the paper's magnitudes."""
+    out = {}
+
+    def run():
+        out["srun_1"] = run_repetitions(
+            config_by_id("srun", n_nodes=1, waves=2), n_reps=3)
+        out["srun_4"] = run_repetitions(
+            config_by_id("srun", n_nodes=4, waves=2), n_reps=3)
+        out["flux_n"] = run_repetitions(
+            ExperimentConfig(exp_id="flux_n", launcher="flux",
+                             workload="null", n_nodes=64, n_partitions=16),
+            n_reps=3)
+        out["hybrid"] = run_repetitions(
+            ExperimentConfig(exp_id="hybrid", launcher="flux+dragon",
+                             workload="mixed", n_nodes=64, n_partitions=8,
+                             duration=0.0), n_reps=3)
+        return out
+
+    run_once(benchmark, run)
+    emit("Headline throughput claims\n" + format_table(
+        ["config", "paper", "avg/s", "max/s"],
+        [("srun @1 node", "152/s", round(out["srun_1"].throughput_avg, 1),
+          round(out["srun_1"].throughput_max, 1)),
+         ("srun @4 nodes", "61/s", round(out["srun_4"].throughput_avg, 1),
+          round(out["srun_4"].throughput_max, 1)),
+         ("flux 16 inst @64 nodes", "<=930/s",
+          round(out["flux_n"].throughput_avg, 1),
+          round(out["flux_n"].throughput_max, 1)),
+         ("flux+dragon @64 nodes", ">1500/s peak",
+          round(out["hybrid"].throughput_avg, 1),
+          round(out["hybrid"].throughput_max, 1))]))
+
+    assert 110 <= out["srun_1"].throughput_avg <= 190
+    assert 45 <= out["srun_4"].throughput_avg <= 80
+    assert out["flux_n"].throughput_max > out["srun_1"].throughput_max
+    assert out["hybrid"].throughput_max > 1000
+    assert out["hybrid"].throughput_max > out["flux_n"].throughput_max
+
+
+def test_headline_utilization(benchmark, emit):
+    """srun pinned at 50 %; hybrid at ~99.6-100 %."""
+    out = {}
+
+    def run():
+        out["srun"] = run_experiment(ExperimentConfig(
+            exp_id="srun", launcher="srun", workload="dummy", n_nodes=4,
+            duration=180.0))
+        out["hybrid"] = run_experiment(ExperimentConfig(
+            exp_id="hybrid", launcher="flux+dragon", workload="mixed",
+            n_nodes=16, n_partitions=4, duration=360.0))
+        return out
+
+    run_once(benchmark, run)
+    emit("Headline utilization claims\n" + format_table(
+        ["config", "paper", "measured"],
+        [("srun dummy(180) @4 nodes", "50 %",
+          f"{100 * out['srun'].utilization_cores:.1f} %"),
+         ("flux+dragon dummy(360) @16 nodes", ">=99.6 %",
+          f"{100 * out['hybrid'].utilization_cores:.2f} %")]))
+
+    assert abs(out["srun"].utilization_cores - 0.50) < 0.02
+    assert out["hybrid"].utilization_cores > 0.985
+
+
+def test_headline_impeccable_makespan_reduction(benchmark, emit):
+    """30-60 % makespan reduction at 1024 nodes."""
+    out = {}
+
+    def run():
+        for launcher in ("srun", "flux"):
+            out[launcher] = run_experiment(ExperimentConfig(
+                exp_id=f"impeccable_{launcher}", launcher=launcher,
+                workload="impeccable", n_nodes=1024))
+        return out
+
+    run_once(benchmark, run)
+    reduction = 1.0 - out["flux"].makespan / out["srun"].makespan
+    emit("Headline IMPECCABLE claim (1024 nodes)\n" + format_table(
+        ["backend", "makespan [s]"],
+        [("srun", round(out["srun"].makespan)),
+         ("flux", round(out["flux"].makespan)),
+         ("reduction", f"{100 * reduction:.0f} % (paper: 30-60 %)")]))
+    assert 0.30 <= reduction <= 0.70

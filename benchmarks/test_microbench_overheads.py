@@ -1,0 +1,87 @@
+"""Microbenchmarks — component-level middleware costs.
+
+The paper's null workloads "stress only the middleware stack and
+reveal its internal throughput limits" (§4).  These microbenchmarks
+measure each serialized stage of our stack in isolation, giving the
+per-component cost table that explains the end-to-end rates:
+
+* agent dispatch (RP task management),
+* Flux ingest and lane spawn,
+* Dragon global services (exec vs function path),
+* slurmctld launch RPC and PRRTE DVM launch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics.report import format_table
+from repro.platform import DETERMINISTIC_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+from .conftest import run_once
+
+
+def test_microbench_component_costs(benchmark, emit):
+    lat = DETERMINISTIC_LATENCIES
+    rows = {}
+
+    def run():
+        # Direct model evaluation at reference scales (deterministic).
+        rows["agent dispatch @64 nodes"] = (
+            lat.agent_dispatch_base + 64 * lat.agent_dispatch_per_node)
+        rows["flux ingest"] = lat.flux_ingest_cost
+        rows["flux lane spawn (1 lane)"] = 1.0 / lat.flux_lane_rate
+        rows["dragon GS exec @4 nodes"] = (
+            lat.dragon_gs_exec_cost * (1 + 4 * lat.dragon_gs_pernode_penalty))
+        rows["dragon GS func @4 nodes"] = (
+            lat.dragon_func_cost * (1 + 4 * lat.dragon_func_pernode_penalty))
+        rows["slurmctld launch @4 nodes"] = (
+            lat.srun_ctl_base + 4 * lat.srun_ctl_per_node
+            + 8.0 * lat.srun_ctl_per_node15)
+        rows["prrte DVM launch @4 nodes"] = (
+            lat.prrte_launch_cost + 4 * lat.prrte_launch_per_node)
+        return rows
+
+    run_once(benchmark, run)
+    emit("Microbench: per-task middleware costs (deterministic model)\n"
+         + format_table(
+             ["stage", "cost [ms]", "ceiling [tasks/s]"],
+             [(k, round(1e3 * v, 3), round(1.0 / v, 1))
+              for k, v in rows.items()]))
+
+    # The ordering that produces the paper's end-to-end results:
+    # dragon-func < agent < flux-ingest < dragon-exec < prrte < srun
+    # per-task costs.
+    assert rows["dragon GS func @4 nodes"] < rows["flux ingest"]
+    assert rows["flux ingest"] < rows["dragon GS exec @4 nodes"]
+    assert rows["dragon GS exec @4 nodes"] < rows["prrte DVM launch @4 nodes"]
+    assert (rows["prrte DVM launch @4 nodes"]
+            < rows["slurmctld launch @4 nodes"])
+
+
+def test_microbench_measured_vs_model(benchmark, emit):
+    """The simulated Flux ingest pipeline hits its modeled ceiling."""
+    from repro.flux import FluxInstance, Jobspec
+
+    lat = DETERMINISTIC_LATENCIES
+    out = {}
+
+    def run():
+        env = Environment()
+        rng = RngStreams(0)
+        alloc = generic(64, cores_per_node=56).allocate_nodes(64)
+        inst = FluxInstance(env, alloc, lat, rng, instance_id="micro")
+        env.run(env.process(inst.start()))
+        jobs = [inst.submit(Jobspec(command="x", duration=0.0))
+                for _ in range(3000)]
+        env.run()
+        starts = sorted(j.start_time for j in jobs)
+        out["rate"] = (len(starts) - 1) / (starts[-1] - starts[0])
+        out["model"] = inst.n_lanes * lat.flux_lane_rate
+        return out
+
+    run_once(benchmark, run)
+    emit(f"Flux 64-node instance: measured {out['rate']:.1f} tasks/s vs "
+         f"lane-model {out['model']:.1f} tasks/s")
+    assert out["rate"] == pytest.approx(out["model"], rel=0.05)

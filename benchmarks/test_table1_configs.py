@@ -1,0 +1,73 @@
+"""Table 1 — the experiment configuration matrix.
+
+Regenerates the paper's Table 1 (experiment id, workload, launcher,
+nodes/pilot, partitions, task types, task counts, cores/task) from
+the programmatic configs, and runs a reduced-scale instance of each
+experiment class to verify every configuration is executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analytics.report import format_table
+from repro.experiments import run_experiment, table1_configs
+from repro.platform.profiles import FRONTIER_CORES_PER_NODE
+from repro.workloads import task_count
+
+from .conftest import run_once
+
+
+def test_table1_matrix(benchmark, emit):
+    """Print the full Table-1 matrix as configured."""
+    rows = run_once(benchmark, _build_matrix_rows)
+    emit("Table 1: experiment matrix\n" + format_table(
+        ["Exp ID", "workload", "launcher", "#nodes", "#partitions",
+         "task types", "#tasks", "#cores/task"], rows))
+    # 1 srun + 6 flux_1 + 8 flux_n + 4 dragon + 4 hybrid + 4 impeccable.
+    assert len(rows) == 27
+
+
+def _build_matrix_rows():
+    rows = []
+    for cfg in table1_configs():
+        if cfg.workload == "impeccable":
+            tasks = "~550" if cfg.n_nodes == 256 else "~1800"
+            cores = "1-7168"
+            types = "exec"
+        else:
+            tasks = task_count(cfg.n_nodes, FRONTIER_CORES_PER_NODE,
+                               cfg.waves)
+            cores = "1"
+            types = "exec & func" if cfg.workload == "mixed" else "exec"
+        rows.append((cfg.exp_id, cfg.workload, cfg.launcher, cfg.n_nodes,
+                     cfg.n_partitions, types, tasks, cores))
+    return rows
+
+
+def test_table1_configs_all_runnable(benchmark, emit):
+    """One reduced-scale run per experiment id proves executability."""
+    seen = set()
+    results = {}
+
+    def run_all():
+        for cfg in table1_configs():
+            if cfg.exp_id in seen:
+                continue
+            seen.add(cfg.exp_id)
+            small = cfg.scaled(1)
+            if small.n_nodes > 16:
+                small = replace(small, n_nodes=16,
+                                n_partitions=min(small.n_partitions, 4))
+            if small.workload == "impeccable":
+                small = replace(small, generations=1)
+            results[cfg.exp_id] = run_experiment(small)
+        return results
+
+    run_once(benchmark, run_all)
+    rows = [(eid, r.n_tasks, r.n_done, f"{r.throughput.avg:.1f}")
+            for eid, r in sorted(results.items())]
+    emit("Table 1 executability check (reduced scale)\n" + format_table(
+        ["Exp ID", "tasks", "done", "avg tasks/s"], rows))
+    assert all(r.n_done + r.n_failed == r.n_tasks for r in results.values())
+    assert all(r.n_failed == 0 for r in results.values())

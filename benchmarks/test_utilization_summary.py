@@ -1,0 +1,73 @@
+"""Utilization summary (§4.1.3, §4.1.5, §4.2).
+
+* flux_n: utilization >= 94.5 % for all configurations up to 64
+  nodes; drops (to ~75.4 % in the paper) at 1024 nodes / 16 instances
+  where the agent feed rate, not the resource pool, limits progress.
+* flux+dragon: >= 99.6 %, some configurations reaching 100 %.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.report import format_table
+from repro.experiments import ExperimentConfig, run_experiment
+
+from .conftest import run_once
+
+
+def test_fluxn_utilization_small_scale(benchmark, emit):
+    results = {}
+
+    def run():
+        for n, p in ((16, 4), (64, 4), (64, 16)):
+            cfg = ExperimentConfig(exp_id="flux_n", launcher="flux",
+                                   workload="dummy", n_nodes=n,
+                                   n_partitions=p, duration=180.0)
+            results[(n, p)] = run_experiment(cfg)
+        return results
+
+    run_once(benchmark, run)
+    rows = [(n, p, ">=94.5 %", f"{100 * r.utilization_cores:.1f} %")
+            for (n, p), r in results.items()]
+    emit("flux_n utilization at <= 64 nodes\n" + format_table(
+        ["nodes", "instances", "paper", "measured"], rows))
+    for r in results.values():
+        assert r.utilization_cores >= 0.945
+
+
+def test_fluxn_utilization_degrades_at_1024(benchmark, emit):
+    """At 1024 nodes / 16 instances the launch path cannot keep 57,344
+    cores fed with 180 s tasks: utilization falls well below the
+    small-scale >=94.5 % regime (paper: 75.4 %)."""
+
+    def run():
+        cfg = ExperimentConfig(exp_id="flux_n", launcher="flux",
+                               workload="dummy", n_nodes=1024,
+                               n_partitions=16, duration=180.0, waves=1)
+        return run_experiment(cfg)
+
+    result = run_once(benchmark, run)
+    emit("flux_n utilization at 1024 nodes / 16 instances\n" + format_table(
+        ["paper", "measured"],
+        [("75.4 %", f"{100 * result.utilization_cores:.1f} %")]))
+    assert result.utilization_cores < 0.945
+    assert result.utilization_cores > 0.40
+
+
+def test_hybrid_utilization(benchmark, emit):
+    results = {}
+
+    def run():
+        for n, p in ((16, 4), (64, 8)):
+            cfg = ExperimentConfig(exp_id="hybrid", launcher="flux+dragon",
+                                   workload="mixed", n_nodes=n,
+                                   n_partitions=p, duration=360.0)
+            results[(n, p)] = run_experiment(cfg)
+        return results
+
+    run_once(benchmark, run)
+    rows = [(n, p, ">=99.6 %", f"{100 * r.utilization_cores:.2f} %")
+            for (n, p), r in results.items()]
+    emit("flux+dragon utilization\n" + format_table(
+        ["nodes", "inst/runtime", "paper", "measured"], rows))
+    for r in results.values():
+        assert r.utilization_cores >= 0.985

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Active-learning loop with persistent services (§2, emerging use cases).
+
+"Reinforcement learning agents, active learning loops ... often
+require persistent services (e.g., learners, replay buffers), dynamic
+spawning of short-lived workers, and rapid data exchange without
+blocking synchronization."
+
+This example builds exactly that on the library's service layer:
+
+* a **learner** service (GPU) and a **replay buffer** service stay up
+  for the whole campaign;
+* each iteration spawns a batch of short simulation tasks; their
+  "results" stream into the replay buffer via endpoint calls;
+* the learner consumes the buffer and decides the next batch size
+  (adaptive control), shrinking as the model converges.
+
+Run with::
+
+    python examples/active_learning_loop.py
+"""
+
+from repro import (
+    PartitionSpec,
+    PilotDescription,
+    ResourceSpec,
+    Session,
+    TaskDescription,
+    frontier,
+)
+from repro.core import ServiceDescription
+
+ITERATIONS = 5
+
+
+def main() -> None:
+    session = Session(cluster=frontier(16), seed=8)
+    env = session.env
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=16, partitions=(PartitionSpec("flux", n_instances=2),
+                              PartitionSpec("dragon", n_instances=2))))
+    tmgr.add_pilot(pilot)
+    session.run(pilot.active_event())
+
+    learner = pilot.start_service(ServiceDescription(
+        name="learner", resources=ResourceSpec(cores=8, gpus=4),
+        startup_time=15.0, service_latency=0.5, concurrency=2))
+    replay = pilot.start_service(ServiceDescription(
+        name="replay-buffer", resources=ResourceSpec(cores=4),
+        startup_time=3.0, service_latency=0.01, concurrency=8))
+
+    buffer_size = [0]
+    replay.endpoint.set_handler(
+        lambda item: buffer_size.__setitem__(0, buffer_size[0] + 1))
+    learner.endpoint.set_handler(
+        lambda _: max(8, 64 - 12 * buffer_size[0] // 32))
+
+    def campaign(env):
+        yield learner.ready_event()
+        yield replay.ready_event()
+        batch = 64
+        for it in range(ITERATIONS):
+            tasks = tmgr.submit_tasks([
+                TaskDescription(executable="md-sample", mode="function",
+                                duration=20.0, tags={"iter": it})
+                for _ in range(batch)])
+            yield tmgr.wait_tasks(tasks)
+            # Stream results into the replay buffer.
+            pushes = [replay.endpoint.call(f"traj-{it}-{k}")
+                      for k in range(len(tasks))]
+            yield env.all_of(pushes)
+            # Ask the learner for the next batch size.
+            reply = learner.endpoint.call("train-step")
+            batch = yield reply
+            print(f"t={env.now:8.1f}s  iter {it}: {len(tasks)} samples, "
+                  f"buffer={buffer_size[0]}, next batch={batch}")
+
+    session.run(env.process(campaign(env)))
+    print(f"\nfinal buffer size : {buffer_size[0]}")
+    print(f"learner calls     : {learner.endpoint.n_completed}")
+    print(f"services still up : {learner.is_ready and replay.is_ready}")
+    session.close()
+
+
+if __name__ == "__main__":
+    main()

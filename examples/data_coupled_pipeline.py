@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Data-coupled pipeline over Dragon shared-memory channels (§2).
+
+IMPECCABLE's intermediate coupling class: "asynchronous pipelines of
+Python functions communicating through in-memory data structures or
+message queues" — e.g. REINVENT generation feeding SST-guided patch
+selection.  This example builds that pattern directly on the Dragon
+substrate: a generator stage, a scorer stage and a selector stage
+exchange batches through bounded :class:`ShmemChannel` queues, with
+backpressure when a stage falls behind.
+
+Run with::
+
+    python examples/data_coupled_pipeline.py
+"""
+
+from repro.dragon import ShmemChannel
+from repro.platform import frontier
+from repro.sim import Environment, RngStreams
+
+N_BATCHES = 200
+CHANNEL_CAPACITY = 8
+
+
+def main() -> None:
+    env = Environment()
+    rng = RngStreams(seed=99)
+    cluster = frontier(2)
+    cluster.allocate_nodes(2)  # the pipeline's resource footprint
+
+    generated = ShmemChannel(env, capacity=CHANNEL_CAPACITY,
+                             name="generated")
+    scored = ShmemChannel(env, capacity=CHANNEL_CAPACITY, name="scored")
+    stats = {"generated": 0, "scored": 0, "selected": 0,
+             "best": float("-inf")}
+
+    def generator(env):
+        """REINVENT-like molecule generator (fast, bursty)."""
+        for batch in range(N_BATCHES):
+            yield env.timeout(rng.lognormal_latency("gen", 0.05, cv=0.4))
+            yield from generated.put({"batch": batch,
+                                      "smiles": f"mol-{batch:04d}"})
+            stats["generated"] += 1
+        generated.close()
+
+    def scorer(env, worker_id):
+        """Surrogate-inference scorers (two workers, slower)."""
+        while True:
+            try:
+                item = yield generated.get()
+            except Exception:
+                return
+            yield env.timeout(rng.lognormal_latency("score", 0.18, cv=0.3))
+            item["score"] = float(rng.stream("scores").normal(0.0, 1.0))
+            item["scored_by"] = worker_id
+            yield from scored.put(item)
+            stats["scored"] += 1
+
+    def selector(env):
+        """Patch selection: consumes scored batches, keeps the best."""
+        for _ in range(N_BATCHES):
+            item = yield scored.get()
+            yield env.timeout(0.01)
+            stats["selected"] += 1
+            stats["best"] = max(stats["best"], item["score"])
+
+    env.process(generator(env))
+    for worker_id in range(2):
+        env.process(scorer(env, worker_id))
+    done = env.process(selector(env))
+    env.run(done)
+
+    print(f"pipeline finished at t={env.now:,.2f} s (simulated)")
+    print(f"generated={stats['generated']} scored={stats['scored']} "
+          f"selected={stats['selected']}")
+    print(f"best score: {stats['best']:.3f}")
+    print(f"channel hops: generated={generated.n_puts} "
+          f"scored={scored.n_puts}")
+    # Backpressure kept the in-flight window bounded the whole time.
+    assert stats["selected"] == N_BATCHES
+
+
+if __name__ == "__main__":
+    main()

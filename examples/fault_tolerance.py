@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fault tolerance: instance crashes, retries, and backend failover.
+
+Demonstrates RP's failure-handling framework (§3.2):
+
+1. a Flux instance crashes mid-run — its tasks fail back to the
+   agent, and tasks with retries left are re-routed to the surviving
+   instance;
+2. a Dragon runtime hangs at startup — the agent's watchdog aborts
+   it and removes the backend; function tasks fall back to Flux.
+
+Run with::
+
+    python examples/fault_tolerance.py
+"""
+
+from repro import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+    frontier,
+)
+from repro.core.agent.executor_dragon import DragonExecutor
+
+
+def crash_recovery_demo() -> None:
+    print("=== 1. Flux instance crash with task retries ===")
+    session = Session(cluster=frontier(8), seed=3)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=8, partitions=(PartitionSpec("flux", n_instances=2),)))
+    tmgr.add_pilot(pilot)
+
+    tasks = tmgr.submit_tasks([
+        TaskDescription(duration=300.0, retries=1) for _ in range(100)])
+
+    # Let work start, then kill one of the two Flux instances.
+    session.run(until=session.now + 60.0)
+    executor = pilot.agent.executors["flux"]
+    victim = executor.hierarchy.instances[0]
+    print(f"t={session.now:7.1f}s  crashing {victim.instance_id} "
+          f"({victim.n_running} tasks running there)")
+    victim.crash("injected broker failure")
+
+    session.run(tmgr.wait_tasks())
+    retried = sum(1 for t in tasks if t.attempts > 0)
+    print(f"t={session.now:7.1f}s  all finished: "
+          f"{sum(t.succeeded for t in tasks)}/100 succeeded, "
+          f"{retried} recovered via retry on the surviving instance")
+    session.close()
+
+
+def startup_watchdog_demo() -> None:
+    print("\n=== 2. Dragon startup hang -> watchdog -> Flux fallback ===")
+    session = Session(cluster=frontier(8), seed=4)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+
+    # Patch the Dragon executor so its runtime hangs during bootstrap.
+    original = DragonExecutor.__init__
+
+    def hanging_init(self, agent, allocation, n_instances=1,
+                     fail_startup=False):
+        original(self, agent, allocation, n_instances=n_instances,
+                 fail_startup=True)
+
+    DragonExecutor.__init__ = hanging_init
+    try:
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=8, partitions=(PartitionSpec("flux", nodes=4),
+                                 PartitionSpec("dragon", nodes=4))))
+        tmgr.add_pilot(pilot)
+        session.run(pilot.active_event())
+    finally:
+        DragonExecutor.__init__ = original
+
+    print(f"t={session.now:7.1f}s  pilot ACTIVE with backends: "
+          f"{pilot.agent.available_backends} "
+          "(dragon aborted by the startup watchdog)")
+
+    tasks = tmgr.submit_tasks([
+        TaskDescription(mode="function", duration=10.0) for _ in range(50)])
+    session.run(tmgr.wait_tasks())
+    backends = {t.backend for t in tasks}
+    print(f"t={session.now:7.1f}s  50 function tasks done on fallback "
+          f"backend(s): {backends}")
+    session.close()
+
+
+if __name__ == "__main__":
+    crash_recovery_demo()
+    startup_watchdog_demo()

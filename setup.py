@@ -1,0 +1,8 @@
+"""Setuptools shim: enables legacy editable installs
+(``pip install -e . --no-build-isolation``) on environments without
+the ``wheel`` package.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""Trace recording and performance metrics (RADICAL-Analytics analogue)."""
+
+from . import events
+from .events import TraceEvent
+from .export import load_events, save_profile
+from .metrics import (
+    ThroughputStats,
+    exec_intervals,
+    exec_start_times,
+    makespan,
+    pilot_startup_overhead,
+    startup_overheads,
+    task_throughput,
+    throughput,
+    utilization,
+)
+from .profiler import Profiler
+from .summary import (
+    BackendSummary,
+    PhaseStats,
+    SessionSummary,
+    summarize,
+)
+from .timeseries import (
+    Series,
+    concurrency_series,
+    resource_usage_series,
+    start_rate_series,
+    state_occupancy_series,
+)
+from .validate import Violation, assert_valid_trace, validate_trace
+
+__all__ = [
+    "BackendSummary",
+    "PhaseStats",
+    "Profiler",
+    "Series",
+    "SessionSummary",
+    "summarize",
+    "ThroughputStats",
+    "TraceEvent",
+    "Violation",
+    "assert_valid_trace",
+    "concurrency_series",
+    "events",
+    "exec_intervals",
+    "exec_start_times",
+    "load_events",
+    "makespan",
+    "save_profile",
+    "pilot_startup_overhead",
+    "resource_usage_series",
+    "start_rate_series",
+    "startup_overheads",
+    "state_occupancy_series",
+    "task_throughput",
+    "throughput",
+    "utilization",
+    "validate_trace",
+]

@@ -1,0 +1,58 @@
+"""Trace-event records, mirroring RADICAL-Analytics' profile format.
+
+Every component in the stack (agent, executors, Flux instances, Dragon
+runtime, Slurm controller) appends :class:`TraceEvent` records to a
+shared :class:`~repro.analytics.profiler.Profiler`.  All performance
+metrics in :mod:`repro.analytics.metrics` are pure functions of these
+traces, exactly as RADICAL-Analytics derives the paper's plots from
+RP profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+# -- canonical event names -----------------------------------------------------
+# Task lifecycle (subset of RP's event model that the metrics consume).
+TASK_CREATED = "task_created"          #: task description accepted by the TMGR
+TASK_SCHEDULED = "task_scheduled"      #: agent scheduler assigned resources/backend
+TASK_SUBMITTED = "task_submitted"      #: handed to the backend launcher
+TASK_EXEC_START = "task_exec_start"    #: application process began executing
+TASK_EXEC_STOP = "task_exec_stop"      #: application process finished
+TASK_DONE = "task_done"                #: final state DONE recorded by RP
+TASK_FAILED = "task_failed"            #: final state FAILED recorded by RP
+TASK_CANCELED = "task_canceled"        #: final state CANCELED recorded by RP
+
+# Pilot / infrastructure lifecycle.
+PILOT_ACTIVE = "pilot_active"          #: allocation granted, agent bootstrapped
+PILOT_DONE = "pilot_done"              #: pilot shut down
+BACKEND_START = "backend_start"        #: runtime-instance bootstrap began
+BACKEND_READY = "backend_ready"        #: runtime instance ready for tasks
+BACKEND_STOP = "backend_stop"          #: runtime instance shut down
+BACKEND_FAILED = "backend_failed"      #: runtime instance crashed / timed out
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event about one entity.
+
+    Parameters
+    ----------
+    time:
+        Simulated time [s].
+    entity:
+        Id of the task / pilot / instance the event concerns.
+    name:
+        One of the canonical event names above (free-form allowed).
+    meta:
+        Event-specific payload, e.g. ``cores``, ``backend``, ``gpus``.
+    """
+
+    time: float
+    entity: str
+    name: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"<{self.name} {self.entity} @ {self.time:.4f}>"

@@ -1,0 +1,62 @@
+"""Trace persistence: dump/load profiles as JSON lines.
+
+RADICAL-Analytics operates on profile files written by RP at runtime;
+this module provides the equivalent round-trip so traces can be
+archived and analysed offline (``save_profile`` after a run,
+``load_events`` in the analysis notebook/script).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .events import TraceEvent
+from .profiler import Profiler
+
+PathLike = Union[str, Path]
+
+
+def save_profile(profiler: Profiler, path: PathLike) -> int:
+    """Write every trace event as one JSON object per line.
+
+    Returns the number of events written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        for ev in profiler:
+            fh.write(json.dumps({
+                "time": ev.time,
+                "entity": ev.entity,
+                "name": ev.name,
+                "meta": ev.meta,
+            }, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_events(path: PathLike) -> List[TraceEvent]:
+    """Read a JSON-lines profile back into trace events (in file order)."""
+    path = Path(path)
+    events: List[TraceEvent] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                events.append(TraceEvent(
+                    time=float(record["time"]),
+                    entity=str(record["entity"]),
+                    name=str(record["name"]),
+                    meta=dict(record.get("meta", {})),
+                ))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: malformed profile record: {exc}"
+                ) from exc
+    return events

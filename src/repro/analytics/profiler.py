@@ -1,0 +1,100 @@
+"""The trace recorder shared by all stack components.
+
+One :class:`Profiler` exists per session.  Components call
+:meth:`Profiler.record`; analysis code queries with
+:meth:`Profiler.events_named` / :meth:`Profiler.timeline` or converts
+to numpy arrays for the metric functions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from .events import TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.kernel import Environment
+
+
+class Profiler:
+    """Append-only in-memory trace store keyed by event name and entity."""
+
+    def __init__(self, env: "Environment") -> None:
+        self._env = env
+        self._events: List[TraceEvent] = []
+        self._by_name: Dict[str, List[TraceEvent]] = defaultdict(list)
+        self._by_entity: Dict[str, List[TraceEvent]] = defaultdict(list)
+
+    # -- recording --------------------------------------------------------
+
+    def record(self, entity: str, name: str, at: Optional[float] = None,
+               **meta: Any) -> TraceEvent:
+        """Record ``name`` for ``entity``.
+
+        ``at`` overrides the timestamp (default: current simulated
+        time) — used when the observing component learns about an
+        event after it physically happened (e.g. completion messages
+        arriving over a pipe), so traces carry the true event time.
+        """
+        ev = TraceEvent(time=self._env.now if at is None else at,
+                        entity=entity, name=name, meta=meta)
+        self._events.append(ev)
+        self._by_name[name].append(ev)
+        self._by_entity[entity].append(ev)
+        return ev
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events_named(self, name: str) -> List[TraceEvent]:
+        """All events with the given name, in record order."""
+        return list(self._by_name.get(name, ()))
+
+    def events_for(self, entity: str) -> List[TraceEvent]:
+        """All events of one entity, in record order."""
+        return list(self._by_entity.get(entity, ()))
+
+    def times(self, name: str) -> np.ndarray:
+        """Timestamps of all events named ``name`` as a sorted array."""
+        ts = np.array([ev.time for ev in self._by_name.get(name, ())],
+                      dtype=float)
+        ts.sort()
+        return ts
+
+    def first(self, name: str) -> Optional[TraceEvent]:
+        evs = self._by_name.get(name)
+        return evs[0] if evs else None
+
+    def last(self, name: str) -> Optional[TraceEvent]:
+        evs = self._by_name.get(name)
+        return evs[-1] if evs else None
+
+    def duration(self, entity: str, start_name: str, stop_name: str) -> float:
+        """Time between two events of one entity (first occurrences).
+
+        Raises ``KeyError`` when either event is missing.
+        """
+        start = stop = None
+        for ev in self._by_entity.get(entity, ()):
+            if start is None and ev.name == start_name:
+                start = ev.time
+            elif start is not None and ev.name == stop_name:
+                stop = ev.time
+                break
+        if start is None or stop is None:
+            raise KeyError(
+                f"{entity}: missing {start_name!r}..{stop_name!r} interval"
+            )
+        return stop - start
+
+    def timeline(self, entity: str) -> List[tuple]:
+        """(time, name) pairs for one entity, in record order."""
+        return [(ev.time, ev.name) for ev in self._by_entity.get(entity, ())]

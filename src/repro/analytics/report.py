@@ -1,0 +1,57 @@
+"""Plain-text report rendering for experiment results.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place (usable from the CLI,
+the benchmarks and EXPERIMENTS.md regeneration).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table (no external deps)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(times: Sequence[float], values: Sequence[float],
+                  width: int = 50, label: str = "") -> str:
+    """A crude ASCII sparkline of a time series (for Fig. 8 panels)."""
+    vals = list(values)
+    if not vals:
+        return f"{label}: (empty)"
+    peak = max(vals) or 1.0
+    blocks = " .:-=+*#%@"
+    chars = []
+    stride = max(1, len(vals) // width)
+    for i in range(0, len(vals), stride):
+        chunk = vals[i:i + stride]
+        level = int((max(chunk) / peak) * (len(blocks) - 1))
+        chars.append(blocks[level])
+    t0, t1 = times[0], times[-1]
+    return (f"{label} [{t0:,.0f}s..{t1:,.0f}s] peak={peak:,.1f}\n"
+            f"  |{''.join(chars)}|")

@@ -1,0 +1,116 @@
+"""Time-series views of a run: concurrency and launch-rate curves.
+
+These regenerate the paper's Fig. 8 panels: running-task concurrency
+(green, left axis) and execution start rate (red, right axis) over
+the workflow's lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Tuple
+
+import numpy as np
+
+from .metrics import exec_intervals, exec_start_times
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.task import Task
+
+
+@dataclass(frozen=True)
+class Series:
+    """A sampled time series (times[i] -> values[i])."""
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def max(self) -> float:
+        return float(self.values.max()) if self.values.size else 0.0
+
+    def mean(self) -> float:
+        return float(self.values.mean()) if self.values.size else 0.0
+
+
+def concurrency_series(tasks: Iterable["Task"],
+                       resolution: float = 60.0) -> Series:
+    """Number of concurrently *running* tasks sampled every
+    ``resolution`` seconds (the paper's green curves)."""
+    iv = exec_intervals(tasks)
+    if iv.shape[0] == 0:
+        return Series(np.empty(0), np.empty(0))
+    t0, t1 = float(iv[:, 0].min()), float(iv[:, 1].max())
+    samples = np.arange(t0, t1 + resolution, resolution)
+    # Vectorized interval stabbing: count starts <= t < stops.
+    starts = np.sort(iv[:, 0])
+    stops = np.sort(iv[:, 1])
+    running = (np.searchsorted(starts, samples, side="right")
+               - np.searchsorted(stops, samples, side="right"))
+    return Series(samples, running.astype(float))
+
+
+def start_rate_series(tasks: Iterable["Task"],
+                      bin_width: float = 60.0) -> Series:
+    """Task launch rate [tasks/s] in fixed bins (the red curves)."""
+    ts = exec_start_times(tasks)
+    if ts.size == 0:
+        return Series(np.empty(0), np.empty(0))
+    edges = np.arange(ts[0], ts[-1] + bin_width, bin_width)
+    if edges.size < 2:
+        edges = np.array([ts[0], ts[0] + bin_width])
+    counts, _ = np.histogram(ts, bins=edges)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return Series(centers, counts / bin_width)
+
+
+def state_occupancy_series(tasks: Iterable["Task"], state: str,
+                           resolution: float = 60.0) -> Series:
+    """How many tasks sit in ``state`` over time.
+
+    Used to reproduce Fig. 8's scheduled-vs-running gap: with a slow
+    launcher, tasks pile up in AGENT_SCHEDULING while the running
+    count trails behind.
+    """
+    rows = []
+    horizon = 0.0
+    for task in tasks:
+        history = task.state_history
+        horizon = max(horizon, history[-1][0])
+        for i, (ts, name) in enumerate(history):
+            if name != state:
+                continue
+            stop = (history[i + 1][0] if i + 1 < len(history)
+                    else float("inf"))
+            rows.append((ts, stop))
+    if not rows:
+        return Series(np.empty(0), np.empty(0))
+    iv = np.array(rows, dtype=float)
+    iv[:, 1] = np.minimum(iv[:, 1], horizon)
+    t0, t1 = float(iv[:, 0].min()), float(iv[:, 1].max())
+    samples = np.arange(t0, t1 + resolution, resolution)
+    starts = np.sort(iv[:, 0])
+    stops = np.sort(iv[:, 1])
+    occupancy = (np.searchsorted(starts, samples, side="right")
+                 - np.searchsorted(stops, samples, side="right"))
+    return Series(samples, occupancy.astype(float))
+
+
+def resource_usage_series(tasks: Iterable["Task"], total: int,
+                          resolution: float = 60.0,
+                          resource: str = "cores") -> Series:
+    """Fraction of the allocation's cores/gpus busy over time."""
+    col = {"cores": 2, "gpus": 3}[resource]
+    iv = exec_intervals(tasks)
+    if iv.shape[0] == 0 or total <= 0:
+        return Series(np.empty(0), np.empty(0))
+    t0, t1 = float(iv[:, 0].min()), float(iv[:, 1].max())
+    samples = np.arange(t0, t1 + resolution, resolution)
+    order_start = np.argsort(iv[:, 0])
+    order_stop = np.argsort(iv[:, 1])
+    starts = iv[order_start, 0]
+    stops = iv[order_stop, 1]
+    w_start = np.concatenate([[0.0], np.cumsum(iv[order_start, col])])
+    w_stop = np.concatenate([[0.0], np.cumsum(iv[order_stop, col])])
+    started = w_start[np.searchsorted(starts, samples, side="right")]
+    stopped = w_stop[np.searchsorted(stops, samples, side="right")]
+    return Series(samples, (started - stopped) / total)

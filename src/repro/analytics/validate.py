@@ -1,0 +1,158 @@
+"""Trace validation: lint a session's event stream for invariant
+violations.
+
+Useful both as a debugging aid for users extending the stack and as a
+strong end-of-run assertion in tests: a correct run must produce a
+trace where every task is conserved (created once, finalized once),
+per-entity timestamps are monotone, execution intervals are sane, and
+the recorded concurrent resource usage never exceeds the allocation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from . import events as tev
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .profiler import Profiler
+
+_FINAL_EVENTS = (tev.TASK_DONE, tev.TASK_FAILED, tev.TASK_CANCELED)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected trace inconsistency."""
+
+    rule: str
+    entity: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.entity}: {self.detail}"
+
+
+def validate_trace(profiler: "Profiler",
+                   total_cores: Optional[int] = None) -> List[Violation]:
+    """Check all invariants; returns the (possibly empty) violation list."""
+    violations: List[Violation] = []
+    violations.extend(_check_task_conservation(profiler))
+    violations.extend(_check_monotone_timestamps(profiler))
+    violations.extend(_check_exec_intervals(profiler))
+    violations.extend(_check_backend_lifecycles(profiler))
+    if total_cores is not None:
+        violations.extend(_check_core_usage(profiler, total_cores))
+    return violations
+
+
+def assert_valid_trace(profiler: "Profiler",
+                       total_cores: Optional[int] = None) -> None:
+    """Raise ``AssertionError`` listing every violation found."""
+    violations = validate_trace(profiler, total_cores=total_cores)
+    if violations:
+        summary = "\n".join(str(v) for v in violations[:20])
+        raise AssertionError(
+            f"{len(violations)} trace violations:\n{summary}")
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+def _task_events(profiler: "Profiler") -> Dict[str, list]:
+    by_task: Dict[str, list] = defaultdict(list)
+    for ev in profiler:
+        if ev.name.startswith("task_"):
+            by_task[ev.entity].append(ev)
+    return by_task
+
+
+def _check_task_conservation(profiler: "Profiler") -> List[Violation]:
+    out = []
+    for entity, events in _task_events(profiler).items():
+        created = sum(1 for e in events if e.name == tev.TASK_CREATED)
+        finals = sum(1 for e in events if e.name in _FINAL_EVENTS)
+        if created != 1:
+            out.append(Violation("conservation", entity,
+                                 f"{created} creation events"))
+        if finals != 1:
+            out.append(Violation("conservation", entity,
+                                 f"{finals} final events"))
+    return out
+
+
+def _check_monotone_timestamps(profiler: "Profiler") -> List[Violation]:
+    out = []
+    last_seen: Dict[str, float] = {}
+    for ev in profiler:
+        prev = last_seen.get(ev.entity)
+        if prev is not None and ev.time < prev - 1e-12:
+            out.append(Violation(
+                "monotone-time", ev.entity,
+                f"{ev.name} at {ev.time} after {prev}"))
+        last_seen[ev.entity] = ev.time
+    return out
+
+
+def _check_exec_intervals(profiler: "Profiler") -> List[Violation]:
+    out = []
+    for entity, events in _task_events(profiler).items():
+        starts = [e.time for e in events if e.name == tev.TASK_EXEC_START]
+        stops = [e.time for e in events if e.name == tev.TASK_EXEC_STOP]
+        for begin, end in zip(starts, stops):
+            if end < begin:
+                out.append(Violation(
+                    "exec-interval", entity,
+                    f"stop {end} before start {begin}"))
+        if len(stops) > len(starts):
+            out.append(Violation("exec-interval", entity,
+                                 "more stops than starts"))
+    return out
+
+
+def _check_backend_lifecycles(profiler: "Profiler") -> List[Violation]:
+    out = []
+    started = {e.entity: e.time
+               for e in profiler.events_named(tev.BACKEND_START)}
+    for ev in profiler.events_named(tev.BACKEND_READY):
+        begin = started.get(ev.entity)
+        if begin is None:
+            out.append(Violation("backend-lifecycle", ev.entity,
+                                 "ready without start"))
+        elif ev.time < begin:
+            out.append(Violation("backend-lifecycle", ev.entity,
+                                 "ready before start"))
+    return out
+
+
+def _check_core_usage(profiler: "Profiler",
+                      total_cores: int) -> List[Violation]:
+    """Concurrent core usage from exec intervals never exceeds the
+    machine (sweep-line over start/stop events)."""
+    deltas = []
+    open_cores: Dict[str, float] = {}
+    for ev in profiler:
+        if ev.name == tev.TASK_EXEC_START:
+            cores = float(ev.meta.get("cores", 1))
+            open_cores[ev.entity] = cores
+            deltas.append((ev.time, cores))
+        elif ev.name == tev.TASK_EXEC_STOP:
+            cores = open_cores.pop(ev.entity, None)
+            if cores is not None:
+                deltas.append((ev.time, -cores))
+    if not deltas:
+        return []
+    arr = np.array(sorted(deltas), dtype=float)
+    # Process stops before starts at equal times (a freed core may be
+    # reused in the same instant).
+    order = np.lexsort((arr[:, 1], arr[:, 0]))
+    running = np.cumsum(arr[order, 1])
+    peak = float(running.max())
+    if peak > total_cores + 1e-9:
+        return [Violation("core-usage", "(machine)",
+                          f"peak concurrent cores {peak} > {total_cores}")]
+    return []

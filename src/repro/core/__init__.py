@@ -1,0 +1,64 @@
+"""The pilot runtime (RADICAL-Pilot analogue) — the paper's core system.
+
+Public API::
+
+    from repro.core import (
+        Session, PilotDescription, PartitionSpec, TaskDescription,
+    )
+
+    session = Session(cluster=frontier(64), seed=1)
+    pmgr = session.pilot_manager()
+    tmgr = session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=64,
+        partitions=(PartitionSpec("flux", n_instances=4),
+                    PartitionSpec("dragon", n_instances=4)),
+    ))
+    tmgr.add_pilot(pilot)
+    tasks = tmgr.submit_tasks([TaskDescription(duration=180.0)
+                               for _ in range(1000)])
+    session.run(tmgr.wait_tasks())
+"""
+
+from .description import (
+    BACKEND_DRAGON,
+    BACKEND_FLUX,
+    BACKEND_PRRTE,
+    BACKEND_SRUN,
+    BACKENDS,
+    MODE_EXECUTABLE,
+    MODE_FUNCTION,
+    PartitionSpec,
+    PilotDescription,
+    TaskDescription,
+)
+from .pilot import Pilot
+from .pilot_manager import PilotManager
+from .service import Service, ServiceDescription, ServiceEndpoint
+from .session import Session
+from .states import PilotState, TaskState
+from .task import Task
+from .task_manager import TaskManager
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_DRAGON",
+    "BACKEND_FLUX",
+    "BACKEND_PRRTE",
+    "BACKEND_SRUN",
+    "MODE_EXECUTABLE",
+    "MODE_FUNCTION",
+    "PartitionSpec",
+    "Pilot",
+    "PilotDescription",
+    "PilotManager",
+    "PilotState",
+    "Service",
+    "ServiceDescription",
+    "ServiceEndpoint",
+    "Session",
+    "Task",
+    "TaskDescription",
+    "TaskManager",
+    "TaskState",
+]

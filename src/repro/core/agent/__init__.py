@@ -1,0 +1,22 @@
+"""The agent subsystem: scheduler, stagers, router, backend executors."""
+
+from .agent import Agent
+from .executor_base import ExecutorBase
+from .executor_dragon import DragonExecutor
+from .executor_flux import FluxExecutor
+from .executor_srun import SrunExecutor
+from .router import DynamicRouter, Router
+from .scheduler import PartitionScheduler
+from .staging import Stager
+
+__all__ = [
+    "Agent",
+    "DragonExecutor",
+    "DynamicRouter",
+    "ExecutorBase",
+    "FluxExecutor",
+    "PartitionScheduler",
+    "Router",
+    "SrunExecutor",
+    "Stager",
+]

@@ -1,0 +1,326 @@
+"""The RP Agent: resource acquisition + task execution orchestration.
+
+The agent is the paper's focus (§3): it bootstraps on the pilot
+allocation, concurrently instantiates the configured runtime backends
+on disjoint node partitions, and drives every task through
+
+    staging-in -> routing -> backend execution -> staging-out
+
+with a serialized per-task dispatch stage whose cost models RP's task
+management subsystem (the ~1,500-1,600 tasks/s upper bound observed
+in the hybrid experiment).  Retries and failover live here: executor
+attempt failures are retried while the task has retries left, and
+backends that fail to bootstrap are removed from the routing table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ...exceptions import ConfigurationError, SchedulingError
+from ...platform.cluster import Allocation
+from ...sim import Store
+from ..description import (
+    BACKEND_DRAGON,
+    BACKEND_FLUX,
+    BACKEND_PRRTE,
+    BACKEND_SRUN,
+    PartitionSpec,
+)
+from ..states import TaskState
+from .executor_base import ExecutorBase
+from .executor_dragon import DragonExecutor
+from .executor_flux import FluxExecutor
+from .executor_prrte import PrrteExecutor
+from .executor_srun import SrunExecutor
+from .router import DynamicRouter, Router
+from .staging import Stager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pilot import Pilot
+    from ..session import Session
+    from ..task import Task
+
+
+class Agent:
+    """One agent per pilot."""
+
+    def __init__(self, session: "Session", pilot: "Pilot") -> None:
+        self.session = session
+        self.pilot = pilot
+        self.env = session.env
+        self.latencies = session.latencies
+        self.rng = session.rng
+        self.profiler = session.profiler
+        self.uid = session.ids.next("agent")
+        self.incoming: Store = Store(self.env)
+        self.executors: Dict[str, ExecutorBase] = {}
+        self.stager_in = Stager(self.env, self.latencies, self.rng,
+                                name=f"{self.uid}.stage_in",
+                                filesystem=session.filesystem)
+        self.stager_out = Stager(self.env, self.latencies, self.rng,
+                                 name=f"{self.uid}.stage_out",
+                                 filesystem=session.filesystem)
+        self._router: Optional[Router] = None
+        self._alive = False
+        self._n_flux_instances = 0
+        self._inflight: set = set()
+        self.services: List = []
+        self.n_dispatched = 0
+        self.n_done = 0
+        self.n_failed = 0
+        self.n_canceled = 0
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def pilot_nodes(self) -> int:
+        return self.pilot.description.nodes
+
+    @property
+    def available_backends(self) -> List[str]:
+        return [name for name, ex in self.executors.items() if ex.ready]
+
+    def max_task_capacity(self) -> tuple:
+        """(cores, gpus) of the largest single task any deployed
+        backend instance can host.
+
+        Flux and Dragon instances each manage a disjoint partition, so
+        a task can be at most as wide as the widest single instance;
+        srun can span its whole partition.
+        """
+        best_cores = best_gpus = 0
+        for ex in self.executors.values():
+            if not ex.ready:
+                continue
+            if hasattr(ex, "hierarchy"):  # Flux
+                pools = [i.allocation for i in ex.hierarchy.instances]
+            elif hasattr(ex, "runtimes"):  # Dragon
+                pools = [rt.allocation for rt in ex.runtimes]
+            else:  # srun
+                pools = [ex.allocation]
+            for pool in pools:
+                best_cores = max(best_cores, pool.total_cores)
+                best_gpus = max(best_gpus, pool.total_gpus)
+        return best_cores, best_gpus
+
+    # -- bootstrap -----------------------------------------------------------
+
+    def bootstrap(self):
+        """Generator: bring up the agent and all backend executors."""
+        yield self.env.timeout(self.latencies.agent_startup)
+        allocation = self.pilot.allocation
+        assert allocation is not None, "agent bootstraps after allocation"
+        self._build_executors(allocation)
+        procs = [self.env.process(ex.start())
+                 for ex in self.executors.values()]
+        if procs:
+            yield self.env.all_of(procs)
+        # Drop executors that failed to bootstrap (Dragon watchdog etc.).
+        self.executors = {
+            name: ex for name, ex in self.executors.items() if ex.ready
+        }
+        if not self.executors:
+            raise ConfigurationError(f"{self.uid}: no backend came up")
+        self._router = self._make_router()
+        self._alive = True
+        self.env.process(self._dispatch_loop())
+
+    def _make_router(self) -> Router:
+        ready = {name: ex for name, ex in self.executors.items() if ex.ready}
+        if self.pilot.description.routing == "dynamic":
+            return DynamicRouter(ready)
+        return Router(list(ready))
+
+    def _build_executors(self, allocation: Allocation) -> None:
+        desc = self.pilot.description
+        shares = desc.node_shares()
+        seen = set()
+        cursor = 0
+        for part, share in zip(desc.partitions, shares):
+            if part.backend in seen:
+                raise ConfigurationError(
+                    f"duplicate partition backend {part.backend!r}")
+            seen.add(part.backend)
+            nodes = allocation.nodes[cursor:cursor + share]
+            cursor += share
+            sub = Allocation(allocation.cluster, nodes,
+                             walltime=allocation.walltime,
+                             job_id=f"{allocation.job_id}.{part.backend}")
+            self.executors[part.backend] = self._make_executor(part, sub)
+
+    def _make_executor(self, part: PartitionSpec,
+                       sub: Allocation) -> ExecutorBase:
+        if part.backend == BACKEND_SRUN:
+            return SrunExecutor(self, sub)
+        if part.backend == BACKEND_FLUX:
+            self._n_flux_instances = part.n_instances
+            return FluxExecutor(self, sub, n_instances=part.n_instances,
+                                policy=part.policy)
+        if part.backend == BACKEND_DRAGON:
+            return DragonExecutor(self, sub, n_instances=part.n_instances)
+        if part.backend == BACKEND_PRRTE:
+            return PrrteExecutor(self, sub)
+        raise ConfigurationError(f"unknown backend {part.backend!r}")
+
+    def shutdown(self) -> None:
+        """Stop dispatching and shut all backends down.
+
+        Tasks still queued or in flight are canceled — the behaviour
+        of a pilot hitting its walltime: the allocation disappears and
+        no task on it can finish.
+        """
+        self._alive = False
+        for ex in self.executors.values():
+            ex.shutdown()
+        while True:
+            task = self.incoming.try_get()
+            if task is None:
+                break
+            self.n_canceled += 1
+            task.cancel()
+        for task in list(self._inflight):
+            if not task.is_final:
+                self.n_canceled += 1
+                task.cancel()
+        self._inflight.clear()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch_cost(self) -> float:
+        """One draw of the serialized task-management cost [s]."""
+        lat = self.latencies
+        mean = (lat.agent_dispatch_base
+                + lat.agent_dispatch_per_node * self.pilot_nodes)
+        mean *= 1.0 + lat.agent_coord_per_instance * self._n_flux_instances
+        return self.rng.lognormal_latency("agent.dispatch", mean,
+                                          cv=lat.agent_cv)
+
+    def _dispatch_loop(self):
+        """Serialized dispatch: RP's task-management subsystem."""
+        while self._alive:
+            task = yield self.incoming.get()
+            yield self.env.timeout(self.dispatch_cost())
+            self.n_dispatched += 1
+            self.env.process(self._handle(task))
+
+    def _handle(self, task: "Task"):
+        """Per-task pipeline up to backend submission."""
+        if task.is_final:  # canceled while queued in the intake store
+            return
+        self._inflight.add(task)
+        td = task.description
+        if td.input_staging > 0:
+            task.advance(TaskState.AGENT_STAGING_INPUT)
+            yield self.env.process(self.stager_in.stage(
+                td.input_staging, item_mb=td.staging_item_mb))
+        if task.is_final:  # canceled during staging
+            self._inflight.discard(task)
+            return
+        task.advance(TaskState.AGENT_SCHEDULING)
+        self._route_and_submit(task)
+
+    def start_service(self, description) -> "object":
+        """Launch a persistent service on the pilot (Fig. 1 service
+        path).  Returns a :class:`~repro.core.service.Service` whose
+        endpoint becomes callable once the service bootstraps.
+
+        The service occupies its resources until :meth:`Service.stop`
+        or agent shutdown.
+        """
+        from ..description import MODE_EXECUTABLE, TaskDescription
+        from ..service import Service
+        from ..states import TaskState
+        from ..task import Task
+
+        if not self._alive:
+            raise ConfigurationError(
+                f"{self.uid}: cannot start services before bootstrap")
+        td = TaskDescription(
+            executable=description.name, mode=MODE_EXECUTABLE,
+            resources=description.resources, duration=float("inf"),
+            backend=description.backend,
+            tags={"service": description.name})
+        task = Task(self.env, self.session.ids.next("service.task"), td,
+                    profiler=self.profiler)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        self.incoming.put(task)
+        service = Service(self.env, self.rng,
+                          self.session.ids.next("service"), description,
+                          task)
+        service._agent = self
+        self.services.append(service)
+        return service
+
+    def cancel_task(self, task: "Task") -> None:
+        """Cancel one task wherever it currently is: intake queue,
+        staging, backend queue, or running payload."""
+        if task.is_final:
+            return
+        backend = task.backend
+        self.n_canceled += 1
+        task.cancel()
+        self._inflight.discard(task)
+        if backend is not None:
+            executor = self.executors.get(backend)
+            if executor is not None:
+                executor.cancel(task)
+
+    def _route_and_submit(self, task: "Task") -> None:
+        assert self._router is not None
+        try:
+            backend = self._router.route(
+                task.description,
+                cores_per_node=self.session.cluster.cores_per_node,
+                gpus_per_node=self.session.cluster.gpus_per_node)
+        except SchedulingError as exc:
+            self.n_failed += 1
+            self._inflight.discard(task)
+            task.fail(str(exc))
+            return
+        executor = self.executors[backend]
+        if not executor.ready:
+            self.n_failed += 1
+            self._inflight.discard(task)
+            task.fail(f"backend {backend} unavailable")
+            return
+        task.backend = backend
+        executor.submit(task)
+
+    # -- attempt outcomes ---------------------------------------------------------
+
+    def attempt_finished(self, task: "Task", ok: bool,
+                         reason: str = "") -> None:
+        """Called exactly once per execution attempt by executors."""
+        if task.backend is not None:
+            executor = self.executors.get(task.backend)
+            if executor is not None:
+                executor.n_retired += 1
+        if task.is_final:
+            return
+        if ok:
+            self.env.process(self._finalize(task))
+            return
+        if task.retries_left > 0:
+            task.retries_left -= 1
+            task.attempts += 1
+            if task.state == TaskState.AGENT_EXECUTING:
+                task.advance(TaskState.AGENT_SCHEDULING, retry=True)
+            # Re-route: the failing backend may have gone away.
+            self._router = self._make_router()
+            self._route_and_submit(task)
+            return
+        self.n_failed += 1
+        self._inflight.discard(task)
+        task.fail(reason or "execution failed")
+
+    def _finalize(self, task: "Task"):
+        td = task.description
+        if td.output_staging > 0 and not task.is_final:
+            task.advance(TaskState.AGENT_STAGING_OUTPUT)
+            yield self.env.process(self.stager_out.stage(
+                td.output_staging, item_mb=td.staging_item_mb))
+        self._inflight.discard(task)
+        if not task.is_final:
+            self.n_done += 1
+            task.advance(TaskState.DONE)

@@ -1,0 +1,114 @@
+"""The srun executor: RP's default launch path via Slurm.
+
+The agent scheduler places tasks on the partition (slot-level), then
+each task is launched through the machine-wide
+:class:`~repro.rjms.srun.SrunLauncher` — paying the serialized
+controller RPC and holding one of the 112 concurrency-ceiling slots
+for its whole lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...platform.cluster import Allocation
+from .executor_base import ExecutorBase
+from .scheduler import PartitionScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..task import Task
+    from .agent import Agent
+
+
+class SrunExecutor(ExecutorBase):
+    """Launches executable tasks with one srun invocation each."""
+
+    backend = "srun"
+
+    def __init__(self, agent: "Agent", allocation: Allocation) -> None:
+        super().__init__(agent, allocation)
+        self.srun = agent.session.srun
+        self.scheduler = PartitionScheduler(
+            self.env, allocation, name=f"{agent.uid}.srun.sched")
+        self._alive = False
+        self._procs = {}
+        self._steps = {}
+
+    @property
+    def outstanding(self) -> int:
+        return self.scheduler.queue_depth + self.n_active
+
+    def start(self):
+        """srun needs no bootstrap beyond Slurm itself."""
+        self._alive = True
+        self.ready = True
+        self.ready_at = self.env.now
+        if self.profiler is not None:
+            self.profiler.record(f"{self.agent.uid}.srun", "backend_start",
+                                 kind="srun", nodes=self.allocation.n_nodes)
+            self.profiler.record(f"{self.agent.uid}.srun", "backend_ready",
+                                 kind="srun", nodes=self.allocation.n_nodes)
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def shutdown(self) -> None:
+        self._alive = False
+        self.ready = False
+        self.scheduler.cancel_pending()
+
+    def submit(self, task: "Task") -> None:
+        self.n_submitted += 1
+        self._procs[task.uid] = self.env.process(self._execute(task))
+
+    def cancel(self, task: "Task") -> bool:
+        """Kill the running srun step (the client process dies and its
+        ceiling slot frees); queued placements clean themselves up when
+        granted (the _execute process notices the final task state)."""
+        step = self._steps.get(task.uid)
+        if step is not None and getattr(step, "is_alive", False):
+            step.interrupt("canceled")
+            return True
+        return False
+
+    def _execute(self, task: "Task"):
+        from ...exceptions import SchedulingError
+        from ...sim import Interrupt
+
+        try:
+            placements = yield self.scheduler.place(task.description.resources)
+        except SchedulingError as exc:
+            self._procs.pop(task.uid, None)
+            self.agent.attempt_finished(task, ok=False, reason=str(exc))
+            return
+        if task.is_final:
+            # Canceled while waiting for resources.
+            self._procs.pop(task.uid, None)
+            self.scheduler.free(placements)
+            return
+        self.n_active += 1
+        payload_failed = task.description.fail
+        duration = 0.0 if payload_failed else task.description.duration
+        canceled = False
+        step = self.env.process(self.srun.run_task(
+            alloc_nodes=self.agent.pilot_nodes,
+            duration=duration,
+            on_start=lambda: self._task_started(task),
+            on_stop=task.mark_exec_stop,
+        ))
+        self._steps[task.uid] = step
+        try:
+            yield step
+        except Interrupt:
+            canceled = True
+        finally:
+            self.n_active -= 1
+            self.scheduler.free(placements)
+            self._procs.pop(task.uid, None)
+            self._steps.pop(task.uid, None)
+        if canceled:
+            return
+        if payload_failed:
+            self.agent.attempt_finished(task, ok=False,
+                                        reason="task payload failed")
+        else:
+            self.agent.attempt_finished(task, ok=True)

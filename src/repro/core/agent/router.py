@@ -1,0 +1,157 @@
+"""Task-type-aware backend selection.
+
+The router implements the paper's adaptive mapping (§3.1): tasks are
+dispatched to the backend whose execution model matches their
+properties —
+
+* explicit ``backend`` hints win;
+* **function** tasks go to Dragon (in-memory dispatch) when present,
+  else Flux;
+* multi-node / node-exclusive **executable** tasks need hierarchical
+  co-scheduling: Flux first, srun as fallback;
+* other executables prefer Flux, then srun, then Dragon (Dragon *can*
+  launch executables, as experiment *dragon* shows, but it is the
+  last resort for them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ...exceptions import SchedulingError
+from ..description import (
+    BACKEND_DRAGON,
+    BACKEND_FLUX,
+    BACKEND_PRRTE,
+    BACKEND_SRUN,
+    MODE_FUNCTION,
+    TaskDescription,
+)
+
+#: Preference order per task class.  PRRTE sits between Flux (it has
+#: no internal scheduler, so co-scheduling quality is lower) and srun
+#: (it launches much faster, with no concurrency ceiling).
+_FUNCTION_ORDER = (BACKEND_DRAGON, BACKEND_FLUX)
+_EXEC_MULTI_NODE_ORDER = (BACKEND_FLUX, BACKEND_PRRTE, BACKEND_SRUN)
+_EXEC_ORDER = (BACKEND_FLUX, BACKEND_PRRTE, BACKEND_SRUN, BACKEND_DRAGON)
+
+
+class Router:
+    """Chooses a backend name for each task, given what is available.
+
+    Static policy: within each task class, the first available backend
+    in preference order wins.
+    """
+
+    def __init__(self, available: Sequence[str]) -> None:
+        self.available = tuple(available)
+
+    def _order_for(self, td: TaskDescription, cores_per_node: int,
+                   gpus_per_node: int) -> Sequence[str]:
+        if td.mode == MODE_FUNCTION:
+            return _FUNCTION_ORDER
+        if (td.resources.exclusive_nodes
+                or not td.resources.fits_node(cores_per_node,
+                                              gpus_per_node)):
+            return _EXEC_MULTI_NODE_ORDER
+        return _EXEC_ORDER
+
+    def _candidates(self, td: TaskDescription, cores_per_node: int,
+                    gpus_per_node: int) -> Sequence[str]:
+        if td.backend is not None:
+            if td.backend in self.available:
+                return (td.backend,)
+            raise SchedulingError(
+                f"requested backend {td.backend!r} not deployed "
+                f"(available: {self.available})")
+        order = self._order_for(td, cores_per_node, gpus_per_node)
+        candidates = [b for b in order if b in self.available]
+        if not candidates:
+            raise SchedulingError(
+                f"no deployed backend can run task mode={td.mode} "
+                f"cores={td.resources.cores} (available: {self.available})")
+        return candidates
+
+    def route(self, td: TaskDescription, cores_per_node: int,
+              gpus_per_node: int) -> str:
+        """Return the backend name for ``td``.
+
+        Raises :class:`SchedulingError` when no available backend can
+        execute the task.
+        """
+        return self._candidates(td, cores_per_node, gpus_per_node)[0]
+
+
+class DynamicRouter(Router):
+    """Load-aware backend selection (the paper's future-work item,
+    §6: "dynamic backend selection based on workload characteristics").
+
+    Within a task class's capable backends, the one with the lowest
+    *expected wait* wins: outstanding backlog divided by the backend's
+    measured drain rate (tasks retired per second since it became
+    ready).  Spilling away from the preferred backend only happens on
+    *measured* rates — a backend with no history instead receives
+    occasional probe tasks (one in ``probe_interval``) so its rate
+    gets learned without blindly flooding a potentially slow launcher.
+    A hysteresis band keeps the static preference (the best
+    execution-model match) unless the alternative is clearly faster.
+    """
+
+    #: Minimum retirements before the measured rate is trusted.
+    min_history = 20
+    #: One in this many routing decisions probes a no-history backend.
+    probe_interval = 50
+    #: Preferred backend survives unless the best alternative saves
+    #: more than this many seconds AND this relative factor.
+    hysteresis_seconds = 1.0
+    hysteresis_factor = 1.5
+
+    def __init__(self, executors: Dict[str, object]) -> None:
+        super().__init__(list(executors))
+        self._executors = dict(executors)
+        self._calls = 0
+
+    def route(self, td: TaskDescription, cores_per_node: int,
+              gpus_per_node: int) -> str:
+        candidates = self._candidates(td, cores_per_node, gpus_per_node)
+        if len(candidates) == 1:
+            return candidates[0]
+        self._calls += 1
+        preferred = candidates[0]
+        unknown = [name for name in candidates[1:]
+                   if self._measured_rate(self._executors[name]) is None]
+        if unknown and self._calls % self.probe_interval == 0:
+            return unknown[(self._calls // self.probe_interval)
+                           % len(unknown)]
+        known = [name for name in candidates if name not in unknown]
+        waits = {name: self._expected_wait(name) for name in known}
+        best = min(known, key=lambda n: waits[n])
+        if (waits[preferred] - waits[best] <= self.hysteresis_seconds
+                or waits[preferred] <= self.hysteresis_factor * waits[best]):
+            return preferred
+        return best
+
+    def _expected_wait(self, name: str) -> float:
+        """Seconds of backlog in front of a new task on this backend."""
+        ex = self._executors[name]
+        outstanding = getattr(ex, "outstanding", 0)
+        rate = self._measured_rate(ex)
+        if rate is None:
+            # Preferred backend bootstrapping: optimistic prior of one
+            # task per core per second.
+            rate = float(max(1, ex.allocation.total_cores))
+        return outstanding / rate
+
+    def _measured_rate(self, ex):
+        """Retirements per second since readiness, or None without
+        enough history."""
+        env = getattr(ex, "env", None)
+        ready_at = getattr(ex, "ready_at", None)
+        n_retired = getattr(ex, "n_retired", 0)
+        if (env is not None and ready_at is not None
+                and n_retired >= self.min_history
+                and env.now > ready_at):
+            measured = n_retired / (env.now - ready_at)
+            if measured > 0:
+                return measured
+        return None

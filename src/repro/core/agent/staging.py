@@ -1,0 +1,62 @@
+"""Input/output staging subsystems.
+
+RP manages data staging uniformly across execution substrates
+(§3.2): tasks pass through StagerInput before scheduling and
+StagerOutput after execution.  Multiple stager instances operate
+concurrently (the stacked boxes in Fig. 1); each staging item costs a
+latency draw.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...platform.latency import LatencyModel
+from ...sim import Environment, Resource, RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class Stager:
+    """A pool of concurrent staging workers.
+
+    Each item pays a protocol/metadata overhead
+    (``staging_cost_per_item``) plus — when a shared filesystem is
+    attached — a bandwidth-shared data transfer through it.
+    """
+
+    def __init__(self, env: Environment, latencies: LatencyModel,
+                 rng: RngStreams, concurrency: int = 4,
+                 name: str = "stager", filesystem=None) -> None:
+        self.env = env
+        self.latencies = latencies
+        self.rng = rng
+        self.name = name
+        self.filesystem = filesystem
+        self._workers = Resource(env, capacity=concurrency)
+        self.n_items = 0
+        self.bytes_staged = 0.0
+
+    @property
+    def concurrency(self) -> int:
+        return self._workers.capacity
+
+    def stage(self, n_items: int, item_mb: float = 0.0):
+        """Generator: move ``n_items`` staging items through one worker."""
+        if n_items <= 0:
+            return
+        nbytes = item_mb * 1024 * 1024
+        with self._workers.request() as worker:
+            yield worker
+            for _ in range(n_items):
+                cost = self.rng.lognormal_latency(
+                    f"{self.name}.item",
+                    self.latencies.staging_cost_per_item,
+                    cv=self.latencies.staging_cv)
+                if cost > 0:
+                    yield self.env.timeout(cost)
+                if self.filesystem is not None and nbytes > 0:
+                    yield from self.filesystem.transfer(nbytes)
+                    self.bytes_staged += nbytes
+                self.n_items += 1

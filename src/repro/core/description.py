@@ -1,0 +1,198 @@
+"""User-facing task and pilot descriptions (the RP API surface).
+
+Descriptions are plain, validated value objects.  Mutable runtime
+state lives in :class:`~repro.core.task.Task` and
+:class:`~repro.core.pilot.Pilot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..platform.spec import ResourceSpec
+
+#: Task modes, mirroring RP's TASK_EXECUTABLE / TASK_FUNCTION.
+MODE_EXECUTABLE = "executable"
+MODE_FUNCTION = "function"
+
+#: Backend names accepted by partition specs and backend hints.
+BACKEND_SRUN = "srun"
+BACKEND_FLUX = "flux"
+BACKEND_DRAGON = "dragon"
+BACKEND_PRRTE = "prrte"
+BACKENDS = (BACKEND_SRUN, BACKEND_FLUX, BACKEND_DRAGON, BACKEND_PRRTE)
+
+
+@dataclass(frozen=True)
+class TaskDescription:
+    """What one unit of work needs.
+
+    Parameters
+    ----------
+    executable:
+        Command or function tag (informational).
+    mode:
+        ``executable`` (standalone binary / MPI app) or ``function``
+        (in-memory Python function).
+    resources:
+        Cores / GPUs / node exclusivity.
+    duration:
+        Simulated payload runtime [s]; 0 models a null task.
+    backend:
+        Optional explicit backend (overrides the router).
+    input_staging / output_staging:
+        Number of staging items to move before / after execution.
+    staging_item_mb:
+        Size of each staging item [MiB]; transfers share the session's
+        filesystem bandwidth.
+    priority:
+        Relative priority in [-16, 15]; higher runs earlier where the
+        backend supports reordering (mapped onto Flux urgency).
+    retries:
+        How many times a failed execution attempt is retried before
+        the task is marked FAILED.
+    fail:
+        Fault injection: the payload crashes at start when true.
+    tags:
+        Free-form metadata (workflow id, stage name, ...).
+    """
+
+    executable: str = "task"
+    mode: str = MODE_EXECUTABLE
+    resources: ResourceSpec = field(default_factory=ResourceSpec)
+    duration: float = 0.0
+    backend: Optional[str] = None
+    input_staging: int = 0
+    output_staging: int = 0
+    staging_item_mb: float = 1.0
+    priority: int = 0
+    retries: int = 0
+    fail: bool = False
+    tags: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_EXECUTABLE, MODE_FUNCTION):
+            raise ConfigurationError(f"unknown task mode {self.mode!r}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ConfigurationError(f"unknown backend {self.backend!r}")
+        if self.duration < 0:
+            raise ConfigurationError(f"negative duration {self.duration}")
+        if self.retries < 0:
+            raise ConfigurationError(f"negative retries {self.retries}")
+        if self.input_staging < 0 or self.output_staging < 0:
+            raise ConfigurationError("negative staging item count")
+        if self.staging_item_mb < 0:
+            raise ConfigurationError("negative staging item size")
+        if not -16 <= self.priority <= 15:
+            raise ConfigurationError(
+                f"priority must be in [-16, 15], got {self.priority}")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One backend deployment inside a pilot.
+
+    Parameters
+    ----------
+    backend:
+        ``srun``, ``flux`` or ``dragon``.
+    n_instances:
+        Number of concurrent runtime instances for this backend
+        (each gets a disjoint slice of the backend's node share).
+    nodes:
+        Nodes dedicated to this backend; ``None`` means an equal share
+        of whatever remains after explicitly-sized partitions.
+    policy:
+        Scheduling policy for Flux instances (``fcfs`` or ``easy``).
+    """
+
+    backend: str
+    n_instances: int = 1
+    nodes: Optional[int] = None
+    policy: str = "fcfs"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(f"unknown backend {self.backend!r}")
+        if self.n_instances < 1:
+            raise ConfigurationError(
+                f"n_instances must be >= 1, got {self.n_instances}")
+        if self.nodes is not None and self.nodes < self.n_instances:
+            raise ConfigurationError(
+                f"{self.backend}: {self.nodes} nodes cannot host "
+                f"{self.n_instances} instances")
+
+
+@dataclass(frozen=True)
+class PilotDescription:
+    """A pilot job request.
+
+    Parameters
+    ----------
+    nodes:
+        Allocation size in nodes.
+    walltime:
+        Allocation walltime [s], counted from pilot activation.  When
+        it expires the agent shuts down and unfinished tasks are
+        canceled (the allocation is gone).
+    partitions:
+        Backend deployments; defaults to a single srun partition over
+        the whole allocation (RP's default executor).
+    routing:
+        ``static`` — fixed task-class -> backend preference (the
+        paper's evaluated policy); ``dynamic`` — load-aware backend
+        selection among capable backends (the paper's future-work
+        extension, §6).
+    """
+
+    nodes: int = 1
+    walltime: float = float("inf")
+    partitions: Tuple[PartitionSpec, ...] = (PartitionSpec(BACKEND_SRUN),)
+    routing: str = "static"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {self.nodes}")
+        if self.walltime <= 0:
+            raise ConfigurationError(f"walltime must be > 0, got {self.walltime}")
+        if self.routing not in ("static", "dynamic"):
+            raise ConfigurationError(f"unknown routing {self.routing!r}")
+        parts = tuple(self.partitions)
+        object.__setattr__(self, "partitions", parts)
+        if not parts:
+            raise ConfigurationError("a pilot needs at least one partition")
+        fixed = sum(p.nodes or 0 for p in parts)
+        if fixed > self.nodes:
+            raise ConfigurationError(
+                f"partitions claim {fixed} nodes; pilot has {self.nodes}")
+        total_instances = sum(p.n_instances for p in parts)
+        if total_instances > self.nodes:
+            raise ConfigurationError(
+                f"{total_instances} instances cannot be hosted on "
+                f"{self.nodes} nodes")
+
+    def node_shares(self) -> List[int]:
+        """Nodes assigned to each partition, resolving ``None`` shares.
+
+        Explicitly sized partitions get their request; the remaining
+        nodes are split as evenly as possible (respecting each
+        partition's instance count) among the rest.
+        """
+        parts = list(self.partitions)
+        shares: List[Optional[int]] = [p.nodes for p in parts]
+        remaining = self.nodes - sum(s for s in shares if s is not None)
+        flexible = [i for i, s in enumerate(shares) if s is None]
+        if flexible:
+            base, extra = divmod(remaining, len(flexible))
+            for rank, i in enumerate(flexible):
+                share = base + (1 if rank < extra else 0)
+                if share < parts[i].n_instances:
+                    raise ConfigurationError(
+                        f"partition {i} ({parts[i].backend}) got {share} "
+                        f"nodes for {parts[i].n_instances} instances")
+                shares[i] = share
+        result = [s for s in shares if s is not None]
+        assert sum(result) <= self.nodes
+        return result

@@ -1,0 +1,165 @@
+"""Persistent services inside a pilot (Fig. 1's Service path).
+
+The paper's emerging use cases need "persistent services (e.g.,
+learners, replay buffers)" co-located with the workload (§2).  A
+service is a long-lived task that holds resources for the pilot's
+lifetime and exposes a callable endpoint to other components of the
+simulation (tasks, campaign logic, user code):
+
+* the agent launches the service through the normal executor path, so
+  it benefits from the same placement, tracing and fault handling as
+  tasks;
+* after the payload starts, the service performs its own bootstrap
+  (``startup_time``) and then signals readiness;
+* clients interact through :class:`ServiceEndpoint` — a concurrency-
+  limited request/response channel with a per-call service latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..exceptions import ConfigurationError
+from ..platform.spec import ResourceSpec
+from ..sim import Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment, RngStreams
+    from .task import Task
+
+
+@dataclass(frozen=True)
+class ServiceDescription:
+    """What a persistent service needs.
+
+    Parameters
+    ----------
+    name:
+        Service identifier (informational; shows up in traces).
+    resources:
+        Cores/GPUs the service occupies for its whole lifetime.
+    startup_time:
+        Service-internal bootstrap after the payload launches [s]
+        (model loading, buffer allocation, ...).
+    service_latency:
+        Mean per-request handling time of the endpoint [s].
+    concurrency:
+        How many requests the endpoint handles simultaneously.
+    backend:
+        Optional backend hint (defaults to routed like an executable).
+    """
+
+    name: str = "service"
+    resources: ResourceSpec = field(default_factory=ResourceSpec)
+    startup_time: float = 5.0
+    service_latency: float = 10e-3
+    concurrency: int = 1
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.startup_time < 0:
+            raise ConfigurationError(
+                f"negative startup_time {self.startup_time}")
+        if self.service_latency < 0:
+            raise ConfigurationError(
+                f"negative service_latency {self.service_latency}")
+        if self.concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {self.concurrency}")
+
+
+class ServiceEndpoint:
+    """Request/response interface of a running service."""
+
+    def __init__(self, env: "Environment", rng: "RngStreams",
+                 description: ServiceDescription,
+                 ready_event: Event) -> None:
+        self.env = env
+        self.rng = rng
+        self.description = description
+        self._ready = ready_event
+        self._workers = Resource(env, capacity=description.concurrency)
+        self._handler: Optional[Callable[[Any], Any]] = None
+        self.n_calls = 0
+        self.n_completed = 0
+
+    def set_handler(self, handler: Callable[[Any], Any]) -> None:
+        """Install an application-side request handler.
+
+        Without one, calls echo their payload back — sufficient for
+        timing studies.
+        """
+        self._handler = handler
+
+    def call(self, payload: Any = None) -> Event:
+        """Issue one request; the returned event fires with the reply.
+
+        Calls queue FIFO behind the endpoint's concurrency limit and
+        wait for service readiness first.
+        """
+        self.n_calls += 1
+        done = Event(self.env)
+        self.env.process(self._serve(payload, done))
+        return done
+
+    def _serve(self, payload: Any, done: Event):
+        if not self._ready.processed:
+            yield self._ready
+        with self._workers.request() as worker:
+            yield worker
+            latency = self.rng.lognormal_latency(
+                "service.call", self.description.service_latency, cv=0.3)
+            if latency > 0:
+                yield self.env.timeout(latency)
+        reply = self._handler(payload) if self._handler else payload
+        self.n_completed += 1
+        if not done.triggered:
+            done.succeed(reply)
+
+
+class Service:
+    """A running (or starting) service instance."""
+
+    def __init__(self, env: "Environment", rng: "RngStreams", uid: str,
+                 description: ServiceDescription, task: "Task") -> None:
+        self.env = env
+        self.uid = uid
+        self.description = description
+        self.task = task
+        self._ready = Event(env)
+        self.endpoint = ServiceEndpoint(env, rng, description, self._ready)
+        env.process(self._watch_startup())
+
+    def _watch_startup(self):
+        yield self.task.exec_started_event()
+        if self.description.startup_time > 0:
+            yield self.env.timeout(self.description.startup_time)
+        if not self.task.is_final and not self._ready.triggered:
+            self._ready.succeed()
+
+    @property
+    def is_ready(self) -> bool:
+        return self._ready.triggered and not self.task.is_final
+
+    @property
+    def is_final(self) -> bool:
+        return self.task.is_final
+
+    def ready_event(self) -> Event:
+        """Fires once the service finished its internal bootstrap."""
+        return self._ready
+
+    def stop(self) -> None:
+        """Tear the service down (cancels the underlying task)."""
+        if not self.task.is_final:
+            agent = getattr(self, "_agent", None)
+            if agent is not None:
+                agent.cancel_task(self.task)
+            else:  # pragma: no cover - defensive
+                self.task.cancel()
+
+    def __repr__(self) -> str:
+        state = ("ready" if self.is_ready
+                 else "stopped" if self.is_final else "starting")
+        return f"<Service {self.uid} {self.description.name} {state}>"

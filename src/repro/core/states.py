@@ -1,0 +1,96 @@
+"""Pilot and task state machines.
+
+RADICAL-Pilot models pilots and tasks as state machines coordinated by
+an event-driven engine (§3).  We implement the states the paper's
+metrics observe, with an explicit legal-transition table enforced on
+every advance — the property tests verify that no component can drive
+an entity through an illegal sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..exceptions import StateTransitionError
+
+
+class TaskState:
+    """Task lifecycle states (condensed RP model)."""
+
+    NEW = "NEW"
+    TMGR_SCHEDULING = "TMGR_SCHEDULING"        #: accepted by the task manager
+    AGENT_STAGING_INPUT = "AGENT_STAGING_INPUT"
+    AGENT_SCHEDULING = "AGENT_SCHEDULING"      #: waiting for resources/backend
+    AGENT_EXECUTING = "AGENT_EXECUTING"        #: payload running
+    AGENT_STAGING_OUTPUT = "AGENT_STAGING_OUTPUT"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    FINAL: FrozenSet[str] = frozenset({DONE, FAILED, CANCELED})
+
+    _ORDER: Tuple[str, ...] = (
+        NEW, TMGR_SCHEDULING, AGENT_STAGING_INPUT, AGENT_SCHEDULING,
+        AGENT_EXECUTING, AGENT_STAGING_OUTPUT, DONE,
+    )
+
+    #: state -> set of legal successor states
+    TRANSITIONS: Dict[str, FrozenSet[str]] = {}
+
+
+def _build_task_transitions() -> None:
+    order = TaskState._ORDER
+    trans: Dict[str, set] = {s: set() for s in order}
+    for a, b in zip(order, order[1:]):
+        trans[a].add(b)
+    # Staging phases are optional: they may be skipped entirely.
+    trans[TaskState.TMGR_SCHEDULING].add(TaskState.AGENT_SCHEDULING)
+    trans[TaskState.AGENT_EXECUTING].add(TaskState.DONE)
+    # Retry loop: a failed execution attempt re-enters scheduling while
+    # retries remain (the task only reaches FAILED once retries are
+    # exhausted, as in RP's fault-handling framework).
+    trans[TaskState.AGENT_EXECUTING].add(TaskState.AGENT_SCHEDULING)
+    # Failure / cancellation reachable from any non-final state; a failed
+    # task may also be *re-scheduled* on retry.
+    for s in order[:-1]:
+        trans[s].update({TaskState.FAILED, TaskState.CANCELED})
+    trans[TaskState.FAILED] = set()
+    trans[TaskState.CANCELED] = set()
+    TaskState.TRANSITIONS = {k: frozenset(v) for k, v in trans.items()}
+
+
+_build_task_transitions()
+
+
+class PilotState:
+    """Pilot lifecycle states."""
+
+    NEW = "NEW"
+    PMGR_LAUNCHING = "PMGR_LAUNCHING"  #: batch job queued / agent bootstrapping
+    ACTIVE = "ACTIVE"                  #: allocation live, backends ready
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELED = "CANCELED"
+
+    FINAL: FrozenSet[str] = frozenset({DONE, FAILED, CANCELED})
+
+    TRANSITIONS: Dict[str, FrozenSet[str]] = {
+        NEW: frozenset({PMGR_LAUNCHING, FAILED, CANCELED}),
+        PMGR_LAUNCHING: frozenset({ACTIVE, FAILED, CANCELED}),
+        ACTIVE: frozenset({DONE, FAILED, CANCELED}),
+        DONE: frozenset(),
+        FAILED: frozenset(),
+        CANCELED: frozenset(),
+    }
+
+
+def check_transition(kind: str, current: str, new: str,
+                     table: Dict[str, FrozenSet[str]]) -> None:
+    """Raise :class:`StateTransitionError` unless ``current -> new`` is legal."""
+    legal = table.get(current)
+    if legal is None:
+        raise StateTransitionError(f"unknown {kind} state {current!r}")
+    if new not in legal:
+        raise StateTransitionError(
+            f"illegal {kind} transition {current!r} -> {new!r}"
+        )

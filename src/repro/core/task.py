@@ -1,0 +1,139 @@
+"""The runtime task object: state machine + trace integration."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..analytics import events as tev
+from ..exceptions import StateTransitionError
+from .description import TaskDescription
+from .states import TaskState, check_transition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analytics.profiler import Profiler
+    from ..sim import Environment, Event
+
+#: Map of states to canonical trace-event names emitted on entry.
+_STATE_EVENTS = {
+    TaskState.NEW: tev.TASK_CREATED,
+    TaskState.AGENT_SCHEDULING: tev.TASK_SCHEDULED,
+    TaskState.AGENT_EXECUTING: tev.TASK_EXEC_START,
+    TaskState.DONE: tev.TASK_DONE,
+    TaskState.FAILED: tev.TASK_FAILED,
+    TaskState.CANCELED: tev.TASK_CANCELED,
+}
+
+
+class Task:
+    """One unit of work flowing through the pilot runtime."""
+
+    def __init__(self, env: "Environment", uid: str,
+                 description: TaskDescription,
+                 profiler: Optional["Profiler"] = None) -> None:
+        self.env = env
+        self.uid = uid
+        self.description = description
+        self.profiler = profiler
+        self.state = TaskState.NEW
+        self.state_history: List[Tuple[float, str]] = [(env.now, TaskState.NEW)]
+        self.backend: Optional[str] = None
+        self.exec_start: Optional[float] = None
+        self.exec_stop: Optional[float] = None
+        self.exception: Optional[str] = None
+        self.attempts = 0
+        self.retries_left = description.retries
+        self._final_event: Optional["Event"] = None
+        self._exec_event: Optional["Event"] = None
+        if profiler is not None:
+            profiler.record(uid, tev.TASK_CREATED,
+                            cores=description.resources.cores,
+                            gpus=description.resources.gpus,
+                            mode=description.mode)
+
+    # -- state machine ------------------------------------------------------
+
+    def advance(self, new_state: str, **meta) -> None:
+        """Move to ``new_state``, enforcing legality and tracing."""
+        check_transition("task", self.state, new_state, TaskState.TRANSITIONS)
+        self.state = new_state
+        self.state_history.append((self.env.now, new_state))
+        if new_state == TaskState.AGENT_EXECUTING:
+            self.exec_start = self.env.now
+            self.exec_stop = None
+        elif self.exec_start is not None and self.exec_stop is None and (
+                new_state in TaskState.FINAL
+                or new_state == TaskState.AGENT_SCHEDULING):
+            # A final state — or a retry going back to scheduling —
+            # closes any open execution interval (failed/canceled
+            # payload): record the stop so traces stay balanced.
+            self.mark_exec_stop()
+        if self.profiler is not None and new_state != TaskState.NEW:
+            name = _STATE_EVENTS.get(new_state)
+            if name is not None:
+                payload = dict(meta)
+                payload.setdefault("cores", self.description.resources.cores)
+                payload.setdefault("gpus", self.description.resources.gpus)
+                if self.backend is not None:
+                    payload.setdefault("backend", self.backend)
+                self.profiler.record(self.uid, name, **payload)
+        if new_state == TaskState.AGENT_EXECUTING \
+                and self._exec_event is not None \
+                and not self._exec_event.triggered:
+            self._exec_event.succeed()
+        if new_state in TaskState.FINAL and self._final_event is not None:
+            if not self._final_event.triggered:
+                self._final_event.succeed(new_state)
+
+    def mark_exec_stop(self, when: Optional[float] = None) -> None:
+        """Record the payload stop time (before staging-out / DONE).
+
+        ``when`` backdates the stop to the true payload end when the
+        notification arrived later (asynchronous completion pipes).
+        """
+        self.exec_stop = self.env.now if when is None else when
+        if self.profiler is not None:
+            self.profiler.record(self.uid, tev.TASK_EXEC_STOP,
+                                 at=self.exec_stop,
+                                 cores=self.description.resources.cores,
+                                 gpus=self.description.resources.gpus,
+                                 backend=self.backend or "")
+
+    # -- completion ------------------------------------------------------------
+
+    @property
+    def is_final(self) -> bool:
+        return self.state in TaskState.FINAL
+
+    @property
+    def succeeded(self) -> bool:
+        return self.state == TaskState.DONE
+
+    def completion_event(self) -> "Event":
+        """An event that fires when the task reaches a final state."""
+        if self._final_event is None:
+            self._final_event = self.env.event()
+            if self.is_final and not self._final_event.triggered:
+                self._final_event.succeed(self.state)
+        return self._final_event
+
+    def exec_started_event(self) -> "Event":
+        """An event that fires when the payload starts executing."""
+        if self._exec_event is None:
+            self._exec_event = self.env.event()
+            if self.exec_start is not None:
+                self._exec_event.succeed()
+        return self._exec_event
+
+    def fail(self, reason: str) -> None:
+        """Terminal failure (retries exhausted or unrecoverable)."""
+        self.exception = reason
+        if not self.is_final:
+            self.advance(TaskState.FAILED, reason=reason)
+
+    def cancel(self) -> None:
+        """Cancel the task unless it already finished."""
+        if not self.is_final:
+            self.advance(TaskState.CANCELED)
+
+    def __repr__(self) -> str:
+        return f"<Task {self.uid} {self.state} backend={self.backend}>"

@@ -1,0 +1,85 @@
+"""The task manager: accepts task descriptions and feeds the agent."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
+
+from ..exceptions import ConfigurationError
+from .description import TaskDescription
+from .pilot import Pilot
+from .states import TaskState
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Event
+    from .session import Session
+
+
+class TaskManager:
+    """Client-side task intake; forwards tasks to a pilot's agent."""
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+        self.env = session.env
+        self.uid = session.ids.next("tmgr")
+        self.pilot: Optional[Pilot] = None
+        self.tasks: List[Task] = []
+
+    def add_pilot(self, pilot: Pilot) -> None:
+        """Bind this manager to a pilot (one pilot per manager here)."""
+        if self.pilot is not None:
+            raise ConfigurationError(f"{self.uid} already has a pilot")
+        self.pilot = pilot
+
+    def submit_tasks(
+        self, descriptions: Union[TaskDescription, Sequence[TaskDescription]]
+    ) -> Union[Task, List[Task]]:
+        """Create tasks and enqueue them for the agent.
+
+        Tasks queue in the agent's intake store immediately; the agent
+        starts draining it once bootstrapped.
+        """
+        if self.pilot is None or self.pilot.agent is None:
+            raise ConfigurationError(f"{self.uid}: add_pilot() first")
+        single = isinstance(descriptions, TaskDescription)
+        descs = [descriptions] if single else list(descriptions)
+        out: List[Task] = []
+        for desc in descs:
+            task = Task(self.env, self.session.ids.next("task"), desc,
+                        profiler=self.session.profiler)
+            task.advance(TaskState.TMGR_SCHEDULING)
+            self.tasks.append(task)
+            out.append(task)
+            self.pilot.agent.incoming.put(task)
+        return out[0] if single else out
+
+    def cancel_tasks(self, tasks: Optional[Sequence[Task]] = None) -> int:
+        """Cancel the given tasks (default: every non-final task).
+
+        Returns how many tasks were actually canceled.  Running
+        payloads are killed at the backend; queued ones are dropped.
+        """
+        if self.pilot is None or self.pilot.agent is None:
+            raise ConfigurationError(f"{self.uid}: add_pilot() first")
+        targets = self.tasks if tasks is None else list(tasks)
+        count = 0
+        for task in targets:
+            if not task.is_final:
+                self.pilot.agent.cancel_task(task)
+                count += 1
+        return count
+
+    def wait_tasks(self, tasks: Optional[Sequence[Task]] = None) -> "Event":
+        """Event firing when all given tasks (default: all submitted
+        tasks) reach a final state."""
+        targets = self.tasks if tasks is None else list(tasks)
+        return self.env.all_of([t.completion_event() for t in targets])
+
+    # -- convenience -------------------------------------------------------
+
+    def counts(self) -> dict:
+        """Tally of task states (for progress reporting and tests)."""
+        tally: dict = {}
+        for task in self.tasks:
+            tally[task.state] = tally.get(task.state, 0) + 1
+        return tally

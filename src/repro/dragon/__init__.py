@@ -1,0 +1,33 @@
+"""Dragon-like high-throughput task runtime system.
+
+Models Dragon's centralized global services, per-node worker pools
+with warm function dispatch, shared-memory channels, and the ZeroMQ
+pipe pair connecting it to RP's Dragon executor.
+"""
+
+from .channels import ShmemChannel, ZmqPipe
+from .pool import WorkerPool
+from .runtime import (
+    MODE_EXEC,
+    MODE_FUNC,
+    DragonCompletion,
+    DragonGroup,
+    DragonGroupCompletion,
+    DragonRuntime,
+    DragonState,
+    DragonTask,
+)
+
+__all__ = [
+    "DragonCompletion",
+    "DragonGroup",
+    "DragonGroupCompletion",
+    "DragonRuntime",
+    "DragonState",
+    "DragonTask",
+    "MODE_EXEC",
+    "MODE_FUNC",
+    "ShmemChannel",
+    "WorkerPool",
+    "ZmqPipe",
+]

@@ -1,0 +1,126 @@
+"""Communication channels of the Dragon-like runtime.
+
+Two channel flavours appear in the paper's architecture (Fig. 3):
+
+* :class:`ZmqPipe` — the ZeroMQ pipe pair between RP's Dragon
+  executor and the Dragon runtime (task submissions one way,
+  completion events the other);
+* :class:`ShmemChannel` — Dragon's multi-node shared-memory queue
+  used by data-coupled *application* tasks that load the Dragon
+  module.
+
+Both are FIFO with a per-hop delivery latency; the shmem hop is ~20 µs
+(intra-allocation shared memory) while the zmq hop models local IPC.
+Bounded shmem channels exert backpressure by blocking the producer,
+matching Dragon's fixed-size channel blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..exceptions import ChannelError
+from ..sim import Environment, Event, Store
+
+
+class ZmqPipe:
+    """Unidirectional FIFO pipe with per-message delivery latency."""
+
+    def __init__(self, env: Environment, latency: float = 0.2e-3,
+                 name: str = "pipe") -> None:
+        self.env = env
+        self.latency = latency
+        self.name = name
+        self._store = Store(env)
+        self.n_sent = 0
+        self.n_received = 0
+
+    def send(self, message: Any) -> None:
+        """Enqueue ``message``; it arrives ``latency`` seconds later."""
+        self.n_sent += 1
+        if self.latency > 0:
+            self.env.schedule(self.latency, self._store.put, message)
+        else:
+            self._store.put(message)
+
+    def recv(self) -> Event:
+        """Event yielding the next message (blocks while empty)."""
+        self.n_received += 1
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class ShmemChannel:
+    """Bounded multi-reader/multi-writer shared-memory FIFO.
+
+    ``put`` is a generator (yields while the channel is full);
+    ``get`` returns an event.  Capacity models Dragon's fixed channel
+    block count.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1024,
+                 hop_latency: float = 20e-6, name: str = "shmem") -> None:
+        if capacity < 1:
+            raise ChannelError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.hop_latency = hop_latency
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._closed = False
+        self.n_puts = 0
+        self.n_gets = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the channel; pending and future gets fail."""
+        self._closed = True
+        while self._getters:
+            self._getters.popleft().fail(ChannelError(f"{self.name} closed"))
+        while self._putters:
+            self._putters.popleft().fail(ChannelError(f"{self.name} closed"))
+
+    def put(self, item: Any):
+        """Generator: deposit ``item``, blocking while full."""
+        if self._closed:
+            raise ChannelError(f"{self.name} is closed")
+        while len(self._items) >= self.capacity:
+            waiter = Event(self.env)
+            self._putters.append(waiter)
+            yield waiter
+            if self._closed:
+                raise ChannelError(f"{self.name} is closed")
+        if self.hop_latency > 0:
+            yield self.env.timeout(self.hop_latency)
+        self.n_puts += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event yielding the oldest item (blocks while empty)."""
+        if self._closed and not self._items:
+            raise ChannelError(f"{self.name} is closed")
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            ev.succeed(item)
+            self.n_gets += 1
+            if self._putters:
+                self._putters.popleft().succeed()
+        else:
+            self._getters.append(ev)
+            self.n_gets += 1
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,48 @@
+"""Experiment configurations (Table 1) and the run harness."""
+
+from .configs import (
+    ExperimentConfig,
+    LAUNCHER_DRAGON,
+    LAUNCHER_FLUX,
+    LAUNCHER_HYBRID,
+    LAUNCHER_PRRTE,
+    LAUNCHER_SRUN,
+    WORKLOAD_DUMMY,
+    WORKLOAD_IMPECCABLE,
+    WORKLOAD_MIXED,
+    WORKLOAD_NULL,
+    config_by_id,
+    table1_configs,
+)
+from .figures import FigureData, export_figures
+from .harness import (
+    AggregateResult,
+    ExperimentResult,
+    build_pilot_description,
+    build_workload,
+    run_experiment,
+    run_repetitions,
+)
+
+__all__ = [
+    "AggregateResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FigureData",
+    "export_figures",
+    "LAUNCHER_DRAGON",
+    "LAUNCHER_FLUX",
+    "LAUNCHER_HYBRID",
+    "LAUNCHER_PRRTE",
+    "LAUNCHER_SRUN",
+    "WORKLOAD_DUMMY",
+    "WORKLOAD_IMPECCABLE",
+    "WORKLOAD_MIXED",
+    "WORKLOAD_NULL",
+    "build_pilot_description",
+    "build_workload",
+    "config_by_id",
+    "run_experiment",
+    "run_repetitions",
+    "table1_configs",
+]

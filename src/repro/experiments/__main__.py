@@ -1,0 +1,147 @@
+"""Command-line entry point: run Table-1 experiments from a shell.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run flux_1 --nodes 64 --reps 3
+    python -m repro.experiments run impeccable_flux --nodes 256
+    python -m repro.experiments table1 --waves 1   # quick full sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..analytics.report import format_table
+from .configs import config_by_id, table1_configs
+from .harness import run_experiment, run_repetitions
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (c.exp_id, c.launcher, c.workload, c.n_nodes, c.n_partitions,
+         c.duration)
+        for c in table1_configs()
+    ]
+    print(format_table(
+        ["exp", "launcher", "workload", "nodes", "partitions", "dur[s]"],
+        rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides = {}
+    if args.nodes:
+        overrides["n_nodes"] = args.nodes
+    if args.partitions:
+        overrides["n_partitions"] = args.partitions
+    if args.waves:
+        overrides["waves"] = args.waves
+    cfg = config_by_id(args.exp_id, **overrides)
+    if args.summary or args.profile:
+        result = run_experiment(cfg, keep_session=True)
+        if args.summary:
+            from ..analytics import summarize
+
+            total_cores = (cfg.n_nodes
+                           * result.session.cluster.cores_per_node)
+            print(summarize(result.tasks, total_cores=total_cores).to_text())
+        if args.profile:
+            from ..analytics import save_profile
+
+            n = save_profile(result.session.profiler, args.profile)
+            print(f"wrote {n} trace events to {args.profile}")
+        return 0
+    if args.reps > 1:
+        agg = run_repetitions(cfg, n_reps=args.reps)
+        print(format_table(
+            ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
+             "util", "makespan[s]"],
+            [(cfg.exp_id, cfg.n_nodes, cfg.n_partitions, agg.n_reps,
+              agg.throughput_avg, agg.throughput_max, agg.utilization_avg,
+              agg.makespan_avg)]))
+    else:
+        r = run_experiment(cfg)
+        print(format_table(
+            ["exp", "nodes", "parts", "tasks", "done", "failed",
+             "avg tasks/s", "peak tasks/s", "util", "makespan[s]", "wall[s]"],
+            [(cfg.exp_id, cfg.n_nodes, cfg.n_partitions, r.n_tasks, r.n_done,
+              r.n_failed, r.throughput.avg, r.throughput.peak,
+              r.utilization_cores, r.makespan, r.wall_seconds)]))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for cfg in table1_configs():
+        if args.waves:
+            cfg = cfg.scaled(args.waves)
+        if cfg.n_nodes > args.max_nodes:
+            continue
+        r = run_experiment(cfg)
+        rows.append((cfg.exp_id, cfg.launcher, cfg.n_nodes, cfg.n_partitions,
+                     r.n_tasks, r.throughput.avg, r.throughput.peak,
+                     r.utilization_cores, r.makespan))
+        print(f"  done: {cfg.exp_id} @ {cfg.n_nodes} nodes "
+              f"({r.wall_seconds:.1f}s wall)", file=sys.stderr)
+    print(format_table(
+        ["exp", "launcher", "nodes", "parts", "tasks", "avg/s", "peak/s",
+         "util", "makespan[s]"],
+        rows))
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments on the simulated stack.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list Table-1 configurations")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id", help="experiment id (see 'list')")
+    p_run.add_argument("--nodes", type=int, default=0)
+    p_run.add_argument("--partitions", type=int, default=0)
+    p_run.add_argument("--waves", type=int, default=0)
+    p_run.add_argument("--reps", type=int, default=1)
+    p_run.add_argument("--summary", action="store_true",
+                       help="print the per-backend session summary")
+    p_run.add_argument("--profile", default="",
+                       help="write the trace profile to this JSONL file")
+
+    p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
+    p_t1.add_argument("--waves", type=int, default=0)
+    p_t1.add_argument("--max-nodes", type=int, default=1024)
+
+    p_fig = sub.add_parser(
+        "figures", help="regenerate paper figures as CSV data files")
+    p_fig.add_argument("--out", default="results",
+                       help="output directory (default: results/)")
+    p_fig.add_argument("--only", nargs="*", default=None,
+                       help="figure ids (default: all), e.g. fig4 fig6")
+    p_fig.add_argument("--quick", action="store_true",
+                       help="reduced scales for a fast smoke run")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "table1":
+        return _cmd_table1(args)
+    if args.command == "figures":
+        from .figures import export_figures
+
+        written = export_figures(args.out, figures=args.only,
+                                 quick=args.quick)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

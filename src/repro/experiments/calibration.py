@@ -1,0 +1,106 @@
+"""Calibration bookkeeping: the latency model's paper anchors.
+
+:data:`PAPER_ANCHORS` records, for every constant-derived quantity the
+model is calibrated against, the paper-reported value and the closed-
+form prediction from a :class:`~repro.platform.latency.LatencyModel`.
+:func:`check_calibration` evaluates all of them — used by tests to
+guarantee that edits to the latency constants keep the documented
+calibration honest, and by users to see at a glance what the model
+encodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One calibrated quantity: paper value vs. model prediction."""
+
+    name: str
+    paper_value: float
+    tolerance: float           #: acceptable relative deviation
+    predict: Callable[[LatencyModel], float]
+
+    def predicted(self, lat: LatencyModel) -> float:
+        return self.predict(lat)
+
+    def deviation(self, lat: LatencyModel) -> float:
+        if self.paper_value == 0:
+            return abs(self.predicted(lat))
+        return abs(self.predicted(lat) - self.paper_value) / self.paper_value
+
+    def ok(self, lat: LatencyModel) -> bool:
+        return self.deviation(lat) <= self.tolerance
+
+
+def _srun_rate(nodes: int) -> Callable[[LatencyModel], float]:
+    def f(lat: LatencyModel) -> float:
+        return 1.0 / (lat.srun_ctl_base + lat.srun_ctl_per_node * nodes
+                      + lat.srun_ctl_per_node15 * nodes ** 1.5)
+    return f
+
+
+def _flux_lane_rate(nodes: int) -> Callable[[LatencyModel], float]:
+    def f(lat: LatencyModel) -> float:
+        lanes = max(1, math.ceil(nodes ** lat.flux_lane_alpha))
+        return lanes * lat.flux_lane_rate
+    return f
+
+
+#: Every paper anchor the calibration targets (§4, Fig. 4-7 and text).
+PAPER_ANCHORS: List[Anchor] = [
+    Anchor("srun launch rate @1 node [tasks/s]", 152.0, 0.15,
+           _srun_rate(1)),
+    Anchor("srun launch rate @4 nodes [tasks/s]", 61.0, 0.20,
+           _srun_rate(4)),
+    Anchor("srun concurrency ceiling", 112.0, 0.0,
+           lambda lat: float(lat.srun_ceiling)),
+    Anchor("flux single-lane spawn rate @1 node [tasks/s]", 28.0, 0.05,
+           _flux_lane_rate(1)),
+    Anchor("flux burst capability @1024 nodes [tasks/s]", 744.0, 0.10,
+           _flux_lane_rate(1024)),
+    Anchor("flux instance bootstrap [s]", 20.0, 0.10,
+           lambda lat: lat.flux_startup_mean),
+    Anchor("dragon bootstrap [s]", 9.0, 0.10,
+           lambda lat: lat.dragon_startup_mean),
+    Anchor("dragon exec dispatch @4 nodes [tasks/s]", 343.0, 0.10,
+           lambda lat: 1.0 / (lat.dragon_gs_exec_cost
+                              * (1 + 4 * lat.dragon_gs_pernode_penalty))),
+    Anchor("dragon exec dispatch @64 nodes [tasks/s]", 204.0, 0.10,
+           lambda lat: 1.0 / (lat.dragon_gs_exec_cost
+                              * (1 + 64 * lat.dragon_gs_pernode_penalty))),
+    Anchor("RP task-management bound [tasks/s]", 1547.0, 0.35,
+           lambda lat: 1.0 / ((lat.agent_dispatch_base
+                               + 64 * lat.agent_dispatch_per_node)
+                              * (1 + 8 * lat.agent_coord_per_instance))),
+]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Outcome of one calibration check."""
+
+    name: str
+    paper_value: float
+    predicted: float
+    deviation: float
+    ok: bool
+
+
+def check_calibration(
+        latencies: LatencyModel = FRONTIER_LATENCIES
+) -> List[CalibrationReport]:
+    """Evaluate all anchors against a latency model."""
+    return [
+        CalibrationReport(
+            name=a.name, paper_value=a.paper_value,
+            predicted=a.predicted(latencies),
+            deviation=a.deviation(latencies), ok=a.ok(latencies))
+        for a in PAPER_ANCHORS
+    ]

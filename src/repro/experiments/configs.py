@@ -1,0 +1,141 @@
+"""Experiment configurations (the paper's Table 1).
+
+Each :class:`ExperimentConfig` fully determines one run: workload
+class, launcher configuration, allocation size, partitioning and
+seed.  :func:`table1_configs` enumerates the paper's seven
+experiments with their published parameter sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: Launcher configurations evaluated in the paper, plus the PRRTE
+#: extension backend (§5).
+LAUNCHER_SRUN = "srun"
+LAUNCHER_FLUX = "flux"
+LAUNCHER_DRAGON = "dragon"
+LAUNCHER_PRRTE = "prrte"
+LAUNCHER_HYBRID = "flux+dragon"
+LAUNCHERS = (LAUNCHER_SRUN, LAUNCHER_FLUX, LAUNCHER_DRAGON, LAUNCHER_PRRTE,
+             LAUNCHER_HYBRID)
+
+#: Workload classes.
+WORKLOAD_NULL = "null"
+WORKLOAD_DUMMY = "dummy"
+WORKLOAD_MIXED = "mixed"          #: exec + func (hybrid experiment)
+WORKLOAD_IMPECCABLE = "impeccable"
+WORKLOADS = (WORKLOAD_NULL, WORKLOAD_DUMMY, WORKLOAD_MIXED,
+             WORKLOAD_IMPECCABLE)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully-specified experiment run."""
+
+    exp_id: str
+    launcher: str
+    workload: str
+    n_nodes: int
+    n_partitions: int = 1
+    duration: float = 180.0       #: dummy-task sleep time [s]
+    waves: int = 4                #: tasks = n_nodes * cpn * waves
+    seed: int = 0
+    generations: int = 12         #: IMPECCABLE generations
+    adaptive: bool = True         #: IMPECCABLE adaptive task counts
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.launcher not in LAUNCHERS:
+            raise ConfigurationError(f"unknown launcher {self.launcher!r}")
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(f"unknown workload {self.workload!r}")
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1")
+        if self.n_partitions < 1:
+            raise ConfigurationError("n_partitions must be >= 1")
+        if self.launcher == LAUNCHER_HYBRID and self.n_nodes < 2:
+            raise ConfigurationError("hybrid runs need >= 2 nodes")
+        if self.waves < 1:
+            raise ConfigurationError("waves must be >= 1")
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """Copy with a different seed (for repetitions)."""
+        return replace(self, seed=seed)
+
+    def scaled(self, waves: int) -> "ExperimentConfig":
+        """Copy with a different wave count (cheaper test runs)."""
+        return replace(self, waves=waves)
+
+
+# ---------------------------------------------------------------------------
+# Table 1
+# ---------------------------------------------------------------------------
+
+#: Node sweeps per experiment, straight from Table 1.
+SRUN_NODES: Tuple[int, ...] = (4,)
+SRUN_THROUGHPUT_NODES: Tuple[int, ...] = (1, 2, 4, 16)   # Fig. 5(a) sweep
+FLUX1_NODES: Tuple[int, ...] = (1, 4, 16, 64, 256, 1024)
+FLUXN_NODES: Tuple[int, ...] = (64, 1024)
+FLUXN_PARTITIONS: Tuple[int, ...] = (1, 4, 16, 64)
+DRAGON_NODES: Tuple[int, ...] = (1, 4, 16, 64)
+HYBRID_NODES: Tuple[int, ...] = (2, 4, 16, 64)
+IMPECCABLE_NODES: Tuple[int, ...] = (256, 1024)
+
+
+def table1_configs(null_workloads: bool = True,
+                   seed: int = 0) -> List[ExperimentConfig]:
+    """All experiment configurations of Table 1.
+
+    ``null_workloads`` selects the throughput variant (null tasks) for
+    the synthetic experiments; otherwise the dummy variant used for
+    utilization measurements (180 s sleeps; 360 s for flux_1 and the
+    hybrid, per Table 1).
+    """
+    wl = WORKLOAD_NULL if null_workloads else WORKLOAD_DUMMY
+    cfgs: List[ExperimentConfig] = []
+    for n in SRUN_NODES:
+        cfgs.append(ExperimentConfig(
+            exp_id="srun", launcher=LAUNCHER_SRUN, workload=wl,
+            n_nodes=n, duration=180.0, seed=seed))
+    for n in FLUX1_NODES:
+        cfgs.append(ExperimentConfig(
+            exp_id="flux_1", launcher=LAUNCHER_FLUX, workload=wl,
+            n_nodes=n, duration=360.0, seed=seed))
+    for n in FLUXN_NODES:
+        for p in FLUXN_PARTITIONS:
+            if p > n:
+                continue
+            cfgs.append(ExperimentConfig(
+                exp_id="flux_n", launcher=LAUNCHER_FLUX, workload=wl,
+                n_nodes=n, n_partitions=p, duration=180.0, seed=seed))
+    for n in DRAGON_NODES:
+        cfgs.append(ExperimentConfig(
+            exp_id="dragon", launcher=LAUNCHER_DRAGON, workload=wl,
+            n_nodes=n, duration=180.0, seed=seed))
+    for n in HYBRID_NODES:
+        cfgs.append(ExperimentConfig(
+            exp_id="flux+dragon", launcher=LAUNCHER_HYBRID,
+            workload=WORKLOAD_MIXED, n_nodes=n,
+            n_partitions=max(1, n // 4),
+            duration=0.0 if null_workloads else 360.0, seed=seed))
+    for n in IMPECCABLE_NODES:
+        cfgs.append(ExperimentConfig(
+            exp_id="impeccable_srun", launcher=LAUNCHER_SRUN,
+            workload=WORKLOAD_IMPECCABLE, n_nodes=n, seed=seed))
+        cfgs.append(ExperimentConfig(
+            exp_id="impeccable_flux", launcher=LAUNCHER_FLUX,
+            workload=WORKLOAD_IMPECCABLE, n_nodes=n, seed=seed))
+    return cfgs
+
+
+def config_by_id(exp_id: str, **overrides) -> ExperimentConfig:
+    """First Table-1 config with the given experiment id, with
+    field overrides applied."""
+    for cfg in table1_configs():
+        if cfg.exp_id == exp_id:
+            return replace(cfg, **overrides) if overrides else cfg
+    raise ConfigurationError(f"unknown experiment id {exp_id!r}")

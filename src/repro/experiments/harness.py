@@ -1,0 +1,194 @@
+"""The experiment harness: config -> full stack run -> metrics.
+
+:func:`run_experiment` builds a session on a Frontier-like cluster,
+submits a pilot with the configured backend partitions, generates the
+workload, executes it, and returns an :class:`ExperimentResult` with
+the paper's three metrics plus the raw task list for time-series
+analysis.  :func:`run_repetitions` aggregates several seeds the way
+the paper reports average and maximum throughput across repetitions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..analytics.metrics import (
+    ThroughputStats,
+    makespan,
+    startup_overheads,
+    task_throughput,
+    utilization,
+)
+from ..core.description import (
+    PartitionSpec,
+    PilotDescription,
+    TaskDescription,
+)
+from ..core.session import Session
+from ..core.task import Task
+from ..exceptions import ConfigurationError
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+from ..platform.profiles import FRONTIER_CORES_PER_NODE, frontier
+from ..workloads.impeccable import CampaignRunner
+from ..workloads.synthetic import (
+    dummy_workload,
+    mixed_workload,
+    task_count,
+)
+from .configs import (
+    LAUNCHER_DRAGON,
+    LAUNCHER_FLUX,
+    LAUNCHER_HYBRID,
+    LAUNCHER_PRRTE,
+    LAUNCHER_SRUN,
+    WORKLOAD_DUMMY,
+    WORKLOAD_IMPECCABLE,
+    WORKLOAD_MIXED,
+    WORKLOAD_NULL,
+    ExperimentConfig,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics and raw data from one experiment run."""
+
+    config: ExperimentConfig
+    n_tasks: int
+    n_done: int
+    n_failed: int
+    throughput: ThroughputStats
+    utilization_cores: float
+    utilization_gpus: float
+    makespan: float
+    startup_overheads: List[Tuple[str, float]]
+    tasks: List[Task] = field(repr=False, default_factory=list)
+    session: Optional[Session] = field(repr=False, default=None)
+    wall_seconds: float = 0.0
+
+    @property
+    def throughput_avg(self) -> float:
+        return self.throughput.avg
+
+    @property
+    def throughput_peak(self) -> float:
+        return self.throughput.peak
+
+
+def build_pilot_description(cfg: ExperimentConfig) -> PilotDescription:
+    """Backend partitioning for one launcher configuration."""
+    # Heterogeneous IMPECCABLE mixes need backfill; the homogeneous
+    # synthetic workloads use plain FCFS (nothing to backfill).
+    policy = "easy" if cfg.workload == WORKLOAD_IMPECCABLE else "fcfs"
+    if cfg.launcher == LAUNCHER_SRUN:
+        parts = (PartitionSpec("srun"),)
+    elif cfg.launcher == LAUNCHER_FLUX:
+        parts = (PartitionSpec("flux", n_instances=cfg.n_partitions,
+                               policy=policy),)
+    elif cfg.launcher == LAUNCHER_DRAGON:
+        parts = (PartitionSpec("dragon", n_instances=cfg.n_partitions),)
+    elif cfg.launcher == LAUNCHER_PRRTE:
+        parts = (PartitionSpec("prrte"),)
+    elif cfg.launcher == LAUNCHER_HYBRID:
+        # Equal node shares and equal instance counts per runtime (§4.1.5).
+        parts = (
+            PartitionSpec("flux", n_instances=cfg.n_partitions),
+            PartitionSpec("dragon", n_instances=cfg.n_partitions),
+        )
+    else:  # pragma: no cover - guarded by config validation
+        raise ConfigurationError(f"unknown launcher {cfg.launcher!r}")
+    return PilotDescription(nodes=cfg.n_nodes, partitions=parts)
+
+
+def build_workload(cfg: ExperimentConfig,
+                   cores_per_node: int = FRONTIER_CORES_PER_NODE
+                   ) -> List[TaskDescription]:
+    """The task set for one synthetic experiment run."""
+    n = task_count(cfg.n_nodes, cores_per_node, cfg.waves)
+    if cfg.workload == WORKLOAD_NULL:
+        return dummy_workload(n, duration=0.0)
+    if cfg.workload == WORKLOAD_DUMMY:
+        return dummy_workload(n, duration=cfg.duration)
+    if cfg.workload == WORKLOAD_MIXED:
+        half = n // 2
+        return mixed_workload(n - half, half, duration=cfg.duration)
+    raise ConfigurationError(
+        f"workload {cfg.workload!r} is not synthetic; use run_experiment")
+
+
+def run_experiment(cfg: ExperimentConfig,
+                   latencies: LatencyModel = FRONTIER_LATENCIES,
+                   keep_session: bool = False) -> ExperimentResult:
+    """Run one experiment end-to-end and compute its metrics."""
+    wall0 = time.perf_counter()
+    session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
+                      latencies=latencies, seed=cfg.seed)
+    pmgr = session.pilot_manager()
+    tmgr = session.task_manager()
+    pilot = pmgr.submit_pilots(build_pilot_description(cfg))
+    tmgr.add_pilot(pilot)
+
+    if cfg.workload == WORKLOAD_IMPECCABLE:
+        runner = CampaignRunner(session, tmgr, pilot, cfg.n_nodes,
+                                generations=cfg.generations,
+                                adaptive=cfg.adaptive)
+        session.run(runner.start())
+        tasks = runner.result.tasks
+    else:
+        descriptions = build_workload(cfg, session.cluster.cores_per_node)
+        tasks = tmgr.submit_tasks(descriptions)
+        session.run(tmgr.wait_tasks())
+
+    total_cores = cfg.n_nodes * session.cluster.cores_per_node
+    total_gpus = cfg.n_nodes * session.cluster.gpus_per_node
+    result = ExperimentResult(
+        config=cfg,
+        n_tasks=len(tasks),
+        n_done=sum(1 for t in tasks if t.succeeded),
+        n_failed=sum(1 for t in tasks if t.state == "FAILED"),
+        throughput=task_throughput(tasks),
+        utilization_cores=utilization(tasks, total_cores),
+        utilization_gpus=(utilization(tasks, total_gpus, resource="gpus")
+                          if total_gpus else 0.0),
+        makespan=makespan(tasks),
+        startup_overheads=startup_overheads(session.profiler),
+        tasks=tasks,
+        session=session if keep_session else None,
+        wall_seconds=time.perf_counter() - wall0,
+    )
+    session.close()
+    return result
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Across-repetition aggregation (the paper's avg / max)."""
+
+    config: ExperimentConfig
+    n_reps: int
+    throughput_avg: float      #: mean of per-rep average rates
+    throughput_max: float      #: max of per-rep peak rates
+    utilization_avg: float
+    makespan_avg: float
+    results: Tuple[ExperimentResult, ...] = field(repr=False, default=())
+
+
+def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
+                    latencies: LatencyModel = FRONTIER_LATENCIES
+                    ) -> AggregateResult:
+    """Run ``n_reps`` seeds of one configuration and aggregate."""
+    if n_reps < 1:
+        raise ConfigurationError("n_reps must be >= 1")
+    results = [run_experiment(cfg.with_seed(cfg.seed + rep), latencies)
+               for rep in range(n_reps)]
+    return AggregateResult(
+        config=cfg,
+        n_reps=n_reps,
+        throughput_avg=sum(r.throughput.avg for r in results) / n_reps,
+        throughput_max=max(r.throughput.peak for r in results),
+        utilization_avg=sum(r.utilization_cores for r in results) / n_reps,
+        makespan_avg=sum(r.makespan for r in results) / n_reps,
+        results=tuple(results),
+    )

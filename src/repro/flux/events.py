@@ -1,0 +1,68 @@
+"""Flux job event stream (pub/sub).
+
+RP's Flux executor never polls: it subscribes to the instance's job
+event stream and consumes lifecycle events asynchronously (§3.2.1).
+We model the stream as a fan-out of FIFO stores with a small RPC
+delivery delay per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from ..sim import Environment, Store
+
+#: Canonical job event names (mirrors flux job-manager events).
+EV_SUBMIT = "submit"
+EV_ALLOC = "alloc"
+EV_START = "start"
+EV_FINISH = "finish"
+EV_RELEASE = "release"
+EV_EXCEPTION = "exception"
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One job lifecycle event as delivered to subscribers."""
+
+    job_id: str
+    name: str
+    time: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventStream:
+    """Fan-out event bus: each subscriber gets every event, in order."""
+
+    def __init__(self, env: Environment, delivery_delay: float = 0.3e-3) -> None:
+        self.env = env
+        self.delivery_delay = delivery_delay
+        self._subscribers: List[Store] = []
+        self._history: List[JobEvent] = []
+
+    def subscribe(self) -> Store:
+        """Register a new subscriber; returns its event queue."""
+        queue = Store(self.env)
+        self._subscribers.append(queue)
+        return queue
+
+    def publish(self, job_id: str, name: str, **meta: Any) -> JobEvent:
+        """Emit an event; it reaches subscribers after ``delivery_delay``."""
+        event = JobEvent(job_id=job_id, name=name, time=self.env.now, meta=meta)
+        self._history.append(event)
+        if self._subscribers:
+            if self.delivery_delay > 0:
+                self.env.schedule(self.delivery_delay, self._deliver, event)
+            else:
+                self._deliver(event)
+        return event
+
+    def _deliver(self, event: JobEvent) -> None:
+        for queue in self._subscribers:
+            queue.put(event)
+
+    @property
+    def history(self) -> List[JobEvent]:
+        """All events published so far, in order."""
+        return list(self._history)

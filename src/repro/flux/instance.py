@@ -1,0 +1,397 @@
+"""A Flux instance: broker, ingest, scheduler loop and dispatch lanes.
+
+The model captures the mechanisms that determine Flux's measured
+behaviour in the paper:
+
+* **bootstrap cost** — ~20 s per instance, nearly independent of
+  instance size (Fig. 7);
+* **serialized ingest** — job submission RPCs funnel through the
+  instance's job-manager at ``flux_ingest_cost`` per job, bounding a
+  single instance near ~770 jobs/s;
+* **scheduler duty cycle** — matching happens in bursts separated by
+  heavy-tailed cycle gaps, the source of the large avg-vs-peak
+  throughput spread the paper reports;
+* **dispatch lanes** — job-shell spawns are distributed over the TBON
+  overlay; lane count grows sublinearly with instance size
+  (``ceil(n_nodes ** flux_lane_alpha)``), each lane sustaining
+  ``flux_lane_rate`` spawns/s scaled by a per-run background-load
+  factor.
+
+Placement is real: every running job holds node slots in the
+instance's :class:`~repro.platform.cluster.Allocation`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..exceptions import JobspecError, RuntimeStartupError
+from ..ids import IdRegistry
+from ..platform.cluster import Allocation
+from ..platform.latency import LatencyModel
+from ..sim import Environment, Event, Resource, RngStreams, Store
+from .events import (
+    EV_ALLOC,
+    EV_EXCEPTION,
+    EV_FINISH,
+    EV_RELEASE,
+    EV_START,
+    EV_SUBMIT,
+    EventStream,
+)
+from .jobspec import FluxJob, FluxJobState, Jobspec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analytics.profiler import Profiler
+
+
+class InstanceState:
+    """Lifecycle states of a Flux instance."""
+
+    INIT = "INIT"
+    STARTING = "STARTING"
+    READY = "READY"
+    FAILED = "FAILED"
+    STOPPED = "STOPPED"
+
+
+class FluxInstance:
+    """One Flux instance managing a (partition of an) allocation."""
+
+    def __init__(self, env: Environment, allocation: Allocation,
+                 latencies: LatencyModel, rng: RngStreams,
+                 instance_id: str = "", policy: str = "fcfs",
+                 profiler: Optional["Profiler"] = None) -> None:
+        from .scheduler import make_policy
+
+        self.env = env
+        self.allocation = allocation
+        self.latencies = latencies
+        self.rng = rng
+        self.profiler = profiler
+        self.instance_id = instance_id or f"flux.{id(self):x}"
+        self.policy = make_policy(policy)
+        self.state = InstanceState.INIT
+
+        self.events = EventStream(env)
+        self._ids = IdRegistry()
+        self._ingest_queue: Store = Store(env)
+        self._pending: List[FluxJob] = []
+        self._running: List[FluxJob] = []
+        self._jobs: Dict[str, FluxJob] = {}
+        self._run_procs: Dict[str, object] = {}
+        self._wake: Optional[Event] = None
+        self._alive = False
+        self._load_factor = 1.0
+
+        n = allocation.n_nodes
+        self._lanes = Resource(
+            env, capacity=max(1, math.ceil(n ** latencies.flux_lane_alpha)))
+
+        # Counters for introspection / tests.
+        self.n_submitted = 0
+        self.n_started = 0
+        self.n_completed = 0
+        self.n_failed = 0
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.allocation.n_nodes
+
+    @property
+    def n_lanes(self) -> int:
+        return self._lanes.capacity
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet retired (ingest + queue + running)."""
+        return self.n_submitted - self.n_completed - self.n_failed
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state == InstanceState.READY
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def startup_delay(self) -> float:
+        """One draw of the instance bootstrap time [s]."""
+        lat = self.latencies
+        mean = (lat.flux_startup_mean
+                + lat.flux_startup_per_log2node
+                * math.log2(max(1, self.n_nodes)))
+        return self.rng.lognormal_latency("flux.startup", mean,
+                                          cv=lat.flux_startup_cv)
+
+    def start(self):
+        """Generator: bootstrap the instance; ready when it returns."""
+        if self.state != InstanceState.INIT:
+            raise RuntimeStartupError(
+                f"{self.instance_id}: start() called in state {self.state}")
+        self.state = InstanceState.STARTING
+        if self.profiler is not None:
+            self.profiler.record(self.instance_id, "backend_start",
+                                 kind="flux", nodes=self.n_nodes)
+        yield self.env.timeout(self.startup_delay())
+        lat = self.latencies
+        load_mean = 1.0 / (1.0 + lat.flux_load_degradation * self.n_nodes)
+        if lat.flux_load_cv > 0:
+            draw = self.rng.lognormal_latency("flux.load", load_mean,
+                                              cv=lat.flux_load_cv)
+        else:
+            draw = load_mean
+        self._load_factor = min(max(draw, lat.flux_load_min),
+                                lat.flux_load_max)
+        self.state = InstanceState.READY
+        self._alive = True
+        self.env.process(self._ingest_loop())
+        self.env.process(self._sched_loop())
+        if self.profiler is not None:
+            self.profiler.record(self.instance_id, "backend_ready",
+                                 kind="flux", nodes=self.n_nodes,
+                                 lanes=self.n_lanes,
+                                 load_factor=self._load_factor)
+
+    def shutdown(self) -> None:
+        """Stop accepting and dispatching work; pending jobs get
+        exception events."""
+        if self.state in (InstanceState.STOPPED, InstanceState.FAILED):
+            return
+        self.state = InstanceState.STOPPED
+        self._alive = False
+        self._flush_pending("instance shutdown")
+        self._kick()
+        if self.profiler is not None:
+            self.profiler.record(self.instance_id, "backend_stop", kind="flux")
+
+    def crash(self, reason: str = "broker died") -> None:
+        """Simulate an unexpected daemon failure (fault injection)."""
+        if self.state in (InstanceState.STOPPED, InstanceState.FAILED):
+            return
+        self.state = InstanceState.FAILED
+        self._alive = False
+        self._flush_pending(reason)
+        for job in list(self._running):
+            self._release(job)
+            self._fail_job(job, reason)
+        self._running.clear()
+        self._kick()
+        if self.profiler is not None:
+            self.profiler.record(self.instance_id, "backend_failed",
+                                 kind="flux", reason=reason)
+
+    def _flush_pending(self, reason: str) -> None:
+        for job in list(self._pending):
+            self._fail_job(job, reason)
+        self._pending.clear()
+        while True:
+            spec_job = self._ingest_queue.try_get()
+            if spec_job is None:
+                break
+            self._fail_job(spec_job, reason)
+
+    def _fail_job(self, job: FluxJob, reason: str) -> None:
+        job.exception = reason
+        job.state = FluxJobState.INACTIVE
+        self.n_failed += 1
+        self.events.publish(job.job_id, EV_EXCEPTION, reason=reason)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: Jobspec) -> FluxJob:
+        """Submit a jobspec; returns the job record immediately.
+
+        The job is processed asynchronously by the ingest pipeline.
+        Unsatisfiable jobs raise :class:`JobspecError` synchronously,
+        as the real submit RPC rejects them.
+        """
+        if self.state != InstanceState.READY:
+            raise RuntimeStartupError(
+                f"{self.instance_id}: submit in state {self.state}")
+        spec.validate_against(self.allocation.total_cores,
+                              self.allocation.total_gpus)
+        job = FluxJob(job_id=self._ids.next(f"{self.instance_id}.job"),
+                      spec=spec, submit_time=self.env.now)
+        self._jobs[job.job_id] = job
+        self.n_submitted += 1
+        self._ingest_queue.put(job)
+        return job
+
+    def get_job(self, job_id: str) -> FluxJob:
+        return self._jobs[job_id]
+
+    def cancel(self, job_id: str, reason: str = "canceled") -> bool:
+        """Cancel one job (pending or running).
+
+        Returns True when the job was actually canceled; False when it
+        already retired (nothing to do).  Canceled jobs emit an
+        exception event, exactly as ``flux job cancel`` raises a
+        ``cancel`` exception on the real system.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.done:
+            return False
+        if job in self._pending:
+            self._pending.remove(job)
+            self._fail_job(job, reason)
+            return True
+        proc = self._run_procs.get(job_id)
+        if proc is not None and getattr(proc, "is_alive", False):
+            proc.interrupt(reason)
+            return True
+        # Still in the ingest pipeline: mark it; the ingest loop drops
+        # jobs that acquired an exception.
+        self._fail_job(job, reason)
+        return True
+
+    def change_urgency(self, job_id: str, urgency: int) -> None:
+        """Re-prioritize a pending job (``flux job urgency``)."""
+        from dataclasses import replace
+
+        if not 0 <= urgency <= 31:
+            raise JobspecError(f"urgency must be in [0, 31], got {urgency}")
+        job = self._jobs.get(job_id)
+        if job is None or job not in self._pending:
+            raise JobspecError(f"{job_id}: not pending, cannot reprioritize")
+        job.spec = replace(job.spec, urgency=urgency)
+        self._kick()
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of instance counters (``flux jobs`` summary)."""
+        return {
+            "submitted": self.n_submitted,
+            "pending": len(self._pending),
+            "running": len(self._running),
+            "completed": self.n_completed,
+            "failed": self.n_failed,
+            "free_cores": self.allocation.free_cores,
+            "total_cores": self.allocation.total_cores,
+        }
+
+    # -- internal loops -------------------------------------------------------
+
+    def _ingest_loop(self):
+        """Serialized job-manager ingest: one job at a time."""
+        while self._alive:
+            get = self._ingest_queue.get()
+            job = yield get
+            if not self._alive:
+                break
+            yield self.env.timeout(self.rng.lognormal_latency(
+                "flux.ingest", self.latencies.flux_ingest_cost,
+                cv=self.latencies.flux_spawn_cv))
+            if job.exception is not None:  # flushed while in ingest
+                continue
+            job.state = FluxJobState.SCHED
+            self._pending.append(job)
+            self.events.publish(job.job_id, EV_SUBMIT)
+            self._kick()
+
+    def _sched_loop(self):
+        """Scheduler duty cycle: bursts of matching separated by gaps."""
+        while self._alive:
+            if not self._pending:
+                self._wake = self.env.event()
+                yield self._wake
+                continue
+            gap = self.rng.lognormal_latency(
+                "flux.cycle", self.latencies.flux_sched_cycle,
+                cv=self.latencies.flux_cycle_cv)
+            if gap > 0:
+                yield self.env.timeout(gap)
+            if not self._alive:
+                break
+            matches = self.policy.match(self._pending, self.allocation,
+                                        self._running, self.env.now)
+            if not matches:
+                # Resources exhausted: sleep until a completion kicks us.
+                self._wake = self.env.event()
+                yield self._wake
+                continue
+            for job, placements in matches:
+                self._pending.remove(job)
+                job.placements = placements
+                job.alloc_time = self.env.now
+                job.state = FluxJobState.RUN
+                self._running.append(job)
+                self.events.publish(job.job_id, EV_ALLOC,
+                                    cores=job.spec.resources.cores,
+                                    gpus=job.spec.resources.gpus)
+                self._run_procs[job.job_id] = self.env.process(
+                    self._dispatch(job))
+
+    def _dispatch(self, job: FluxJob):
+        """Spawn the job shell through a dispatch lane, then run it."""
+        from ..sim import Interrupt
+
+        try:
+            with self._lanes.request() as lane:
+                yield lane
+                spawn_mean = 1.0 / (self.latencies.flux_lane_rate
+                                    * self._load_factor)
+                yield self.env.timeout(self.rng.lognormal_latency(
+                    "flux.spawn", spawn_mean,
+                    cv=self.latencies.flux_spawn_cv))
+            if not self._alive or job.exception is not None:
+                self._retire(job, canceled=True)
+                return
+            job.start_time = self.env.now
+            self.n_started += 1
+            self.events.publish(job.job_id, EV_START)
+            if job.spec.attributes.get("fail"):
+                # Fault injection: payload crashes right after start.
+                self._retire(job, canceled=True)
+                self._fail_job(job, "task payload failed")
+                return
+            if job.spec.duration > 0:
+                yield self.env.timeout(job.spec.duration)
+        except Interrupt as interrupt:
+            # Job canceled mid-flight (flux job cancel).
+            self._retire(job, canceled=True)
+            self._fail_job(job, str(interrupt.cause or "canceled"))
+            return
+        if job.exception is not None:
+            # Failed while sleeping (instance crash): already retired.
+            self._run_procs.pop(job.job_id, None)
+            return
+        job.finish_time = self.env.now
+        job.state = FluxJobState.CLEANUP
+        self.n_completed += 1
+        # Real flux event order: finish, then release/free.
+        self.events.publish(job.job_id, EV_FINISH, status=0)
+        self._retire(job, canceled=False)
+        job.state = FluxJobState.INACTIVE
+
+    def _retire(self, job: FluxJob, canceled: bool) -> None:
+        """Release resources and drop run bookkeeping for a job."""
+        had_placements = bool(job.placements)
+        self._release(job)
+        if job in self._running:
+            self._running.remove(job)
+        self._run_procs.pop(job.job_id, None)
+        if had_placements:
+            # Mirror flux's resource-release event so subscribers can
+            # track the instance's free pool without polling.
+            self.events.publish(job.job_id, EV_RELEASE,
+                                free_cores=self.allocation.free_cores)
+        self._kick()
+
+    def _release(self, job: FluxJob) -> None:
+        if job.placements:
+            self.allocation.release(job.placements)
+            job.placements = None
+
+    def _kick(self) -> None:
+        """Wake the scheduler loop if it is sleeping."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()

@@ -1,0 +1,38 @@
+"""Unique-identifier generation for sessions, pilots, tasks and jobs.
+
+IDs follow the RADICAL convention ``<prefix>.<NNNN>`` with a
+per-prefix monotonic counter scoped to an :class:`IdRegistry`.
+Scoping the counters to a registry (one per session) keeps IDs
+deterministic within a run and independent across concurrent
+sessions — important for reproducible traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class IdRegistry:
+    """Per-session factory of sequential, prefixed identifiers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``, e.g. ``task.000042``."""
+        count = self._counters.get(prefix, 0)
+        self._counters[prefix] = count + 1
+        return f"{prefix}.{count:06d}"
+
+    def count(self, prefix: str) -> int:
+        """How many ids have been handed out for ``prefix``."""
+        return self._counters.get(prefix, 0)
+
+
+#: Module-level registry for components created outside a session.
+_default_registry = IdRegistry()
+
+
+def generate_id(prefix: str) -> str:
+    """Generate an id from the module-level registry."""
+    return _default_registry.next(prefix)

@@ -1,0 +1,23 @@
+"""Simulated MPI coupling layer for tightly coupled task models."""
+
+from .communicator import SimComm
+from .model import (
+    CommParams,
+    FRONTIER_FABRIC,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    ptp_time,
+)
+
+__all__ = [
+    "CommParams",
+    "FRONTIER_FABRIC",
+    "SimComm",
+    "allreduce_time",
+    "alltoall_time",
+    "barrier_time",
+    "bcast_time",
+    "ptp_time",
+]

@@ -1,0 +1,120 @@
+"""A simulated MPI communicator over the DES kernel.
+
+Two usage styles:
+
+* **whole-job modelling** — one simulation process represents the
+  entire MPI job; ``yield from comm.allreduce(nbytes)`` advances the
+  clock by the collective's cost.  This is how application models
+  derive realistic durations for tightly coupled tasks before
+  submitting them as pilot tasks (see ``examples/mpi_ensemble.py``).
+* **per-rank modelling** — each rank is its own simulation process
+  and synchronizes through :meth:`SimComm.barrier_sync`, a real
+  dissemination-barrier rendezvous (all ranks block until the last
+  arrives, then all release after the barrier cost).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..exceptions import ConfigurationError
+from ..sim import Event
+from .model import (
+    CommParams,
+    FRONTIER_FABRIC,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    ptp_time,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class SimComm:
+    """An MPI communicator of ``size`` ranks spanning ``n_nodes``."""
+
+    def __init__(self, env: "Environment", size: int, n_nodes: int = 1,
+                 params: CommParams = FRONTIER_FABRIC) -> None:
+        if size < 1:
+            raise ConfigurationError(f"communicator needs >= 1 rank")
+        if n_nodes < 1 or n_nodes > size:
+            raise ConfigurationError(
+                f"{size} ranks cannot span {n_nodes} nodes")
+        self.env = env
+        self.size = size
+        self.n_nodes = n_nodes
+        self.params = params
+        self._barrier_waiting = 0
+        self._barrier_release: Optional[Event] = None
+        self.n_collectives = 0
+
+    @property
+    def spans_nodes(self) -> bool:
+        return self.n_nodes > 1
+
+    # -- whole-job collectives (single-process modelling) -----------------
+
+    def barrier(self):
+        """Generator: advance the clock by one barrier."""
+        self.n_collectives += 1
+        cost = barrier_time(self.params, self.size, self.spans_nodes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    def bcast(self, nbytes: float):
+        """Generator: one broadcast of ``nbytes`` from the root."""
+        self.n_collectives += 1
+        cost = bcast_time(self.params, self.size, nbytes, self.spans_nodes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    def allreduce(self, nbytes: float):
+        """Generator: one all-reduce over ``nbytes`` per rank."""
+        self.n_collectives += 1
+        cost = allreduce_time(self.params, self.size, nbytes,
+                              self.spans_nodes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    def alltoall(self, nbytes: float):
+        """Generator: one all-to-all with ``nbytes`` total per rank."""
+        self.n_collectives += 1
+        cost = alltoall_time(self.params, self.size, nbytes,
+                             self.spans_nodes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    def send(self, nbytes: float):
+        """Generator: one point-to-point message."""
+        cost = ptp_time(self.params, nbytes, self.spans_nodes)
+        if cost > 0:
+            yield self.env.timeout(cost)
+
+    # -- per-rank synchronization -------------------------------------------
+
+    def barrier_sync(self):
+        """Generator used by *each rank process*: blocks until all
+        ``size`` ranks arrived, then all release together after the
+        barrier cost.  Reusable across iterations (generational)."""
+        self._barrier_waiting += 1
+        if self._barrier_release is None:
+            self._barrier_release = Event(self.env)
+        release = self._barrier_release
+        if self._barrier_waiting == self.size:
+            # Last rank in: schedule the collective release.
+            self._barrier_waiting = 0
+            self._barrier_release = None
+            self.n_collectives += 1
+            cost = barrier_time(self.params, self.size, self.spans_nodes)
+            if cost > 0:
+                self.env.schedule(cost, release.succeed)
+            else:
+                release.succeed()
+        yield release
+
+    def __repr__(self) -> str:
+        return (f"<SimComm size={self.size} nodes={self.n_nodes} "
+                f"collectives={self.n_collectives}>")

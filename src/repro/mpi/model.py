@@ -1,0 +1,102 @@
+"""Communication-cost model for tightly coupled (MPI-style) tasks.
+
+The paper's workload classes include multi-node MPI coupling (scoring,
+ensemble simulation).  This module provides the standard alpha-beta
+(latency-bandwidth) cost model with logarithmic collective algorithms,
+parameterized for a Frontier-like Slingshot fabric:
+
+* alpha (per-message latency): ~1 us on-node, ~2 us across nodes;
+* beta (inverse bandwidth): ~25 GB/s per NIC.
+
+Formulas follow the classic literature (binomial-tree broadcast,
+Rabenseifner all-reduce, pairwise all-to-all).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CommParams:
+    """Fabric parameters of the alpha-beta model."""
+
+    #: Per-hop latency within one node (shared memory) [s].
+    intra_node_latency: float = 1.0e-6
+    #: Per-hop latency across nodes (NIC + switch) [s].
+    inter_node_latency: float = 2.0e-6
+    #: Point-to-point bandwidth [bytes/s].
+    bandwidth: float = 25.0e9
+
+    def __post_init__(self) -> None:
+        if self.intra_node_latency < 0 or self.inter_node_latency < 0:
+            raise ConfigurationError("negative latency")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    def alpha(self, spans_nodes: bool) -> float:
+        """Per-message latency for the given locality."""
+        return (self.inter_node_latency if spans_nodes
+                else self.intra_node_latency)
+
+
+#: Default Frontier-like fabric.
+FRONTIER_FABRIC = CommParams()
+
+
+def _check(p: int, nbytes: float) -> None:
+    if p < 1:
+        raise ConfigurationError(f"need >= 1 rank, got {p}")
+    if nbytes < 0:
+        raise ConfigurationError(f"negative message size {nbytes}")
+
+
+def ptp_time(params: CommParams, nbytes: float,
+             spans_nodes: bool = True) -> float:
+    """Point-to-point send: alpha + n/B."""
+    _check(1, nbytes)
+    return params.alpha(spans_nodes) + nbytes / params.bandwidth
+
+
+def barrier_time(params: CommParams, p: int,
+                 spans_nodes: bool = True) -> float:
+    """Dissemination barrier: ceil(log2 p) rounds of alpha."""
+    _check(p, 0)
+    if p == 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * params.alpha(spans_nodes)
+
+
+def bcast_time(params: CommParams, p: int, nbytes: float,
+               spans_nodes: bool = True) -> float:
+    """Binomial-tree broadcast: ceil(log2 p) * (alpha + n/B)."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    return rounds * (params.alpha(spans_nodes) + nbytes / params.bandwidth)
+
+
+def allreduce_time(params: CommParams, p: int, nbytes: float,
+                   spans_nodes: bool = True) -> float:
+    """Rabenseifner all-reduce:
+    2 ceil(log2 p) alpha + 2 ((p-1)/p) n/B."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    alpha = params.alpha(spans_nodes)
+    rounds = math.ceil(math.log2(p))
+    return 2 * rounds * alpha + 2 * ((p - 1) / p) * nbytes / params.bandwidth
+
+
+def alltoall_time(params: CommParams, p: int, nbytes: float,
+                  spans_nodes: bool = True) -> float:
+    """Pairwise exchange: (p-1) (alpha + (n/p)/B)."""
+    _check(p, nbytes)
+    if p == 1:
+        return 0.0
+    alpha = params.alpha(spans_nodes)
+    return (p - 1) * (alpha + (nbytes / p) / params.bandwidth)

@@ -1,0 +1,67 @@
+"""Shared parallel filesystem model (Lustre/Orion-like).
+
+RP's staging subsystem moves task input/output through the site
+filesystem; on a real machine concurrent transfers share aggregate
+bandwidth.  The model: each transfer takes a stream slot (bounded
+stream parallelism) and progresses at ``aggregate_bandwidth`` divided
+by the number of streams active when it starts — a discrete
+approximation of processor-sharing that preserves the property the
+staging experiments need: *many concurrent stagers slow each other
+down*.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..exceptions import ConfigurationError
+from ..sim import Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim import Environment
+
+
+class SharedFilesystem:
+    """Site filesystem shared by all staging activity of a session."""
+
+    def __init__(self, env: "Environment",
+                 aggregate_bandwidth: float = 10.0e9,
+                 access_latency: float = 2.0e-3,
+                 max_streams: int = 64) -> None:
+        if aggregate_bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if access_latency < 0:
+            raise ConfigurationError("negative access latency")
+        if max_streams < 1:
+            raise ConfigurationError("need >= 1 stream")
+        self.env = env
+        self.aggregate_bandwidth = aggregate_bandwidth
+        self.access_latency = access_latency
+        self._streams = Resource(env, capacity=max_streams)
+        self.n_transfers = 0
+        self.bytes_moved = 0.0
+
+    @property
+    def active_streams(self) -> int:
+        return self._streams.count
+
+    @property
+    def max_streams(self) -> int:
+        return self._streams.capacity
+
+    def transfer_time(self, nbytes: float, concurrency: int) -> float:
+        """Deterministic transfer time at a given concurrency level."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size {nbytes}")
+        share = self.aggregate_bandwidth / max(1, concurrency)
+        return self.access_latency + nbytes / share
+
+    def transfer(self, nbytes: float):
+        """Generator: move ``nbytes`` through the filesystem."""
+        with self._streams.request() as stream:
+            yield stream
+            cost = self.transfer_time(nbytes, self.active_streams)
+            if cost > 0:
+                yield self.env.timeout(cost)
+        self.n_transfers += 1
+        self.bytes_moved += nbytes

@@ -1,0 +1,123 @@
+"""Compute-node model with explicit core and GPU slot maps.
+
+Slot-level bookkeeping (rather than mere counters) lets the property
+tests assert the strongest possible invariant: *no slot is ever held
+by two placements at once*, exactly the guarantee a real node-level
+resource manager provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..exceptions import ResourceError
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A set of slots handed out on one node.
+
+    Placements are returned by :meth:`Node.allocate` and must be given
+    back via :meth:`Node.release`.
+    """
+
+    node_index: int
+    core_slots: Tuple[int, ...]
+    gpu_slots: Tuple[int, ...]
+
+    @property
+    def cores(self) -> int:
+        return len(self.core_slots)
+
+    @property
+    def gpus(self) -> int:
+        return len(self.gpu_slots)
+
+
+class Node:
+    """One compute node with ``n_cores`` CPU cores and ``n_gpus`` GPUs."""
+
+    def __init__(self, index: int, n_cores: int, n_gpus: int = 0,
+                 mem_gb: float = 512.0, name: str = "") -> None:
+        if n_cores < 1:
+            raise ResourceError(f"node needs >=1 core, got {n_cores}")
+        if n_gpus < 0:
+            raise ResourceError(f"negative gpu count {n_gpus}")
+        self.index = index
+        self.name = name or f"node{index:05d}"
+        self.n_cores = n_cores
+        self.n_gpus = n_gpus
+        self.mem_gb = mem_gb
+        self._free_cores: List[int] = list(range(n_cores))
+        self._free_gpus: List[int] = list(range(n_gpus))
+        self._held_cores: set = set()
+        self._held_gpus: set = set()
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def free_cores(self) -> int:
+        return len(self._free_cores)
+
+    @property
+    def free_gpus(self) -> int:
+        return len(self._free_gpus)
+
+    @property
+    def busy_cores(self) -> int:
+        return self.n_cores - self.free_cores
+
+    @property
+    def is_idle(self) -> bool:
+        return self.free_cores == self.n_cores and self.free_gpus == self.n_gpus
+
+    def can_fit(self, cores: int, gpus: int = 0) -> bool:
+        """Could ``allocate(cores, gpus)`` succeed right now?"""
+        return cores <= self.free_cores and gpus <= self.free_gpus
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self, cores: int, gpus: int = 0) -> Placement:
+        """Claim ``cores`` core slots and ``gpus`` GPU slots.
+
+        Raises :class:`ResourceError` when insufficient slots are free.
+        """
+        if cores < 0 or gpus < 0:
+            raise ResourceError("negative allocation request")
+        if cores > self.free_cores or gpus > self.free_gpus:
+            raise ResourceError(
+                f"{self.name}: cannot allocate {cores}c/{gpus}g "
+                f"(free {self.free_cores}c/{self.free_gpus}g)"
+            )
+        core_slots = tuple(self._free_cores[:cores])
+        del self._free_cores[:cores]
+        gpu_slots = tuple(self._free_gpus[:gpus])
+        del self._free_gpus[:gpus]
+        self._held_cores.update(core_slots)
+        self._held_gpus.update(gpu_slots)
+        return Placement(self.index, core_slots, gpu_slots)
+
+    def release(self, placement: Placement) -> None:
+        """Return a placement's slots.  Double-free raises."""
+        if placement.node_index != self.index:
+            raise ResourceError(
+                f"placement for node {placement.node_index} released on "
+                f"node {self.index}"
+            )
+        for slot in placement.core_slots:
+            if slot not in self._held_cores:
+                raise ResourceError(f"{self.name}: core {slot} double-freed")
+            self._held_cores.remove(slot)
+            self._free_cores.append(slot)
+        for slot in placement.gpu_slots:
+            if slot not in self._held_gpus:
+                raise ResourceError(f"{self.name}: gpu {slot} double-freed")
+            self._held_gpus.remove(slot)
+            self._free_gpus.append(slot)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.name} cores={self.free_cores}/{self.n_cores} "
+            f"gpus={self.free_gpus}/{self.n_gpus}>"
+        )

@@ -1,0 +1,62 @@
+"""Resource requirement specifications.
+
+A :class:`ResourceSpec` states what a single task needs from the
+machine: CPU cores, GPUs, memory, and optionally whole-node
+granularity for tightly coupled (MPI-like) tasks.  Specs are value
+objects — hashable, comparable and validated at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ResourceError
+
+
+@dataclass(frozen=True)
+class ResourceSpec:
+    """Per-task resource requirement.
+
+    Parameters
+    ----------
+    cores:
+        Total number of CPU cores required (across all nodes).
+    gpus:
+        Total number of GPUs required.
+    mem_gb:
+        Memory requirement in GiB (0 means "don't care").
+    exclusive_nodes:
+        When true, the task must receive whole nodes (MPI-style
+        co-scheduling); cores/gpus are then rounded up to node
+        multiples by the scheduler.
+    """
+
+    cores: int = 1
+    gpus: int = 0
+    mem_gb: float = 0.0
+    exclusive_nodes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.cores < 0 or self.gpus < 0:
+            raise ResourceError(
+                f"negative resource request: cores={self.cores} gpus={self.gpus}"
+            )
+        if self.cores == 0 and self.gpus == 0:
+            raise ResourceError("a task must request at least one core or gpu")
+        if self.mem_gb < 0:
+            raise ResourceError(f"negative memory request: {self.mem_gb}")
+
+    def nodes_required(self, cores_per_node: int, gpus_per_node: int) -> int:
+        """Minimum number of nodes that can hold this spec."""
+        need = 1
+        if self.cores:
+            need = max(need, -(-self.cores // cores_per_node))
+        if self.gpus:
+            if gpus_per_node == 0:
+                raise ResourceError("gpus requested on a gpu-less node type")
+            need = max(need, -(-self.gpus // gpus_per_node))
+        return need
+
+    def fits_node(self, cores_per_node: int, gpus_per_node: int) -> bool:
+        """True when the whole spec fits on one node."""
+        return self.cores <= cores_per_node and self.gpus <= gpus_per_node

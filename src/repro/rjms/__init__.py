@@ -1,0 +1,7 @@
+"""System launch substrates: Slurm/srun and the PRRTE DVM."""
+
+from .prrte import DvmState, PrrteDVM
+from .slurm import SlurmController
+from .srun import SrunLauncher
+
+__all__ = ["DvmState", "PrrteDVM", "SlurmController", "SrunLauncher"]

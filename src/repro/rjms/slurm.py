@@ -1,0 +1,186 @@
+"""Slurm-like system resource and job manager (RJMS).
+
+Two aspects of Slurm matter for the paper's experiments and are
+modelled mechanistically:
+
+1. **Batch allocation** — a pilot job asks for N nodes and receives an
+   :class:`~repro.platform.cluster.Allocation` after a (configurable)
+   queue wait.
+
+2. **The launch path** — every ``srun`` invocation is serviced by a
+   *serialized* controller RPC pipeline whose per-launch service time
+   grows with the allocation size.  This serialization is the
+   mechanism behind Fig. 5(a)'s throughput decline with node count.
+
+The platform-wide concurrency ceiling lives in
+:class:`~repro.rjms.srun.SrunLauncher` because it constrains the
+number of simultaneously *active* sruns, not controller requests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..exceptions import AllocationError
+from ..platform.cluster import Allocation, Cluster
+from ..platform.latency import LatencyModel
+from ..sim import Environment, Resource, RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analytics.profiler import Profiler
+
+
+class _BatchJob:
+    """One queued batch request."""
+
+    __slots__ = ("n_nodes", "walltime", "grant", "submitted_at")
+
+    def __init__(self, n_nodes: int, walltime: float, grant,
+                 submitted_at: float) -> None:
+        self.n_nodes = n_nodes
+        self.walltime = walltime
+        self.grant = grant
+        self.submitted_at = submitted_at
+
+
+class SlurmController:
+    """The central ``slurmctld`` of the simulated machine.
+
+    Batch jobs queue FIFO with EASY backfill: the queue head reserves
+    the earliest time enough nodes free up (using running jobs'
+    walltimes); later jobs may jump ahead only if they fit now *and*
+    their walltime keeps them clear of that reservation.
+    """
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 latencies: LatencyModel, rng: RngStreams,
+                 profiler: Optional["Profiler"] = None,
+                 queue_wait: float = 0.0) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.latencies = latencies
+        self.rng = rng
+        self.profiler = profiler
+        self.queue_wait = queue_wait
+        #: Serialized launch-RPC pipeline: one launch request at a time.
+        self._launch_pipeline = Resource(env, capacity=1)
+        self._batch_queue: list = []
+        #: job_id -> (allocation, estimated end time)
+        self._running: dict = {}
+        self._jobs = 0
+
+    # -- batch jobs -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Batch jobs waiting for nodes."""
+        return len(self._batch_queue)
+
+    def submit_batch_job(self, n_nodes: int,
+                         walltime: float = float("inf")):
+        """Request an allocation; generator yielding until granted.
+
+        Returns the :class:`Allocation` as the process value.  Requests
+        beyond the whole machine are rejected immediately; requests
+        beyond the *currently free* nodes queue until running jobs end.
+        """
+        if n_nodes > self.cluster.n_nodes:
+            raise AllocationError(
+                f"requested {n_nodes} nodes; machine has {self.cluster.n_nodes}"
+            )
+        if self.queue_wait > 0:
+            yield self.env.timeout(
+                self.rng.exponential("slurm.queue", self.queue_wait))
+        grant = self.env.event()
+        self._batch_queue.append(_BatchJob(n_nodes, walltime, grant,
+                                           self.env.now))
+        self._schedule_batch()
+        allocation = yield grant
+        return allocation
+
+    def release_job(self, allocation) -> None:
+        """A batch job ended: recycle its nodes and run the scheduler."""
+        if allocation.job_id not in self._running:
+            return
+        del self._running[allocation.job_id]
+        self.cluster.release_allocation(allocation)
+        if self.profiler is not None:
+            self.profiler.record(allocation.job_id, "slurm_alloc_released",
+                                 nodes=allocation.n_nodes)
+        self._schedule_batch()
+
+    def _grant(self, job: _BatchJob) -> None:
+        allocation = self.cluster.allocate_nodes(job.n_nodes, job.walltime)
+        self._jobs += 1
+        end = (self.env.now + job.walltime
+               if job.walltime != float("inf") else float("inf"))
+        self._running[allocation.job_id] = (allocation, end)
+        if self.profiler is not None:
+            self.profiler.record(allocation.job_id, "slurm_alloc_granted",
+                                 nodes=job.n_nodes,
+                                 queued=self.env.now - job.submitted_at)
+        job.grant.succeed(allocation)
+
+    def _schedule_batch(self) -> None:
+        """FIFO + EASY backfill over the batch queue."""
+        # Grant from the head while it fits.
+        while self._batch_queue:
+            head = self._batch_queue[0]
+            if head.n_nodes > self.cluster.free_nodes:
+                break
+            self._batch_queue.pop(0)
+            self._grant(head)
+        if not self._batch_queue:
+            return
+        # Head blocked: compute its shadow time from running jobs'
+        # estimated ends, then backfill later jobs that fit now and
+        # end before the reservation.
+        head = self._batch_queue[0]
+        shadow = self._shadow_time(head.n_nodes)
+        for job in list(self._batch_queue[1:]):
+            if job.n_nodes > self.cluster.free_nodes:
+                continue
+            est_end = (self.env.now + job.walltime
+                       if job.walltime != float("inf") else float("inf"))
+            if est_end <= shadow:
+                self._batch_queue.remove(job)
+                self._grant(job)
+
+    def _shadow_time(self, need_nodes: int) -> float:
+        """Earliest time ``need_nodes`` could be free, assuming running
+        jobs end at their walltime estimates."""
+        free = self.cluster.free_nodes
+        if free >= need_nodes:
+            return self.env.now
+        ends = sorted((end, alloc.n_nodes)
+                      for alloc, end in self._running.values())
+        for end, n in ends:
+            free += n
+            if free >= need_nodes:
+                return end
+        return float("inf")
+
+    # -- launch RPC -----------------------------------------------------------
+
+    def launch_service_time(self, alloc_nodes: int) -> float:
+        """One draw of the controller's per-launch service time [s]."""
+        mean = (self.latencies.srun_ctl_base
+                + self.latencies.srun_ctl_per_node * alloc_nodes
+                + self.latencies.srun_ctl_per_node15 * alloc_nodes ** 1.5)
+        return self.rng.lognormal_latency("slurm.ctl", mean,
+                                          cv=self.latencies.srun_cv)
+
+    def process_launch_rpc(self, alloc_nodes: int):
+        """Generator: wait for the pipeline, then pay the service time.
+
+        Every srun task launch funnels through this single pipeline —
+        the controller serialization the paper identifies.
+        """
+        with self._launch_pipeline.request() as req:
+            yield req
+            yield self.env.timeout(self.launch_service_time(alloc_nodes))
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Number of launch RPCs currently queued at the controller."""
+        return self._launch_pipeline.queued

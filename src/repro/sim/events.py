@@ -1,0 +1,178 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic *event / process* duality: low-level
+callbacks attach to :class:`Event` objects, while higher-level
+simulated components are written as Python generators that ``yield``
+events (see :mod:`repro.sim.process`).  The design is intentionally
+close to SimPy's, but implemented from scratch because the execution
+environment ships no DES library.
+
+Event lifecycle::
+
+    created --> triggered (scheduled in the queue) --> processed
+
+Once *processed*, an event's callbacks have run and its :attr:`value`
+is final.  Events may succeed (carrying a value) or fail (carrying an
+exception that propagates into any process waiting on them).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from ..exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Environment
+
+#: Sentinel for "event has no value yet".
+PENDING = object()
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for high-urgency events (processed before NORMAL at equal times).
+URGENT = 0
+
+
+class Event:
+    """A condition that may happen at a point in simulated time.
+
+    Callbacks appended to :attr:`callbacks` are invoked with the event
+    itself once the event is processed by the kernel.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with (or its exception)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._enqueue_event(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._enqueue_event(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self.processed
+            else "triggered" if self.triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._enqueue_event(self, NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Composite event triggered when a predicate over child events holds.
+
+    Used through the :class:`AllOf` / :class:`AnyOf` helpers.  The
+    condition fails as soon as any child event fails.
+    """
+
+    def __init__(self, env: "Environment", events: List[Event], need: int) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._need = need
+        self._happened = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                # Already delivered; account for it via an immediate callback.
+                env.schedule(0.0, self._check, ev)
+            else:
+                # Not yet *processed* (a Timeout is "triggered" at creation
+                # but only fires later): hook its callback list.
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._happened += 1
+        if self._happened >= self._need:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events
+            if ev.triggered and ev._ok
+        }
+
+
+class AllOf(Condition):
+    """Triggered once *all* child events have succeeded."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        events = list(events)
+        super().__init__(env, events, need=len(events))
+
+
+class AnyOf(Condition):
+    """Triggered once *any* child event has succeeded."""
+
+    def __init__(self, env: "Environment", events: List[Event]) -> None:
+        events = list(events)
+        super().__init__(env, events, need=1 if events else 0)

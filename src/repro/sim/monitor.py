@@ -1,0 +1,90 @@
+"""Periodic sampling of simulation state into time series.
+
+Tests and examples frequently want "sample X every N seconds while
+the simulation runs" (peak concurrency, queue depths, free cores).
+:class:`Monitor` packages that pattern: register named probes, and it
+samples them on a fixed cadence until stopped or until the predicate
+says the run is over.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Environment
+
+
+class Monitor:
+    """Samples named probes every ``interval`` simulated seconds."""
+
+    def __init__(self, env: "Environment", interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self.env = env
+        self.interval = interval
+        self._probes: Dict[str, Callable[[], Any]] = {}
+        self._samples: Dict[str, List[Tuple[float, Any]]] = {}
+        self._running = False
+        self._stop_when: Optional[Callable[[], bool]] = None
+
+    def probe(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register a probe (must be added before :meth:`start`)."""
+        if self._running:
+            raise SimulationError("cannot add probes while running")
+        if name in self._probes:
+            raise SimulationError(f"duplicate probe {name!r}")
+        self._probes[name] = fn
+        self._samples[name] = []
+
+    def start(self, stop_when: Optional[Callable[[], bool]] = None):
+        """Begin sampling; returns the monitor process.
+
+        ``stop_when`` is evaluated after each sweep; the monitor ends
+        once it returns true (or runs until :meth:`stop`).
+        """
+        if self._running:
+            raise SimulationError("monitor already running")
+        if not self._probes:
+            raise SimulationError("no probes registered")
+        self._running = True
+        self._stop_when = stop_when
+        return self.env.process(self._loop())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            for name, fn in self._probes.items():
+                self._samples[name].append((self.env.now, fn()))
+            if self._stop_when is not None and self._stop_when():
+                self._running = False
+                return
+            yield self.env.timeout(self.interval)
+
+    # -- results ----------------------------------------------------------
+
+    def samples(self, name: str) -> List[Tuple[float, Any]]:
+        """(time, value) pairs recorded for one probe."""
+        try:
+            return list(self._samples[name])
+        except KeyError:
+            raise SimulationError(f"unknown probe {name!r}") from None
+
+    def values(self, name: str) -> List[Any]:
+        return [v for _, v in self.samples(name)]
+
+    def peak(self, name: str) -> Any:
+        vals = self.values(name)
+        if not vals:
+            raise SimulationError(f"probe {name!r} has no samples")
+        return max(vals)
+
+    def mean(self, name: str) -> float:
+        vals = self.values(name)
+        if not vals:
+            raise SimulationError(f"probe {name!r} has no samples")
+        return sum(vals) / len(vals)

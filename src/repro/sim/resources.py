@@ -1,0 +1,157 @@
+"""Shared-resource primitives for simulated components.
+
+Two primitives cover every synchronization need in the runtime models:
+
+:class:`Resource`
+    A counted semaphore with FIFO waiters.  Used, e.g., for the
+    platform-wide srun concurrency ceiling (112 slots on the
+    Frontier-like profile) and for serialized controller pipelines.
+
+:class:`Store`
+    An unbounded (or capacity-bounded) FIFO queue of Python objects
+    with blocking ``get``.  Used for message channels (Flux RPC
+    queues, Dragon shared-memory channels, ZeroMQ-like pipes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from ..exceptions import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .kernel import Environment
+
+
+class Request(Event):
+    """Pending acquisition of one :class:`Resource` slot.
+
+    Supports the context-manager protocol so model code can write::
+
+        with resource.request() as req:
+            yield req
+            ...  # slot held here
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A counted semaphore with FIFO waiters."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiters: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiters.append(req)
+        return req
+
+    def _release(self, req: Request) -> None:
+        try:
+            self._users.remove(req)
+        except ValueError:
+            # Released before being granted: cancel the wait.
+            try:
+                self._waiters.remove(req)
+            except ValueError:
+                pass
+            return
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class StoreGet(Event):
+    """Pending retrieval from a :class:`Store`."""
+
+
+class Store:
+    """FIFO queue of items with blocking ``get`` and optional capacity."""
+
+    def __init__(self, env: "Environment", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list:
+        """Snapshot of queued items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; returns an already-succeeded event.
+
+        When the store is at capacity the put *fails* immediately with
+        :class:`SimulationError` — bounded stores model fixed-size
+        shared-memory rings where overflow is a programming error in
+        the surrounding flow control, not a condition to silently
+        absorb.
+        """
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError("store is full")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self._items.append(item)
+        ev = Event(self.env)
+        ev.succeed(item)
+        return ev
+
+    def get(self) -> StoreGet:
+        """Pop the oldest item; blocks (as an event) while empty."""
+        ev = StoreGet(self.env)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Any:
+        """Non-blocking pop; returns ``None`` when empty."""
+        return self._items.popleft() if self._items else None

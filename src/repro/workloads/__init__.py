@@ -1,0 +1,64 @@
+"""Workload generators: synthetic (null/dummy/mixed), IMPECCABLE and
+generic workflow DAGs."""
+
+from .dag import (
+    FAIL_FAST,
+    SKIP_DEPENDENTS,
+    Workflow,
+    WorkflowNode,
+    WorkflowResult,
+    WorkflowRunner,
+)
+from .patterns import (
+    bag_of_tasks,
+    ensemble,
+    pipeline_with_feedback,
+    strong_scaling_sweep,
+)
+from .replay import ReplayRunner, TimedTask, workload_from_trace
+from .impeccable import (
+    IMPECCABLE_STAGES,
+    CampaignResult,
+    CampaignRunner,
+    StageTemplate,
+    campaign_plan,
+    make_stage_tasks,
+    min_scalable_tasks,
+    stage_task_count,
+)
+from .synthetic import (
+    DEFAULT_WAVES,
+    dummy_workload,
+    mixed_workload,
+    null_workload,
+    task_count,
+)
+
+__all__ = [
+    "DEFAULT_WAVES",
+    "FAIL_FAST",
+    "IMPECCABLE_STAGES",
+    "ReplayRunner",
+    "SKIP_DEPENDENTS",
+    "TimedTask",
+    "Workflow",
+    "WorkflowNode",
+    "WorkflowResult",
+    "WorkflowRunner",
+    "bag_of_tasks",
+    "CampaignResult",
+    "CampaignRunner",
+    "StageTemplate",
+    "campaign_plan",
+    "dummy_workload",
+    "ensemble",
+    "make_stage_tasks",
+    "min_scalable_tasks",
+    "mixed_workload",
+    "null_workload",
+    "pipeline_with_feedback",
+    "stage_task_count",
+    "strong_scaling_sweep",
+    "task_count",
+    "workload_from_trace",
+]

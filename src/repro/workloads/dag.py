@@ -1,0 +1,172 @@
+"""Generic workflow DAGs over the pilot runtime.
+
+RP is "used by both general-purpose workflow systems and
+domain-specific frameworks" (§1) — the layer above the runtime
+expresses dependencies.  This module provides that layer: a validated
+task DAG plus a runner that submits each node the moment its
+dependencies succeed, with configurable failure semantics
+(``skip_dependents`` — downstream nodes of a failed node are canceled
+— or ``fail_fast`` — the whole remaining workflow is canceled).
+
+The IMPECCABLE campaign runner is the domain-specific sibling of this
+general mechanism (stage-level pipeline vs. task-level DAG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..core.description import TaskDescription
+from ..exceptions import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.session import Session
+    from ..core.task import Task
+    from ..core.task_manager import TaskManager
+
+#: Failure policies.
+SKIP_DEPENDENTS = "skip_dependents"
+FAIL_FAST = "fail_fast"
+POLICIES = (SKIP_DEPENDENTS, FAIL_FAST)
+
+
+@dataclass(frozen=True)
+class WorkflowNode:
+    """One named task in a workflow DAG."""
+
+    name: str
+    description: TaskDescription
+    depends_on: Tuple[str, ...] = ()
+
+
+class Workflow:
+    """A validated DAG of named tasks."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self._nodes: Dict[str, WorkflowNode] = {}
+
+    def add(self, name: str, description: TaskDescription,
+            depends_on: Sequence[str] = ()) -> WorkflowNode:
+        """Add a node; dependency names may be added later (validated
+        at :meth:`validate` / run time)."""
+        if name in self._nodes:
+            raise WorkloadError(f"duplicate workflow node {name!r}")
+        node = WorkflowNode(name=name, description=description,
+                            depends_on=tuple(depends_on))
+        self._nodes[name] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> List[WorkflowNode]:
+        return list(self._nodes.values())
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on unknown deps or cycles."""
+        for node in self._nodes.values():
+            for dep in node.depends_on:
+                if dep not in self._nodes:
+                    raise WorkloadError(
+                        f"{node.name!r} depends on unknown node {dep!r}")
+        self.topological_order()
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles."""
+        indegree = {name: len(set(node.depends_on))
+                    for name, node in self._nodes.items()}
+        dependents: Dict[str, List[str]] = {n: [] for n in self._nodes}
+        for name, node in self._nodes.items():
+            for dep in set(node.depends_on):
+                if dep in dependents:
+                    dependents[dep].append(name)
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for child in dependents[current]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self._nodes):
+            cyclic = sorted(n for n, d in indegree.items() if d > 0)
+            raise WorkloadError(f"workflow has a cycle involving {cyclic}")
+        return order
+
+    def critical_path_length(self) -> float:
+        """Sum of durations along the longest dependency chain."""
+        order = self.topological_order()
+        longest: Dict[str, float] = {}
+        for name in order:
+            node = self._nodes[name]
+            base = max((longest[d] for d in node.depends_on), default=0.0)
+            longest[name] = base + node.description.duration
+        return max(longest.values(), default=0.0)
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of one workflow execution."""
+
+    tasks: Dict[str, "Task"] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return (not self.skipped
+                and all(t.succeeded for t in self.tasks.values()))
+
+
+class WorkflowRunner:
+    """Executes a workflow on a pilot through a task manager."""
+
+    def __init__(self, session: "Session", tmgr: "TaskManager",
+                 workflow: Workflow,
+                 failure_policy: str = SKIP_DEPENDENTS) -> None:
+        if failure_policy not in POLICIES:
+            raise WorkloadError(
+                f"unknown failure policy {failure_policy!r}; "
+                f"choose from {POLICIES}")
+        workflow.validate()
+        self.session = session
+        self.env = session.env
+        self.tmgr = tmgr
+        self.workflow = workflow
+        self.failure_policy = failure_policy
+        self.result = WorkflowResult()
+        self._done_events: Dict[str, object] = {}
+        self._abort = False
+
+    def start(self):
+        """Kick off all node processes; returns the completion event."""
+        for node in self.workflow.nodes:
+            self._done_events[node.name] = self.env.event()
+        procs = [self.env.process(self._run_node(node))
+                 for node in self.workflow.nodes]
+        return self.env.all_of(procs)
+
+    def _run_node(self, node: WorkflowNode):
+        done = self._done_events[node.name]
+        deps = [self._done_events[d] for d in node.depends_on]
+        if deps:
+            yield self.env.all_of(deps)
+        dep_failed = any(
+            not self._done_events[d].value for d in node.depends_on)
+        if self._abort or dep_failed:
+            self.result.skipped.append(node.name)
+            done.succeed(False)
+            return
+        task = self.tmgr.submit_tasks(node.description)
+        self.result.tasks[node.name] = task
+        yield task.completion_event()
+        ok = task.succeeded
+        if not ok and self.failure_policy == FAIL_FAST:
+            self._abort = True
+        done.succeed(ok)

@@ -1,0 +1,123 @@
+"""Canonical workload patterns from the paper's workload taxonomy (§2).
+
+The paper classifies IMPECCABLE-style work into coupling classes:
+loosely coupled high-throughput bags, tightly coupled multi-node
+ensembles, and data-coupled pipelines with feedback.  These builders
+produce each class as ready-to-submit task lists or
+:class:`~repro.workloads.dag.Workflow` DAGs, parameterized the way
+the paper's §4 experiments parameterize theirs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.description import (
+    MODE_EXECUTABLE,
+    MODE_FUNCTION,
+    TaskDescription,
+)
+from ..exceptions import WorkloadError
+from ..platform.spec import ResourceSpec
+from .dag import Workflow
+
+
+def bag_of_tasks(n_tasks: int, duration: float = 180.0, cores: int = 1,
+                 duration_cv: float = 0.0, seed: int = 0,
+                 mode: str = MODE_EXECUTABLE) -> List[TaskDescription]:
+    """Loosely coupled high-throughput bag (docking / inference class).
+
+    ``duration_cv`` > 0 draws lognormal durations around the mean —
+    the paper's synthetic workloads use fixed durations; real bags
+    are skewed.
+    """
+    if n_tasks < 0:
+        raise WorkloadError(f"negative task count {n_tasks}")
+    if duration_cv < 0:
+        raise WorkloadError(f"negative duration_cv {duration_cv}")
+    if duration_cv == 0:
+        durations = [duration] * n_tasks
+    else:
+        rng = np.random.default_rng(seed)
+        sigma2 = np.log(1 + duration_cv ** 2)
+        mu = np.log(max(duration, 1e-12)) - sigma2 / 2
+        durations = rng.lognormal(mu, np.sqrt(sigma2), size=n_tasks).tolist()
+    return [
+        TaskDescription(executable="bag-member", mode=mode,
+                        resources=ResourceSpec(cores=cores),
+                        duration=float(d), tags={"pattern": "bag"})
+        for d in durations
+    ]
+
+
+def ensemble(n_members: int, nodes_per_member: int, cores_per_node: int,
+             duration: float, gpus_per_node: int = 0,
+             exclusive: bool = True) -> List[TaskDescription]:
+    """Tightly coupled ensemble (ESMACS class): co-scheduled multi-node
+    members."""
+    if n_members < 1 or nodes_per_member < 1:
+        raise WorkloadError("ensemble needs >= 1 member and node")
+    spec = ResourceSpec(
+        cores=nodes_per_member * cores_per_node,
+        gpus=nodes_per_member * gpus_per_node,
+        exclusive_nodes=exclusive)
+    return [
+        TaskDescription(executable="ensemble-member", mode=MODE_EXECUTABLE,
+                        resources=spec, duration=duration,
+                        tags={"pattern": "ensemble", "member": i})
+        for i in range(n_members)
+    ]
+
+
+def pipeline_with_feedback(generations: int, fan_out: int,
+                           sim_duration: float = 180.0,
+                           learn_duration: float = 300.0,
+                           gpus_for_learning: int = 8) -> Workflow:
+    """Data-coupled learning loop (REINVENT/SST class) as a DAG.
+
+    Each generation: ``fan_out`` sampling functions feed one GPU
+    learning task; the next generation's samplers depend on it.
+    """
+    if generations < 1 or fan_out < 1:
+        raise WorkloadError("need >= 1 generation and sampler")
+    wf = Workflow("learning-loop")
+    prev_learn: Optional[str] = None
+    for g in range(generations):
+        sampler_names = []
+        for i in range(fan_out):
+            name = f"g{g}.sample{i}"
+            deps = (prev_learn,) if prev_learn else ()
+            wf.add(name, TaskDescription(
+                executable="sampler", mode=MODE_FUNCTION,
+                duration=sim_duration,
+                tags={"pattern": "feedback", "generation": g}),
+                depends_on=deps)
+            sampler_names.append(name)
+        learn = f"g{g}.learn"
+        wf.add(learn, TaskDescription(
+            executable="learner", mode=MODE_EXECUTABLE,
+            resources=ResourceSpec(cores=56, gpus=gpus_for_learning),
+            duration=learn_duration,
+            tags={"pattern": "feedback", "generation": g}),
+            depends_on=tuple(sampler_names))
+        prev_learn = learn
+    return wf
+
+
+def strong_scaling_sweep(base_cores: int, steps: int,
+                         total_work: float) -> List[TaskDescription]:
+    """A strong-scaling series: the same total work split over
+    doublings of core count (duration halves as cores double)."""
+    if steps < 1 or base_cores < 1 or total_work <= 0:
+        raise WorkloadError("invalid strong-scaling parameters")
+    out = []
+    for step in range(steps):
+        cores = base_cores * (2 ** step)
+        out.append(TaskDescription(
+            executable=f"scaling-{cores}c", mode=MODE_EXECUTABLE,
+            resources=ResourceSpec(cores=cores),
+            duration=total_work / cores,
+            tags={"pattern": "strong-scaling", "step": step}))
+    return out

@@ -1,0 +1,103 @@
+"""Workload replay from recorded traces.
+
+A characterization workflow the paper's methodology implies: record a
+run's task arrivals (creation times, resource shapes, durations),
+then replay the same workload against a *different* runtime
+configuration to compare backends on identical input.  Works from a
+live :class:`~repro.analytics.profiler.Profiler` or from a JSONL
+profile exported with :func:`repro.analytics.save_profile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from ..analytics import events as tev
+from ..core.description import MODE_EXECUTABLE, TaskDescription
+from ..exceptions import WorkloadError
+from ..platform.spec import ResourceSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analytics.events import TraceEvent
+    from ..core.session import Session
+    from ..core.task import Task
+    from ..core.task_manager import TaskManager
+
+
+@dataclass(frozen=True)
+class TimedTask:
+    """One replayable task: when it arrived and what it needs."""
+
+    arrival: float
+    description: TaskDescription
+
+
+def workload_from_trace(events: Iterable["TraceEvent"]) -> List[TimedTask]:
+    """Reconstruct the submitted workload from trace events.
+
+    Arrival = the task's ``task_created`` timestamp (normalized so the
+    first arrival is t=0).  Duration = its exec interval; tasks that
+    never executed are reconstructed with zero duration.
+    """
+    created: dict = {}
+    exec_start: dict = {}
+    exec_stop: dict = {}
+    for ev in events:
+        if ev.name == tev.TASK_CREATED:
+            created[ev.entity] = ev
+        elif ev.name == tev.TASK_EXEC_START:
+            exec_start.setdefault(ev.entity, ev.time)
+        elif ev.name == tev.TASK_EXEC_STOP:
+            exec_stop[ev.entity] = ev.time
+    if not created:
+        raise WorkloadError("trace contains no task_created events")
+    t0 = min(ev.time for ev in created.values())
+    out: List[TimedTask] = []
+    for uid in sorted(created, key=lambda u: (created[u].time, u)):
+        ev = created[uid]
+        duration = 0.0
+        if uid in exec_start and uid in exec_stop:
+            duration = max(0.0, exec_stop[uid] - exec_start[uid])
+        cores = int(ev.meta.get("cores", 1))
+        gpus = int(ev.meta.get("gpus", 0))
+        if cores <= 0 and gpus <= 0:
+            cores = 1  # degenerate record: fall back to a 1-core task
+        mode = str(ev.meta.get("mode", MODE_EXECUTABLE))
+        out.append(TimedTask(
+            arrival=ev.time - t0,
+            description=TaskDescription(
+                executable=f"replay:{uid}", mode=mode,
+                resources=ResourceSpec(cores=cores, gpus=gpus),
+                duration=duration, tags={"replay_of": uid}),
+        ))
+    return out
+
+
+class ReplayRunner:
+    """Submits a timed workload with its original arrival pattern."""
+
+    def __init__(self, session: "Session", tmgr: "TaskManager",
+                 workload: List[TimedTask],
+                 time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise WorkloadError(f"time_scale must be > 0, got {time_scale}")
+        self.session = session
+        self.env = session.env
+        self.tmgr = tmgr
+        self.workload = sorted(workload, key=lambda t: t.arrival)
+        self.time_scale = time_scale
+        self.tasks: List["Task"] = []
+
+    def start(self):
+        """Kick off the timed submission; returns the all-final event."""
+        return self.env.process(self._run())
+
+    def _run(self):
+        begin = self.env.now
+        for timed in self.workload:
+            due = begin + timed.arrival * self.time_scale
+            if due > self.env.now:
+                yield self.env.timeout(due - self.env.now)
+            self.tasks.append(self.tmgr.submit_tasks(timed.description))
+        yield self.tmgr.wait_tasks(self.tasks)

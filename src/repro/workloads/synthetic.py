@@ -1,0 +1,81 @@
+"""Synthetic workloads: null, dummy(sleep) and mixed task sets.
+
+The paper's three workload classes (§4):
+
+* **null** — empty tasks that return immediately, stressing only the
+  middleware stack (throughput measurements);
+* **dummy** — fixed-duration sleep tasks that keep the execution
+  queues saturated (utilization measurements);
+* **mixed** — executables + Python functions in one workload (the
+  hybrid flux+dragon experiment).
+
+Task counts follow Table 1: ``n_nodes * cores_per_node * waves`` with
+``waves = 4`` (four complete core-filling waves).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.description import (
+    MODE_EXECUTABLE,
+    MODE_FUNCTION,
+    TaskDescription,
+)
+from ..platform.spec import ResourceSpec
+
+#: Table 1: every synthetic experiment sizes the workload as 4 waves
+#: of single-core tasks over the allocation.
+DEFAULT_WAVES = 4
+
+
+def task_count(n_nodes: int, cores_per_node: int,
+               waves: int = DEFAULT_WAVES) -> int:
+    """Table-1 task count: ``n_nodes * cpn * waves``."""
+    if n_nodes < 1 or cores_per_node < 1 or waves < 1:
+        raise ValueError("n_nodes, cores_per_node and waves must be >= 1")
+    return n_nodes * cores_per_node * waves
+
+
+def null_workload(n_tasks: int, mode: str = MODE_EXECUTABLE,
+                  cores: int = 1, backend: Optional[str] = None
+                  ) -> List[TaskDescription]:
+    """``n_tasks`` empty tasks (zero duration)."""
+    return dummy_workload(n_tasks, duration=0.0, mode=mode, cores=cores,
+                          backend=backend)
+
+
+def dummy_workload(n_tasks: int, duration: float = 180.0,
+                   mode: str = MODE_EXECUTABLE, cores: int = 1,
+                   gpus: int = 0, backend: Optional[str] = None
+                   ) -> List[TaskDescription]:
+    """``n_tasks`` sleep tasks of fixed ``duration``."""
+    if n_tasks < 0:
+        raise ValueError(f"negative task count {n_tasks}")
+    spec = ResourceSpec(cores=cores, gpus=gpus)
+    label = "null" if duration == 0 else f"sleep-{duration:g}"
+    return [
+        TaskDescription(executable=label, mode=mode, resources=spec,
+                        duration=duration, backend=backend)
+        for _ in range(n_tasks)
+    ]
+
+
+def mixed_workload(n_exec: int, n_func: int, duration: float = 360.0,
+                   interleave: bool = True) -> List[TaskDescription]:
+    """Executable + function tasks for the hybrid experiment.
+
+    ``interleave`` alternates the two types so both backends receive
+    work from the start (rather than one backend idling through the
+    first half of the submission stream).
+    """
+    execs = dummy_workload(n_exec, duration=duration, mode=MODE_EXECUTABLE)
+    funcs = dummy_workload(n_func, duration=duration, mode=MODE_FUNCTION)
+    if not interleave:
+        return execs + funcs
+    out: List[TaskDescription] = []
+    for pair in zip(execs, funcs):
+        out.extend(pair)
+    longer = execs if n_exec > n_func else funcs
+    out.extend(longer[min(n_exec, n_func):])
+    return out

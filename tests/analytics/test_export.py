@@ -1,0 +1,67 @@
+"""Tests for profile export/import round-trips."""
+
+import pytest
+
+from repro.analytics import Profiler, load_events, save_profile
+from repro.sim import Environment
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, env, tmp_path):
+        profiler = Profiler(env)
+        env._now = 1.5
+        profiler.record("t1", "task_exec_start", cores=4, backend="flux")
+        env._now = 2.5
+        profiler.record("t1", "task_exec_stop", cores=4)
+        path = tmp_path / "profile.jsonl"
+        assert save_profile(profiler, path) == 2
+
+        events = load_events(path)
+        assert len(events) == 2
+        assert events[0].time == 1.5
+        assert events[0].entity == "t1"
+        assert events[0].meta == {"cores": 4, "backend": "flux"}
+        assert events[1].name == "task_exec_stop"
+
+    def test_empty_profile(self, env, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_profile(Profiler(env), path) == 0
+        assert load_events(path) == []
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"time": 1.0, "entity": "a", "name": "x"}\n'
+                        "this is not json\n")
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        path.write_text('{"time": 1.0, "entity": "a"}\n')
+        with pytest.raises(ValueError):
+            load_events(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"time": 1.0, "entity": "a", "name": "x"}\n\n\n')
+        assert len(load_events(path)) == 1
+
+    def test_full_session_export(self, tmp_path):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        session = Session(cluster=generic(4, 8), seed=1)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        tmgr.submit_tasks([TaskDescription(duration=1.0) for _ in range(5)])
+        session.run(tmgr.wait_tasks())
+
+        path = tmp_path / "session.jsonl"
+        n = save_profile(session.profiler, path)
+        events = load_events(path)
+        assert n == len(events) == len(session.profiler)
+        # Reconstructed stream preserves record order and timing.
+        assert [e.time for e in events] == [e.time for e in session.profiler]

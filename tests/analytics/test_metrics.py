@@ -1,0 +1,113 @@
+"""Unit tests for the performance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import makespan, task_throughput, throughput, utilization
+from repro.core import TaskDescription
+from repro.core.states import TaskState
+from repro.core.task import Task
+from repro.platform import ResourceSpec
+from repro.sim import Environment
+
+
+def executed_task(env, start, stop, cores=1, gpus=0):
+    """A task with a synthetic exec interval."""
+    task = Task(env, f"t{start}-{stop}-{cores}",
+                TaskDescription(resources=ResourceSpec(cores=cores,
+                                                       gpus=gpus)))
+    task.advance(TaskState.TMGR_SCHEDULING)
+    task.advance(TaskState.AGENT_SCHEDULING)
+    env._now = start
+    task.advance(TaskState.AGENT_EXECUTING)
+    env._now = stop
+    task.mark_exec_stop()
+    task.advance(TaskState.DONE)
+    return task
+
+
+class TestThroughput:
+    def test_uniform_rate(self):
+        starts = np.arange(0.0, 100.0, 0.1)  # 10 tasks/s
+        stats = throughput(starts)
+        assert stats.avg == pytest.approx(10.0, rel=0.01)
+        assert stats.peak == pytest.approx(10.0, rel=0.1)
+
+    def test_bursty_peak_exceeds_avg(self):
+        burst = np.concatenate([np.linspace(0, 1, 100),
+                                np.linspace(99, 100, 100)])
+        stats = throughput(np.sort(burst))
+        assert stats.peak > 5 * stats.avg
+
+    def test_degenerate_inputs(self):
+        assert throughput(np.array([])).avg == 0.0
+        assert throughput(np.array([1.0])).avg == 0.0
+
+    def test_simultaneous_starts(self):
+        stats = throughput(np.zeros(50))
+        assert stats.peak == 50.0
+        assert stats.avg == float("inf")
+
+    def test_task_throughput_wrapper(self, env):
+        tasks = [executed_task(env, i * 0.5, i * 0.5 + 10)
+                 for i in range(20)]
+        stats = task_throughput(tasks)
+        assert stats.n_tasks == 20
+        # n / window convention: 20 starts over a 9.5 s window.
+        assert stats.avg == pytest.approx(20 / 9.5, rel=0.01)
+
+
+class TestUtilization:
+    def test_full_utilization(self, env):
+        tasks = [executed_task(env, 0.0, 100.0, cores=4) for _ in range(2)]
+        assert utilization(tasks, total_cores=8) == pytest.approx(1.0)
+
+    def test_half_utilization(self, env):
+        tasks = [executed_task(env, 0.0, 100.0, cores=4)]
+        assert utilization(tasks, total_cores=8) == pytest.approx(0.5)
+
+    def test_srun_ceiling_scenario(self, env):
+        """The Fig. 4 shape: 112 concurrent single-core tasks on 224
+        cores -> exactly 50 %."""
+        tasks = [executed_task(env, 0.0, 180.0) for _ in range(112)]
+        assert utilization(tasks, total_cores=224) == pytest.approx(0.5)
+
+    def test_explicit_span_clips(self, env):
+        tasks = [executed_task(env, 0.0, 10.0, cores=1)]
+        # Over a 20 s window the task used half the time.
+        assert utilization(tasks, total_cores=1,
+                           span=(0.0, 20.0)) == pytest.approx(0.5)
+
+    def test_gpu_resource(self, env):
+        tasks = [executed_task(env, 0.0, 10.0, cores=1, gpus=2)]
+        assert utilization(tasks, total_cores=4,
+                           resource="gpus") == pytest.approx(0.5)
+
+    def test_no_executed_tasks(self, env):
+        assert utilization([], total_cores=8) == 0.0
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            utilization([], total_cores=0)
+
+    def test_bounded_in_unit_interval(self, env):
+        tasks = [executed_task(env, float(i), float(i + 5), cores=3)
+                 for i in range(10)]
+        u = utilization(tasks, total_cores=16)
+        assert 0.0 <= u <= 1.0
+
+
+class TestMakespan:
+    def test_simple_span(self, env):
+        tasks = [executed_task(env, 10.0, 30.0),
+                 executed_task(env, 20.0, 50.0)]
+        # Submission happens at env creation time (t=0 for the first
+        # task's history) -> makespan = last stop - first submit.
+        assert makespan(tasks) == pytest.approx(50.0)
+
+    def test_empty(self):
+        assert makespan([]) == 0.0
+
+    def test_makespan_at_least_longest_task(self, env):
+        tasks = [executed_task(env, 0.0, 180.0)]
+        assert makespan(tasks) >= 180.0

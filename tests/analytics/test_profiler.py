@@ -1,0 +1,77 @@
+"""Unit tests for the trace profiler."""
+
+import pytest
+
+from repro.analytics import Profiler
+from repro.sim import Environment
+
+
+@pytest.fixture
+def profiler(env):
+    return Profiler(env)
+
+
+class TestRecording:
+    def test_record_stamps_current_time(self, env, profiler):
+        env._now = 12.5
+        ev = profiler.record("t1", "task_done")
+        assert ev.time == 12.5
+
+    def test_meta_captured(self, env, profiler):
+        ev = profiler.record("t1", "task_exec_start", cores=4, backend="flux")
+        assert ev.meta == {"cores": 4, "backend": "flux"}
+
+    def test_len_and_iter(self, env, profiler):
+        profiler.record("a", "x")
+        profiler.record("b", "y")
+        assert len(profiler) == 2
+        assert [e.entity for e in profiler] == ["a", "b"]
+
+
+class TestQueries:
+    def test_events_named(self, env, profiler):
+        profiler.record("a", "start")
+        profiler.record("b", "start")
+        profiler.record("a", "stop")
+        assert len(profiler.events_named("start")) == 2
+        assert profiler.events_named("missing") == []
+
+    def test_events_for_entity(self, env, profiler):
+        profiler.record("a", "start")
+        profiler.record("b", "start")
+        profiler.record("a", "stop")
+        assert [e.name for e in profiler.events_for("a")] == ["start", "stop"]
+
+    def test_times_sorted(self, env, profiler):
+        for t in (5.0, 1.0, 3.0):
+            env._now = t
+            profiler.record("x", "tick")
+        assert list(profiler.times("tick")) == [1.0, 3.0, 5.0]
+
+    def test_first_last(self, env, profiler):
+        env._now = 1.0
+        profiler.record("a", "tick")
+        env._now = 9.0
+        profiler.record("b", "tick")
+        assert profiler.first("tick").entity == "a"
+        assert profiler.last("tick").entity == "b"
+        assert profiler.first("nope") is None
+
+    def test_duration(self, env, profiler):
+        env._now = 2.0
+        profiler.record("t", "begin")
+        env._now = 7.5
+        profiler.record("t", "end")
+        assert profiler.duration("t", "begin", "end") == 5.5
+
+    def test_duration_missing_raises(self, env, profiler):
+        profiler.record("t", "begin")
+        with pytest.raises(KeyError):
+            profiler.duration("t", "begin", "end")
+
+    def test_timeline(self, env, profiler):
+        env._now = 1.0
+        profiler.record("t", "a")
+        env._now = 2.0
+        profiler.record("t", "b")
+        assert profiler.timeline("t") == [(1.0, "a"), (2.0, "b")]

@@ -1,0 +1,37 @@
+"""Unit tests for the text report helpers."""
+
+from repro.analytics.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"],
+                           [("a", 1.0), ("longer", 123456.0)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "123,456" in lines[3]
+        # All rows same width.
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formats(self):
+        out = format_table(["v"], [(0.12345,), (12.345,), (1234.5,), (0.0,)])
+        assert "0.123" in out
+        assert "12.3" in out
+        assert "1,234" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[0].strip().startswith("a")
+
+
+class TestFormatSeries:
+    def test_sparkline_shape(self):
+        times = list(range(100))
+        values = [i % 10 for i in range(100)]
+        out = format_series(times, values, width=20, label="test")
+        assert "test" in out
+        assert "peak=9" in out
+        assert "|" in out
+
+    def test_empty_series(self):
+        assert "(empty)" in format_series([], [], label="x")

@@ -1,0 +1,109 @@
+"""Tests for the trace-validation linter."""
+
+import pytest
+
+from repro.analytics import (
+    Profiler,
+    assert_valid_trace,
+    events as tev,
+    validate_trace,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def profiler(env):
+    return Profiler(env)
+
+
+def record_task(env, profiler, uid, start, stop, cores=1, final="task_done"):
+    env._now = start - 1.0 if start >= 1.0 else 0.0
+    profiler.record(uid, tev.TASK_CREATED, cores=cores)
+    env._now = start
+    profiler.record(uid, tev.TASK_EXEC_START, cores=cores)
+    env._now = stop
+    profiler.record(uid, tev.TASK_EXEC_STOP, cores=cores)
+    profiler.record(uid, final, cores=cores)
+
+
+class TestCleanTraces:
+    def test_empty_trace_valid(self, env, profiler):
+        assert validate_trace(profiler) == []
+
+    def test_well_formed_tasks_valid(self, env, profiler):
+        record_task(env, profiler, "t1", 1.0, 5.0)
+        record_task(env, profiler, "t2", 2.0, 6.0)
+        assert validate_trace(profiler, total_cores=4) == []
+
+    def test_real_session_trace_valid(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        session = Session(cluster=generic(4, 8, 2), seed=97)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),
+                                 PartitionSpec("dragon"))))
+        tmgr.add_pilot(pilot)
+        tmgr.submit_tasks(
+            [TaskDescription(duration=5.0) for _ in range(30)] +
+            [TaskDescription(mode="function", duration=5.0)
+             for _ in range(30)] +
+            [TaskDescription(duration=1.0, fail=True) for _ in range(5)])
+        session.run(tmgr.wait_tasks())
+        assert_valid_trace(session.profiler, total_cores=32)
+
+
+class TestViolations:
+    def test_missing_final_event(self, env, profiler):
+        profiler.record("t1", tev.TASK_CREATED, cores=1)
+        violations = validate_trace(profiler)
+        assert any(v.rule == "conservation" for v in violations)
+
+    def test_double_final_event(self, env, profiler):
+        record_task(env, profiler, "t1", 1.0, 5.0)
+        profiler.record("t1", tev.TASK_FAILED)
+        violations = validate_trace(profiler)
+        assert any(v.rule == "conservation" and "2 final" in v.detail
+                   for v in violations)
+
+    def test_backwards_timestamps(self, env, profiler):
+        env._now = 10.0
+        profiler.record("t1", tev.TASK_CREATED)
+        env._now = 5.0
+        profiler.record("t1", tev.TASK_DONE)
+        violations = validate_trace(profiler)
+        assert any(v.rule == "monotone-time" for v in violations)
+
+    def test_exec_stop_before_start(self, env, profiler):
+        profiler.record("t1", tev.TASK_CREATED)
+        env._now = 10.0
+        profiler.record("t1", tev.TASK_EXEC_START)
+        # Manually fabricate a bad record: stop earlier than start.
+        from repro.analytics.events import TraceEvent
+
+        bad = TraceEvent(time=3.0, entity="t1", name=tev.TASK_EXEC_STOP,
+                         meta={})
+        profiler._events.append(bad)
+        profiler._by_name[tev.TASK_EXEC_STOP].append(bad)
+        profiler._by_entity["t1"].append(bad)
+        profiler.record("t1", tev.TASK_DONE)
+        violations = validate_trace(profiler)
+        assert any(v.rule == "exec-interval" for v in violations)
+
+    def test_oversubscription_detected(self, env, profiler):
+        record_task(env, profiler, "t1", 1.0, 10.0, cores=6)
+        record_task(env, profiler, "t2", 2.0, 9.0, cores=6)
+        violations = validate_trace(profiler, total_cores=8)
+        assert any(v.rule == "core-usage" for v in violations)
+
+    def test_ready_without_start(self, env, profiler):
+        profiler.record("flux.0", tev.BACKEND_READY, kind="flux")
+        violations = validate_trace(profiler)
+        assert any(v.rule == "backend-lifecycle" for v in violations)
+
+    def test_assert_valid_raises_with_details(self, env, profiler):
+        profiler.record("t1", tev.TASK_CREATED)
+        with pytest.raises(AssertionError, match="conservation"):
+            assert_valid_trace(profiler)

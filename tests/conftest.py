@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import Session
+from repro.platform.latency import DETERMINISTIC_LATENCIES, FRONTIER_LATENCIES
+from repro.platform.profiles import generic
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    """Deterministic RNG streams for tests."""
+    return RngStreams(seed=1234)
+
+
+@pytest.fixture
+def small_cluster():
+    """An 8-node, 8-core, 2-gpu test machine."""
+    return generic(8, cores_per_node=8, gpus_per_node=2)
+
+
+@pytest.fixture
+def session(small_cluster) -> Session:
+    """A session on the small test machine with full-noise latencies."""
+    return Session(cluster=small_cluster, latencies=FRONTIER_LATENCIES,
+                   seed=42)
+
+
+@pytest.fixture
+def det_session(small_cluster) -> Session:
+    """A session with zero-noise latencies for exact-timing assertions."""
+    return Session(cluster=small_cluster, latencies=DETERMINISTIC_LATENCIES,
+                   seed=42)

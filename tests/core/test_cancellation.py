@@ -1,0 +1,168 @@
+"""Tests for task cancellation across all backends and task phases."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+    TaskState,
+)
+from repro.platform import generic
+
+
+def launch(backend, seed=41, nodes=4):
+    session = Session(cluster=generic(nodes, 8, 2), seed=seed)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=nodes, partitions=(PartitionSpec(backend),)))
+    tmgr.add_pilot(pilot)
+    session.run(pilot.active_event())
+    return session, tmgr, pilot
+
+
+@pytest.mark.parametrize("backend", ["srun", "flux", "dragon"])
+class TestCancelRunning:
+    def test_running_task_canceled_and_resources_freed(self, backend):
+        session, tmgr, pilot = launch(backend)
+        mode = "function" if backend == "dragon" else "executable"
+        tasks = tmgr.submit_tasks([TaskDescription(mode=mode, duration=1e6)
+                                   for _ in range(8)])
+        session.run(until=session.now + 30.0)
+        assert all(t.state == TaskState.AGENT_EXECUTING for t in tasks)
+        assert tmgr.cancel_tasks() == 8
+        session.run(until=session.now + 30.0)
+        assert all(t.state == TaskState.CANCELED for t in tasks)
+        # The allocation fully recovers: a fresh workload completes.
+        survivors = tmgr.submit_tasks([
+            TaskDescription(mode=mode, duration=1.0) for _ in range(16)])
+        session.run(tmgr.wait_tasks(survivors))
+        assert all(t.succeeded for t in survivors)
+
+    def test_cancel_is_idempotent(self, backend):
+        session, tmgr, pilot = launch(backend)
+        task = tmgr.submit_tasks(TaskDescription(duration=1e6))
+        session.run(until=session.now + 30.0)
+        assert tmgr.cancel_tasks([task]) == 1
+        assert tmgr.cancel_tasks([task]) == 0
+        assert task.state == TaskState.CANCELED
+
+
+class TestCancelQueued:
+    def test_cancel_before_dispatch(self):
+        session, tmgr, pilot = launch("flux")
+        # 32 cores; 200 long tasks: most stay queued.
+        tasks = tmgr.submit_tasks([TaskDescription(duration=1e6)
+                                   for _ in range(200)])
+        session.run(until=session.now + 30.0)
+        tmgr.cancel_tasks()
+        session.run(until=session.now + 60.0)
+        assert all(t.state == TaskState.CANCELED for t in tasks)
+
+    def test_cancel_subset_leaves_rest_running(self):
+        session, tmgr, pilot = launch("flux")
+        keep = tmgr.submit_tasks([TaskDescription(duration=100.0)
+                                  for _ in range(8)])
+        drop = tmgr.submit_tasks([TaskDescription(duration=100.0)
+                                  for _ in range(8)])
+        session.run(until=session.now + 10.0)
+        tmgr.cancel_tasks(drop)
+        session.run(tmgr.wait_tasks(keep))
+        assert all(t.succeeded for t in keep)
+        assert all(t.state == TaskState.CANCELED for t in drop)
+
+    def test_completed_tasks_not_counted(self):
+        session, tmgr, pilot = launch("flux")
+        tasks = tmgr.submit_tasks([TaskDescription(duration=1.0)
+                                   for _ in range(4)])
+        session.run(tmgr.wait_tasks())
+        assert tmgr.cancel_tasks() == 0
+        assert all(t.succeeded for t in tasks)
+
+
+class TestSubstrateCancellation:
+    def test_flux_cancel_pending_job(self, env, rng):
+        from repro.flux import FluxInstance, Jobspec
+        from repro.platform import FRONTIER_LATENCIES
+
+        alloc = generic(1).allocate_nodes(1)  # 8 cores
+        inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(inst.start()))
+        blockers = [inst.submit(Jobspec(command="x", duration=1e6))
+                    for _ in range(8)]
+        queued = inst.submit(Jobspec(command="y", duration=1e6))
+        env.run(until=env.now + 30.0)
+        assert inst.cancel(queued.job_id)
+        env.run(until=env.now + 5.0)
+        assert queued.failed
+
+    def test_flux_cancel_unknown_job(self, env, rng):
+        from repro.flux import FluxInstance
+        from repro.platform import FRONTIER_LATENCIES
+
+        alloc = generic(1).allocate_nodes(1)
+        inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(inst.start()))
+        assert inst.cancel("nonexistent") is False
+
+    def test_flux_urgency_change_reorders(self, env, rng):
+        from repro.flux import FluxInstance, Jobspec
+        from repro.platform import FRONTIER_LATENCIES, ResourceSpec
+
+        alloc = generic(1).allocate_nodes(1)  # 8 cores
+        inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(inst.start()))
+        blockers = [inst.submit(Jobspec(command="b", duration=50.0,
+                                        resources=ResourceSpec(cores=8)))]
+        first = inst.submit(Jobspec(command="first", duration=1.0))
+        second = inst.submit(Jobspec(command="second", duration=1.0))
+        env.run(until=env.now + 10.0)  # both queued behind the blocker
+        inst.change_urgency(second.job_id, 30)
+        env.run()
+        assert second.start_time < first.start_time
+
+    def test_flux_stats_snapshot(self, env, rng):
+        from repro.flux import FluxInstance, Jobspec
+        from repro.platform import FRONTIER_LATENCIES
+
+        alloc = generic(1).allocate_nodes(1)
+        inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(inst.start()))
+        for _ in range(3):
+            inst.submit(Jobspec(command="x", duration=1.0))
+        env.run()
+        stats = inst.stats()
+        assert stats["submitted"] == 3
+        assert stats["completed"] == 3
+        assert stats["free_cores"] == stats["total_cores"]
+
+    def test_dragon_cancel_running(self, env, rng):
+        from repro.dragon import DragonRuntime, DragonTask
+        from repro.platform import FRONTIER_LATENCIES
+
+        alloc = generic(2).allocate_nodes(2)
+        rt = DragonRuntime(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(rt.start()))
+        rt.submit(DragonTask(task_id="victim", duration=1e6))
+        env.run(until=env.now + 5.0)
+        assert rt.cancel("victim")
+        completions = []
+
+        def watch(env, rt):
+            completions.append((yield rt.completion_pipe.recv()))
+
+        env.process(watch(env, rt))
+        env.run(until=env.now + 5.0)
+        assert completions and not completions[0].ok
+
+    def test_dragon_cancel_completed_returns_false(self, env, rng):
+        from repro.dragon import DragonRuntime, DragonTask
+        from repro.platform import FRONTIER_LATENCIES
+
+        alloc = generic(2).allocate_nodes(2)
+        rt = DragonRuntime(env, alloc, FRONTIER_LATENCIES, rng)
+        env.run(env.process(rt.start()))
+        rt.submit(DragonTask(task_id="done", duration=0.5))
+        env.run(until=env.now + 10.0)
+        assert rt.cancel("done") is False

@@ -1,0 +1,113 @@
+"""Unit tests for task/pilot descriptions and partition sizing."""
+
+import pytest
+
+from repro.core import PartitionSpec, PilotDescription, TaskDescription
+from repro.exceptions import ConfigurationError
+from repro.platform import ResourceSpec
+
+
+class TestTaskDescription:
+    def test_defaults(self):
+        td = TaskDescription()
+        assert td.mode == "executable"
+        assert td.resources.cores == 1
+        assert td.retries == 0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            TaskDescription(mode="service")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            TaskDescription(backend="kubernetes")
+
+    def test_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            TaskDescription(duration=-1)
+
+    def test_negative_retries(self):
+        with pytest.raises(ConfigurationError):
+            TaskDescription(retries=-1)
+
+    def test_negative_staging(self):
+        with pytest.raises(ConfigurationError):
+            TaskDescription(input_staging=-1)
+
+    def test_valid_backend_hints(self):
+        for backend in ("srun", "flux", "dragon"):
+            assert TaskDescription(backend=backend).backend == backend
+
+
+class TestPartitionSpec:
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec("mesos")
+
+    def test_zero_instances(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec("flux", n_instances=0)
+
+    def test_nodes_must_host_instances(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec("flux", n_instances=4, nodes=2)
+
+
+class TestPilotDescription:
+    def test_default_is_srun(self):
+        pd = PilotDescription(nodes=4)
+        assert pd.partitions[0].backend == "srun"
+
+    def test_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=0)
+
+    def test_zero_walltime(self):
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=1, walltime=0)
+
+    def test_empty_partitions(self):
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=4, partitions=())
+
+    def test_over_claimed_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=4, partitions=(
+                PartitionSpec("flux", nodes=3),
+                PartitionSpec("dragon", nodes=3)))
+
+    def test_too_many_instances(self):
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=2, partitions=(
+                PartitionSpec("flux", n_instances=3),))
+
+
+class TestNodeShares:
+    def test_single_partition_gets_everything(self):
+        pd = PilotDescription(nodes=8)
+        assert pd.node_shares() == [8]
+
+    def test_equal_split(self):
+        pd = PilotDescription(nodes=8, partitions=(
+            PartitionSpec("flux"), PartitionSpec("dragon")))
+        assert pd.node_shares() == [4, 4]
+
+    def test_uneven_split(self):
+        pd = PilotDescription(nodes=7, partitions=(
+            PartitionSpec("flux"), PartitionSpec("dragon")))
+        assert pd.node_shares() == [4, 3]
+
+    def test_explicit_sizes_honored(self):
+        pd = PilotDescription(nodes=10, partitions=(
+            PartitionSpec("flux", nodes=6), PartitionSpec("dragon")))
+        assert pd.node_shares() == [6, 4]
+
+    def test_share_must_host_instances(self):
+        pd = PilotDescription(nodes=4, partitions=(
+            PartitionSpec("flux", nodes=3),
+            PartitionSpec("dragon", n_instances=1)))
+        assert pd.node_shares() == [3, 1]
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=4, partitions=(
+                PartitionSpec("flux", nodes=3),
+                PartitionSpec("dragon", n_instances=2))).node_shares()

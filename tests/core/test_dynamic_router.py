@@ -1,0 +1,142 @@
+"""Tests for load-aware dynamic backend selection."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.core.agent.router import DynamicRouter
+from repro.exceptions import SchedulingError
+from repro.platform import generic
+
+CPN, GPN = 8, 2
+
+
+class _FakeEnv:
+    def __init__(self, now):
+        self.now = now
+
+
+class _FakeExecutor:
+    """Stub exposing the DynamicRouter's inputs: backlog, history,
+    readiness time and partition size."""
+
+    def __init__(self, outstanding, cores, n_retired=0, ready_at=None,
+                 now=100.0):
+        self.outstanding = outstanding
+        self.n_retired = n_retired
+        self.ready_at = ready_at
+        self.env = _FakeEnv(now)
+        self.allocation = type("A", (), {"total_cores": cores})()
+
+
+def _measured(outstanding, rate, cores=64, now=100.0):
+    """Executor with an established drain rate [tasks/s]."""
+    return _FakeExecutor(outstanding, cores,
+                         n_retired=int(rate * now), ready_at=0.0, now=now)
+
+
+class TestDynamicRouterUnit:
+    def test_prefers_static_order_when_idle(self):
+        router = DynamicRouter({
+            "flux": _FakeExecutor(0, 64),
+            "srun": _FakeExecutor(0, 64),
+            "dragon": _FakeExecutor(0, 64),
+        })
+        assert router.route(TaskDescription(), CPN, GPN) == "flux"
+        assert router.route(TaskDescription(mode="function"),
+                            CPN, GPN) == "dragon"
+
+    def test_offloads_when_preferred_wait_is_long(self):
+        # flux: 1000 tasks backlog at 10/s -> 100 s wait;
+        # srun: empty at 50/s -> 0 s wait.
+        router = DynamicRouter({
+            "flux": _measured(1000, rate=10),
+            "srun": _measured(0, rate=50),
+        })
+        assert router.route(TaskDescription(), CPN, GPN) == "srun"
+
+    def test_does_not_spill_to_slower_backend(self):
+        # flux drains its 100-task backlog in 1 s; srun's empty queue
+        # is "free" but srun history shows 0.5 tasks/s — spilling one
+        # wave there would take minutes.  Expected-wait keeps flux.
+        router = DynamicRouter({
+            "flux": _measured(100, rate=100),
+            "srun": _measured(0, rate=0.5),
+        })
+        assert router.route(TaskDescription(), CPN, GPN) == "flux"
+
+    def test_hysteresis_keeps_preferred_on_small_difference(self):
+        router = DynamicRouter({
+            "flux": _measured(50, rate=100),   # 0.5 s wait
+            "srun": _measured(0, rate=100),    # 0 s wait
+        })
+        assert router.route(TaskDescription(), CPN, GPN) == "flux"
+
+    def test_no_blind_spill_without_history(self):
+        # A backend with no measured rate only receives probe traffic:
+        # the bulk stays on the preferred backend even when backlogged.
+        router = DynamicRouter({
+            "flux": _FakeExecutor(640, 64),
+            "srun": _FakeExecutor(0, 64),
+        })
+        decisions = [router.route(TaskDescription(), CPN, GPN)
+                     for _ in range(100)]
+        probes = decisions.count("srun")
+        assert decisions.count("flux") == 100 - probes
+        # Exactly the probe cadence: one in probe_interval.
+        assert probes == 100 // DynamicRouter.probe_interval
+
+    def test_explicit_hint_bypasses_load(self):
+        router = DynamicRouter({
+            "flux": _measured(10_000, rate=1, cores=8),
+            "dragon": _FakeExecutor(0, 64),
+        })
+        td = TaskDescription(backend="flux")
+        assert router.route(td, CPN, GPN) == "flux"
+
+    def test_unroutable_still_raises(self):
+        router = DynamicRouter({"srun": _FakeExecutor(0, 8)})
+        with pytest.raises(SchedulingError):
+            router.route(TaskDescription(mode="function"), CPN, GPN)
+
+
+class TestDynamicRoutingIntegration:
+    def test_executables_spill_to_srun_under_flux_backlog(self):
+        session = Session(cluster=generic(8, 8, 2), seed=33)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=8, routing="dynamic",
+            partitions=(PartitionSpec("flux", nodes=4),
+                        PartitionSpec("srun", nodes=4))))
+        tmgr.add_pilot(pilot)
+        # Far more work than the flux partition can absorb quickly:
+        # dynamic routing spreads executables over both backends.
+        tasks = tmgr.submit_tasks([TaskDescription(duration=30.0)
+                                   for _ in range(400)])
+        session.run(tmgr.wait_tasks())
+        backends = {t.backend for t in tasks}
+        assert backends == {"flux", "srun"}
+        assert all(t.succeeded for t in tasks)
+
+    def test_static_routing_keeps_everything_on_flux(self):
+        session = Session(cluster=generic(8, 8, 2), seed=33)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=8, routing="static",
+            partitions=(PartitionSpec("flux", nodes=4),
+                        PartitionSpec("srun", nodes=4))))
+        tmgr.add_pilot(pilot)
+        tasks = tmgr.submit_tasks([TaskDescription(duration=30.0)
+                                   for _ in range(400)])
+        session.run(tmgr.wait_tasks())
+        assert {t.backend for t in tasks} == {"flux"}
+
+    def test_invalid_routing_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            PilotDescription(nodes=2, routing="roulette")

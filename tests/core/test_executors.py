@@ -1,0 +1,122 @@
+"""Per-executor behavioural tests (timings, concurrency, accounting)."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import DETERMINISTIC_LATENCIES, ResourceSpec, generic
+
+
+def run_workload(backend, descs, nodes=4, seed=0, n_instances=1,
+                 latencies=None, cluster=None):
+    session = Session(
+        cluster=cluster or generic(nodes, cores_per_node=8, gpus_per_node=2),
+        latencies=latencies or DETERMINISTIC_LATENCIES, seed=seed)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=nodes,
+        partitions=(PartitionSpec(backend, n_instances=n_instances),)))
+    tmgr.add_pilot(pilot)
+    tasks = tmgr.submit_tasks(descs)
+    session.run(tmgr.wait_tasks())
+    return session, pilot, tasks
+
+
+class TestSrunExecutor:
+    def test_tasks_complete_with_exact_duration(self):
+        _, _, tasks = run_workload(
+            "srun", [TaskDescription(duration=5.0) for _ in range(4)])
+        for t in tasks:
+            assert t.succeeded
+            assert t.exec_stop - t.exec_start == pytest.approx(5.0)
+
+    def test_partition_capacity_respected(self):
+        # 4 nodes x 8 cores = 32 cores; 64 single-core 10 s tasks need
+        # exactly two execution waves.
+        session, _, tasks = run_workload(
+            "srun", [TaskDescription(duration=10.0) for _ in range(64)])
+        starts = sorted(t.exec_start for t in tasks)
+        assert starts[32] >= starts[0] + 10.0
+
+    def test_multinode_task_placement(self):
+        _, pilot, tasks = run_workload(
+            "srun", [TaskDescription(duration=1.0,
+                                     resources=ResourceSpec(cores=20))])
+        assert tasks[0].succeeded
+        alloc = pilot.agent.executors["srun"].allocation
+        assert alloc.free_cores == alloc.total_cores
+
+    def test_executor_counters(self):
+        _, pilot, _ = run_workload(
+            "srun", [TaskDescription(duration=1.0) for _ in range(3)])
+        ex = pilot.agent.executors["srun"]
+        assert ex.n_submitted == 3
+        assert ex.n_active == 0
+
+
+class TestFluxExecutor:
+    def test_tasks_complete(self):
+        _, pilot, tasks = run_workload(
+            "flux", [TaskDescription(duration=2.0) for _ in range(10)],
+            n_instances=2)
+        assert all(t.succeeded for t in tasks)
+        ex = pilot.agent.executors["flux"]
+        assert ex.n_instances == 2
+        assert sum(i.n_completed for i in ex.hierarchy.instances) == 10
+
+    def test_instances_balanced(self):
+        _, pilot, _ = run_workload(
+            "flux", [TaskDescription(duration=2.0) for _ in range(40)],
+            n_instances=4)
+        counts = [i.n_submitted for i in
+                  pilot.agent.executors["flux"].hierarchy.instances]
+        assert max(counts) - min(counts) <= 2
+
+    def test_unsatisfiable_task_fails_cleanly(self):
+        _, _, tasks = run_workload(
+            "flux", [TaskDescription(resources=ResourceSpec(cores=10_000))])
+        assert tasks[0].state == "FAILED"
+
+    def test_exec_interval_matches_flux_job(self):
+        _, pilot, tasks = run_workload(
+            "flux", [TaskDescription(duration=7.0)])
+        t = tasks[0]
+        assert t.exec_stop - t.exec_start == pytest.approx(7.0)
+
+
+class TestDragonExecutor:
+    def test_function_tasks_complete(self):
+        _, pilot, tasks = run_workload(
+            "dragon",
+            [TaskDescription(mode="function", duration=1.0)
+             for _ in range(20)], n_instances=2)
+        assert all(t.succeeded for t in tasks)
+        ex = pilot.agent.executors["dragon"]
+        assert len(ex.runtimes) == 2
+
+    def test_exec_tasks_complete(self):
+        _, _, tasks = run_workload(
+            "dragon", [TaskDescription(mode="executable", duration=1.0,
+                                       backend="dragon") for _ in range(10)])
+        assert all(t.succeeded for t in tasks)
+
+    def test_runtimes_balanced(self):
+        _, pilot, _ = run_workload(
+            "dragon",
+            [TaskDescription(mode="function", duration=5.0)
+             for _ in range(40)], n_instances=4)
+        counts = [rt.n_submitted for rt in
+                  pilot.agent.executors["dragon"].runtimes]
+        assert max(counts) - min(counts) <= 2
+
+    def test_warm_pool_reused_for_functions(self):
+        _, pilot, _ = run_workload(
+            "dragon",
+            [TaskDescription(mode="function", duration=0.1)
+             for _ in range(50)])
+        pool = pilot.agent.executors["dragon"].runtimes[0].pool
+        assert pool.n_warm_dispatch > 0

@@ -1,0 +1,80 @@
+"""GPU-aware placement behaviour across schedulers and backends."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import ResourceSpec, generic
+
+
+def gpu_session(backend, seed=61):
+    session = Session(cluster=generic(4, 8, 2), seed=seed)  # 8 gpus total
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=4, partitions=(PartitionSpec(backend),)))
+    tmgr.add_pilot(pilot)
+    return session, tmgr, pilot
+
+
+@pytest.mark.parametrize("backend", ["srun", "flux", "prrte"])
+class TestGpuScheduling:
+    def test_gpu_tasks_complete(self, backend):
+        session, tmgr, _ = gpu_session(backend)
+        tasks = tmgr.submit_tasks([
+            TaskDescription(duration=5.0,
+                            resources=ResourceSpec(cores=1, gpus=1))
+            for _ in range(16)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)
+
+    def test_gpu_pool_limits_concurrency(self, backend):
+        """8 GPUs -> 16 one-GPU 10 s tasks need two waves even though
+        cores are plentiful."""
+        session, tmgr, _ = gpu_session(backend)
+        tasks = tmgr.submit_tasks([
+            TaskDescription(duration=10.0,
+                            resources=ResourceSpec(cores=1, gpus=1))
+            for _ in range(16)])
+        session.run(tmgr.wait_tasks())
+        starts = sorted(t.exec_start for t in tasks)
+        assert starts[8] >= starts[0] + 10.0
+
+    def test_gpus_released(self, backend):
+        session, tmgr, pilot = gpu_session(backend)
+        tmgr.submit_tasks([
+            TaskDescription(duration=1.0,
+                            resources=ResourceSpec(cores=2, gpus=2))
+            for _ in range(6)])
+        session.run(tmgr.wait_tasks())
+        executor = pilot.agent.executors[backend]
+        assert executor.allocation.free_gpus == 8
+
+
+class TestGpuHeterogeneousMix:
+    def test_cpu_and_gpu_tasks_pack_together(self):
+        session, tmgr, pilot = gpu_session("flux")
+        cpu = tmgr.submit_tasks([
+            TaskDescription(duration=20.0,
+                            resources=ResourceSpec(cores=4))
+            for _ in range(8)])        # 32 cores: machine-wide
+        gpu = tmgr.submit_tasks([
+            TaskDescription(duration=20.0,
+                            resources=ResourceSpec(cores=0, gpus=1))
+            for _ in range(8)])        # rides along on the GPUs
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in cpu + gpu)
+        # GPU-only tasks did not fight the CPU tasks for cores: both
+        # populations ran in a single 20 s wave.
+        spans = [t.exec_stop for t in cpu + gpu]
+        assert max(spans) - min(t.exec_start for t in cpu + gpu) < 40.0
+
+    def test_multi_node_gpu_task(self):
+        session, tmgr, _ = gpu_session("flux")
+        task = tmgr.submit_tasks(TaskDescription(
+            duration=5.0, resources=ResourceSpec(cores=16, gpus=6)))
+        session.run(tmgr.wait_tasks())
+        assert task.succeeded

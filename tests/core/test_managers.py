@@ -1,0 +1,122 @@
+"""Unit tests for PilotManager, TaskManager and Session."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    PilotState,
+    Session,
+    TaskDescription,
+    TaskState,
+)
+from repro.exceptions import ConfigurationError
+from repro.platform import generic
+
+
+class TestSession:
+    def test_defaults_to_frontier(self):
+        session = Session()
+        assert session.cluster.name == "frontier"
+        session.close()
+
+    def test_context_manager_closes(self, small_cluster):
+        with Session(cluster=small_cluster) as session:
+            session.cluster.allocate_nodes(4)
+        assert small_cluster.allocate_nodes(8).n_nodes == 8
+
+    def test_unique_uids(self, session):
+        a = session.ids.next("x")
+        b = session.ids.next("x")
+        assert a != b
+
+
+class TestPilotManager:
+    def test_pilot_becomes_active(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=4))
+        session.run(pilot.active_event())
+        assert pilot.is_active
+        assert pilot.allocation.n_nodes == 4
+
+    def test_multiple_pilots(self, session):
+        pmgr = session.pilot_manager()
+        pilots = pmgr.submit_pilots([PilotDescription(nodes=2),
+                                     PilotDescription(nodes=2)])
+        assert len(pilots) == 2
+        session.run(session.env.all_of([p.active_event() for p in pilots]))
+        assert all(p.is_active for p in pilots)
+
+    def test_oversized_pilot_fails(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=100))
+        session.run(pilot.completion_event())
+        assert pilot.state == PilotState.FAILED
+
+    def test_cancel_pilots(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        session.run(pilot.active_event())
+        pmgr.cancel_pilots()
+        assert pilot.state == PilotState.CANCELED
+
+    def test_pilot_startup_overhead_traced(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux", n_instances=2),)))
+        session.run(pilot.active_event())
+        from repro.analytics import startup_overheads
+
+        overheads = startup_overheads(session.profiler, kind="flux")
+        assert len(overheads) == 2
+        assert all(15.0 < dt < 30.0 for _, dt in overheads)
+
+
+class TestTaskManager:
+    def test_requires_pilot(self, session):
+        tmgr = session.task_manager()
+        with pytest.raises(ConfigurationError):
+            tmgr.submit_tasks(TaskDescription())
+
+    def test_single_description_returns_single_task(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        tmgr.add_pilot(pilot)
+        task = tmgr.submit_tasks(TaskDescription(duration=1.0))
+        session.run(tmgr.wait_tasks())
+        assert task.succeeded
+
+    def test_add_pilot_twice_raises(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        tmgr.add_pilot(pilot)
+        with pytest.raises(ConfigurationError):
+            tmgr.add_pilot(pilot)
+
+    def test_tasks_submitted_before_pilot_active_still_run(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        tmgr.add_pilot(pilot)
+        # Submit immediately, before the agent bootstraps.
+        tasks = tmgr.submit_tasks([TaskDescription(duration=1.0)
+                                   for _ in range(5)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)
+
+    def test_counts(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        tmgr.add_pilot(pilot)
+        tmgr.submit_tasks([TaskDescription(duration=1.0) for _ in range(3)])
+        session.run(tmgr.wait_tasks())
+        assert tmgr.counts() == {TaskState.DONE: 3}
+
+    def test_wait_subset(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=2))
+        tmgr.add_pilot(pilot)
+        fast = tmgr.submit_tasks(TaskDescription(duration=1.0))
+        slow = tmgr.submit_tasks(TaskDescription(duration=500.0))
+        session.run(tmgr.wait_tasks([fast]))
+        assert fast.succeeded
+        assert not slow.is_final

@@ -1,0 +1,83 @@
+"""Tests for multi-pilot sessions (shared machine, shared srun, shared
+trace)."""
+
+import pytest
+
+from repro.analytics import startup_overheads
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import generic
+
+
+class TestConcurrentPilots:
+    def test_two_pilots_two_managers(self):
+        session = Session(cluster=generic(8, 8, 2), seed=84)
+        pmgr = session.pilot_manager()
+        tmgr_a, tmgr_b = session.task_manager(), session.task_manager()
+        pilot_a = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        pilot_b = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("dragon"),)))
+        tmgr_a.add_pilot(pilot_a)
+        tmgr_b.add_pilot(pilot_b)
+        tasks_a = tmgr_a.submit_tasks([TaskDescription(duration=5.0)
+                                       for _ in range(20)])
+        tasks_b = tmgr_b.submit_tasks([
+            TaskDescription(mode="function", duration=5.0)
+            for _ in range(20)])
+        session.run(session.env.all_of([tmgr_a.wait_tasks(),
+                                        tmgr_b.wait_tasks()]))
+        assert all(t.succeeded for t in tasks_a + tasks_b)
+        assert {t.backend for t in tasks_a} == {"flux"}
+        assert {t.backend for t in tasks_b} == {"dragon"}
+
+    def test_pilots_share_one_trace(self):
+        session = Session(cluster=generic(8, 8, 2), seed=85)
+        pmgr = session.pilot_manager()
+        a = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        b = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("dragon"),)))
+        session.run(session.env.all_of([a.active_event(),
+                                        b.active_event()]))
+        kinds = {ev.meta.get("kind")
+                 for ev in session.profiler.events_named("backend_ready")}
+        assert {"flux", "dragon"} <= kinds
+
+    def test_srun_ceiling_shared_across_pilots(self):
+        """The 112-srun ceiling is machine-wide: two srun pilots split
+        it, not get 112 each."""
+        from repro.platform import FRONTIER_LATENCIES
+
+        lat = FRONTIER_LATENCIES.with_overrides(srun_ceiling=8)
+        session = Session(cluster=generic(8, 8, 2), latencies=lat, seed=86)
+        pmgr = session.pilot_manager()
+        tmgrs, all_tasks = [], []
+        for _ in range(2):
+            pilot = pmgr.submit_pilots(PilotDescription(
+                nodes=4, partitions=(PartitionSpec("srun"),)))
+            tmgr = session.task_manager()
+            tmgr.add_pilot(pilot)
+            all_tasks.extend(tmgr.submit_tasks(
+                [TaskDescription(duration=50.0) for _ in range(16)]))
+            tmgrs.append(tmgr)
+        session.run(session.env.all_of([t.wait_tasks() for t in tmgrs]))
+        assert all(t.succeeded for t in all_tasks)
+        # 32 tasks through an 8-slot machine-wide ceiling at 50 s each:
+        # at least 4 waves -> makespan >= 200 s.
+        starts = sorted(t.exec_start for t in all_tasks)
+        stops = sorted(t.exec_stop for t in all_tasks)
+        assert stops[-1] - starts[0] >= 150.0
+
+    def test_pilot_walltime_returns_nodes_for_third_pilot(self):
+        session = Session(cluster=generic(4, 8, 2), seed=87)
+        pmgr = session.pilot_manager()
+        a = pmgr.submit_pilots(PilotDescription(nodes=3, walltime=50.0))
+        b = pmgr.submit_pilots(PilotDescription(nodes=3, walltime=50.0))
+        session.run(b.active_event())
+        # b had to wait for a's walltime (3+3 > 4 nodes).
+        assert session.now >= 50.0

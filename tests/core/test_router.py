@@ -1,0 +1,80 @@
+"""Unit tests for task-type-aware backend routing."""
+
+import pytest
+
+from repro.core import TaskDescription
+from repro.core.agent.router import Router
+from repro.exceptions import SchedulingError
+from repro.platform import ResourceSpec
+
+CPN, GPN = 56, 8
+
+
+class TestHints:
+    def test_explicit_hint_wins(self):
+        router = Router(["srun", "flux", "dragon"])
+        td = TaskDescription(mode="function", backend="srun")
+        assert router.route(td, CPN, GPN) == "srun"
+
+    def test_unavailable_hint_raises(self):
+        router = Router(["flux"])
+        with pytest.raises(SchedulingError):
+            router.route(TaskDescription(backend="dragon"), CPN, GPN)
+
+
+class TestFunctionRouting:
+    def test_functions_prefer_dragon(self):
+        router = Router(["srun", "flux", "dragon"])
+        assert router.route(TaskDescription(mode="function"), CPN, GPN) == "dragon"
+
+    def test_functions_fall_back_to_flux(self):
+        router = Router(["srun", "flux"])
+        assert router.route(TaskDescription(mode="function"), CPN, GPN) == "flux"
+
+    def test_functions_never_route_to_srun(self):
+        router = Router(["srun"])
+        with pytest.raises(SchedulingError):
+            router.route(TaskDescription(mode="function"), CPN, GPN)
+
+
+class TestExecutableRouting:
+    def test_executables_prefer_flux(self):
+        router = Router(["srun", "flux", "dragon"])
+        assert router.route(TaskDescription(), CPN, GPN) == "flux"
+
+    def test_executables_fall_back_to_srun(self):
+        router = Router(["srun", "dragon"])
+        assert router.route(TaskDescription(), CPN, GPN) == "srun"
+
+    def test_executables_can_use_dragon_last(self):
+        router = Router(["dragon"])
+        assert router.route(TaskDescription(), CPN, GPN) == "dragon"
+
+
+class TestMultiNodeRouting:
+    def test_multi_node_needs_coscheduling(self):
+        router = Router(["srun", "flux", "dragon"])
+        td = TaskDescription(resources=ResourceSpec(cores=7168))
+        assert router.route(td, CPN, GPN) == "flux"
+
+    def test_multi_node_falls_back_to_srun_not_dragon(self):
+        router = Router(["srun", "dragon"])
+        td = TaskDescription(resources=ResourceSpec(cores=7168))
+        assert router.route(td, CPN, GPN) == "srun"
+
+    def test_multi_node_without_capable_backend_raises(self):
+        router = Router(["dragon"])
+        td = TaskDescription(resources=ResourceSpec(cores=7168))
+        with pytest.raises(SchedulingError):
+            router.route(td, CPN, GPN)
+
+    def test_exclusive_nodes_treated_as_multi_node(self):
+        router = Router(["srun", "dragon", "flux"])
+        td = TaskDescription(resources=ResourceSpec(cores=1,
+                                                    exclusive_nodes=True))
+        assert router.route(td, CPN, GPN) == "flux"
+
+    def test_gpu_heavy_single_node_is_not_multi_node(self):
+        router = Router(["dragon"])
+        td = TaskDescription(resources=ResourceSpec(cores=1, gpus=8))
+        assert router.route(td, CPN, GPN) == "dragon"

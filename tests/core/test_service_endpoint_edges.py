@@ -1,0 +1,75 @@
+"""Edge cases for service endpoints and service/agent interplay."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    ServiceDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import ResourceSpec, generic
+
+
+@pytest.fixture
+def active(small_cluster=None):
+    session = Session(cluster=generic(4, 8, 2), seed=111)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=4, partitions=(PartitionSpec("flux"),)))
+    tmgr.add_pilot(pilot)
+    session.run(pilot.active_event())
+    return session, tmgr, pilot
+
+
+class TestEndpointEdges:
+    def test_calls_issued_before_start_complete_after(self, active):
+        session, _, pilot = active
+        service = pilot.start_service(ServiceDescription(
+            name="svc", startup_time=20.0))
+        replies = [service.endpoint.call(i) for i in range(5)]
+        session.run(session.env.all_of(replies))
+        assert [r.value for r in replies] == list(range(5))
+        assert session.now >= 20.0
+
+    def test_handler_exceptions_propagate(self, active):
+        session, _, pilot = active
+
+        def broken(_payload):
+            raise RuntimeError("handler bug")
+
+        service = pilot.start_service(ServiceDescription(name="svc"))
+        service.endpoint.set_handler(broken)
+        reply = service.endpoint.call()
+        with pytest.raises(RuntimeError, match="handler bug"):
+            session.run(reply)
+
+    def test_two_services_compete_for_resources(self, active):
+        session, _, pilot = active
+        # The 4-node flux partition has 32 cores; two 20-core services
+        # cannot both run: the second waits forever (queued).
+        first = pilot.start_service(ServiceDescription(
+            name="big1", resources=ResourceSpec(cores=20)))
+        second = pilot.start_service(ServiceDescription(
+            name="big2", resources=ResourceSpec(cores=20)))
+        session.run(first.ready_event())
+        session.run(until=session.now + 200.0)
+        assert first.is_ready
+        assert not second.is_ready
+        # Stopping the first frees resources; the second comes up.
+        first.stop()
+        session.run(second.ready_event())
+        assert second.is_ready
+
+    def test_tasks_queue_behind_service_resources(self, active):
+        session, tmgr, pilot = active
+        service = pilot.start_service(ServiceDescription(
+            name="hog", resources=ResourceSpec(cores=31)))
+        session.run(service.ready_event())
+        # Only one core left: 4 tasks serialize.
+        tasks = tmgr.submit_tasks([TaskDescription(duration=10.0)
+                                   for _ in range(4)])
+        session.run(tmgr.wait_tasks(tasks))
+        starts = sorted(t.exec_start for t in tasks)
+        assert starts[-1] - starts[0] >= 30.0

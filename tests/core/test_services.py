@@ -1,0 +1,132 @@
+"""Tests for persistent services."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    ServiceDescription,
+    Session,
+    TaskDescription,
+)
+from repro.exceptions import ConfigurationError
+from repro.platform import ResourceSpec, generic
+
+
+@pytest.fixture
+def active_pilot():
+    session = Session(cluster=generic(4, 8, 2), seed=51)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=4, partitions=(PartitionSpec("flux"),)))
+    tmgr.add_pilot(pilot)
+    session.run(pilot.active_event())
+    return session, tmgr, pilot
+
+
+class TestDescription:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServiceDescription(startup_time=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceDescription(service_latency=-1)
+        with pytest.raises(ConfigurationError):
+            ServiceDescription(concurrency=0)
+
+
+class TestLifecycle:
+    def test_service_becomes_ready(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="replay-buffer", resources=ResourceSpec(cores=2),
+            startup_time=8.0))
+        assert not service.is_ready
+        session.run(service.ready_event())
+        assert service.is_ready
+        # Ready after launch latency + 8 s bootstrap.
+        assert session.now >= 8.0
+
+    def test_service_holds_resources(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="learner", resources=ResourceSpec(cores=8)))
+        session.run(service.ready_event())
+        alloc = pilot.agent.executors["flux"].allocation
+        assert alloc.free_cores == alloc.total_cores - 8
+
+    def test_stop_releases_resources(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="learner", resources=ResourceSpec(cores=8)))
+        session.run(service.ready_event())
+        service.stop()
+        session.run(until=session.now + 5.0)
+        assert service.is_final
+        alloc = pilot.agent.executors["flux"].allocation
+        assert alloc.free_cores == alloc.total_cores
+
+    def test_requires_active_pilot(self):
+        session = Session(cluster=generic(4, 8, 2), seed=52)
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(nodes=4))
+        with pytest.raises(ConfigurationError):
+            pilot.start_service(ServiceDescription())
+
+    def test_agent_shutdown_stops_services(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(name="svc"))
+        session.run(service.ready_event())
+        pilot.agent.shutdown()
+        assert service.is_final
+
+    def test_services_and_tasks_coexist(self, active_pilot):
+        session, tmgr, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="svc", resources=ResourceSpec(cores=4)))
+        tasks = tmgr.submit_tasks([TaskDescription(duration=5.0)
+                                   for _ in range(20)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)
+        assert service.is_ready  # still up after the workload
+
+
+class TestEndpoint:
+    def test_calls_wait_for_readiness(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="svc", startup_time=30.0, service_latency=0.1))
+        reply = service.endpoint.call("ping")
+        session.run(reply)
+        assert reply.value == "ping"
+        assert session.now >= 30.0
+
+    def test_custom_handler(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(name="svc"))
+        service.endpoint.set_handler(lambda x: x * 2)
+        reply = service.endpoint.call(21)
+        session.run(reply)
+        assert reply.value == 42
+
+    def test_concurrency_limits_throughput(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(
+            name="svc", startup_time=0.0, service_latency=1.0,
+            concurrency=2))
+        session.run(service.ready_event())
+        t0 = session.now
+        replies = [service.endpoint.call(i) for i in range(8)]
+        session.run(session.env.all_of(replies))
+        elapsed = session.now - t0
+        # 8 requests, 2 at a time, ~1 s each -> ~4 waves.
+        assert elapsed >= 3.0
+        assert service.endpoint.n_completed == 8
+
+    def test_call_counts(self, active_pilot):
+        session, _, pilot = active_pilot
+        service = pilot.start_service(ServiceDescription(name="svc"))
+        for _ in range(3):
+            service.endpoint.call()
+        session.run(until=session.now + 60.0)
+        assert service.endpoint.n_calls == 3
+        assert service.endpoint.n_completed == 3

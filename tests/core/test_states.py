@@ -1,0 +1,84 @@
+"""Unit tests for the pilot/task state machines."""
+
+import pytest
+
+from repro.core.states import PilotState, TaskState, check_transition
+from repro.exceptions import StateTransitionError
+
+
+class TestTaskTransitions:
+    def test_happy_path_is_legal(self):
+        path = [TaskState.NEW, TaskState.TMGR_SCHEDULING,
+                TaskState.AGENT_STAGING_INPUT, TaskState.AGENT_SCHEDULING,
+                TaskState.AGENT_EXECUTING, TaskState.AGENT_STAGING_OUTPUT,
+                TaskState.DONE]
+        for a, b in zip(path, path[1:]):
+            check_transition("task", a, b, TaskState.TRANSITIONS)
+
+    def test_staging_optional(self):
+        check_transition("task", TaskState.TMGR_SCHEDULING,
+                         TaskState.AGENT_SCHEDULING, TaskState.TRANSITIONS)
+        check_transition("task", TaskState.AGENT_EXECUTING,
+                         TaskState.DONE, TaskState.TRANSITIONS)
+
+    def test_retry_loop_is_legal(self):
+        check_transition("task", TaskState.AGENT_EXECUTING,
+                         TaskState.AGENT_SCHEDULING, TaskState.TRANSITIONS)
+
+    def test_failure_reachable_from_non_final(self):
+        for state in (TaskState.NEW, TaskState.TMGR_SCHEDULING,
+                      TaskState.AGENT_SCHEDULING, TaskState.AGENT_EXECUTING):
+            check_transition("task", state, TaskState.FAILED,
+                             TaskState.TRANSITIONS)
+            check_transition("task", state, TaskState.CANCELED,
+                             TaskState.TRANSITIONS)
+
+    def test_skip_ahead_is_illegal(self):
+        with pytest.raises(StateTransitionError):
+            check_transition("task", TaskState.NEW, TaskState.AGENT_EXECUTING,
+                             TaskState.TRANSITIONS)
+
+    def test_final_states_are_terminal(self):
+        for final in TaskState.FINAL:
+            for target in (TaskState.NEW, TaskState.AGENT_SCHEDULING,
+                           TaskState.DONE):
+                if target == final:
+                    continue
+                with pytest.raises(StateTransitionError):
+                    check_transition("task", final, target,
+                                     TaskState.TRANSITIONS)
+
+    def test_backwards_is_illegal(self):
+        with pytest.raises(StateTransitionError):
+            check_transition("task", TaskState.AGENT_SCHEDULING,
+                             TaskState.TMGR_SCHEDULING, TaskState.TRANSITIONS)
+
+    def test_unknown_state_raises(self):
+        with pytest.raises(StateTransitionError):
+            check_transition("task", "LIMBO", TaskState.DONE,
+                             TaskState.TRANSITIONS)
+
+
+class TestPilotTransitions:
+    def test_happy_path(self):
+        path = [PilotState.NEW, PilotState.PMGR_LAUNCHING, PilotState.ACTIVE,
+                PilotState.DONE]
+        for a, b in zip(path, path[1:]):
+            check_transition("pilot", a, b, PilotState.TRANSITIONS)
+
+    def test_cannot_skip_launching(self):
+        with pytest.raises(StateTransitionError):
+            check_transition("pilot", PilotState.NEW, PilotState.ACTIVE,
+                             PilotState.TRANSITIONS)
+
+    def test_failure_paths(self):
+        for state in (PilotState.NEW, PilotState.PMGR_LAUNCHING,
+                      PilotState.ACTIVE):
+            check_transition("pilot", state, PilotState.FAILED,
+                             PilotState.TRANSITIONS)
+
+    def test_final_states_terminal(self):
+        for final in PilotState.FINAL:
+            with pytest.raises(StateTransitionError):
+                check_transition("pilot", final, PilotState.ACTIVE,
+                                 PilotState.TRANSITIONS)

@@ -1,0 +1,128 @@
+"""Unit tests for the runtime Task object."""
+
+import pytest
+
+from repro.analytics import Profiler, events as tev
+from repro.core import TaskDescription
+from repro.core.states import TaskState
+from repro.core.task import Task
+from repro.exceptions import StateTransitionError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def profiler(env):
+    return Profiler(env)
+
+
+def make_task(env, profiler=None, **kw):
+    return Task(env, "task.000000", TaskDescription(**kw), profiler=profiler)
+
+
+class TestStateMachine:
+    def test_initial_state(self, env):
+        task = make_task(env)
+        assert task.state == TaskState.NEW
+        assert not task.is_final
+
+    def test_advance_legal(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        assert task.state == TaskState.AGENT_SCHEDULING
+
+    def test_advance_illegal_raises(self, env):
+        task = make_task(env)
+        with pytest.raises(StateTransitionError):
+            task.advance(TaskState.DONE)
+
+    def test_history_records_times(self, env):
+        task = make_task(env)
+        env._now = 5.0
+        task.advance(TaskState.TMGR_SCHEDULING)
+        assert task.state_history == [(0.0, TaskState.NEW),
+                                      (5.0, TaskState.TMGR_SCHEDULING)]
+
+    def test_exec_start_recorded(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        env._now = 3.0
+        task.advance(TaskState.AGENT_EXECUTING)
+        assert task.exec_start == 3.0
+
+    def test_mark_exec_stop(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        task.advance(TaskState.AGENT_EXECUTING)
+        env._now = 10.0
+        task.mark_exec_stop()
+        assert task.exec_stop == 10.0
+
+
+class TestCompletion:
+    def test_completion_event_fires_on_done(self, env):
+        task = make_task(env)
+        ev = task.completion_event()
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        task.advance(TaskState.AGENT_EXECUTING)
+        assert not ev.triggered
+        task.advance(TaskState.DONE)
+        assert ev.triggered
+        assert ev.value == TaskState.DONE
+
+    def test_completion_event_after_final(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.fail("broke")
+        assert task.completion_event().triggered
+
+    def test_fail_sets_exception(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.fail("reason text")
+        assert task.state == TaskState.FAILED
+        assert task.exception == "reason text"
+        assert not task.succeeded
+
+    def test_cancel(self, env):
+        task = make_task(env)
+        task.cancel()
+        assert task.state == TaskState.CANCELED
+
+    def test_cancel_after_final_is_noop(self, env):
+        task = make_task(env)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.fail("x")
+        task.cancel()
+        assert task.state == TaskState.FAILED
+
+
+class TestTracing:
+    def test_creation_event_recorded(self, env, profiler):
+        make_task(env, profiler=profiler)
+        assert len(profiler.events_named(tev.TASK_CREATED)) == 1
+
+    def test_lifecycle_events_recorded(self, env, profiler):
+        task = make_task(env, profiler=profiler)
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        task.advance(TaskState.AGENT_EXECUTING)
+        task.mark_exec_stop()
+        task.advance(TaskState.DONE)
+        names = [e.name for e in profiler.events_for("task.000000")]
+        assert tev.TASK_SCHEDULED in names
+        assert tev.TASK_EXEC_START in names
+        assert tev.TASK_EXEC_STOP in names
+        assert tev.TASK_DONE in names
+
+    def test_event_meta_carries_resources(self, env, profiler):
+        from repro.platform import ResourceSpec
+
+        task = Task(env, "t", TaskDescription(
+            resources=ResourceSpec(cores=4, gpus=2)), profiler=profiler)
+        ev = profiler.events_named(tev.TASK_CREATED)[0]
+        assert ev.meta["cores"] == 4
+        assert ev.meta["gpus"] == 2

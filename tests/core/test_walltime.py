@@ -1,0 +1,65 @@
+"""Tests for pilot walltime enforcement."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    PilotState,
+    Session,
+    TaskDescription,
+    TaskState,
+)
+from repro.platform import generic
+
+
+@pytest.fixture
+def session():
+    return Session(cluster=generic(4, 8, 2), seed=31)
+
+
+class TestWalltime:
+    def test_pilot_ends_at_walltime(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, walltime=100.0,
+            partitions=(PartitionSpec("flux"),)))
+        session.run(pilot.completion_event())
+        assert pilot.state == PilotState.DONE
+        # Walltime counts from activation (~20 s flux bootstrap).
+        assert 100.0 <= session.now <= 140.0
+
+    def test_unfinished_tasks_canceled(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, walltime=60.0, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        # 32 cores; 64 tasks of 40 s: the second wave cannot finish
+        # within 60 s of walltime.
+        tasks = tmgr.submit_tasks([TaskDescription(duration=40.0)
+                                   for _ in range(64)])
+        session.run(tmgr.wait_tasks())
+        states = {t.state for t in tasks}
+        assert TaskState.DONE in states
+        assert TaskState.CANCELED in states or TaskState.FAILED in states
+        assert all(t.is_final for t in tasks)
+
+    def test_fast_workload_unaffected(self, session):
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, walltime=10_000.0, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        tasks = tmgr.submit_tasks([TaskDescription(duration=5.0)
+                                   for _ in range(10)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)
+        assert pilot.is_active
+
+    def test_expiry_is_noop_after_cancellation(self, session):
+        pmgr = session.pilot_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=2, walltime=50.0))
+        session.run(pilot.active_event())
+        pmgr.cancel_pilots()
+        session.run()
+        assert pilot.state == PilotState.CANCELED

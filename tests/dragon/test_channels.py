@@ -1,0 +1,155 @@
+"""Unit tests for Dragon channels (zmq pipes + shmem queues)."""
+
+import pytest
+
+from repro.dragon import ShmemChannel, ZmqPipe
+from repro.exceptions import ChannelError
+from repro.sim import Environment
+
+
+class TestZmqPipe:
+    def test_send_recv(self, env):
+        pipe = ZmqPipe(env, latency=0.0)
+        pipe.send("msg")
+        got = pipe.recv()
+        env.run()
+        assert got.value == "msg"
+
+    def test_latency_applied(self, env):
+        pipe = ZmqPipe(env, latency=0.25)
+        arrivals = []
+
+        def consumer(env, pipe):
+            msg = yield pipe.recv()
+            arrivals.append((env.now, msg))
+
+        env.process(consumer(env, pipe))
+        pipe.send("x")
+        env.run()
+        assert arrivals == [(0.25, "x")]
+
+    def test_fifo_order(self, env):
+        pipe = ZmqPipe(env, latency=0.001)
+        got = []
+
+        def consumer(env, pipe):
+            for _ in range(5):
+                msg = yield pipe.recv()
+                got.append(msg)
+
+        env.process(consumer(env, pipe))
+        for i in range(5):
+            pipe.send(i)
+        env.run()
+        assert got == list(range(5))
+
+    def test_counters(self, env):
+        pipe = ZmqPipe(env, latency=0.0)
+        pipe.send(1)
+        pipe.send(2)
+        assert pipe.n_sent == 2
+
+
+class TestShmemChannel:
+    def test_put_get_roundtrip(self, env):
+        chan = ShmemChannel(env, hop_latency=0.0)
+        results = []
+
+        def producer(env, chan):
+            yield from chan.put("data")
+
+        def consumer(env, chan):
+            item = yield chan.get()
+            results.append(item)
+
+        env.process(producer(env, chan))
+        env.process(consumer(env, chan))
+        env.run()
+        assert results == ["data"]
+
+    def test_hop_latency(self, env):
+        chan = ShmemChannel(env, hop_latency=0.001)
+        stamps = []
+
+        def producer(env, chan):
+            yield from chan.put("x")
+            stamps.append(env.now)
+
+        env.process(producer(env, chan))
+        env.run()
+        assert stamps == [pytest.approx(0.001)]
+
+    def test_capacity_backpressure(self, env):
+        chan = ShmemChannel(env, capacity=2, hop_latency=0.0)
+        progress = []
+
+        def producer(env, chan):
+            for i in range(4):
+                yield from chan.put(i)
+                progress.append((env.now, i))
+
+        def slow_consumer(env, chan):
+            for _ in range(4):
+                yield env.timeout(10)
+                yield chan.get()
+
+        env.process(producer(env, chan))
+        env.process(slow_consumer(env, chan))
+        env.run()
+        # First two puts are immediate; later ones wait for gets.
+        assert progress[0][0] == 0.0
+        assert progress[1][0] == 0.0
+        assert progress[2][0] >= 10.0
+        assert progress[3][0] >= 20.0
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(ChannelError):
+            ShmemChannel(env, capacity=0)
+
+    def test_close_fails_pending_gets(self, env):
+        chan = ShmemChannel(env, hop_latency=0.0)
+        outcome = []
+
+        def consumer(env, chan):
+            try:
+                yield chan.get()
+            except ChannelError:
+                outcome.append("closed")
+
+        env.process(consumer(env, chan))
+        env.schedule(1.0, chan.close)
+        env.run()
+        assert outcome == ["closed"]
+
+    def test_put_after_close_raises(self, env):
+        chan = ShmemChannel(env)
+        chan.close()
+        with pytest.raises(ChannelError):
+            next(chan.put("x"))
+
+    def test_get_after_close_on_empty_raises(self, env):
+        chan = ShmemChannel(env)
+        chan.close()
+        with pytest.raises(ChannelError):
+            chan.get()
+
+    def test_multi_producer_multi_consumer(self, env):
+        chan = ShmemChannel(env, hop_latency=0.0)
+        received = []
+
+        def producer(env, chan, base):
+            for i in range(10):
+                yield from chan.put(base + i)
+
+        def consumer(env, chan):
+            for _ in range(10):
+                item = yield chan.get()
+                received.append(item)
+
+        env.process(producer(env, chan, 0))
+        env.process(producer(env, chan, 100))
+        env.process(consumer(env, chan))
+        env.process(consumer(env, chan))
+        env.run()
+        assert sorted(received) == sorted(
+            list(range(10)) + list(range(100, 110)))

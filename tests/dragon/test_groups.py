@@ -1,0 +1,140 @@
+"""Tests for Dragon process groups (co-scheduled multi-rank launch)."""
+
+import pytest
+
+from repro.dragon import (
+    DragonGroup,
+    DragonGroupCompletion,
+    DragonRuntime,
+    DragonTask,
+    MODE_FUNC,
+)
+from repro.exceptions import DragonError
+from repro.platform import FRONTIER_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+
+def make_runtime(env, rng, n_nodes=2):
+    alloc = generic(n_nodes).allocate_nodes(n_nodes)  # 8 cores/node
+    rt = DragonRuntime(env, alloc, FRONTIER_LATENCIES, rng,
+                       instance_id="dragon.pg")
+    env.run(env.process(rt.start()))
+    return rt
+
+
+def group_of(n, gid="g0", duration=5.0, fail_ranks=()):
+    return DragonGroup(group_id=gid, ranks=tuple(
+        DragonTask(task_id=f"{gid}.r{i}", mode=MODE_FUNC,
+                   duration=duration, fail=(i in fail_ranks))
+        for i in range(n)))
+
+
+def drain(env, rt, n):
+    got = []
+
+    def watch(env, rt):
+        for _ in range(n):
+            got.append((yield rt.completion_pipe.recv()))
+
+    env.process(watch(env, rt))
+    env.run()
+    return got
+
+
+class TestValidation:
+    def test_empty_group(self):
+        with pytest.raises(DragonError):
+            DragonGroup(group_id="g", ranks=())
+
+    def test_duplicate_rank_ids(self):
+        task = DragonTask(task_id="same")
+        with pytest.raises(DragonError):
+            DragonGroup(group_id="g", ranks=(task, task))
+
+    def test_oversized_group_rejected(self, env, rng):
+        rt = make_runtime(env, rng)
+        with pytest.raises(DragonError):
+            rt.submit_group(group_of(1000))
+
+
+class TestExecution:
+    def test_group_runs_and_reports(self, env, rng):
+        rt = make_runtime(env, rng)
+        rt.submit_group(group_of(4))
+        msgs = drain(env, rt, 5)  # 4 rank completions + 1 group record
+        groups = [m for m in msgs if isinstance(m, DragonGroupCompletion)]
+        assert len(groups) == 1
+        assert groups[0].ok
+        assert rt.n_completed == 4
+
+    def test_ranks_start_together(self, env, rng):
+        rt = make_runtime(env, rng)
+        starts = []
+        rt.on_task_start = lambda tid: starts.append((tid, env.now))
+        rt.submit_group(group_of(4))
+        drain(env, rt, 5)
+        times = [t for _, t in starts]
+        assert max(times) - min(times) < 0.5  # co-launch, not staggered
+
+    def test_group_waits_for_full_capacity(self, env, rng):
+        """A 16-rank group on 16 workers must wait for busy singles."""
+        rt = make_runtime(env, rng)  # 16 workers
+        for i in range(8):
+            rt.submit(DragonTask(task_id=f"single{i}", duration=30.0))
+        rt.submit_group(group_of(16, duration=1.0))
+        msgs = drain(env, rt, 8 + 16 + 1)
+        group = next(m for m in msgs
+                     if isinstance(m, DragonGroupCompletion))
+        # The group could only start after the singles released slots.
+        assert group.start_time >= 30.0
+
+    def test_failed_rank_fails_group(self, env, rng):
+        rt = make_runtime(env, rng)
+        rt.submit_group(group_of(4, fail_ranks=(2,)))
+        msgs = drain(env, rt, 5)
+        group = next(m for m in msgs
+                     if isinstance(m, DragonGroupCompletion))
+        assert not group.ok
+        assert len(group.errors) == 1
+        assert rt.n_failed == 1
+        assert rt.n_completed == 3
+
+    def test_group_duration_is_longest_rank(self, env, rng):
+        rt = make_runtime(env, rng)
+        ranks = tuple(DragonTask(task_id=f"r{i}", mode=MODE_FUNC,
+                                 duration=float(i + 1)) for i in range(4))
+        rt.submit_group(DragonGroup(group_id="g", ranks=ranks))
+        msgs = drain(env, rt, 5)
+        group = next(m for m in msgs
+                     if isinstance(m, DragonGroupCompletion))
+        assert group.stop_time - group.start_time == pytest.approx(4.0,
+                                                                   abs=0.1)
+
+    def test_two_groups_serialize_without_deadlock(self, env, rng):
+        """Two 12-rank groups on 16 workers cannot interleave their
+        acquisitions (which would deadlock); they run back to back."""
+        rt = make_runtime(env, rng)
+        rt.submit_group(group_of(12, gid="a", duration=10.0))
+        rt.submit_group(group_of(12, gid="b", duration=10.0))
+        msgs = drain(env, rt, 24 + 2)
+        groups = {m.group_id: m for m in msgs
+                  if isinstance(m, DragonGroupCompletion)}
+        assert groups["a"].ok and groups["b"].ok
+        assert groups["b"].start_time >= groups["a"].stop_time
+
+    def test_pool_never_oversubscribed_by_groups(self, env, rng):
+        rt = make_runtime(env, rng)
+        peak = [0]
+
+        def monitor(env):
+            while rt.n_completed < 28:
+                peak[0] = max(peak[0], rt.pool.busy)
+                yield env.timeout(0.5)
+
+        env.process(monitor(env))
+        rt.submit_group(group_of(10, gid="a", duration=5.0))
+        rt.submit_group(group_of(10, gid="b", duration=5.0))
+        for i in range(8):
+            rt.submit(DragonTask(task_id=f"s{i}", duration=5.0))
+        drain(env, rt, 28 + 2)
+        assert peak[0] <= rt.pool.capacity

@@ -1,0 +1,69 @@
+"""Unit tests for the Dragon worker pool."""
+
+import pytest
+
+from repro.dragon import WorkerPool
+from repro.exceptions import DragonError
+from repro.platform import generic
+from repro.sim import Environment
+
+
+@pytest.fixture
+def pool(env):
+    alloc = generic(2).allocate_nodes(2)  # 16 cores
+    return WorkerPool(env, alloc)
+
+
+class TestCapacity:
+    def test_one_worker_per_core(self, pool):
+        assert pool.capacity == 16
+
+    def test_acquire_release(self, env, pool):
+        req = pool.acquire()
+        assert req.triggered
+        assert pool.busy == 1
+        req.release()
+        assert pool.busy == 0
+        assert pool.idle == 16
+
+    def test_blocks_when_full(self, env, pool):
+        reqs = [pool.acquire() for _ in range(16)]
+        extra = pool.acquire()
+        assert not extra.triggered
+        reqs[0].release()
+        assert extra.triggered
+
+
+class TestDispatchCosts:
+    def test_function_cold_then_warm(self, env, pool):
+        slot = pool.acquire()
+        first = pool.dispatch_cost("function")
+        assert first == pool.cold_start_cost
+        slot.release()
+        slot = pool.acquire()
+        second = pool.dispatch_cost("function")
+        assert second == pool.warm_start_cost
+        assert pool.n_cold_dispatch == 1
+        assert pool.n_warm_dispatch == 1
+
+    def test_executable_always_cold(self, env, pool):
+        for _ in range(3):
+            slot = pool.acquire()
+            assert pool.dispatch_cost("executable") == pool.cold_start_cost
+            slot.release()
+        assert pool.n_cold_dispatch == 3
+        assert pool.n_warm_dispatch == 0
+
+    def test_unknown_mode_raises(self, pool):
+        with pytest.raises(DragonError):
+            pool.dispatch_cost("quantum")
+
+    def test_warm_pool_grows_with_concurrency(self, env, pool):
+        slots = [pool.acquire() for _ in range(4)]
+        costs = [pool.dispatch_cost("function") for _ in range(4)]
+        assert costs == [pool.cold_start_cost] * 4
+        for s in slots:
+            s.release()
+        slots = [pool.acquire() for _ in range(4)]
+        costs = [pool.dispatch_cost("function") for _ in range(4)]
+        assert costs == [pool.warm_start_cost] * 4

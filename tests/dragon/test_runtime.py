@@ -1,0 +1,187 @@
+"""Unit tests for the Dragon runtime."""
+
+import pytest
+
+from repro.dragon import (
+    DragonRuntime,
+    DragonState,
+    DragonTask,
+    MODE_EXEC,
+    MODE_FUNC,
+)
+from repro.exceptions import DragonError, RuntimeStartupError
+from repro.platform import DETERMINISTIC_LATENCIES, FRONTIER_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+
+def make_runtime(env, rng, n_nodes=4, latencies=FRONTIER_LATENCIES, **kw):
+    alloc = generic(n_nodes).allocate_nodes(n_nodes)
+    return DragonRuntime(env, alloc, latencies, rng,
+                         instance_id="dragon.test", **kw)
+
+
+class TestTaskValidation:
+    def test_modes(self):
+        DragonTask(task_id="t", mode=MODE_EXEC)
+        DragonTask(task_id="t", mode=MODE_FUNC)
+        with pytest.raises(DragonError):
+            DragonTask(task_id="t", mode="container")
+
+    def test_negative_duration(self):
+        with pytest.raises(DragonError):
+            DragonTask(task_id="t", duration=-1)
+
+
+class TestLifecycle:
+    def test_bootstrap_near_9s(self, env, rng):
+        rt = make_runtime(env, rng, latencies=DETERMINISTIC_LATENCIES)
+        env.run(env.process(rt.start()))
+        assert rt.is_ready
+        lat = DETERMINISTIC_LATENCIES
+        assert env.now == pytest.approx(lat.dragon_startup_mean
+                                        + 2 * lat.dragon_startup_per_log2node)
+
+    def test_double_start_raises(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        with pytest.raises(RuntimeStartupError):
+            env.run(env.process(rt.start()))
+
+    def test_submit_before_ready_raises(self, env, rng):
+        rt = make_runtime(env, rng)
+        with pytest.raises(RuntimeStartupError):
+            rt.submit(DragonTask(task_id="t"))
+
+    def test_fail_startup_hangs(self, env, rng):
+        rt = make_runtime(env, rng, fail_startup=True)
+        env.process(rt.start())
+        env.run(until=1000.0)
+        assert not rt.is_ready
+        assert rt.state == DragonState.STARTING
+
+
+class TestExecution:
+    def _drain(self, env, rt, n):
+        """Collect n completion events."""
+        completions = []
+
+        def watcher(env, rt):
+            for _ in range(n):
+                c = yield rt.completion_pipe.recv()
+                completions.append(c)
+
+        env.process(watcher(env, rt))
+        env.run()
+        return completions
+
+    def test_tasks_complete(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        for i in range(20):
+            rt.submit(DragonTask(task_id=f"t{i}", duration=2.0))
+        completions = self._drain(env, rt, 20)
+        assert len(completions) == 20
+        assert all(c.ok for c in completions)
+        assert all(c.stop_time - c.start_time == pytest.approx(2.0)
+                   for c in completions)
+
+    def test_failed_task_reports_error(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        rt.submit(DragonTask(task_id="bad", fail=True))
+        completions = self._drain(env, rt, 1)
+        assert not completions[0].ok
+        assert "failed" in completions[0].error
+        assert rt.n_failed == 1
+
+    def test_function_dispatch_faster_than_exec(self, env, rng):
+        lat = DETERMINISTIC_LATENCIES
+        rt_exec = make_runtime(env, rng, latencies=lat)
+        env.run(env.process(rt_exec.start()))
+        for i in range(200):
+            rt_exec.submit(DragonTask(task_id=f"e{i}", mode=MODE_EXEC))
+        exec_done = env.run(env.process(_wait_all(env, rt_exec, 200))) or env.now
+        exec_span = env.now
+
+        env2 = Environment()
+        rng2 = RngStreams(1234)
+        rt_func = make_runtime(env2, rng2, latencies=lat)
+        env2.run(env2.process(rt_func.start()))
+        for i in range(200):
+            rt_func.submit(DragonTask(task_id=f"f{i}", mode=MODE_FUNC))
+        env2.run(env2.process(_wait_all(env2, rt_func, 200)))
+        func_span = env2.now
+        assert func_span < exec_span
+
+    def test_on_task_start_hook(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        started = []
+        rt.on_task_start = started.append
+        rt.submit(DragonTask(task_id="t1", duration=1.0))
+        self._drain(env, rt, 1)
+        assert started == ["t1"]
+
+    def test_centralized_gs_throughput_declines_with_nodes(self, env, rng):
+        """Fig. 5(c): exec-task rate drops at larger node counts."""
+        lat = DETERMINISTIC_LATENCIES
+        rates = {}
+        for n in (4, 64):
+            e = Environment()
+            r = RngStreams(0)
+            rt = make_runtime(e, r, n_nodes=n, latencies=lat)
+            e.run(e.process(rt.start()))
+            t0 = e.now
+            for i in range(300):
+                rt.submit(DragonTask(task_id=f"t{i}", mode=MODE_EXEC))
+            e.run(e.process(_wait_all(e, rt, 300)))
+            rates[n] = 300 / (e.now - t0)
+        assert rates[4] > rates[64]
+
+    def test_pool_bounds_concurrency(self, env, rng):
+        rt = make_runtime(env, rng, n_nodes=1)  # 8 workers
+        env.run(env.process(rt.start()))
+        running = [0]
+        peak = [0]
+
+        def on_start(tid):
+            running[0] += 1
+            peak[0] = max(peak[0], running[0])
+
+        rt.on_task_start = on_start
+
+        def watcher(env, rt):
+            for _ in range(32):
+                yield rt.completion_pipe.recv()
+                running[0] -= 1
+
+        for i in range(32):
+            rt.submit(DragonTask(task_id=f"t{i}", duration=10.0))
+        env.process(watcher(env, rt))
+        env.run()
+        assert peak[0] <= 8
+
+
+class TestCrash:
+    def test_crash_fails_queued_tasks(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        # Submit with zero pipe latency so tasks sit in the pipe store.
+        rt.task_pipe.latency = 0.0
+        for i in range(5):
+            rt.task_pipe.send(DragonTask(task_id=f"t{i}", duration=100.0))
+        rt.crash("runtime crashed")
+        assert rt.state == DragonState.FAILED
+        assert rt.n_failed >= 4  # queued tasks failed (one may be in GS)
+
+    def test_shutdown_idempotent(self, env, rng):
+        rt = make_runtime(env, rng)
+        env.run(env.process(rt.start()))
+        rt.shutdown()
+        rt.shutdown()
+        assert rt.state == DragonState.STOPPED
+
+
+def _wait_all(env, rt, n):
+    for _ in range(n):
+        yield rt.completion_pipe.recv()

@@ -1,0 +1,36 @@
+"""Tests pinning the latency calibration to its documented anchors."""
+
+import pytest
+
+from repro.experiments.calibration import (
+    PAPER_ANCHORS,
+    check_calibration,
+)
+from repro.platform import FRONTIER_LATENCIES
+
+
+class TestCalibration:
+    def test_all_anchors_hold_for_default_model(self):
+        reports = check_calibration(FRONTIER_LATENCIES)
+        failing = [r for r in reports if not r.ok]
+        assert not failing, "\n".join(
+            f"{r.name}: paper={r.paper_value} predicted={r.predicted:.2f} "
+            f"({100 * r.deviation:.1f} % off)" for r in failing)
+
+    def test_anchor_coverage(self):
+        """Every launcher family has at least one anchor."""
+        names = " ".join(a.name for a in PAPER_ANCHORS)
+        for keyword in ("srun", "flux", "dragon", "task-management"):
+            assert keyword in names, keyword
+
+    def test_detuned_model_fails(self):
+        """The checker actually detects calibration drift."""
+        detuned = FRONTIER_LATENCIES.with_overrides(srun_ctl_base=0.1)
+        reports = check_calibration(detuned)
+        assert any(not r.ok for r in reports)
+
+    def test_reports_carry_values(self):
+        report = check_calibration()[0]
+        assert report.paper_value > 0
+        assert report.predicted > 0
+        assert report.deviation >= 0

@@ -1,0 +1,56 @@
+"""Tests for the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "flux_1" in out
+        assert "impeccable_flux" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "flux_1", "--nodes", "1", "--waves", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "flux_1" in out
+        assert "makespan" in out
+
+    def test_run_with_reps(self, capsys):
+        assert main(["run", "srun", "--nodes", "1", "--waves", "1",
+                     "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "avg tasks/s" in out
+
+    def test_table1_filtered(self, capsys):
+        assert main(["table1", "--waves", "1", "--max-nodes", "2"]) == 0
+        out = capsys.readouterr().out
+        # srun's only Table-1 config is 4 nodes, filtered out here.
+        assert "flux_1" in out
+        assert "srun" not in out.replace("flux+dragon", "")
+
+
+    def test_unknown_exp_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "warpdrive"])
+
+    def test_run_with_summary(self, capsys):
+        assert main(["run", "flux_1", "--nodes", "1", "--waves", "1",
+                     "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out
+        assert "core utilization" in out
+
+    def test_run_with_profile_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "flux_1", "--nodes", "1", "--waves", "1",
+                     "--profile", str(path)]) == 0
+        assert path.exists()
+        from repro.analytics import load_events
+
+        events = load_events(path)
+        assert len(events) > 100

@@ -1,0 +1,65 @@
+"""Tests for the figure-data export pipeline (quick mode)."""
+
+import csv
+
+import pytest
+
+from repro.experiments import FigureData, export_figures
+from repro.experiments.figures import (
+    GENERATORS,
+    fig4_data,
+    fig7_data,
+)
+
+
+class TestFigureData:
+    def test_to_csv_roundtrip(self, tmp_path):
+        data = FigureData(
+            figure_id="figX", title="test", columns=("a", "b"),
+            rows=[(1, 2.5), (3, 4.5)], notes="hello")
+        path = data.to_csv(tmp_path / "x.csv")
+        with path.open() as fh:
+            lines = list(csv.reader(fh))
+        assert lines[0][0].startswith("# figX")
+        assert lines[2] == ["a", "b"]
+        assert lines[3] == ["1", "2.5"]
+
+    def test_all_paper_figures_have_generators(self):
+        assert set(GENERATORS) == {"fig4", "fig5", "fig6", "fig7", "fig8"}
+
+
+class TestGenerators:
+    def test_fig4_quick(self):
+        data = fig4_data(quick=True)
+        assert data.columns == ("time_s", "running_tasks")
+        assert data.rows
+        # Ceiling visible in the data itself.
+        assert max(v for _, v in data.rows) == 112
+        assert "utilization" in data.notes
+
+    def test_fig7_quick(self):
+        data = fig7_data(quick=True)
+        backends = {row[0] for row in data.rows}
+        assert backends == {"flux", "dragon", "prrte"}
+        flux = [row[2] for row in data.rows if row[0] == "flux"]
+        dragon = [row[2] for row in data.rows if row[0] == "dragon"]
+        assert min(flux) > max(dragon)  # flux bootstrap slower
+
+
+class TestExport:
+    def test_export_selected(self, tmp_path):
+        written = export_figures(tmp_path, figures=["fig4"], quick=True)
+        assert len(written) == 1
+        assert written[0].name == "fig4.csv"
+        assert written[0].exists()
+
+    def test_unknown_figure(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            export_figures(tmp_path, figures=["fig99"], quick=True)
+
+    def test_cli_figures(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figures", "--out", str(tmp_path), "--only", "fig4",
+                     "--quick"]) == 0
+        assert (tmp_path / "fig4.csv").exists()

@@ -1,0 +1,109 @@
+"""Tests for the experiment harness (small-scale end-to-end runs)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ExperimentConfig,
+    build_pilot_description,
+    build_workload,
+    config_by_id,
+    run_experiment,
+    run_repetitions,
+)
+
+
+class TestBuildPilot:
+    def test_srun(self):
+        pd = build_pilot_description(config_by_id("srun"))
+        assert [p.backend for p in pd.partitions] == ["srun"]
+
+    def test_flux_partitions(self):
+        pd = build_pilot_description(config_by_id("flux_n", n_nodes=64,
+                                                  n_partitions=16))
+        assert pd.partitions[0].n_instances == 16
+
+    def test_hybrid_equal_shares(self):
+        pd = build_pilot_description(config_by_id("flux+dragon", n_nodes=16,
+                                                  n_partitions=4))
+        backends = [p.backend for p in pd.partitions]
+        assert backends == ["flux", "dragon"]
+        assert pd.node_shares() == [8, 8]
+
+    def test_impeccable_uses_backfill(self):
+        pd = build_pilot_description(config_by_id("impeccable_flux"))
+        assert pd.partitions[0].policy == "easy"
+
+
+class TestBuildWorkload:
+    def test_null_counts(self):
+        cfg = config_by_id("flux_1", n_nodes=4, waves=2)
+        descs = build_workload(cfg, cores_per_node=56)
+        assert len(descs) == 4 * 56 * 2
+        assert all(d.duration == 0.0 for d in descs)
+
+    def test_mixed_split(self):
+        cfg = config_by_id("flux+dragon", n_nodes=4, waves=2)
+        descs = build_workload(cfg, cores_per_node=56)
+        funcs = sum(1 for d in descs if d.mode == "function")
+        assert funcs == len(descs) // 2
+
+    def test_impeccable_not_synthetic(self):
+        with pytest.raises(ConfigurationError):
+            build_workload(config_by_id("impeccable_flux"))
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("exp_id,nodes", [
+        ("srun", 1), ("flux_1", 4), ("dragon", 4), ("flux+dragon", 4),
+    ])
+    def test_small_runs_complete(self, exp_id, nodes):
+        cfg = config_by_id(exp_id, n_nodes=nodes, waves=1)
+        result = run_experiment(cfg)
+        assert result.n_done == result.n_tasks
+        assert result.n_failed == 0
+        assert result.throughput.avg > 0
+
+    def test_keep_session(self):
+        cfg = config_by_id("flux_1", n_nodes=1, waves=1)
+        result = run_experiment(cfg, keep_session=True)
+        assert result.session is not None
+        assert len(result.session.profiler) > 0
+
+    def test_session_dropped_by_default(self):
+        cfg = config_by_id("flux_1", n_nodes=1, waves=1)
+        assert run_experiment(cfg).session is None
+
+    def test_startup_overheads_recorded(self):
+        cfg = config_by_id("flux+dragon", n_nodes=4, waves=1)
+        result = run_experiment(cfg)
+        kinds = {uid.split(".")[-2] for uid, _ in result.startup_overheads}
+        assert len(result.startup_overheads) >= 2
+
+    def test_seed_changes_results(self):
+        cfg = config_by_id("flux_1", n_nodes=4, waves=1)
+        r0 = run_experiment(cfg.with_seed(0))
+        r1 = run_experiment(cfg.with_seed(1))
+        assert r0.throughput.avg != r1.throughput.avg
+
+    def test_same_seed_reproduces(self):
+        cfg = config_by_id("flux_1", n_nodes=4, waves=1)
+        assert (run_experiment(cfg).throughput.avg
+                == run_experiment(cfg).throughput.avg)
+
+
+class TestRepetitions:
+    def test_aggregation(self):
+        cfg = config_by_id("flux_1", n_nodes=4, waves=1)
+        agg = run_repetitions(cfg, n_reps=3)
+        assert agg.n_reps == 3
+        assert len(agg.results) == 3
+        per_rep_avg = [r.throughput.avg for r in agg.results]
+        assert agg.throughput_avg == pytest.approx(
+            sum(per_rep_avg) / 3)
+        assert agg.throughput_max == max(r.throughput.peak
+                                         for r in agg.results)
+
+    def test_invalid_reps(self):
+        with pytest.raises(ConfigurationError):
+            run_repetitions(config_by_id("srun"), n_reps=0)

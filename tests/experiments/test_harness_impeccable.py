@@ -1,0 +1,66 @@
+"""Harness-level tests for the IMPECCABLE experiment configurations."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.workloads import min_scalable_tasks
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    cfg = ExperimentConfig(exp_id="impeccable_flux", launcher="flux",
+                           workload="impeccable", n_nodes=256,
+                           generations=3)
+    return run_experiment(cfg, keep_session=True)
+
+
+class TestCampaignThroughHarness:
+    def test_all_tasks_final_and_ok(self, small_campaign):
+        r = small_campaign
+        assert r.n_done == r.n_tasks
+        assert r.n_failed == 0
+
+    def test_task_shapes_span_paper_range(self, small_campaign):
+        cores = [t.description.resources.cores for t in small_campaign.tasks]
+        assert min(cores) >= 1
+        assert max(cores) == 7168  # the paper's widest task
+        gpus = [t.description.resources.gpus for t in small_campaign.tasks]
+        assert max(gpus) >= 200
+
+    def test_scalable_lower_bound_met(self, small_campaign):
+        """The paper's consistency bound: >= 102 tasks per 128 nodes
+        across the campaign's scalable work."""
+        assert small_campaign.n_tasks >= min_scalable_tasks(256) * 3 / 12
+
+    def test_trace_is_valid(self, small_campaign):
+        from repro.analytics import assert_valid_trace
+
+        session = small_campaign.session
+        assert_valid_trace(session.profiler,
+                           total_cores=session.cluster.total_cores)
+
+    def test_metrics_populated(self, small_campaign):
+        r = small_campaign
+        assert r.makespan > 0
+        assert 0 < r.utilization_cores <= 1
+        assert 0 < r.utilization_gpus <= 1
+        assert r.throughput.n_tasks == r.n_tasks
+
+    def test_stage_workflows_all_present(self, small_campaign):
+        workflows = {t.description.tags["workflow"]
+                     for t in small_campaign.tasks}
+        assert workflows == {"docking", "sst_train", "sst_inference",
+                             "scoring_mmpbsa", "ampl", "esmacs",
+                             "reinvent"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_campaign(self):
+        cfg = ExperimentConfig(exp_id="impeccable_flux", launcher="flux",
+                               workload="impeccable", n_nodes=256,
+                               generations=2, seed=5)
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.n_tasks == b.n_tasks
+        assert a.makespan == b.makespan
+        assert a.utilization_cores == b.utilization_cores

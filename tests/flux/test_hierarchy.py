@@ -1,0 +1,92 @@
+"""Unit tests for multi-instance / hierarchical Flux deployments."""
+
+import pytest
+
+from repro.exceptions import RuntimeStartupError
+from repro.flux import FluxHierarchy, Jobspec
+from repro.platform import DETERMINISTIC_LATENCIES, FRONTIER_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def hierarchy(env, rng):
+    alloc = generic(8).allocate_nodes(8)
+    return FluxHierarchy(env, alloc, FRONTIER_LATENCIES, rng, n_instances=4)
+
+
+class TestPartitioning:
+    def test_instances_get_disjoint_partitions(self, hierarchy):
+        seen = set()
+        for inst in hierarchy.instances:
+            indices = {n.index for n in inst.allocation.nodes}
+            assert seen.isdisjoint(indices)
+            seen |= indices
+        assert len(seen) == 8
+
+    def test_instance_ids_are_unique(self, hierarchy):
+        ids = [i.instance_id for i in hierarchy.instances]
+        assert len(set(ids)) == 4
+
+
+class TestConcurrentStartup:
+    def test_all_ready_after_start_all(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        assert hierarchy.all_ready
+
+    def test_startup_not_additive(self, env, rng):
+        """Fig. 7: concurrent bootstrap => total ~= max, not sum."""
+        alloc = generic(8).allocate_nodes(8)
+        h = FluxHierarchy(env, alloc, DETERMINISTIC_LATENCIES, rng,
+                          n_instances=8)
+        env.run(env.process(h.start_all()))
+        lat = DETERMINISTIC_LATENCIES
+        # 8 instances of 1 node each: log2(1) = 0 -> mean startup.
+        assert env.now == pytest.approx(lat.flux_startup_mean)
+
+
+class TestRouting:
+    def test_least_loaded_balances(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        for _ in range(100):
+            inst = hierarchy.least_loaded()
+            inst.submit(Jobspec(command="x", duration=50.0))
+        counts = [i.n_submitted for i in hierarchy.instances]
+        assert max(counts) - min(counts) <= 1
+
+    def test_least_loaded_requires_ready_instance(self, env, hierarchy):
+        with pytest.raises(RuntimeStartupError):
+            hierarchy.least_loaded()
+
+    def test_shutdown_all(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        hierarchy.shutdown_all()
+        assert not any(i.is_ready for i in hierarchy.instances)
+
+
+class TestNested:
+    def test_spawn_nested_instance(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        parent = hierarchy.instances[0]
+        child = hierarchy.spawn_nested(parent, n_nodes=1)
+        env.run(env.process(child.start()))
+        assert child.is_ready
+        assert child.allocation.n_nodes == 1
+        assert child in hierarchy.instances
+
+    def test_nested_child_must_be_smaller(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        parent = hierarchy.instances[0]
+        with pytest.raises(RuntimeStartupError):
+            hierarchy.spawn_nested(parent, n_nodes=parent.allocation.n_nodes)
+
+    def test_nested_requires_ready_parent(self, env, hierarchy):
+        with pytest.raises(RuntimeStartupError):
+            hierarchy.spawn_nested(hierarchy.instances[0], n_nodes=1)
+
+    def test_nested_child_runs_jobs(self, env, hierarchy):
+        env.run(env.process(hierarchy.start_all()))
+        child = hierarchy.spawn_nested(hierarchy.instances[0], n_nodes=1)
+        env.run(env.process(child.start()))
+        job = child.submit(Jobspec(command="x", duration=1.0))
+        env.run()
+        assert job.done and not job.failed

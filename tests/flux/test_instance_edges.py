@@ -1,0 +1,105 @@
+"""Edge-case tests for the Flux instance."""
+
+import pytest
+
+from repro.flux import FluxInstance, InstanceState, Jobspec
+from repro.platform import FRONTIER_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+
+def ready_instance(env, rng, n_nodes=2):
+    alloc = generic(n_nodes).allocate_nodes(n_nodes)
+    inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng,
+                        instance_id="flux.edge")
+    env.run(env.process(inst.start()))
+    return inst
+
+
+class TestLoadFactor:
+    def test_within_configured_bounds(self, env, rng):
+        lat = FRONTIER_LATENCIES
+        for seed in range(20):
+            e = Environment()
+            r = RngStreams(seed)
+            alloc = generic(2).allocate_nodes(2)
+            inst = FluxInstance(e, alloc, lat, r)
+            e.run(e.process(inst.start()))
+            assert lat.flux_load_min <= inst._load_factor <= lat.flux_load_max
+
+    def test_larger_instances_slower_on_average(self):
+        lat = FRONTIER_LATENCIES
+        small, large = [], []
+        for seed in range(30):
+            for n_nodes, sink in ((1, small), (1024, large)):
+                e = Environment()
+                r = RngStreams(seed)
+                alloc = generic(n_nodes, cores_per_node=1).allocate_nodes(
+                    n_nodes)
+                inst = FluxInstance(e, alloc, lat, r)
+                e.run(e.process(inst.start()))
+                sink.append(inst._load_factor)
+        assert (sum(large) / len(large)) < (sum(small) / len(small))
+
+
+class TestShutdownEdges:
+    def test_shutdown_with_queued_jobs_fails_them(self, env, rng):
+        inst = ready_instance(env, rng)
+        blockers = [inst.submit(Jobspec(command="x", duration=1e6))
+                    for _ in range(16)]
+        queued = [inst.submit(Jobspec(command="y", duration=1.0))
+                  for _ in range(8)]
+        env.run(until=env.now + 30.0)
+        inst.shutdown()
+        env.run(until=env.now + 5.0)
+        assert all(j.failed for j in queued)
+        assert inst.state == InstanceState.STOPPED
+
+    def test_shutdown_idempotent(self, env, rng):
+        inst = ready_instance(env, rng)
+        inst.shutdown()
+        inst.shutdown()
+        assert inst.state == InstanceState.STOPPED
+
+    def test_crash_then_shutdown_keeps_failed_state(self, env, rng):
+        inst = ready_instance(env, rng)
+        inst.crash("boom")
+        inst.shutdown()
+        assert inst.state == InstanceState.FAILED
+
+
+class TestCancellationEdges:
+    def test_cancel_while_in_ingest_pipeline(self, env, rng):
+        inst = ready_instance(env, rng)
+        # Submit a burst; cancel one job before the ingest loop gets
+        # to it (no sim time has passed yet).
+        jobs = [inst.submit(Jobspec(command="x", duration=1.0))
+                for _ in range(50)]
+        victim = jobs[-1]
+        assert inst.cancel(victim.job_id, reason="early cancel")
+        env.run()
+        assert victim.failed
+        done = [j for j in jobs if j.done and not j.failed]
+        assert len(done) == 49
+
+    def test_cancel_completed_job_returns_false(self, env, rng):
+        inst = ready_instance(env, rng)
+        job = inst.submit(Jobspec(command="x", duration=1.0))
+        env.run()
+        assert inst.cancel(job.job_id) is False
+
+
+class TestDeterminism:
+    def test_identical_seed_identical_schedule(self):
+        def run(seed):
+            env = Environment()
+            rng = RngStreams(seed)
+            alloc = generic(2).allocate_nodes(2)
+            inst = FluxInstance(env, alloc, FRONTIER_LATENCIES, rng)
+            env.run(env.process(inst.start()))
+            jobs = [inst.submit(Jobspec(command="x", duration=2.0))
+                    for _ in range(100)]
+            env.run()
+            return [round(j.start_time, 9) for j in jobs]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

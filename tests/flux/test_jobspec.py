@@ -1,0 +1,60 @@
+"""Unit tests for Flux jobspec validation."""
+
+import pytest
+
+from repro.exceptions import JobspecError
+from repro.flux import FluxJob, FluxJobState, Jobspec
+from repro.platform import ResourceSpec
+
+
+class TestValidation:
+    def test_minimal(self):
+        spec = Jobspec(command="hostname")
+        assert spec.resources.cores == 1
+        assert spec.urgency == 16
+
+    def test_empty_command(self):
+        with pytest.raises(JobspecError):
+            Jobspec(command="")
+
+    def test_negative_duration(self):
+        with pytest.raises(JobspecError):
+            Jobspec(command="x", duration=-1)
+
+    def test_urgency_bounds(self):
+        Jobspec(command="x", urgency=0)
+        Jobspec(command="x", urgency=31)
+        with pytest.raises(JobspecError):
+            Jobspec(command="x", urgency=32)
+        with pytest.raises(JobspecError):
+            Jobspec(command="x", urgency=-1)
+
+    def test_validate_against_pool(self):
+        spec = Jobspec(command="x", resources=ResourceSpec(cores=100))
+        spec.validate_against(total_cores=100, total_gpus=0)
+        with pytest.raises(JobspecError):
+            spec.validate_against(total_cores=99, total_gpus=0)
+
+    def test_validate_gpus(self):
+        spec = Jobspec(command="x", resources=ResourceSpec(cores=1, gpus=9))
+        with pytest.raises(JobspecError):
+            spec.validate_against(total_cores=100, total_gpus=8)
+
+
+class TestFluxJob:
+    def test_initial_state(self):
+        job = FluxJob(job_id="j1", spec=Jobspec(command="x"))
+        assert job.state == FluxJobState.DEPEND
+        assert not job.done
+        assert not job.failed
+
+    def test_done_and_failed_flags(self):
+        job = FluxJob(job_id="j1", spec=Jobspec(command="x"))
+        job.state = FluxJobState.INACTIVE
+        assert job.done
+        job.exception = "boom"
+        assert job.failed
+
+    def test_state_order_is_complete(self):
+        assert FluxJobState.ORDER == (
+            "DEPEND", "SCHED", "RUN", "CLEANUP", "INACTIVE")

@@ -1,0 +1,112 @@
+"""Cross-validation: independent code paths must agree on the same
+quantities (metrics vs. traces vs. figure exporters vs. substrate
+counters)."""
+
+import pytest
+
+from repro.analytics import (
+    concurrency_series,
+    exec_intervals,
+    makespan,
+    summarize,
+    task_throughput,
+    utilization,
+)
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import generic
+
+
+@pytest.fixture(scope="module")
+def run():
+    session = Session(cluster=generic(8, 8, 2), seed=202)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=8, partitions=(PartitionSpec("flux", n_instances=2),
+                             PartitionSpec("dragon", n_instances=2))))
+    tmgr.add_pilot(pilot)
+    tasks = tmgr.submit_tasks(
+        [TaskDescription(duration=20.0) for _ in range(60)] +
+        [TaskDescription(mode="function", duration=20.0)
+         for _ in range(60)])
+    session.run(tmgr.wait_tasks())
+    return session, pilot, tasks
+
+
+class TestTaskObjectsVsTrace:
+    def test_exec_counts_agree(self, run):
+        session, _, tasks = run
+        from repro.analytics import events as tev
+
+        trace_starts = session.profiler.times(tev.TASK_EXEC_START)
+        object_starts = sorted(t.exec_start for t in tasks)
+        assert len(trace_starts) == len(object_starts)
+        assert trace_starts[0] == pytest.approx(object_starts[0])
+        assert trace_starts[-1] == pytest.approx(object_starts[-1])
+
+    def test_busy_core_seconds_agree(self, run):
+        session, _, tasks = run
+        iv = exec_intervals(tasks)
+        busy_from_objects = float(
+            ((iv[:, 1] - iv[:, 0]) * iv[:, 2]).sum())
+        # 120 single-core 20 s tasks.
+        assert busy_from_objects == pytest.approx(120 * 20.0, rel=0.01)
+
+
+class TestMetricsInternalConsistency:
+    def test_utilization_equals_busy_over_span(self, run):
+        _, _, tasks = run
+        iv = exec_intervals(tasks)
+        t0, t1 = iv[:, 0].min(), iv[:, 1].max()
+        busy = ((iv[:, 1] - iv[:, 0]) * iv[:, 2]).sum()
+        direct = busy / (64 * (t1 - t0))
+        assert utilization(tasks, total_cores=64) == pytest.approx(direct)
+
+    def test_concurrency_peak_bounded_by_cores(self, run):
+        _, _, tasks = run
+        series = concurrency_series(tasks, resolution=1.0)
+        assert series.max() <= 64
+
+    def test_summary_matches_direct_metrics(self, run):
+        _, _, tasks = run
+        summary = summarize(tasks, total_cores=64)
+        assert summary.n_done == sum(t.succeeded for t in tasks)
+        assert summary.utilization_cores == pytest.approx(
+            utilization(tasks, total_cores=64))
+        per_backend_total = sum(b.n_tasks for b in summary.backends)
+        assert per_backend_total == len(tasks)
+
+    def test_makespan_bounds_throughput_window(self, run):
+        _, _, tasks = run
+        stats = task_throughput(tasks)
+        assert stats.window <= makespan(tasks)
+
+
+class TestSubstrateCountersVsTasks:
+    def test_flux_instance_counters_match(self, run):
+        _, pilot, tasks = run
+        flux_tasks = [t for t in tasks if t.backend == "flux"]
+        hierarchy = pilot.agent.executors["flux"].hierarchy
+        assert sum(i.n_completed for i in hierarchy.instances) \
+            == len(flux_tasks)
+        assert sum(i.n_submitted for i in hierarchy.instances) \
+            == len(flux_tasks)
+
+    def test_dragon_runtime_counters_match(self, run):
+        _, pilot, tasks = run
+        dragon_tasks = [t for t in tasks if t.backend == "dragon"]
+        runtimes = pilot.agent.executors["dragon"].runtimes
+        assert sum(rt.n_completed for rt in runtimes) == len(dragon_tasks)
+        assert sum(rt.pool.n_warm_dispatch + rt.pool.n_cold_dispatch
+                   for rt in runtimes) == len(dragon_tasks)
+
+    def test_agent_counters_match(self, run):
+        _, pilot, tasks = run
+        agent = pilot.agent
+        assert agent.n_dispatched == len(tasks)
+        assert agent.n_done == len(tasks)
+        assert agent.n_failed == 0

@@ -1,0 +1,77 @@
+"""Capstone: the whole characterization study in miniature.
+
+One test per top-level finding of the paper, each executed at reduced
+scale in a single process — the global orderings that make the
+paper's argument must all hold simultaneously on the same codebase.
+"""
+
+import pytest
+
+from repro.analytics import task_throughput, utilization
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import frontier
+from repro.workloads import dummy_workload, mixed_workload
+
+
+def run_stack(partitions, descs, nodes=8, seed=123):
+    session = Session(cluster=frontier(nodes), seed=seed)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(nodes=nodes,
+                                                partitions=partitions))
+    tmgr.add_pilot(pilot)
+    tasks = tmgr.submit_tasks(descs)
+    session.run(tmgr.wait_tasks())
+    return session, tasks
+
+
+class TestMiniStudy:
+    """§6's conclusions, asserted together at 8 nodes."""
+
+    @pytest.fixture(scope="class")
+    def rates(self):
+        out = {}
+        n = 8 * 56 * 2
+        for name, parts in (
+            ("srun", (PartitionSpec("srun"),)),
+            ("flux_1", (PartitionSpec("flux"),)),
+            ("flux_4", (PartitionSpec("flux", n_instances=4),)),
+            ("hybrid", (PartitionSpec("flux", n_instances=2),
+                        PartitionSpec("dragon", n_instances=2))),
+        ):
+            descs = (mixed_workload(n // 2, n // 2, duration=0.0)
+                     if name == "hybrid" else dummy_workload(n, duration=0.0))
+            _, tasks = run_stack(parts, descs)
+            out[name] = task_throughput(tasks)
+        return out
+
+    def test_flux_beats_srun(self, rates):
+        assert rates["flux_1"].avg > 2 * rates["srun"].avg
+
+    def test_partitioning_helps(self, rates):
+        assert rates["flux_4"].avg > rates["flux_1"].avg
+
+    def test_hybrid_peaks_highest(self, rates):
+        assert rates["hybrid"].peak > rates["flux_4"].peak
+        assert rates["hybrid"].peak > rates["srun"].peak * 5
+
+    def test_srun_utilization_capped_but_flux_not(self):
+        # 4-node dummy runs: the Fig. 4 contrast.
+        _, srun_tasks = run_stack(
+            (PartitionSpec("srun"),),
+            dummy_workload(4 * 56 * 4, duration=180.0), nodes=4)
+        _, flux_tasks = run_stack(
+            (PartitionSpec("flux"),),
+            dummy_workload(4 * 56 * 4, duration=180.0), nodes=4)
+        srun_util = utilization(srun_tasks, total_cores=224)
+        flux_util = utilization(flux_tasks, total_cores=224)
+        assert srun_util == pytest.approx(0.5, abs=0.02)
+        assert flux_util > 0.9
+
+    def test_every_backend_ran_everything(self, rates):
+        for name, stats in rates.items():
+            assert stats.n_tasks == 8 * 56 * 2, name

@@ -1,0 +1,102 @@
+"""Tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mpi import CommParams, SimComm, allreduce_time
+from repro.sim import Environment
+
+
+class TestConstruction:
+    def test_validation(self, env):
+        with pytest.raises(ConfigurationError):
+            SimComm(env, size=0)
+        with pytest.raises(ConfigurationError):
+            SimComm(env, size=4, n_nodes=8)
+
+    def test_spans_nodes(self, env):
+        assert not SimComm(env, size=8, n_nodes=1).spans_nodes
+        assert SimComm(env, size=8, n_nodes=2).spans_nodes
+
+
+class TestWholeJobCollectives:
+    def test_allreduce_advances_clock(self, env):
+        comm = SimComm(env, size=16, n_nodes=2)
+
+        def job(env, comm):
+            yield from comm.allreduce(1e9)
+
+        env.run(env.process(job(env, comm)))
+        expected = allreduce_time(comm.params, 16, 1e9, spans_nodes=True)
+        assert env.now == pytest.approx(expected)
+        assert comm.n_collectives == 1
+
+    def test_compute_comm_cycle(self, env):
+        comm = SimComm(env, size=8, n_nodes=2)
+
+        def member(env, comm, rounds):
+            for _ in range(rounds):
+                yield env.timeout(1.0)        # compute
+                yield from comm.allreduce(8e6)  # gradient exchange
+
+        env.run(env.process(member(env, comm, rounds=10)))
+        assert env.now > 10.0  # compute plus nonzero comm
+        assert comm.n_collectives == 10
+
+    def test_single_rank_is_free(self, env):
+        comm = SimComm(env, size=1)
+
+        def job(env, comm):
+            yield from comm.barrier()
+            yield from comm.bcast(1e9)
+
+        env.run(env.process(job(env, comm)))
+        assert env.now == 0.0
+
+
+class TestRankBarrier:
+    def test_all_ranks_release_together(self, env):
+        comm = SimComm(env, size=4, n_nodes=2)
+        releases = []
+
+        def rank(env, comm, i):
+            yield env.timeout(float(i))  # staggered arrivals
+            yield from comm.barrier_sync()
+            releases.append((i, env.now))
+
+        for i in range(4):
+            env.process(rank(env, comm, i))
+        env.run()
+        times = {t for _, t in releases}
+        assert len(times) == 1          # everyone released together
+        assert times.pop() >= 3.0       # after the slowest arrival
+
+    def test_barrier_reusable_across_iterations(self, env):
+        comm = SimComm(env, size=3)
+        log = []
+
+        def rank(env, comm, i):
+            for it in range(3):
+                yield env.timeout(0.5 + 0.1 * i)
+                yield from comm.barrier_sync()
+                log.append((it, i, env.now))
+
+        for i in range(3):
+            env.process(rank(env, comm, i))
+        env.run()
+        assert len(log) == 9
+        # Within each iteration, all ranks share a release time.
+        for it in range(3):
+            times = {t for j, i, t in log if j == it}
+            assert len(times) == 1
+
+    def test_collective_counter(self, env):
+        comm = SimComm(env, size=2)
+
+        def rank(env, comm):
+            yield from comm.barrier_sync()
+
+        env.process(rank(env, comm))
+        env.process(rank(env, comm))
+        env.run()
+        assert comm.n_collectives == 1

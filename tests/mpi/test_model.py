@@ -1,0 +1,71 @@
+"""Tests for the alpha-beta collective cost model."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mpi import (
+    CommParams,
+    FRONTIER_FABRIC,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    ptp_time,
+)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommParams(intra_node_latency=-1)
+        with pytest.raises(ConfigurationError):
+            CommParams(bandwidth=0)
+
+    def test_alpha_by_locality(self):
+        p = FRONTIER_FABRIC
+        assert p.alpha(spans_nodes=True) > p.alpha(spans_nodes=False)
+
+
+class TestFormulas:
+    def test_single_rank_collectives_free(self):
+        p = FRONTIER_FABRIC
+        assert barrier_time(p, 1) == 0.0
+        assert bcast_time(p, 1, 1e6) == 0.0
+        assert allreduce_time(p, 1, 1e6) == 0.0
+        assert alltoall_time(p, 1, 1e6) == 0.0
+
+    def test_ptp_alpha_beta(self):
+        p = CommParams(inter_node_latency=2e-6, bandwidth=25e9)
+        assert ptp_time(p, 25e9) == pytest.approx(1.0 + 2e-6)
+
+    def test_barrier_log_rounds(self):
+        p = FRONTIER_FABRIC
+        assert barrier_time(p, 2) == pytest.approx(p.inter_node_latency)
+        assert barrier_time(p, 8) == pytest.approx(3 * p.inter_node_latency)
+        assert barrier_time(p, 9) == pytest.approx(4 * p.inter_node_latency)
+
+    def test_allreduce_bandwidth_term(self):
+        p = CommParams(inter_node_latency=0.0, bandwidth=1e9)
+        # 2 * (p-1)/p * n/B with alpha = 0.
+        assert allreduce_time(p, 4, 1e9) == pytest.approx(2 * 0.75)
+
+    def test_monotone_in_ranks(self):
+        p = FRONTIER_FABRIC
+        times = [allreduce_time(p, k, 1e6) for k in (2, 4, 16, 256)]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_monotone_in_bytes(self):
+        p = FRONTIER_FABRIC
+        times = [bcast_time(p, 8, n) for n in (1e3, 1e6, 1e9)]
+        assert times[0] < times[1] < times[2]
+
+    def test_intra_node_cheaper(self):
+        p = FRONTIER_FABRIC
+        assert (barrier_time(p, 8, spans_nodes=False)
+                < barrier_time(p, 8, spans_nodes=True))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            barrier_time(FRONTIER_FABRIC, 0)
+        with pytest.raises(ConfigurationError):
+            bcast_time(FRONTIER_FABRIC, 4, -1)

@@ -1,0 +1,113 @@
+"""Tests for the shared filesystem model and staging integration."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.platform import SharedFilesystem
+from repro.sim import Environment
+
+
+class TestValidation:
+    def test_bad_params(self, env):
+        with pytest.raises(ConfigurationError):
+            SharedFilesystem(env, aggregate_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            SharedFilesystem(env, access_latency=-1)
+        with pytest.raises(ConfigurationError):
+            SharedFilesystem(env, max_streams=0)
+
+    def test_negative_size(self, env):
+        fs = SharedFilesystem(env)
+        with pytest.raises(ConfigurationError):
+            fs.transfer_time(-1, 1)
+
+
+class TestTransfers:
+    def test_time_scales_with_size(self, env):
+        fs = SharedFilesystem(env, aggregate_bandwidth=1e9,
+                              access_latency=0.0)
+        assert fs.transfer_time(1e9, 1) == pytest.approx(1.0)
+        assert fs.transfer_time(2e9, 1) == pytest.approx(2.0)
+
+    def test_contention_slows_transfers(self, env):
+        fs = SharedFilesystem(env, aggregate_bandwidth=1e9,
+                              access_latency=0.0)
+        assert fs.transfer_time(1e9, 4) == pytest.approx(4.0)
+
+    def test_single_transfer_advances_clock(self, env):
+        fs = SharedFilesystem(env, aggregate_bandwidth=1e9,
+                              access_latency=0.5)
+
+        def mover(env, fs):
+            yield from fs.transfer(1e9)
+
+        env.run(env.process(mover(env, fs)))
+        assert env.now == pytest.approx(1.5)
+        assert fs.n_transfers == 1
+        assert fs.bytes_moved == 1e9
+
+    def test_concurrent_transfers_share_bandwidth(self, env):
+        fs = SharedFilesystem(env, aggregate_bandwidth=1e9,
+                              access_latency=0.0)
+
+        def mover(env, fs):
+            yield from fs.transfer(1e9)
+
+        procs = [env.process(mover(env, fs)) for _ in range(4)]
+        env.run(env.all_of(procs))
+        # Four concurrent 1 GB transfers at 1 GB/s aggregate: the later
+        # starters see more contention; total well beyond 1 s.
+        assert env.now > 2.0
+        assert fs.n_transfers == 4
+
+    def test_stream_cap_serializes_excess(self, env):
+        fs = SharedFilesystem(env, aggregate_bandwidth=1e9,
+                              access_latency=0.0, max_streams=2)
+
+        def mover(env, fs):
+            yield from fs.transfer(1e8)
+
+        procs = [env.process(mover(env, fs)) for _ in range(6)]
+        env.run(env.all_of(procs))
+        assert fs.n_transfers == 6
+
+
+class TestStagingIntegration:
+    def test_bigger_items_stage_longer(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        spans = {}
+        for mb in (1.0, 2000.0):
+            session = Session(cluster=generic(4, 8, 2), seed=91)
+            pmgr, tmgr = session.pilot_manager(), session.task_manager()
+            pilot = pmgr.submit_pilots(PilotDescription(
+                nodes=4, partitions=(PartitionSpec("flux"),)))
+            tmgr.add_pilot(pilot)
+            task = tmgr.submit_tasks(TaskDescription(
+                duration=1.0, input_staging=2, staging_item_mb=mb))
+            session.run(tmgr.wait_tasks())
+            assert task.succeeded
+            spans[mb] = session.now
+            session.close()
+        assert spans[2000.0] > spans[1.0]
+
+    def test_bytes_accounted(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        session = Session(cluster=generic(4, 8, 2), seed=92)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        tmgr.submit_tasks(TaskDescription(
+            duration=1.0, input_staging=3, output_staging=1,
+            staging_item_mb=10.0))
+        session.run(tmgr.wait_tasks())
+        expected = 4 * 10.0 * 1024 * 1024
+        assert session.filesystem.bytes_moved == pytest.approx(expected)
+        assert pilot.agent.stager_in.bytes_staged == pytest.approx(
+            3 * 10.0 * 1024 * 1024)

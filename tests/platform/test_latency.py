@@ -1,0 +1,47 @@
+"""Unit tests for the latency calibration model."""
+
+import dataclasses
+
+import pytest
+
+from repro.platform import (
+    DETERMINISTIC_LATENCIES,
+    FRONTIER_LATENCIES,
+    LatencyModel,
+)
+
+
+class TestModel:
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FRONTIER_LATENCIES.srun_ceiling = 1
+
+    def test_with_overrides(self):
+        custom = FRONTIER_LATENCIES.with_overrides(srun_ceiling=999)
+        assert custom.srun_ceiling == 999
+        assert FRONTIER_LATENCIES.srun_ceiling == 112
+        assert custom.flux_startup_mean == FRONTIER_LATENCIES.flux_startup_mean
+
+    def test_deterministic_variant_has_no_noise(self):
+        det = DETERMINISTIC_LATENCIES
+        assert det.srun_cv == 0.0
+        assert det.flux_cycle_cv == 0.0
+        assert det.flux_load_cv == 0.0
+        assert det.dragon_cv == 0.0
+
+    def test_calibration_anchors(self):
+        """The constants encode the paper's headline anchors."""
+        lat = FRONTIER_LATENCIES
+        # Frontier's measured srun ceiling.
+        assert lat.srun_ceiling == 112
+        # srun single-node launch rate ~ 152 tasks/s.
+        rate_1n = 1.0 / (lat.srun_ctl_base + lat.srun_ctl_per_node
+                         + lat.srun_ctl_per_node15)
+        assert 130 <= rate_1n <= 160
+        # Flux bootstrap ~20 s, Dragon ~9 s (Fig. 7).
+        assert 18 <= lat.flux_startup_mean <= 22
+        assert 8 <= lat.dragon_startup_mean <= 10
+        # Single-lane Flux spawn rate ~28 tasks/s (Fig. 5b at 1 node).
+        assert lat.flux_lane_rate == pytest.approx(28.0)
+        # Dragon centralized exec dispatch ~380 tasks/s at small scale.
+        assert 1.0 / lat.dragon_gs_exec_cost == pytest.approx(380, rel=0.02)

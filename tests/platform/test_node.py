@@ -1,0 +1,86 @@
+"""Unit tests for slot-level node bookkeeping."""
+
+import pytest
+
+from repro.exceptions import ResourceError
+from repro.platform import Node
+
+
+class TestConstruction:
+    def test_defaults(self):
+        node = Node(0, n_cores=8, n_gpus=2)
+        assert node.free_cores == 8
+        assert node.free_gpus == 2
+        assert node.is_idle
+
+    def test_invalid_cores(self):
+        with pytest.raises(ResourceError):
+            Node(0, n_cores=0)
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ResourceError):
+            Node(0, n_cores=1, n_gpus=-1)
+
+    def test_auto_name(self):
+        assert Node(3, 4).name == "node00003"
+
+
+class TestAllocate:
+    def test_allocate_reduces_free(self):
+        node = Node(0, 8, 2)
+        pl = node.allocate(3, 1)
+        assert node.free_cores == 5
+        assert node.free_gpus == 1
+        assert pl.cores == 3
+        assert pl.gpus == 1
+
+    def test_slots_are_disjoint(self):
+        node = Node(0, 8)
+        p1 = node.allocate(4)
+        p2 = node.allocate(4)
+        assert set(p1.core_slots).isdisjoint(p2.core_slots)
+
+    def test_over_allocate_raises(self):
+        node = Node(0, 4)
+        node.allocate(3)
+        with pytest.raises(ResourceError):
+            node.allocate(2)
+
+    def test_negative_raises(self):
+        with pytest.raises(ResourceError):
+            Node(0, 4).allocate(-1)
+
+    def test_can_fit(self):
+        node = Node(0, 4, 1)
+        assert node.can_fit(4, 1)
+        node.allocate(2)
+        assert node.can_fit(2, 1)
+        assert not node.can_fit(3, 0)
+
+
+class TestRelease:
+    def test_release_restores_capacity(self):
+        node = Node(0, 8, 2)
+        pl = node.allocate(5, 2)
+        node.release(pl)
+        assert node.is_idle
+
+    def test_double_free_raises(self):
+        node = Node(0, 8)
+        pl = node.allocate(2)
+        node.release(pl)
+        with pytest.raises(ResourceError):
+            node.release(pl)
+
+    def test_wrong_node_release_raises(self):
+        a, b = Node(0, 8), Node(1, 8)
+        pl = a.allocate(2)
+        with pytest.raises(ResourceError):
+            b.release(pl)
+
+    def test_released_slots_reusable(self):
+        node = Node(0, 2)
+        p1 = node.allocate(2)
+        node.release(p1)
+        p2 = node.allocate(2)
+        assert set(p2.core_slots) == {0, 1}

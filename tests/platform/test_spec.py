@@ -1,0 +1,61 @@
+"""Unit tests for ResourceSpec."""
+
+import pytest
+
+from repro.exceptions import ResourceError
+from repro.platform import ResourceSpec
+
+
+class TestValidation:
+    def test_defaults(self):
+        spec = ResourceSpec()
+        assert spec.cores == 1
+        assert spec.gpus == 0
+
+    def test_negative_cores(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(cores=-1)
+
+    def test_negative_gpus(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(gpus=-1)
+
+    def test_zero_everything(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(cores=0, gpus=0)
+
+    def test_gpu_only_allowed(self):
+        spec = ResourceSpec(cores=0, gpus=2)
+        assert spec.gpus == 2
+
+    def test_negative_memory(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(mem_gb=-1.0)
+
+    def test_hashable_value_object(self):
+        assert ResourceSpec(cores=2) == ResourceSpec(cores=2)
+        assert hash(ResourceSpec(cores=2)) == hash(ResourceSpec(cores=2))
+
+
+class TestNodesRequired:
+    def test_single_core(self):
+        assert ResourceSpec(cores=1).nodes_required(56, 8) == 1
+
+    def test_exact_node(self):
+        assert ResourceSpec(cores=56).nodes_required(56, 8) == 1
+
+    def test_multi_node_rounds_up(self):
+        assert ResourceSpec(cores=57).nodes_required(56, 8) == 2
+        assert ResourceSpec(cores=7168).nodes_required(56, 8) == 128
+
+    def test_gpu_driven(self):
+        assert ResourceSpec(cores=1, gpus=16).nodes_required(56, 8) == 2
+
+    def test_gpus_on_gpuless_nodes_raises(self):
+        with pytest.raises(ResourceError):
+            ResourceSpec(cores=1, gpus=1).nodes_required(56, 0)
+
+    def test_fits_node(self):
+        assert ResourceSpec(cores=56, gpus=8).fits_node(56, 8)
+        assert not ResourceSpec(cores=57).fits_node(56, 8)
+        assert not ResourceSpec(cores=1, gpus=9).fits_node(56, 8)

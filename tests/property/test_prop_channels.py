@@ -1,0 +1,88 @@
+"""Property-based tests for channel FIFO semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dragon import ShmemChannel, ZmqPipe
+from repro.sim import Environment
+
+payloads = st.lists(st.integers(), min_size=1, max_size=60)
+
+
+class TestZmqPipeFifo:
+    @given(payloads)
+    def test_messages_arrive_in_order(self, items):
+        env = Environment()
+        pipe = ZmqPipe(env, latency=0.001)
+        received = []
+
+        def consumer(env, pipe, n):
+            for _ in range(n):
+                msg = yield pipe.recv()
+                received.append(msg)
+
+        env.process(consumer(env, pipe, len(items)))
+        for item in items:
+            pipe.send(item)
+        env.run()
+        assert received == items
+
+    @given(payloads, st.floats(min_value=0.0, max_value=1.0))
+    def test_no_message_lost_or_duplicated(self, items, latency):
+        env = Environment()
+        pipe = ZmqPipe(env, latency=latency)
+        received = []
+
+        def consumer(env, pipe, n):
+            for _ in range(n):
+                received.append((yield pipe.recv()))
+
+        env.process(consumer(env, pipe, len(items)))
+        for item in items:
+            pipe.send(item)
+        env.run()
+        assert received == items
+
+
+class TestShmemFifo:
+    @given(payloads, st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50)
+    def test_bounded_channel_preserves_order_and_count(self, items, capacity):
+        env = Environment()
+        chan = ShmemChannel(env, capacity=capacity, hop_latency=1e-6)
+        received = []
+
+        def producer(env, chan):
+            for item in items:
+                yield from chan.put(item)
+
+        def consumer(env, chan):
+            for _ in range(len(items)):
+                received.append((yield chan.get()))
+
+        env.process(producer(env, chan))
+        env.process(consumer(env, chan))
+        env.run()
+        assert received == items
+
+    @given(payloads, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30)
+    def test_occupancy_never_exceeds_capacity(self, items, capacity):
+        env = Environment()
+        chan = ShmemChannel(env, capacity=capacity, hop_latency=1e-6)
+        peak = [0]
+
+        def producer(env, chan):
+            for item in items:
+                yield from chan.put(item)
+                peak[0] = max(peak[0], len(chan))
+
+        def consumer(env, chan):
+            for _ in range(len(items)):
+                yield env.timeout(0.01)
+                yield chan.get()
+
+        env.process(producer(env, chan))
+        env.process(consumer(env, chan))
+        env.run()
+        assert peak[0] <= capacity

@@ -1,0 +1,117 @@
+"""Property-based tests for the workflow DAG machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.platform import generic
+from repro.workloads import Workflow, WorkflowRunner
+
+# Random DAGs: node i may depend on any subset of earlier nodes, which
+# guarantees acyclicity by construction.
+random_dags = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0),   # duration
+        st.booleans(),                              # fail flag
+        st.sets(st.integers(0, 30), max_size=4),    # raw dep indices
+    ),
+    min_size=1, max_size=15)
+
+
+def build(spec):
+    wf = Workflow("random")
+    for i, (duration, fail, raw_deps) in enumerate(spec):
+        deps = tuple(f"n{d % i}" for d in raw_deps if i > 0)
+        wf.add(f"n{i}", TaskDescription(duration=duration, fail=fail),
+               depends_on=sorted(set(deps)))
+    return wf
+
+
+class TestStructure:
+    @given(random_dags)
+    def test_construction_yields_valid_dag(self, spec):
+        wf = build(spec)
+        wf.validate()
+        order = wf.topological_order()
+        assert sorted(order) == sorted(f"n{i}" for i in range(len(spec)))
+        position = {name: i for i, name in enumerate(order)}
+        for node in wf.nodes:
+            for dep in node.depends_on:
+                assert position[dep] < position[node.name]
+
+    @given(random_dags)
+    def test_critical_path_bounds(self, spec):
+        wf = build(spec)
+        total = sum(duration for duration, _, _ in spec)
+        longest_single = max(duration for duration, _, _ in spec)
+        cp = wf.critical_path_length()
+        assert longest_single - 1e-9 <= cp <= total + 1e-9
+
+
+class TestExecution:
+    @given(random_dags, st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_runner_accounts_for_every_node(self, spec, seed):
+        session = Session(cluster=generic(4, 8, 1), seed=seed)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        wf = build(spec)
+        runner = WorkflowRunner(session, tmgr, wf)
+        session.run(runner.start())
+        executed = set(runner.result.tasks)
+        skipped = set(runner.result.skipped)
+        assert executed | skipped == {f"n{i}" for i in range(len(spec))}
+        assert executed.isdisjoint(skipped)
+        # Dependency ordering held for every executed edge.
+        for node in wf.nodes:
+            task = runner.result.tasks.get(node.name)
+            if task is None or task.exec_start is None:
+                continue
+            for dep in node.depends_on:
+                dep_task = runner.result.tasks.get(dep)
+                assert dep_task is not None  # executed implies deps ran
+                assert dep_task.exec_stop is not None
+                assert task.exec_start >= dep_task.exec_stop - 1e-6
+
+    @given(random_dags, st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_skips_are_exactly_failure_downstream(self, spec, seed):
+        session = Session(cluster=generic(4, 8, 1), seed=seed)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        wf = build(spec)
+        runner = WorkflowRunner(session, tmgr, wf)
+        session.run(runner.start())
+        # Compute the expected doomed set: transitive closure of
+        # failed nodes.
+        doomed = set()
+        for name in wf.topological_order():
+            node = next(n for n in wf.nodes if n.name == name)
+            task = runner.result.tasks.get(name)
+            failed_here = task is not None and task.state == "FAILED"
+            if failed_here or any(d in doomed for d in node.depends_on):
+                if not failed_here:
+                    doomed.add(name)
+                elif failed_here:
+                    doomed.update(
+                        child.name for child in wf.nodes
+                        if name in child.depends_on)
+        assert set(runner.result.skipped) <= {
+            n.name for n in wf.nodes} - set()
+        for name in runner.result.skipped:
+            node = next(n for n in wf.nodes if n.name == name)
+            # Every skipped node has a failed or skipped dependency.
+            assert any(
+                (runner.result.tasks.get(d) is not None
+                 and not runner.result.tasks[d].succeeded)
+                or d in runner.result.skipped
+                for d in node.depends_on)

@@ -1,0 +1,79 @@
+"""Property-based tests for Dragon process groups."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dragon import (
+    DragonGroup,
+    DragonGroupCompletion,
+    DragonRuntime,
+    DragonTask,
+    MODE_FUNC,
+)
+from repro.platform import FRONTIER_LATENCIES, generic
+from repro.sim import Environment, RngStreams
+
+group_specs = st.lists(
+    st.tuples(st.integers(1, 8),                     # group size
+              st.floats(0.1, 20.0)),                 # duration
+    min_size=1, max_size=5)
+
+
+def run_groups(specs, seed):
+    env = Environment()
+    rng = RngStreams(seed)
+    alloc = generic(2).allocate_nodes(2)  # 16 workers
+    rt = DragonRuntime(env, alloc, FRONTIER_LATENCIES, rng,
+                       instance_id="pg.prop")
+    env.run(env.process(rt.start()))
+    total_ranks = 0
+    for i, (size, duration) in enumerate(specs):
+        ranks = tuple(DragonTask(task_id=f"g{i}.r{j}", mode=MODE_FUNC,
+                                 duration=duration) for j in range(size))
+        rt.submit_group(DragonGroup(group_id=f"g{i}", ranks=ranks))
+        total_ranks += size
+    messages = []
+
+    def watch(env, rt, n):
+        for _ in range(n):
+            messages.append((yield rt.completion_pipe.recv()))
+
+    env.process(watch(env, rt, total_ranks + len(specs)))
+    env.run()
+    return rt, messages, total_ranks
+
+
+class TestGroupProperties:
+    @given(group_specs, st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_every_rank_and_group_completes(self, specs, seed):
+        rt, messages, total_ranks = run_groups(specs, seed)
+        groups = [m for m in messages
+                  if isinstance(m, DragonGroupCompletion)]
+        ranks = [m for m in messages
+                 if not isinstance(m, DragonGroupCompletion)]
+        assert len(groups) == len(specs)
+        assert len(ranks) == total_ranks
+        assert all(g.ok for g in groups)
+        assert all(r.ok for r in ranks)
+
+    @given(group_specs, st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_group_spans_cover_rank_spans(self, specs, seed):
+        rt, messages, _ = run_groups(specs, seed)
+        groups = {m.group_id: m for m in messages
+                  if isinstance(m, DragonGroupCompletion)}
+        for m in messages:
+            if isinstance(m, DragonGroupCompletion):
+                continue
+            gid = m.task_id.split(".")[0]
+            group = groups[gid]
+            assert group.start_time <= m.start_time + 1e-9
+            assert m.stop_time <= group.stop_time + 1e-9
+
+    @given(group_specs, st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_pool_fully_recovered(self, specs, seed):
+        rt, _, _ = run_groups(specs, seed)
+        assert rt.pool.busy == 0
+        assert rt.pool.idle == rt.pool.capacity

@@ -1,0 +1,83 @@
+"""Property-based tests for metric identities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import throughput, utilization
+from repro.core import TaskDescription
+from repro.core.states import TaskState
+from repro.core.task import Task
+from repro.platform import ResourceSpec
+from repro.sim import Environment
+
+intervals = st.lists(
+    st.tuples(st.floats(0, 1e4, allow_nan=False),
+              st.floats(0.001, 1e3, allow_nan=False),
+              st.integers(1, 64)),
+    min_size=1, max_size=40)
+
+
+def build_tasks(rows):
+    env = Environment()
+    tasks = []
+    for i, (start, dur, cores) in enumerate(rows):
+        task = Task(env, f"t{i}", TaskDescription(
+            resources=ResourceSpec(cores=cores)))
+        task.advance(TaskState.TMGR_SCHEDULING)
+        task.advance(TaskState.AGENT_SCHEDULING)
+        env._now = start
+        task.advance(TaskState.AGENT_EXECUTING)
+        env._now = start + dur
+        task.mark_exec_stop()
+        task.advance(TaskState.DONE)
+        tasks.append(task)
+    return tasks
+
+
+class TestUtilizationBounds:
+    @given(intervals)
+    @settings(max_examples=100)
+    def test_bounded_by_capacity(self, rows):
+        tasks = build_tasks(rows)
+        # With capacity >= sum of all task cores, concurrent use can
+        # never exceed 1.0.
+        capacity = sum(c for _, _, c in rows)
+        u = utilization(tasks, total_cores=capacity)
+        assert 0.0 <= u <= 1.0 + 1e-9
+
+    @given(intervals)
+    @settings(max_examples=100)
+    def test_monotone_in_capacity(self, rows):
+        tasks = build_tasks(rows)
+        cap = sum(c for _, _, c in rows)
+        assert utilization(tasks, cap) >= utilization(tasks, cap * 2) - 1e-12
+
+    @given(intervals, st.floats(0, 1e4), st.floats(1, 1e4))
+    @settings(max_examples=100)
+    def test_span_clipping_never_negative(self, rows, t0, width):
+        tasks = build_tasks(rows)
+        u = utilization(tasks, total_cores=1000, span=(t0, t0 + width))
+        assert u >= 0.0
+
+
+class TestThroughputProperties:
+    @given(st.lists(st.floats(0, 1e5, allow_nan=False), min_size=2,
+                    max_size=200))
+    @settings(max_examples=100)
+    def test_nonnegative_and_consistent(self, starts):
+        arr = np.sort(np.array(starts))
+        stats = throughput(arr)
+        assert stats.n_tasks == len(starts)
+        assert stats.avg >= 0.0
+        assert stats.peak >= 0.0
+        if np.isfinite(stats.avg) and stats.window > 1.0:
+            # Peak binned rate is never below the overall average
+            # (pigeonhole over the bins covering the window).
+            assert stats.peak >= stats.avg * 0.5
+
+    @given(st.integers(2, 100), st.floats(0.001, 10.0))
+    def test_uniform_spacing_exact(self, n, gap):
+        arr = np.arange(n) * gap
+        stats = throughput(arr)
+        assert abs(stats.avg - n / ((n - 1) * gap)) / stats.avg < 1e-9

@@ -1,0 +1,59 @@
+"""Property-based tests for the MPI cost model."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import (
+    CommParams,
+    allreduce_time,
+    alltoall_time,
+    barrier_time,
+    bcast_time,
+    ptp_time,
+)
+
+params = st.builds(
+    CommParams,
+    intra_node_latency=st.floats(1e-8, 1e-4),
+    inter_node_latency=st.floats(1e-7, 1e-3),
+    bandwidth=st.floats(1e8, 1e12))
+
+ranks = st.integers(1, 4096)
+sizes = st.floats(0.0, 1e12)
+
+
+class TestModelProperties:
+    @given(params, ranks, sizes)
+    def test_all_collectives_nonnegative(self, p, n, nbytes):
+        for fn in (bcast_time, allreduce_time, alltoall_time):
+            assert fn(p, n, nbytes) >= 0.0
+        assert barrier_time(p, n) >= 0.0
+        assert ptp_time(p, nbytes) >= 0.0
+
+    @given(params, st.integers(2, 2048), sizes)
+    def test_monotone_in_ranks(self, p, n, nbytes):
+        for fn in (bcast_time, allreduce_time, alltoall_time):
+            assert fn(p, 2 * n, nbytes) >= fn(p, n, nbytes) - 1e-15
+        assert barrier_time(p, 2 * n) >= barrier_time(p, n)
+
+    @given(params, ranks, st.floats(0.0, 1e11))
+    def test_monotone_in_bytes(self, p, n, nbytes):
+        for fn in (bcast_time, allreduce_time, alltoall_time):
+            assert fn(p, n, 2 * nbytes + 1) >= fn(p, n, nbytes) - 1e-15
+
+    @given(params, st.integers(2, 4096), sizes)
+    def test_intra_node_never_slower(self, p, n, nbytes):
+        # The invariant presumes a sane fabric (on-node hops are not
+        # slower than cross-node ones).
+        assume(p.intra_node_latency <= p.inter_node_latency)
+        for fn in (bcast_time, allreduce_time, alltoall_time):
+            assert (fn(p, n, nbytes, spans_nodes=False)
+                    <= fn(p, n, nbytes, spans_nodes=True) + 1e-15)
+
+    @given(params, st.integers(2, 4096), st.floats(1.0, 1e10))
+    def test_allreduce_bandwidth_bound(self, p, n, nbytes):
+        """Rabenseifner's bandwidth term is < 2 full message transfers."""
+        pure_bw = allreduce_time(
+            CommParams(intra_node_latency=0.0, inter_node_latency=0.0,
+                       bandwidth=p.bandwidth), n, nbytes)
+        assert pure_bw <= 2 * nbytes / p.bandwidth + 1e-12

@@ -1,0 +1,132 @@
+"""Tests for the Slurm batch queue: FIFO, EASY backfill, recycling."""
+
+import pytest
+
+from repro.core import PilotDescription, PilotState, Session
+from repro.platform import DETERMINISTIC_LATENCIES, generic
+from repro.rjms import SlurmController
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def controller(env, rng):
+    return SlurmController(env, generic(8), DETERMINISTIC_LATENCIES, rng)
+
+
+def submit(env, ctl, n_nodes, walltime=float("inf")):
+    return env.process(ctl.submit_batch_job(n_nodes, walltime))
+
+
+class TestQueueing:
+    def test_immediate_grant_when_free(self, env, controller):
+        alloc = env.run(submit(env, controller, 4))
+        assert alloc.n_nodes == 4
+        assert controller.queue_depth == 0
+
+    def test_second_job_queues_when_full(self, env, controller):
+        p1 = submit(env, controller, 8, walltime=100.0)
+        p2 = submit(env, controller, 4)
+        env.run(until=10.0)
+        assert p1.triggered
+        assert not p2.triggered
+        assert controller.queue_depth == 1
+
+    def test_release_grants_queued_job(self, env, controller):
+        p1 = submit(env, controller, 8, walltime=100.0)
+        p2 = submit(env, controller, 4)
+        env.run(until=1.0)
+        alloc1 = p1.value
+        controller.release_job(alloc1)
+        env.run(until=2.0)
+        assert p2.triggered
+        assert p2.value.n_nodes == 4
+
+    def test_fifo_order_preserved(self, env, controller):
+        granted = []
+
+        def job(env, ctl, name, n):
+            alloc = yield env.process(ctl.submit_batch_job(n, 50.0))
+            granted.append((name, env.now))
+            yield env.timeout(50.0)
+            ctl.release_job(alloc)
+
+        env.process(job(env, controller, "a", 8))
+        env.process(job(env, controller, "b", 8))
+        env.process(job(env, controller, "c", 8))
+        env.run()
+        assert [n for n, _ in granted] == ["a", "b", "c"]
+
+    def test_release_unknown_job_is_noop(self, env, controller):
+        alloc = env.run(submit(env, controller, 2))
+        controller.release_job(alloc)
+        controller.release_job(alloc)  # second release: no-op
+        assert controller.cluster.free_nodes == 8
+
+
+class TestBackfill:
+    def test_short_small_job_backfills(self, env, controller):
+        """head needs the whole machine at t=100; a 4-node 50 s job
+        fits in the hole and jumps the queue."""
+        grants = {}
+
+        def job(env, ctl, name, n, wall):
+            alloc = yield env.process(ctl.submit_batch_job(n, wall))
+            grants[name] = env.now
+            yield env.timeout(wall)
+            ctl.release_job(alloc)
+
+        env.process(job(env, controller, "running", 4, 100.0))
+        env.run(until=1.0)
+        env.process(job(env, controller, "head", 8, 100.0))
+        env.process(job(env, controller, "filler", 4, 50.0))
+        env.run()
+        assert grants["filler"] < grants["head"]
+        assert grants["filler"] < 2.0  # backfilled immediately
+
+    def test_long_job_does_not_delay_head(self, env, controller):
+        grants = {}
+
+        def job(env, ctl, name, n, wall):
+            alloc = yield env.process(ctl.submit_batch_job(n, wall))
+            grants[name] = env.now
+            yield env.timeout(wall)
+            ctl.release_job(alloc)
+
+        env.process(job(env, controller, "running", 4, 100.0))
+        env.run(until=1.0)
+        env.process(job(env, controller, "head", 8, 100.0))
+        env.process(job(env, controller, "greedy", 4, 500.0))
+        env.run()
+        # greedy's walltime overlaps the head's reservation: it must
+        # NOT start before the head.
+        assert grants["head"] < grants["greedy"]
+
+
+class TestPilotIntegration:
+    def test_pilots_queue_and_recycle_nodes(self):
+        session = Session(cluster=generic(4, 8, 2), seed=95)
+        pmgr = session.pilot_manager()
+        # Two full-machine pilots with walltimes: the second waits for
+        # the first to expire, then reuses its nodes.
+        first = pmgr.submit_pilots(PilotDescription(nodes=4, walltime=100.0))
+        second = pmgr.submit_pilots(PilotDescription(nodes=4,
+                                                     walltime=100.0))
+        session.run(second.active_event())
+        assert first.state == PilotState.DONE  # walltime expired
+        assert second.is_active
+        assert session.now >= 100.0
+
+    def test_canceled_pilot_frees_nodes(self):
+        session = Session(cluster=generic(4, 8, 2), seed=96)
+        pmgr = session.pilot_manager()
+        first = pmgr.submit_pilots(PilotDescription(nodes=4))
+        session.run(first.active_event())
+        waiting = pmgr.submit_pilots(PilotDescription(nodes=4))
+        session.run(until=session.now + 5.0)
+        assert not waiting.is_active
+        # Cancel the holder; the waiter gets its nodes.
+        if first.agent is not None:
+            first.agent.shutdown()
+        first.advance(PilotState.CANCELED)
+        session.run(waiting.active_event())
+        assert waiting.is_active

@@ -1,0 +1,161 @@
+"""Unit tests for the PRRTE DVM substrate."""
+
+import pytest
+
+from repro.exceptions import RuntimeStartupError
+from repro.platform import DETERMINISTIC_LATENCIES, FRONTIER_LATENCIES, generic
+from repro.rjms import DvmState, PrrteDVM
+from repro.sim import Environment, RngStreams
+
+
+def make_dvm(env, rng, n_nodes=4, latencies=FRONTIER_LATENCIES):
+    alloc = generic(n_nodes).allocate_nodes(n_nodes)
+    return PrrteDVM(env, alloc, latencies, rng, dvm_id="dvm.test")
+
+
+class TestLifecycle:
+    def test_bootstrap_faster_than_flux(self, env, rng):
+        dvm = make_dvm(env, rng, latencies=DETERMINISTIC_LATENCIES)
+        env.run(env.process(dvm.start()))
+        assert dvm.is_ready
+        assert env.now < DETERMINISTIC_LATENCIES.flux_startup_mean
+
+    def test_double_start_raises(self, env, rng):
+        dvm = make_dvm(env, rng)
+        env.run(env.process(dvm.start()))
+        with pytest.raises(RuntimeStartupError):
+            env.run(env.process(dvm.start()))
+
+    def test_run_before_ready_raises(self, env, rng):
+        dvm = make_dvm(env, rng)
+        with pytest.raises(RuntimeStartupError):
+            next(dvm.run_task(duration=1.0))
+
+    def test_shutdown(self, env, rng):
+        dvm = make_dvm(env, rng)
+        env.run(env.process(dvm.start()))
+        dvm.shutdown()
+        assert dvm.state == DvmState.STOPPED
+
+
+class TestLaunching:
+    def test_tasks_run_with_duration(self, env, rng):
+        dvm = make_dvm(env, rng, latencies=DETERMINISTIC_LATENCIES)
+        env.run(env.process(dvm.start()))
+        spans = []
+        procs = [env.process(dvm.run_task(
+            duration=5.0,
+            on_start=lambda: spans.append(("start", env.now)),
+            on_stop=lambda: spans.append(("stop", env.now))))
+            for _ in range(3)]
+        env.run(env.all_of(procs))
+        starts = [t for k, t in spans if k == "start"]
+        stops = [t for k, t in spans if k == "stop"]
+        assert len(starts) == len(stops) == 3
+        assert all(b - a == pytest.approx(5.0)
+                   for a, b in zip(sorted(starts), sorted(stops)))
+
+    def test_controller_serializes_launches(self, env, rng):
+        lat = DETERMINISTIC_LATENCIES
+        dvm = make_dvm(env, rng, latencies=lat)
+        env.run(env.process(dvm.start()))
+        starts = []
+        procs = [env.process(dvm.run_task(
+            duration=0.0, on_start=lambda: starts.append(env.now)))
+            for _ in range(100)]
+        env.run(env.all_of(procs))
+        rate = (len(starts) - 1) / (max(starts) - min(starts))
+        expected = 1.0 / (lat.prrte_launch_cost
+                          + lat.prrte_launch_per_node * 4)
+        assert rate == pytest.approx(expected, rel=0.02)
+
+    def test_no_concurrency_ceiling(self, env, rng):
+        """Hundreds of concurrent long tasks — no srun-like cap."""
+        dvm = make_dvm(env, rng, n_nodes=8)
+        env.run(env.process(dvm.start()))
+        running = [0]
+        peak = [0]
+
+        def on_start():
+            running[0] += 1
+            peak[0] = max(peak[0], running[0])
+
+        def on_stop():
+            running[0] -= 1
+
+        procs = [env.process(dvm.run_task(duration=300.0,
+                                          on_start=on_start,
+                                          on_stop=on_stop))
+                 for _ in range(300)]
+        env.run(env.all_of(procs))
+        assert peak[0] == 300
+
+    def test_launch_cost_grows_with_dvm_size(self, env, rng):
+        lat = DETERMINISTIC_LATENCIES
+        small = make_dvm(env, rng, n_nodes=1, latencies=lat)
+        large = make_dvm(Environment(), RngStreams(0), n_nodes=64,
+                         latencies=lat)
+        assert large.launch_cost() > small.launch_cost()
+
+
+class TestExecutorIntegration:
+    def test_prrte_backend_end_to_end(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+
+        session = Session(cluster=generic(4, 8, 2), seed=71)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("prrte"),)))
+        tmgr.add_pilot(pilot)
+        tasks = tmgr.submit_tasks([TaskDescription(duration=5.0)
+                                   for _ in range(50)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)
+        assert all(t.backend == "prrte" for t in tasks)
+        ex = pilot.agent.executors["prrte"]
+        assert ex.allocation.free_cores == ex.allocation.total_cores
+
+    def test_router_prefers_flux_over_prrte_over_srun(self):
+        from repro.core import TaskDescription
+        from repro.core.agent.router import Router
+
+        td = TaskDescription()
+        assert Router(["srun", "prrte", "flux"]).route(td, 8, 2) == "flux"
+        assert Router(["srun", "prrte"]).route(td, 8, 2) == "prrte"
+        assert Router(["srun"]).route(td, 8, 2) == "srun"
+
+    def test_prrte_cancellation(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription,
+            TaskState)
+
+        session = Session(cluster=generic(4, 8, 2), seed=72)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("prrte"),)))
+        tmgr.add_pilot(pilot)
+        tasks = tmgr.submit_tasks([TaskDescription(duration=1e6)
+                                   for _ in range(4)])
+        session.run(until=session.now + 30.0)
+        tmgr.cancel_tasks()
+        session.run(until=session.now + 10.0)
+        assert all(t.state == TaskState.CANCELED for t in tasks)
+        ex = pilot.agent.executors["prrte"]
+        assert ex.allocation.free_cores == ex.allocation.total_cores
+
+    def test_prrte_retry_on_failure(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription,
+            TaskState)
+
+        session = Session(cluster=generic(4, 8, 2), seed=73)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("prrte"),)))
+        tmgr.add_pilot(pilot)
+        task = tmgr.submit_tasks(TaskDescription(duration=1.0, fail=True,
+                                                 retries=2))
+        session.run(tmgr.wait_tasks())
+        assert task.state == TaskState.FAILED
+        assert task.attempts == 2

@@ -1,0 +1,68 @@
+"""Unit tests for the Slurm controller model."""
+
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.platform import DETERMINISTIC_LATENCIES, generic
+from repro.rjms import SlurmController
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def controller(env, rng):
+    return SlurmController(env, generic(16), DETERMINISTIC_LATENCIES, rng)
+
+
+class TestBatchJobs:
+    def test_grants_allocation(self, env, controller):
+        alloc = env.run(env.process(controller.submit_batch_job(4)))
+        assert alloc.n_nodes == 4
+
+    def test_oversized_request_raises(self, env, controller):
+        with pytest.raises(AllocationError):
+            env.run(env.process(controller.submit_batch_job(100)))
+
+    def test_queue_wait_delays_grant(self, env, rng):
+        ctl = SlurmController(env, generic(4), DETERMINISTIC_LATENCIES, rng,
+                              queue_wait=10.0)
+        env.run(env.process(ctl.submit_batch_job(2)))
+        assert env.now > 0.0
+
+
+class TestLaunchPath:
+    def test_service_time_grows_with_nodes(self, controller):
+        t1 = controller.launch_service_time(1)
+        t16 = controller.launch_service_time(16)
+        assert t16 > t1
+
+    def test_deterministic_service_time(self, controller):
+        lat = DETERMINISTIC_LATENCIES
+        expected = (lat.srun_ctl_base + lat.srun_ctl_per_node * 4
+                    + lat.srun_ctl_per_node15 * 8.0)
+        assert controller.launch_service_time(4) == pytest.approx(expected)
+
+    def test_pipeline_serializes_launches(self, env, controller):
+        done = []
+
+        def launch(env, ctl, i):
+            yield from ctl.process_launch_rpc(alloc_nodes=1)
+            done.append((env.now, i))
+
+        for i in range(5):
+            env.process(launch(env, controller, i))
+        env.run()
+        times = [t for t, _ in done]
+        # Strictly increasing completion times: launches are serialized.
+        assert all(b > a for a, b in zip(times, times[1:]))
+        per_launch = controller.launch_service_time(1)
+        assert times[-1] == pytest.approx(5 * per_launch)
+
+    def test_pipeline_depth_visible(self, env, controller):
+        for _ in range(3):
+            env.process(_launch_gen(env, controller))
+        env.step()  # start the first process
+        assert controller.pipeline_depth >= 0
+
+
+def _launch_gen(env, ctl):
+    yield from ctl.process_launch_rpc(alloc_nodes=2)

@@ -1,0 +1,101 @@
+"""Unit tests for the srun launcher and its concurrency ceiling."""
+
+import pytest
+
+from repro.platform import DETERMINISTIC_LATENCIES, generic
+from repro.rjms import SlurmController, SrunLauncher
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def srun(env, rng):
+    lat = DETERMINISTIC_LATENCIES.with_overrides(srun_ceiling=4)
+    ctl = SlurmController(env, generic(16), lat, rng)
+    return SrunLauncher(env, ctl, lat, rng)
+
+
+class TestCeiling:
+    def test_concurrency_capped(self, env, srun):
+        peak = [0]
+
+        def track_start():
+            peak[0] = max(peak[0], srun.active)
+
+        for _ in range(10):
+            env.process(srun.run_task(alloc_nodes=1, duration=100.0,
+                                      on_start=track_start))
+        env.run()
+        assert peak[0] <= 4
+
+    def test_all_tasks_complete_despite_ceiling(self, env, srun):
+        stops = []
+        for i in range(10):
+            env.process(srun.run_task(alloc_nodes=1, duration=10.0,
+                                      on_stop=lambda i=i: stops.append(i)))
+        env.run()
+        assert len(stops) == 10
+
+    def test_slot_held_for_task_lifetime(self, env, srun):
+        """A 4-slot ceiling with 8 long tasks runs exactly 2 waves."""
+        starts = []
+        for _ in range(8):
+            env.process(srun.run_task(
+                alloc_nodes=1, duration=50.0,
+                on_start=lambda: starts.append(env.now)))
+        env.run()
+        waves = sorted(starts)
+        assert len(waves) == 8
+        # Second wave begins only after first-wave tasks end (>= 50 s).
+        assert waves[4] - waves[0] >= 50.0
+
+    def test_waiting_counter(self, env, srun):
+        for _ in range(10):
+            env.process(srun.run_task(alloc_nodes=1, duration=100.0))
+        env.run(until=1.0)
+        assert srun.active == 4
+        assert srun.waiting == 6
+
+    def test_null_tasks_cycle_quickly(self, env, srun):
+        count = [0]
+        for _ in range(20):
+            env.process(srun.run_task(
+                alloc_nodes=1, duration=0.0,
+                on_stop=lambda: count.__setitem__(0, count[0] + 1)))
+        env.run()
+        assert count[0] == 20
+        assert srun.active == 0
+
+
+class TestLaunchRate:
+    def test_controller_bound_throughput(self, env, rng):
+        """Null-task launch rate equals the controller service rate."""
+        lat = DETERMINISTIC_LATENCIES
+        ctl = SlurmController(env, generic(16), lat, rng)
+        launcher = SrunLauncher(env, ctl, lat, rng)
+        starts = []
+        for _ in range(100):
+            env.process(launcher.run_task(
+                alloc_nodes=1, duration=0.0,
+                on_start=lambda: starts.append(env.now)))
+        env.run()
+        window = max(starts) - min(starts)
+        rate = (len(starts) - 1) / window
+        expected = 1.0 / (lat.srun_ctl_base + lat.srun_ctl_per_node
+                          + lat.srun_ctl_per_node15)
+        assert rate == pytest.approx(expected, rel=0.02)
+
+    def test_rate_declines_with_allocation_size(self, env, rng):
+        lat = DETERMINISTIC_LATENCIES
+        ctl = SlurmController(env, generic(64), lat, rng)
+        launcher = SrunLauncher(env, ctl, lat, rng)
+
+        def measure(alloc_nodes):
+            starts = []
+            procs = [env.process(launcher.run_task(
+                alloc_nodes=alloc_nodes, duration=0.0,
+                on_start=lambda: starts.append(env.now)))
+                for _ in range(50)]
+            env.run(env.all_of(procs))
+            return (len(starts) - 1) / (max(starts) - min(starts))
+
+        assert measure(1) > measure(4) > measure(16)

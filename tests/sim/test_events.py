@@ -1,0 +1,151 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Timeout
+
+
+class TestEvent:
+    def test_starts_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        ev = env.event()
+        ev._defused = True
+        ev.fail(ValueError("boom"))
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_callbacks_fire_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        assert seen == []  # not yet processed
+        env.run()
+        assert seen == ["hello"]
+        assert ev.processed
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        fired = []
+        ev = env.timeout(5.0)
+        ev.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_carries_value(self, env):
+        ev = env.timeout(1.0, value="payload")
+        env.run()
+        assert ev.value == "payload"
+
+    def test_pending_timeout_is_triggered_but_not_processed(self, env):
+        # Regression: a Timeout is "triggered" at creation; conditions
+        # must not count it as already happened.
+        ev = env.timeout(60.0)
+        assert ev.triggered
+        assert not ev.processed
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self, env):
+        t1, t2, t3 = env.timeout(1), env.timeout(5), env.timeout(3)
+        done_at = []
+        cond = env.all_of([t1, t2, t3])
+        cond.callbacks.append(lambda e: done_at.append(env.now))
+        env.run()
+        assert done_at == [5.0]
+
+    def test_any_of_fires_on_first(self, env):
+        t1, t2 = env.timeout(4), env.timeout(2)
+        done_at = []
+        cond = env.any_of([t1, t2])
+        cond.callbacks.append(lambda e: done_at.append(env.now))
+        env.run()
+        assert done_at == [2.0]
+
+    def test_any_of_does_not_count_pending_timeouts(self, env):
+        # Regression for the startup-watchdog bug: AnyOf(proc, timeout)
+        # must not fire at t=0 just because the timeout is scheduled.
+        def quick(env):
+            yield env.timeout(3.0)
+            return "done"
+
+        proc = env.process(quick(env))
+        watchdog = env.timeout(100.0)
+        fired = []
+        cond = env.any_of([proc, watchdog])
+        cond.callbacks.append(lambda e: fired.append(env.now))
+        env.run(until=50.0)
+        assert fired == [3.0]
+
+    def test_empty_all_of_fires_immediately(self, env):
+        cond = env.all_of([])
+        assert cond.triggered
+
+    def test_empty_any_of_fires_immediately(self, env):
+        cond = env.any_of([])
+        assert cond.triggered
+
+    def test_all_of_collects_values(self, env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(2, value="b")
+        cond = env.all_of([t1, t2])
+        env.run()
+        assert set(cond.value.values()) == {"a", "b"}
+
+    def test_all_of_with_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        env.run()
+        assert ev.processed
+        cond = env.all_of([ev, env.timeout(2)])
+        fired = []
+        cond.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [2.0]
+
+    def test_condition_fails_if_child_fails(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise RuntimeError("child died")
+
+        proc = env.process(failing(env))
+        cond = env.all_of([proc, env.timeout(10)])
+        cond._defused = True
+        env.run()
+        assert cond.triggered
+        assert not cond._ok

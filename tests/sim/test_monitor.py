@@ -1,0 +1,93 @@
+"""Tests for the sampling monitor."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Environment, Monitor
+
+
+class TestSetup:
+    def test_interval_validation(self, env):
+        with pytest.raises(SimulationError):
+            Monitor(env, interval=0)
+
+    def test_duplicate_probe(self, env):
+        mon = Monitor(env)
+        mon.probe("x", lambda: 1)
+        with pytest.raises(SimulationError):
+            mon.probe("x", lambda: 2)
+
+    def test_start_without_probes(self, env):
+        with pytest.raises(SimulationError):
+            Monitor(env).start()
+
+    def test_unknown_probe_query(self, env):
+        mon = Monitor(env)
+        mon.probe("x", lambda: 1)
+        with pytest.raises(SimulationError):
+            mon.samples("y")
+
+
+class TestSampling:
+    def test_samples_on_cadence(self, env):
+        state = {"v": 0}
+
+        def ticker(env):
+            for i in range(10):
+                yield env.timeout(1.0)
+                state["v"] = i + 1
+
+        mon = Monitor(env, interval=2.0)
+        mon.probe("v", lambda: state["v"])
+        env.process(ticker(env))
+        mon.start(stop_when=lambda: state["v"] >= 10)
+        env.run()
+        times = [t for t, _ in mon.samples("v")]
+        assert times[0] == 0.0
+        assert all(b - a == pytest.approx(2.0)
+                   for a, b in zip(times, times[1:]))
+
+    def test_peak_and_mean(self, env):
+        seq = iter([1, 5, 3, 2])
+        mon = Monitor(env, interval=1.0)
+        mon.probe("x", lambda: next(seq))
+        count = {"n": 0}
+
+        def bump():
+            count["n"] += 1
+            return count["n"] >= 4
+
+        mon.start(stop_when=bump)
+        env.run()
+        assert mon.peak("x") == 5
+        assert mon.mean("x") == pytest.approx(11 / 4)
+
+    def test_stop_ends_loop(self, env):
+        mon = Monitor(env, interval=1.0)
+        mon.probe("x", lambda: 0)
+        mon.start()
+        env.schedule(5.5, mon.stop)
+        env.run(until=20.0)
+        assert len(mon.samples("x")) == 6  # t=0..5
+
+    def test_monitor_against_real_workload(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        session = Session(cluster=generic(4, 8, 2), seed=55)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        tasks = tmgr.submit_tasks([TaskDescription(duration=20.0)
+                                   for _ in range(64)])
+        mon = Monitor(session.env, interval=5.0)
+        mon.probe("busy_cores",
+                  lambda: (pilot.allocation.busy_cores
+                           if pilot.allocation else 0))
+        mon.start(stop_when=lambda: all(t.is_final for t in tasks))
+        session.run(tmgr.wait_tasks())
+        # 64 x 20 s single-core tasks on 32 cores: the monitor saw the
+        # machine fully busy at some point.
+        assert mon.peak("busy_cores") == 32

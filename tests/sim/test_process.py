@@ -1,0 +1,168 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Environment, Interrupt
+
+
+class TestBasics:
+    def test_process_runs_generator(self, env):
+        log = []
+
+        def proc(env):
+            log.append(env.now)
+            yield env.timeout(3)
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [0.0, 3.0]
+
+    def test_return_value_becomes_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 99
+
+    def test_non_generator_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_is_alive(self, env):
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_processes_wait_on_each_other(self, env):
+        def child(env):
+            yield env.timeout(2)
+            return "child result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"got {result}"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "got child result"
+
+    def test_yield_already_processed_event_resumes_immediately(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+
+        def proc(env):
+            val = yield ev
+            return val
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "early"
+
+
+class TestFailures:
+    def test_exception_propagates_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("child broke")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "caught child broke"
+
+    def test_yield_non_event_throws_into_generator(self, env):
+        def proc(env):
+            try:
+                yield "not an event"
+            except SimulationError:
+                return "recovered"
+            yield env.timeout(0)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "recovered"
+
+    def test_active_process_visible_during_resume(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupts:
+    def test_interrupt_raises_inside_generator(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                log.append("finished")
+            except Interrupt as exc:
+                log.append(("interrupted", env.now, exc.cause))
+
+        p = env.process(sleeper(env))
+        env.schedule(10, p.interrupt, "watchdog")
+        env.run()
+        assert log == [("interrupted", 10.0, "watchdog")]
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_interrupted_process_can_continue(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            return env.now
+
+        p = env.process(sleeper(env))
+        env.schedule(10, p.interrupt)
+        env.run()
+        assert p.value == 15.0
+
+    def test_interrupt_detaches_from_target(self, env):
+        # After an interrupt, the original timeout firing must not
+        # resume the process a second time.
+        resumes = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(50)
+                resumes.append("timeout")
+            except Interrupt:
+                resumes.append("interrupt")
+                yield env.timeout(100)
+                resumes.append("second sleep")
+
+        p = env.process(sleeper(env))
+        env.schedule(10, p.interrupt)
+        env.run()
+        assert resumes == ["interrupt", "second sleep"]

@@ -1,0 +1,152 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Environment, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self, env):
+        res = Resource(env, capacity=2)
+        r1, r2, r3 = res.request(), res.request(), res.request()
+        assert r1.triggered and r2.triggered
+        assert not r3.triggered
+        assert res.count == 2
+        assert res.queued == 1
+
+    def test_release_grants_next_fifo(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r2 = res.request()
+        r3 = res.request()
+        r1.release()
+        assert r2.triggered and not r3.triggered
+        r2.release()
+        assert r3.triggered
+
+    def test_release_is_idempotent(self, env):
+        res = Resource(env, capacity=1)
+        r1 = res.request()
+        r1.release()
+        r1.release()
+        assert res.count == 0
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+        res.request()
+        r2 = res.request()
+        r2.release()  # cancel while queued
+        assert res.queued == 0
+
+    def test_context_manager_releases(self, env):
+        res = Resource(env, capacity=1)
+        acquired = []
+
+        def worker(env, res, name):
+            with res.request() as req:
+                yield req
+                acquired.append((env.now, name))
+                yield env.timeout(10)
+
+        env.process(worker(env, res, "a"))
+        env.process(worker(env, res, "b"))
+        env.run()
+        assert acquired == [(0.0, "a"), (10.0, "b")]
+
+    def test_fifo_fairness_under_contention(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, res, i):
+            yield env.timeout(i * 0.001)  # deterministic arrival order
+            with res.request() as req:
+                yield req
+                order.append(i)
+                yield env.timeout(1)
+
+        for i in range(5):
+            env.process(worker(env, res, i))
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        store.put("x")
+        got = store.get()
+        assert got.triggered and got.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer(env, store):
+            item = yield store.get()
+            results.append((env.now, item))
+
+        def producer(env, store):
+            yield env.timeout(5)
+            store.put("late")
+
+        env.process(consumer(env, store))
+        env.process(producer(env, store))
+        env.run()
+        assert results == [(5.0, "late")]
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        got = [store.get().value for _ in range(5)]
+        assert got == list(range(5))
+
+    def test_capacity_overflow_raises(self, env):
+        store = Store(env, capacity=2)
+        store.put(1)
+        store.put(2)
+        with pytest.raises(SimulationError):
+            store.put(3)
+
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_try_get(self, env):
+        store = Store(env)
+        assert store.try_get() is None
+        store.put("a")
+        assert store.try_get() == "a"
+        assert store.try_get() is None
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.items == [1, 2]
+
+    def test_waiting_getters_served_fifo(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer(env, store, name):
+            item = yield store.get()
+            results.append((name, item))
+
+        env.process(consumer(env, store, "first"))
+        env.process(consumer(env, store, "second"))
+
+        def producer(env, store):
+            yield env.timeout(1)
+            store.put("a")
+            store.put("b")
+
+        env.process(producer(env, store))
+        env.run()
+        assert results == [("first", "a"), ("second", "b")]

@@ -1,0 +1,148 @@
+"""Tests for the generic workflow DAG API."""
+
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+    TaskState,
+)
+from repro.exceptions import WorkloadError
+from repro.platform import generic
+from repro.workloads import (
+    FAIL_FAST,
+    SKIP_DEPENDENTS,
+    Workflow,
+    WorkflowRunner,
+)
+
+
+def diamond(fail_node=None):
+    """a -> (b, c) -> d."""
+    wf = Workflow("diamond")
+    for name, deps in (("a", ()), ("b", ("a",)), ("c", ("a",)),
+                       ("d", ("b", "c"))):
+        wf.add(name, TaskDescription(duration=5.0,
+                                     fail=(name == fail_node)),
+               depends_on=deps)
+    return wf
+
+
+@pytest.fixture
+def runtime():
+    session = Session(cluster=generic(4, 8, 2), seed=81)
+    pmgr, tmgr = session.pilot_manager(), session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=4, partitions=(PartitionSpec("flux"),)))
+    tmgr.add_pilot(pilot)
+    return session, tmgr
+
+
+class TestValidation:
+    def test_duplicate_node(self):
+        wf = Workflow()
+        wf.add("a", TaskDescription())
+        with pytest.raises(WorkloadError):
+            wf.add("a", TaskDescription())
+
+    def test_unknown_dependency(self):
+        wf = Workflow()
+        wf.add("a", TaskDescription(), depends_on=("ghost",))
+        with pytest.raises(WorkloadError, match="unknown node"):
+            wf.validate()
+
+    def test_cycle_detection(self):
+        wf = Workflow()
+        wf.add("a", TaskDescription(), depends_on=("b",))
+        wf.add("b", TaskDescription(), depends_on=("a",))
+        with pytest.raises(WorkloadError, match="cycle"):
+            wf.validate()
+
+    def test_self_cycle(self):
+        wf = Workflow()
+        wf.add("a", TaskDescription(), depends_on=("a",))
+        with pytest.raises(WorkloadError, match="cycle"):
+            wf.validate()
+
+    def test_topological_order(self):
+        wf = diamond()
+        order = wf.topological_order()
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("c")
+        assert order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_critical_path(self):
+        wf = diamond()
+        assert wf.critical_path_length() == pytest.approx(15.0)
+
+    def test_unknown_failure_policy(self, runtime):
+        session, tmgr = runtime
+        with pytest.raises(WorkloadError):
+            WorkflowRunner(session, tmgr, diamond(),
+                           failure_policy="retry-forever")
+
+
+class TestExecution:
+    def test_diamond_completes_in_order(self, runtime):
+        session, tmgr = runtime
+        runner = WorkflowRunner(session, tmgr, diamond())
+        session.run(runner.start())
+        tasks = runner.result.tasks
+        assert runner.result.succeeded
+        assert len(tasks) == 4
+        # b and c start only after a stops; d after both.
+        assert tasks["b"].exec_start >= tasks["a"].exec_stop
+        assert tasks["c"].exec_start >= tasks["a"].exec_stop
+        assert tasks["d"].exec_start >= max(tasks["b"].exec_stop,
+                                            tasks["c"].exec_stop)
+
+    def test_independent_branches_run_concurrently(self, runtime):
+        session, tmgr = runtime
+        runner = WorkflowRunner(session, tmgr, diamond())
+        session.run(runner.start())
+        tasks = runner.result.tasks
+        overlap = (min(tasks["b"].exec_stop, tasks["c"].exec_stop)
+                   - max(tasks["b"].exec_start, tasks["c"].exec_start))
+        assert overlap > 0
+
+    def test_skip_dependents_on_failure(self, runtime):
+        session, tmgr = runtime
+        runner = WorkflowRunner(session, tmgr, diamond(fail_node="b"),
+                                failure_policy=SKIP_DEPENDENTS)
+        session.run(runner.start())
+        assert not runner.result.succeeded
+        assert runner.result.tasks["b"].state == TaskState.FAILED
+        # c is independent of b: it still ran.
+        assert runner.result.tasks["c"].succeeded
+        # d depends on the failed b: skipped, never submitted.
+        assert "d" in runner.result.skipped
+        assert "d" not in runner.result.tasks
+
+    def test_fail_fast_aborts_remaining(self, runtime):
+        session, tmgr = runtime
+        wf = Workflow("chain")
+        wf.add("a", TaskDescription(duration=5.0, fail=True))
+        wf.add("b", TaskDescription(duration=5.0), depends_on=("a",))
+        wf.add("c", TaskDescription(duration=5.0), depends_on=("b",))
+        runner = WorkflowRunner(session, tmgr, wf,
+                                failure_policy=FAIL_FAST)
+        session.run(runner.start())
+        assert runner.result.skipped == ["b", "c"] or \
+            set(runner.result.skipped) == {"b", "c"}
+
+    def test_wide_fan_out(self, runtime):
+        session, tmgr = runtime
+        wf = Workflow("fanout")
+        wf.add("root", TaskDescription(duration=1.0))
+        for i in range(30):
+            wf.add(f"leaf{i}", TaskDescription(duration=2.0),
+                   depends_on=("root",))
+        wf.add("join", TaskDescription(duration=1.0),
+               depends_on=tuple(f"leaf{i}" for i in range(30)))
+        runner = WorkflowRunner(session, tmgr, wf)
+        session.run(runner.start())
+        assert runner.result.succeeded
+        assert len(runner.result.tasks) == 32

@@ -1,0 +1,109 @@
+"""Tests for the canonical workload patterns."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartitionSpec,
+    PilotDescription,
+    Session,
+    TaskDescription,
+)
+from repro.exceptions import WorkloadError
+from repro.platform import generic
+from repro.workloads import (
+    WorkflowRunner,
+    bag_of_tasks,
+    ensemble,
+    pipeline_with_feedback,
+    strong_scaling_sweep,
+)
+
+
+class TestBagOfTasks:
+    def test_fixed_durations(self):
+        bag = bag_of_tasks(10, duration=60.0)
+        assert len(bag) == 10
+        assert all(t.duration == 60.0 for t in bag)
+
+    def test_skewed_durations(self):
+        bag = bag_of_tasks(5000, duration=60.0, duration_cv=0.5, seed=1)
+        durations = np.array([t.duration for t in bag])
+        assert durations.mean() == pytest.approx(60.0, rel=0.05)
+        assert durations.std() / durations.mean() == pytest.approx(0.5,
+                                                                   rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = bag_of_tasks(10, duration_cv=0.5, seed=3)
+        b = bag_of_tasks(10, duration_cv=0.5, seed=3)
+        assert [t.duration for t in a] == [t.duration for t in b]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bag_of_tasks(-1)
+        with pytest.raises(WorkloadError):
+            bag_of_tasks(1, duration_cv=-1)
+
+
+class TestEnsemble:
+    def test_shapes(self):
+        members = ensemble(4, nodes_per_member=2, cores_per_node=8,
+                           duration=100.0, gpus_per_node=2)
+        assert len(members) == 4
+        assert all(m.resources.cores == 16 for m in members)
+        assert all(m.resources.gpus == 4 for m in members)
+        assert all(m.resources.exclusive_nodes for m in members)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ensemble(0, 1, 8, 1.0)
+
+
+class TestFeedbackPipeline:
+    def test_dag_structure(self):
+        wf = pipeline_with_feedback(generations=3, fan_out=4)
+        wf.validate()
+        assert len(wf) == 3 * 5
+        # Generation 1 samplers depend on generation 0's learner.
+        node = next(n for n in wf.nodes if n.name == "g1.sample0")
+        assert node.depends_on == ("g0.learn",)
+
+    def test_critical_path(self):
+        wf = pipeline_with_feedback(generations=2, fan_out=8,
+                                    sim_duration=100.0,
+                                    learn_duration=200.0)
+        assert wf.critical_path_length() == pytest.approx(600.0)
+
+    def test_executes_end_to_end(self):
+        session = Session(cluster=generic(4, 56, 8), seed=66)
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=4, partitions=(PartitionSpec("flux", nodes=2),
+                                 PartitionSpec("dragon", nodes=2))))
+        tmgr.add_pilot(pilot)
+        wf = pipeline_with_feedback(generations=2, fan_out=4,
+                                    sim_duration=10.0, learn_duration=20.0)
+        runner = WorkflowRunner(session, tmgr, wf)
+        session.run(runner.start())
+        assert runner.result.succeeded
+        # Samplers (functions) ran on dragon; learners on flux.
+        assert runner.result.tasks["g0.sample0"].backend == "dragon"
+        assert runner.result.tasks["g0.learn"].backend == "flux"
+
+
+class TestStrongScaling:
+    def test_work_conserved(self):
+        sweep = strong_scaling_sweep(base_cores=8, steps=4,
+                                     total_work=8000.0)
+        for task in sweep:
+            assert (task.resources.cores * task.duration
+                    == pytest.approx(8000.0))
+
+    def test_doubling(self):
+        sweep = strong_scaling_sweep(base_cores=2, steps=3,
+                                     total_work=100.0)
+        assert [t.resources.cores for t in sweep] == [2, 4, 8]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            strong_scaling_sweep(0, 1, 1.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    dummy_workload,
+    mixed_workload,
+    null_workload,
+    task_count,
+)
+
+
+class TestTaskCount:
+    def test_table1_formula(self):
+        # Table 1: n_nodes * cpn * 4; the srun experiment is 896 tasks
+        # on 4 nodes at 56 cores.
+        assert task_count(4, 56) == 896
+        assert task_count(1024, 56) == 229376
+
+    def test_waves_override(self):
+        assert task_count(4, 56, waves=1) == 224
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            task_count(0, 56)
+        with pytest.raises(ValueError):
+            task_count(4, 56, waves=0)
+
+
+class TestNullAndDummy:
+    def test_null_tasks_have_zero_duration(self):
+        tasks = null_workload(10)
+        assert len(tasks) == 10
+        assert all(t.duration == 0.0 for t in tasks)
+        assert all(t.executable == "null" for t in tasks)
+
+    def test_dummy_tasks_sleep(self):
+        tasks = dummy_workload(5, duration=180.0)
+        assert all(t.duration == 180.0 for t in tasks)
+        assert all(t.executable == "sleep-180" for t in tasks)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            dummy_workload(-1)
+
+    def test_resources(self):
+        tasks = dummy_workload(2, cores=4, gpus=1)
+        assert all(t.resources.cores == 4 for t in tasks)
+        assert all(t.resources.gpus == 1 for t in tasks)
+
+    def test_backend_hint_propagates(self):
+        tasks = null_workload(2, backend="dragon")
+        assert all(t.backend == "dragon" for t in tasks)
+
+
+class TestMixed:
+    def test_half_and_half(self):
+        tasks = mixed_workload(10, 10, duration=360.0)
+        execs = [t for t in tasks if t.mode == "executable"]
+        funcs = [t for t in tasks if t.mode == "function"]
+        assert len(execs) == 10 and len(funcs) == 10
+
+    def test_interleaved(self):
+        tasks = mixed_workload(5, 5)
+        modes = [t.mode for t in tasks[:10]]
+        assert modes == ["executable", "function"] * 5
+
+    def test_uneven_counts(self):
+        tasks = mixed_workload(7, 3)
+        assert len(tasks) == 10
+        assert sum(t.mode == "executable" for t in tasks) == 7
+
+    def test_no_interleave(self):
+        tasks = mixed_workload(3, 3, interleave=False)
+        assert [t.mode for t in tasks] == ["executable"] * 3 + ["function"] * 3
