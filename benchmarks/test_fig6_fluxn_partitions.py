@@ -10,9 +10,9 @@ Utilization >= 94.5 % up to 64 nodes, ~75 % at 1024 nodes/16 inst.
 from __future__ import annotations
 
 from repro.analytics.report import format_table
-from repro.experiments import ExperimentConfig, run_repetitions
+from repro.experiments import ExperimentConfig
 
-from .conftest import run_once
+from .conftest import repetitions, run_once
 
 #: (nodes, partitions, waves, reps) — the 1024-node points run one
 #: wave (57,344 tasks) to keep the sweep tractable.
@@ -36,7 +36,7 @@ def test_fig6_fluxn_partition_sweep(benchmark, emit):
             cfg = ExperimentConfig(exp_id="flux_n", launcher="flux",
                                    workload="null", n_nodes=n,
                                    n_partitions=p, waves=waves)
-            results[(n, p)] = run_repetitions(cfg, n_reps=reps)
+            results[(n, p)] = repetitions(cfg, n_reps=reps)
         return results
 
     run_once(benchmark, sweep)

@@ -1,0 +1,42 @@
+"""Simulator-kernel throughput benchmark (not a paper figure).
+
+Measures how many *simulated* tasks the DES stack pushes through per
+wall-clock second on the fixed reference configuration — 64 nodes,
+4 Flux partitions, one full null-task load (14,336 tasks) — and
+writes the number to ``BENCH_kernel.json`` at the repo root so the
+driver can track kernel performance across commits.  The simulated
+metrics themselves are deterministic; only the wall rate varies.
+
+See docs/MODEL.md, "Performance model of the simulator itself", for
+where the cycles go and what the fast paths are.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+from .conftest import run_once
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: The reference point: flux backend, 4 partitions, 64 nodes, 4 waves
+#: of null tasks = 64 * 56 * 4 = 14,336 tasks.
+CFG = ExperimentConfig(exp_id="perf_kernel", launcher="flux",
+                       workload="null", n_nodes=64, n_partitions=4,
+                       waves=4, seed=0)
+
+
+def test_kernel_tasks_per_wall_second(benchmark, emit):
+    result = run_once(benchmark, lambda: run_experiment(CFG))
+
+    assert result.n_tasks == 14336
+    assert result.n_done == result.n_tasks
+    rate = result.n_tasks / result.wall_seconds
+    BENCH_FILE.write_text(json.dumps(
+        {"tasks_per_wall_second": rate}, indent=2) + "\n")
+    emit(f"kernel throughput: {rate:,.0f} simulated tasks / wall second "
+         f"({result.n_tasks} tasks in {result.wall_seconds:.2f}s)\n"
+         f"wrote {BENCH_FILE}")

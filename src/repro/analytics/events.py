@@ -10,8 +10,7 @@ RP profiles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, NamedTuple
 
 # -- canonical event names -----------------------------------------------------
 # Task lifecycle (subset of RP's event model that the metrics consume).
@@ -33,9 +32,12 @@ BACKEND_STOP = "backend_stop"          #: runtime instance shut down
 BACKEND_FAILED = "backend_failed"      #: runtime instance crashed / timed out
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One timestamped event about one entity.
+
+    A named tuple rather than a (frozen) dataclass: one is allocated
+    per recorded trace event — hundreds of thousands per experiment —
+    and tuple construction is several times cheaper.
 
     Parameters
     ----------
@@ -52,7 +54,7 @@ class TraceEvent:
     time: float
     entity: str
     name: str
-    meta: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = {}
 
     def __repr__(self) -> str:
         return f"<{self.name} {self.entity} @ {self.time:.4f}>"

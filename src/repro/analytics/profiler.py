@@ -8,7 +8,6 @@ to numpy arrays for the metric functions.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 import numpy as np
@@ -20,31 +19,95 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Profiler:
-    """Append-only in-memory trace store keyed by event name and entity."""
+    """Append-only in-memory trace store keyed by event name and entity.
 
-    def __init__(self, env: "Environment") -> None:
+    ``record`` sits on the per-task hot path (5+ events per task), so
+    it does the minimum possible work: construct the record and append
+    it to one list.  The by-name / by-entity indexes that the query
+    methods need are built lazily, catching up on the un-indexed tail
+    the first time a query runs after new records arrived.
+
+    Parameters
+    ----------
+    enabled:
+        Off switch for no-trace runs: when ``False``, ``record`` is a
+        near-free no-op.  Metrics computed from :class:`Task` state
+        (throughput, utilization, makespan) still work; only
+        trace-derived data (startup overheads, exported profiles) is
+        empty.
+    """
+
+    def __init__(self, env: "Environment", enabled: bool = True) -> None:
         self._env = env
+        self.enabled = enabled
         self._events: List[TraceEvent] = []
-        self._by_name: Dict[str, List[TraceEvent]] = defaultdict(list)
-        self._by_entity: Dict[str, List[TraceEvent]] = defaultdict(list)
+        self._by_name: Dict[str, List[TraceEvent]] = {}
+        self._by_entity: Dict[str, List[TraceEvent]] = {}
+        # Watermarks into _events up to which each index is current.
+        # They advance independently: metric pipelines typically only
+        # query by name, so the (larger) per-entity index is often
+        # never built at all.
+        self._indexed_name = 0
+        self._indexed_entity = 0
 
     # -- recording --------------------------------------------------------
 
     def record(self, entity: str, name: str, at: Optional[float] = None,
-               **meta: Any) -> TraceEvent:
+               **meta: Any) -> Optional[TraceEvent]:
         """Record ``name`` for ``entity``.
 
         ``at`` overrides the timestamp (default: current simulated
         time) — used when the observing component learns about an
         event after it physically happened (e.g. completion messages
         arriving over a pipe), so traces carry the true event time.
+
+        Returns the recorded event, or ``None`` when tracing is
+        disabled.
         """
-        ev = TraceEvent(time=self._env.now if at is None else at,
+        if not self.enabled:
+            return None
+        ev = TraceEvent(time=self._env._now if at is None else at,
                         entity=entity, name=name, meta=meta)
         self._events.append(ev)
-        self._by_name[name].append(ev)
-        self._by_entity[entity].append(ev)
         return ev
+
+    def record_event(self, entity: str, name: str, meta: Dict[str, Any],
+                     at: Optional[float] = None) -> Optional[TraceEvent]:
+        """Like :meth:`record`, but takes the meta dict directly.
+
+        The hottest recording sites (task state transitions) build
+        their payload dict anyway; passing it by reference skips the
+        ``**kwargs`` re-packing of :meth:`record`.  The caller must
+        hand over a fresh dict (it is stored, not copied).
+        """
+        if not self.enabled:
+            return None
+        ev = TraceEvent(self._env._now if at is None else at,
+                        entity, name, meta)
+        self._events.append(ev)
+        return ev
+
+    def _index_names(self) -> None:
+        """Bring the by-name index up to date."""
+        events = self._events
+        start = self._indexed_name
+        if start == len(events):
+            return
+        by_name = self._by_name.setdefault
+        for ev in events[start:]:
+            by_name(ev[2], []).append(ev)     # ev.name
+        self._indexed_name = len(events)
+
+    def _index_entities(self) -> None:
+        """Bring the by-entity index up to date."""
+        events = self._events
+        start = self._indexed_entity
+        if start == len(events):
+            return
+        by_entity = self._by_entity.setdefault
+        for ev in events[start:]:
+            by_entity(ev[1], []).append(ev)   # ev.entity
+        self._indexed_entity = len(events)
 
     # -- queries ----------------------------------------------------------
 
@@ -56,24 +119,29 @@ class Profiler:
 
     def events_named(self, name: str) -> List[TraceEvent]:
         """All events with the given name, in record order."""
+        self._index_names()
         return list(self._by_name.get(name, ()))
 
     def events_for(self, entity: str) -> List[TraceEvent]:
         """All events of one entity, in record order."""
+        self._index_entities()
         return list(self._by_entity.get(entity, ()))
 
     def times(self, name: str) -> np.ndarray:
         """Timestamps of all events named ``name`` as a sorted array."""
+        self._index_names()
         ts = np.array([ev.time for ev in self._by_name.get(name, ())],
                       dtype=float)
         ts.sort()
         return ts
 
     def first(self, name: str) -> Optional[TraceEvent]:
+        self._index_names()
         evs = self._by_name.get(name)
         return evs[0] if evs else None
 
     def last(self, name: str) -> Optional[TraceEvent]:
+        self._index_names()
         evs = self._by_name.get(name)
         return evs[-1] if evs else None
 
@@ -82,6 +150,7 @@ class Profiler:
 
         Raises ``KeyError`` when either event is missing.
         """
+        self._index_entities()
         start = stop = None
         for ev in self._by_entity.get(entity, ()):
             if start is None and ev.name == start_name:
@@ -97,4 +166,5 @@ class Profiler:
 
     def timeline(self, entity: str) -> List[tuple]:
         """(time, name) pairs for one entity, in record order."""
+        self._index_entities()
         return [(ev.time, ev.name) for ev in self._by_entity.get(entity, ())]

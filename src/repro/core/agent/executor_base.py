@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ...platform.cluster import Allocation
+from ..states import TaskState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..task import Task
@@ -85,8 +86,6 @@ class ExecutorBase:
     # -- helpers -------------------------------------------------------------
 
     def _task_started(self, task: "Task") -> None:
-        from ..states import TaskState
-
         if task.state != TaskState.AGENT_EXECUTING:
             task.backend = self.backend
             task.advance(TaskState.AGENT_EXECUTING, backend=self.backend)

@@ -45,6 +45,14 @@ class Router:
 
     def __init__(self, available: Sequence[str]) -> None:
         self.available = tuple(available)
+        # The availability set only changes when a router is rebuilt,
+        # so the per-class candidate lists are precomputed instead of
+        # being filtered on every routing decision.
+        self._filtered = {
+            order: tuple(b for b in order if b in self.available)
+            for order in (_FUNCTION_ORDER, _EXEC_MULTI_NODE_ORDER,
+                          _EXEC_ORDER)
+        }
 
     def _order_for(self, td: TaskDescription, cores_per_node: int,
                    gpus_per_node: int) -> Sequence[str]:
@@ -65,7 +73,7 @@ class Router:
                 f"requested backend {td.backend!r} not deployed "
                 f"(available: {self.available})")
         order = self._order_for(td, cores_per_node, gpus_per_node)
-        candidates = [b for b in order if b in self.available]
+        candidates = self._filtered[order]
         if not candidates:
             raise SchedulingError(
                 f"no deployed backend can run task mode={td.mode} "

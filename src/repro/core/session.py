@@ -32,14 +32,15 @@ class Session:
     def __init__(self, cluster: Optional[Cluster] = None,
                  latencies: LatencyModel = FRONTIER_LATENCIES,
                  seed: int = 0,
-                 env: Optional[Environment] = None) -> None:
+                 env: Optional[Environment] = None,
+                 trace: bool = True) -> None:
         self.env = env if env is not None else Environment()
         self.cluster = cluster if cluster is not None else frontier()
         self.latencies = latencies
         self.rng = RngStreams(seed)
         self.ids = IdRegistry()
         self.uid = self.ids.next("session")
-        self.profiler = Profiler(self.env)
+        self.profiler = Profiler(self.env, enabled=trace)
         from ..platform.filesystem import SharedFilesystem
 
         self.filesystem = SharedFilesystem(self.env)

@@ -27,6 +27,16 @@ _STATE_EVENTS = {
 class Task:
     """One unit of work flowing through the pilot runtime."""
 
+    # Tasks are the hottest per-entity object in a run (tens of
+    # thousands, several state transitions each); slots keep their
+    # attribute access off the instance-dict path.
+    __slots__ = (
+        "env", "uid", "description", "profiler", "state", "state_history",
+        "backend", "exec_start", "exec_stop", "exception", "attempts",
+        "retries_left", "_final_event", "_exec_event", "_on_final",
+        "_payload",
+    )
+
     def __init__(self, env: "Environment", uid: str,
                  description: TaskDescription,
                  profiler: Optional["Profiler"] = None) -> None:
@@ -44,21 +54,34 @@ class Task:
         self.retries_left = description.retries
         self._final_event: Optional["Event"] = None
         self._exec_event: Optional["Event"] = None
+        #: Optional ``fn(task)`` invoked when the task reaches a final
+        #: state.  Cheaper than :meth:`completion_event` for bulk
+        #: waiters (no per-task Event or queue round-trip); see
+        #: :meth:`TaskManager.wait_tasks`.
+        self._on_final = None
+        # Base trace payload, copied into every state-event record
+        # (the resource request never changes over a task's life).
+        resources = description.resources
+        self._payload = {"cores": resources.cores, "gpus": resources.gpus}
         if profiler is not None:
-            profiler.record(uid, tev.TASK_CREATED,
-                            cores=description.resources.cores,
-                            gpus=description.resources.gpus,
-                            mode=description.mode)
+            profiler.record_event(
+                uid, tev.TASK_CREATED,
+                {"cores": resources.cores, "gpus": resources.gpus,
+                 "mode": description.mode})
 
     # -- state machine ------------------------------------------------------
 
     def advance(self, new_state: str, **meta) -> None:
         """Move to ``new_state``, enforcing legality and tracing."""
-        check_transition("task", self.state, new_state, TaskState.TRANSITIONS)
+        legal = TaskState.TRANSITIONS.get(self.state)
+        if legal is None or new_state not in legal:
+            # Delegate to the checker for the canonical error message.
+            check_transition("task", self.state, new_state,
+                             TaskState.TRANSITIONS)
         self.state = new_state
-        self.state_history.append((self.env.now, new_state))
+        self.state_history.append((self.env._now, new_state))
         if new_state == TaskState.AGENT_EXECUTING:
-            self.exec_start = self.env.now
+            self.exec_start = self.env._now
             self.exec_stop = None
         elif self.exec_start is not None and self.exec_stop is None and (
                 new_state in TaskState.FINAL
@@ -70,19 +93,22 @@ class Task:
         if self.profiler is not None and new_state != TaskState.NEW:
             name = _STATE_EVENTS.get(new_state)
             if name is not None:
-                payload = dict(meta)
-                payload.setdefault("cores", self.description.resources.cores)
-                payload.setdefault("gpus", self.description.resources.gpus)
+                payload = self._payload.copy()
                 if self.backend is not None:
-                    payload.setdefault("backend", self.backend)
-                self.profiler.record(self.uid, name, **payload)
+                    payload["backend"] = self.backend
+                if meta:
+                    payload.update(meta)
+                self.profiler.record_event(self.uid, name, payload)
         if new_state == TaskState.AGENT_EXECUTING \
                 and self._exec_event is not None \
                 and not self._exec_event.triggered:
             self._exec_event.succeed()
-        if new_state in TaskState.FINAL and self._final_event is not None:
-            if not self._final_event.triggered:
+        if new_state in TaskState.FINAL:
+            if self._final_event is not None \
+                    and not self._final_event.triggered:
                 self._final_event.succeed(new_state)
+            if self._on_final is not None:
+                self._on_final(self)
 
     def mark_exec_stop(self, when: Optional[float] = None) -> None:
         """Record the payload stop time (before staging-out / DONE).
@@ -90,13 +116,12 @@ class Task:
         ``when`` backdates the stop to the true payload end when the
         notification arrived later (asynchronous completion pipes).
         """
-        self.exec_stop = self.env.now if when is None else when
+        self.exec_stop = self.env._now if when is None else when
         if self.profiler is not None:
-            self.profiler.record(self.uid, tev.TASK_EXEC_STOP,
-                                 at=self.exec_stop,
-                                 cores=self.description.resources.cores,
-                                 gpus=self.description.resources.gpus,
-                                 backend=self.backend or "")
+            payload = self._payload.copy()
+            payload["backend"] = self.backend or ""
+            self.profiler.record_event(self.uid, tev.TASK_EXEC_STOP,
+                                       payload, at=self.exec_stop)
 
     # -- completion ------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from .harness import (
     run_experiment,
     run_repetitions,
 )
+from .parallel import resolve_jobs, run_many
 
 __all__ = [
     "AggregateResult",
@@ -42,7 +43,9 @@ __all__ = [
     "build_pilot_description",
     "build_workload",
     "config_by_id",
+    "resolve_jobs",
     "run_experiment",
+    "run_many",
     "run_repetitions",
     "table1_configs",
 ]

@@ -55,7 +55,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"wrote {n} trace events to {args.profile}")
         return 0
     if args.reps > 1:
-        agg = run_repetitions(cfg, n_reps=args.reps)
+        agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel)
         print(format_table(
             ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
              "util", "makespan[s]"],
@@ -74,18 +74,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    rows = []
+    cfgs = []
     for cfg in table1_configs():
         if args.waves:
             cfg = cfg.scaled(args.waves)
         if cfg.n_nodes > args.max_nodes:
             continue
-        r = run_experiment(cfg)
-        rows.append((cfg.exp_id, cfg.launcher, cfg.n_nodes, cfg.n_partitions,
-                     r.n_tasks, r.throughput.avg, r.throughput.peak,
-                     r.utilization_cores, r.makespan))
-        print(f"  done: {cfg.exp_id} @ {cfg.n_nodes} nodes "
-              f"({r.wall_seconds:.1f}s wall)", file=sys.stderr)
+        cfgs.append(cfg)
+    if args.parallel is not None:
+        from .parallel import run_many
+
+        results = run_many(cfgs, jobs=args.parallel)
+    else:
+        results = []
+        for cfg in cfgs:
+            r = run_experiment(cfg)
+            results.append(r)
+            print(f"  done: {cfg.exp_id} @ {cfg.n_nodes} nodes "
+                  f"({r.wall_seconds:.1f}s wall)", file=sys.stderr)
+    rows = [(cfg.exp_id, cfg.launcher, cfg.n_nodes, cfg.n_partitions,
+             r.n_tasks, r.throughput.avg, r.throughput.peak,
+             r.utilization_cores, r.makespan)
+            for cfg, r in zip(cfgs, results)]
     print(format_table(
         ["exp", "launcher", "nodes", "parts", "tasks", "avg/s", "peak/s",
          "util", "makespan[s]"],
@@ -107,6 +117,10 @@ def main(argv: List[str] = None) -> int:
     p_run.add_argument("--partitions", type=int, default=0)
     p_run.add_argument("--waves", type=int, default=0)
     p_run.add_argument("--reps", type=int, default=1)
+    p_run.add_argument("--parallel", nargs="?", const="auto", default=None,
+                       metavar="N",
+                       help="fan repetitions out over N worker processes "
+                            "(bare flag = one per core)")
     p_run.add_argument("--summary", action="store_true",
                        help="print the per-backend session summary")
     p_run.add_argument("--profile", default="",
@@ -115,6 +129,10 @@ def main(argv: List[str] = None) -> int:
     p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
     p_t1.add_argument("--waves", type=int, default=0)
     p_t1.add_argument("--max-nodes", type=int, default=1024)
+    p_t1.add_argument("--parallel", nargs="?", const="auto", default=None,
+                      metavar="N",
+                      help="run the sweep's configurations over N worker "
+                           "processes (bare flag = one per core)")
 
     p_fig = sub.add_parser(
         "figures", help="regenerate paper figures as CSV data files")

@@ -176,13 +176,30 @@ class AggregateResult:
 
 
 def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
-                    latencies: LatencyModel = FRONTIER_LATENCIES
-                    ) -> AggregateResult:
-    """Run ``n_reps`` seeds of one configuration and aggregate."""
+                    latencies: LatencyModel = FRONTIER_LATENCIES,
+                    parallel=None) -> AggregateResult:
+    """Run ``n_reps`` seeds of one configuration and aggregate.
+
+    ``parallel`` fans the repetitions out over worker processes
+    (``"auto"``/``0`` = one per core, an int = that many workers; see
+    :mod:`repro.experiments.parallel`).  Each repetition is an
+    independent seeded simulation, so the aggregate is identical to
+    the serial loop's — but parallel results carry no per-task objects
+    (``ExperimentResult.tasks`` is empty; tasks cannot cross the
+    process boundary).  The default (``None``) keeps the serial path.
+    """
     if n_reps < 1:
         raise ConfigurationError("n_reps must be >= 1")
-    results = [run_experiment(cfg.with_seed(cfg.seed + rep), latencies)
-               for rep in range(n_reps)]
+    cfgs = [cfg.with_seed(cfg.seed + rep) for rep in range(n_reps)]
+    if parallel is not None:
+        from .parallel import resolve_jobs, run_many
+
+        if resolve_jobs(parallel, n_items=n_reps) > 1:
+            results = run_many(cfgs, latencies, jobs=parallel)
+        else:
+            results = [run_experiment(c, latencies) for c in cfgs]
+    else:
+        results = [run_experiment(c, latencies) for c in cfgs]
     return AggregateResult(
         config=cfg,
         n_reps=n_reps,

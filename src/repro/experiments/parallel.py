@@ -1,0 +1,108 @@
+"""Process-parallel experiment fan-out.
+
+Every experiment run is a self-contained, seeded, deterministic
+simulation, so independent runs (the repetitions of
+:func:`~repro.experiments.harness.run_repetitions`, or the
+configurations of a sweep) can execute in separate worker processes
+with no coordination at all.  The contract is strict: a parallel run
+produces *exactly* the results of the equivalent serial loop — same
+metrics, same ordering, and byte-identical trace exports — because
+each worker seeds its own simulation from the config and nothing is
+shared between runs.
+
+Two things do not survive the trip back from a worker process:
+
+* ``ExperimentResult.tasks`` — task objects hold live generator
+  frames and environment references and are not picklable;
+* ``ExperimentResult.session`` — same reason, via the kernel queue.
+
+Both are stripped (``tasks=[]``, ``session=None``) from parallel
+results.  Callers that need the trace pass ``profile_path``: the
+worker then exports the profiler's JSONL *inside* the worker, where
+the session still exists, and the file lands on the shared
+filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import List, Optional, Sequence, Union
+
+from ..exceptions import ConfigurationError
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+from .configs import ExperimentConfig
+
+__all__ = ["resolve_jobs", "run_many"]
+
+
+def resolve_jobs(jobs: Union[int, str, None] = None,
+                 n_items: Optional[int] = None) -> int:
+    """Turn a ``--parallel`` style argument into a worker count.
+
+    ``None``, ``0`` and ``"auto"`` mean *use every core*; an integer
+    requests exactly that many workers.  The result is clamped to
+    ``n_items`` when given (more workers than runs is pure overhead)
+    and is always at least 1.
+    """
+    if jobs is None or jobs == 0 or jobs == "auto":
+        resolved = os.cpu_count() or 1
+    else:
+        try:
+            resolved = int(jobs)
+        except (TypeError, ValueError):
+            raise ConfigurationError(f"bad parallel job count {jobs!r}")
+        if resolved < 0:
+            raise ConfigurationError(f"negative parallel job count {jobs}")
+        if resolved == 0:
+            resolved = os.cpu_count() or 1
+    if n_items is not None:
+        resolved = min(resolved, max(n_items, 1))
+    return max(resolved, 1)
+
+
+def _run_one(payload):
+    """Worker entry point: run one experiment, return a picklable result.
+
+    Module-level (not a closure) so the pool can pickle it.  The
+    import of the harness is deferred to avoid a circular import —
+    ``harness`` imports :func:`run_many` lazily for the same reason.
+    """
+    cfg, latencies, profile_path = payload
+    from .harness import run_experiment
+
+    keep = profile_path is not None
+    result = run_experiment(cfg, latencies, keep_session=keep)
+    if keep:
+        from ..analytics import save_profile
+
+        save_profile(result.session.profiler, profile_path)
+    return replace(result, tasks=[], session=None)
+
+
+def run_many(configs: Sequence[ExperimentConfig],
+             latencies: LatencyModel = FRONTIER_LATENCIES,
+             jobs: Union[int, str, None] = None,
+             profile_paths: Optional[Sequence[Optional[str]]] = None,
+             ) -> List["ExperimentResult"]:  # noqa: F821
+    """Run several independent experiments, fanned out over processes.
+
+    Results come back in input order regardless of completion order.
+    With one worker (or one config) the pool is skipped entirely and
+    the runs execute in-process — the serial fallback used by callers
+    that were handed ``--parallel 1`` or run on a single-core box.
+    """
+    configs = list(configs)
+    if profile_paths is None:
+        profile_paths = [None] * len(configs)
+    elif len(profile_paths) != len(configs):
+        raise ConfigurationError(
+            f"{len(profile_paths)} profile paths for {len(configs)} configs")
+    payloads = [(cfg, latencies, path)
+                for cfg, path in zip(configs, profile_paths)]
+    n_workers = resolve_jobs(jobs, n_items=len(configs))
+    if n_workers <= 1 or len(configs) <= 1:
+        return [_run_one(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_run_one, payloads))

@@ -73,15 +73,29 @@ class FluxHierarchy:
         whose partition can ever host the job (wide jobs must go to a
         wide-enough instance).
         """
-        ready = [i for i in self.instances if i.is_ready
-                 and i.allocation.total_cores >= min_cores
-                 and i.allocation.total_gpus >= min_gpus]
-        if not ready:
+        # Single pass over plain attributes (no property indirection),
+        # computing each instance's outstanding count once — this runs
+        # per task submission.
+        ready = InstanceState.READY
+        low = None
+        candidates = []
+        for inst in self.instances:
+            if inst.state != ready:
+                continue
+            alloc = inst.allocation
+            if alloc._total_cores < min_cores or alloc._total_gpus < min_gpus:
+                continue
+            outstanding = (inst.n_submitted - inst.n_completed
+                           - inst.n_failed)
+            if low is None or outstanding < low:
+                low = outstanding
+                candidates = [inst]
+            elif outstanding == low:
+                candidates.append(inst)
+        if not candidates:
             raise RuntimeStartupError(
                 f"{self.name}: no ready instance can host "
                 f"{min_cores}c/{min_gpus}g")
-        low = min(i.outstanding for i in ready)
-        candidates = [i for i in ready if i.outstanding == low]
         self._rr = (self._rr + 1) % len(candidates)
         return candidates[self._rr]
 

@@ -30,7 +30,7 @@ from ..exceptions import JobspecError, RuntimeStartupError
 from ..ids import IdRegistry
 from ..platform.cluster import Allocation
 from ..platform.latency import LatencyModel
-from ..sim import Environment, Event, Resource, RngStreams, Store
+from ..sim import Environment, Event, Interrupt, Resource, RngStreams, Store
 from .events import (
     EV_ALLOC,
     EV_EXCEPTION,
@@ -41,6 +41,7 @@ from .events import (
     EventStream,
 )
 from .jobspec import FluxJob, FluxJobState, Jobspec
+from .scheduler import order_key
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analytics.profiler import Profiler
@@ -77,7 +78,14 @@ class FluxInstance:
         self.events = EventStream(env)
         self._ids = IdRegistry()
         self._ingest_queue: Store = Store(env)
+        #: Pending queue, kept in scheduling order incrementally: the
+        #: ingest loop appends (FCFS arrivals keep the order by
+        #: construction) and only an out-of-order arrival or an urgency
+        #: change marks it dirty, triggering one re-sort in the next
+        #: scheduling cycle instead of a full sort per cycle.
         self._pending: List[FluxJob] = []
+        self._pending_dirty = False
+        self._ingest_seq = 0
         self._running: List[FluxJob] = []
         self._jobs: Dict[str, FluxJob] = {}
         self._run_procs: Dict[str, object] = {}
@@ -264,6 +272,7 @@ class FluxInstance:
         if job is None or job not in self._pending:
             raise JobspecError(f"{job_id}: not pending, cannot reprioritize")
         job.spec = replace(job.spec, urgency=urgency)
+        self._pending_dirty = True
         self._kick()
 
     def stats(self) -> Dict[str, int]:
@@ -283,8 +292,12 @@ class FluxInstance:
     def _ingest_loop(self):
         """Serialized job-manager ingest: one job at a time."""
         while self._alive:
-            get = self._ingest_queue.get()
-            job = yield get
+            # Pop synchronously while the queue has backlog; only park
+            # on a blocking get when it is empty.  Under load this
+            # halves the event-queue round-trips of the ingest stage.
+            job = self._ingest_queue.try_get()
+            if job is None:
+                job = yield self._ingest_queue.get()
             if not self._alive:
                 break
             yield self.env.timeout(self.rng.lognormal_latency(
@@ -293,7 +306,12 @@ class FluxInstance:
             if job.exception is not None:  # flushed while in ingest
                 continue
             job.state = FluxJobState.SCHED
-            self._pending.append(job)
+            self._ingest_seq += 1
+            job.ingest_seq = self._ingest_seq
+            pending = self._pending
+            if pending and job.spec.urgency > pending[-1].spec.urgency:
+                self._pending_dirty = True
+            pending.append(job)
             self.events.publish(job.job_id, EV_SUBMIT)
             self._kick()
 
@@ -311,17 +329,21 @@ class FluxInstance:
                 yield self.env.timeout(gap)
             if not self._alive:
                 break
+            if self._pending_dirty:
+                self._pending.sort(key=order_key)
+                self._pending_dirty = False
             matches = self.policy.match(self._pending, self.allocation,
-                                        self._running, self.env.now)
+                                        self._running, self.env.now,
+                                        presorted=True)
             if not matches:
                 # Resources exhausted: sleep until a completion kicks us.
                 self._wake = self.env.event()
                 yield self._wake
                 continue
+            now = self.env.now
             for job, placements in matches:
-                self._pending.remove(job)
                 job.placements = placements
-                job.alloc_time = self.env.now
+                job.alloc_time = now
                 job.state = FluxJobState.RUN
                 self._running.append(job)
                 self.events.publish(job.job_id, EV_ALLOC,
@@ -329,14 +351,25 @@ class FluxInstance:
                                     gpus=job.spec.resources.gpus)
                 self._run_procs[job.job_id] = self.env.process(
                     self._dispatch(job))
+            # Drop all matched jobs from the pending queue.  FCFS (and
+            # usually backfill) matches a prefix of the ordered queue,
+            # which a single slice-delete removes; otherwise rebuild in
+            # one pass (one-by-one removal is quadratic in queue depth).
+            pending = self._pending
+            n = len(matches)
+            if (len(pending) >= n
+                    and all(pending[i] is matches[i][0] for i in range(n))):
+                del pending[:n]
+            else:
+                matched = {id(job) for job, _ in matches}
+                self._pending = [j for j in pending if id(j) not in matched]
 
     def _dispatch(self, job: FluxJob):
         """Spawn the job shell through a dispatch lane, then run it."""
-        from ..sim import Interrupt
-
         try:
-            with self._lanes.request() as lane:
-                yield lane
+            with self._lanes.request(direct=True) as lane:
+                if not lane.triggered:
+                    yield lane
                 spawn_mean = 1.0 / (self.latencies.flux_lane_rate
                                     * self._load_factor)
                 yield self.env.timeout(self.rng.lognormal_latency(

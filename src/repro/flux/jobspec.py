@@ -76,7 +76,7 @@ class FluxJobState:
     ORDER = (DEPEND, SCHED, RUN, CLEANUP, INACTIVE)
 
 
-@dataclass
+@dataclass(slots=True)
 class FluxJob:
     """Mutable per-job record kept inside a Flux instance."""
 
@@ -89,6 +89,9 @@ class FluxJob:
     finish_time: Optional[float] = None
     exception: Optional[str] = None
     placements: Optional[list] = None
+    #: Position in the instance's ingest order; the scheduling-order
+    #: tie-breaker (see :func:`repro.flux.scheduler.order_key`).
+    ingest_seq: int = 0
 
     @property
     def done(self) -> bool:

@@ -28,6 +28,44 @@ class Allocation:
         self.nodes: List[Node] = list(nodes)
         self.walltime = walltime
         self.job_id = job_id
+        self._by_index = {n.index: n for n in self.nodes}
+        # Aggregate counters, maintained incrementally.  The node set
+        # is fixed for the allocation's lifetime, so the totals are
+        # computed once; the free counts are pushed by the nodes on
+        # every allocate/release (see Node._watchers), which keeps them
+        # exact even when several allocations share nodes (a pilot
+        # allocation and its partitions, or a nested Flux instance).
+        self._total_cores = sum(n.n_cores for n in self.nodes)
+        self._total_gpus = sum(n.n_gpus for n in self.nodes)
+        self._free_cores = sum(n.free_cores for n in self.nodes)
+        self._free_gpus = sum(n.free_gpus for n in self.nodes)
+        # First-fit scan hint: every node at a position below
+        # ``_scan_hint`` is fully busy (zero free cores and GPUs), so
+        # ``try_place`` can skip straight past them.  The hint advances
+        # lazily during placement and is pulled back whenever a node
+        # frees resources (including through *another* allocation that
+        # shares the node — the delta callback carries the node index).
+        self._pos = {n.index: i for i, n in enumerate(self.nodes)}
+        self._scan_hint = 0
+        for node in self.nodes:
+            node._watchers.append(self)
+
+    def _on_node_delta(self, d_cores: int, d_gpus: int, index: int) -> None:
+        """A watched node's free counts changed by the given deltas."""
+        self._free_cores += d_cores
+        self._free_gpus += d_gpus
+        if d_cores > 0 or d_gpus > 0:
+            pos = self._pos[index]
+            if pos < self._scan_hint:
+                self._scan_hint = pos
+
+    def detach(self) -> None:
+        """Stop tracking node-level changes (allocation retired)."""
+        for node in self.nodes:
+            try:
+                node._watchers.remove(self)
+            except ValueError:  # pragma: no cover - already detached
+                pass
 
     # -- capacity ------------------------------------------------------------
 
@@ -37,23 +75,23 @@ class Allocation:
 
     @property
     def total_cores(self) -> int:
-        return sum(n.n_cores for n in self.nodes)
+        return self._total_cores
 
     @property
     def total_gpus(self) -> int:
-        return sum(n.n_gpus for n in self.nodes)
+        return self._total_gpus
 
     @property
     def free_cores(self) -> int:
-        return sum(n.free_cores for n in self.nodes)
+        return self._free_cores
 
     @property
     def free_gpus(self) -> int:
-        return sum(n.free_gpus for n in self.nodes)
+        return self._free_gpus
 
     @property
     def busy_cores(self) -> int:
-        return self.total_cores - self.free_cores
+        return self._total_cores - self._free_cores
 
     # -- partitioning ----------------------------------------------------------
 
@@ -106,23 +144,41 @@ class Allocation:
         """
         cores_needed = spec.cores
         gpus_needed = spec.gpus
+        if cores_needed > self._free_cores or gpus_needed > self._free_gpus:
+            # Aggregate shortfall: no node-by-node scan can succeed.
+            return None
+        # Advance the scan hint past fully-busy nodes, then start the
+        # first-fit scan there.  Nodes below the hint have nothing to
+        # give (neither partial cores nor idle-node exclusivity), so
+        # skipping them cannot change which placement is found.
+        nodes = self.nodes
+        n_nodes = len(nodes)
+        hint = self._scan_hint
+        while hint < n_nodes:
+            node = nodes[hint]
+            if node._free_cores or node._free_gpus:
+                break
+            hint += 1
+        self._scan_hint = hint
         placements: List[Placement] = []
         try:
             if spec.exclusive_nodes:
-                for node in self.nodes:
+                for i in range(hint, n_nodes):
                     if cores_needed <= 0 and gpus_needed <= 0:
                         break
+                    node = nodes[i]
                     if not node.is_idle:
                         continue
                     placements.append(node.allocate(node.n_cores, node.n_gpus))
                     cores_needed -= node.n_cores
                     gpus_needed -= node.n_gpus
             else:
-                for node in self.nodes:
+                for i in range(hint, n_nodes):
                     if cores_needed <= 0 and gpus_needed <= 0:
                         break
-                    take_c = min(cores_needed, node.free_cores)
-                    take_g = min(gpus_needed, node.free_gpus)
+                    node = nodes[i]
+                    take_c = min(cores_needed, len(node._free_cores))
+                    take_g = min(gpus_needed, len(node._free_gpus))
                     if take_c <= 0 and take_g <= 0:
                         continue
                     placements.append(node.allocate(max(take_c, 0), max(take_g, 0)))
@@ -137,7 +193,7 @@ class Allocation:
 
     def release(self, placements: Iterable[Placement]) -> None:
         """Release a list of placements previously handed out."""
-        by_index = {n.index: n for n in self.nodes}
+        by_index = self._by_index
         for pl in placements:
             by_index[pl.node_index].release(pl)
 
@@ -209,6 +265,7 @@ class Cluster:
                 raise AllocationError(
                     f"{self.name}: node {node.index} double-released")
             self._free_indices.add(node.index)
+        allocation.detach()
 
     def release_all(self) -> None:
         """Return every node to the free pool (end of experiment)."""

@@ -8,18 +8,18 @@ resource manager provides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, NamedTuple, Tuple
 
 from ..exceptions import ResourceError
 
 
-@dataclass(frozen=True)
-class Placement:
+class Placement(NamedTuple):
     """A set of slots handed out on one node.
 
     Placements are returned by :meth:`Node.allocate` and must be given
-    back via :meth:`Node.release`.
+    back via :meth:`Node.release`.  One is created per task placement,
+    so it is a named tuple (cheap construction) rather than a frozen
+    dataclass.
     """
 
     node_index: int
@@ -53,6 +53,13 @@ class Node:
         self._free_gpus: List[int] = list(range(n_gpus))
         self._held_cores: set = set()
         self._held_gpus: set = set()
+        #: Allocations watching this node's free counts.  Every
+        #: allocate/release pushes the delta to all watchers, keeping
+        #: each allocation's aggregate free-core/GPU counters exact in
+        #: O(#watchers) — instead of O(n_nodes) re-summation per query.
+        #: A node is typically watched by the pilot allocation plus one
+        #: partition (and rarely a nested instance), so this is cheap.
+        self._watchers: list = []
 
     # -- capacity ----------------------------------------------------------
 
@@ -85,17 +92,21 @@ class Node:
         """
         if cores < 0 or gpus < 0:
             raise ResourceError("negative allocation request")
-        if cores > self.free_cores or gpus > self.free_gpus:
+        free_cores = self._free_cores
+        free_gpus = self._free_gpus
+        if cores > len(free_cores) or gpus > len(free_gpus):
             raise ResourceError(
                 f"{self.name}: cannot allocate {cores}c/{gpus}g "
                 f"(free {self.free_cores}c/{self.free_gpus}g)"
             )
-        core_slots = tuple(self._free_cores[:cores])
-        del self._free_cores[:cores]
-        gpu_slots = tuple(self._free_gpus[:gpus])
-        del self._free_gpus[:gpus]
+        core_slots = tuple(free_cores[:cores])
+        del free_cores[:cores]
+        gpu_slots = tuple(free_gpus[:gpus])
+        del free_gpus[:gpus]
         self._held_cores.update(core_slots)
         self._held_gpus.update(gpu_slots)
+        for watcher in self._watchers:
+            watcher._on_node_delta(-cores, -gpus, self.index)
         return Placement(self.index, core_slots, gpu_slots)
 
     def release(self, placement: Placement) -> None:
@@ -105,16 +116,25 @@ class Node:
                 f"placement for node {placement.node_index} released on "
                 f"node {self.index}"
             )
+        held_cores = self._held_cores
+        free_cores = self._free_cores
         for slot in placement.core_slots:
-            if slot not in self._held_cores:
+            try:
+                held_cores.remove(slot)
+            except KeyError:
                 raise ResourceError(f"{self.name}: core {slot} double-freed")
-            self._held_cores.remove(slot)
-            self._free_cores.append(slot)
+            free_cores.append(slot)
+        held_gpus = self._held_gpus
+        free_gpus = self._free_gpus
         for slot in placement.gpu_slots:
-            if slot not in self._held_gpus:
+            try:
+                held_gpus.remove(slot)
+            except KeyError:
                 raise ResourceError(f"{self.name}: gpu {slot} double-freed")
-            self._held_gpus.remove(slot)
-            self._free_gpus.append(slot)
+            free_gpus.append(slot)
+        for watcher in self._watchers:
+            watcher._on_node_delta(len(placement.core_slots),
+                                   len(placement.gpu_slots), self.index)
 
     def __repr__(self) -> str:
         return (

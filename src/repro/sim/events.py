@@ -18,6 +18,7 @@ exception that propagates into any process waiting on them).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from ..exceptions import SimulationError
@@ -39,13 +40,22 @@ class Event:
 
     Callbacks appended to :attr:`callbacks` are invoked with the event
     itself once the event is processed by the kernel.
+
+    The kernel dispatches hundreds of thousands of events per run, so
+    every event class is slotted: no per-instance ``__dict__``, less
+    allocator pressure, faster attribute access in the hot loop.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = PENDING
         self._ok: Optional[bool] = None
+        #: Failures marked defused are expected to be consumed by a
+        #: waiting process and never crash the kernel when unhandled.
+        self._defused = False
 
     # -- introspection ----------------------------------------------------
 
@@ -81,7 +91,11 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._enqueue_event(self, NORMAL)
+        # Inlined Environment._enqueue_event: succeed() runs for every
+        # message hand-off and semaphore grant in the stack.
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -92,7 +106,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.env._enqueue_event(self, NORMAL)
+        env = self.env
+        env._seq += 1
+        heappush(env._queue, (env._now, NORMAL, env._seq, self))
         return self
 
     def __repr__(self) -> str:
@@ -105,19 +121,45 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    This is the single validation point for negative delays: every
+    path that schedules time-based work (``Environment.timeout`` and
+    ``Environment.schedule`` alike) funnels through here.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__: Timeout is the most-allocated event
+        # class and the super() call shows up in kernel profiles.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._enqueue_event(self, NORMAL, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"
+
+
+class _Deferred:
+    """A pre-bound ``(callback, args)`` pair used by
+    :meth:`Environment.schedule` in place of a per-call lambda closure."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., Any], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def __call__(self, _event: Event) -> None:
+        self.fn(*self.args)
 
 
 class Condition(Event):
@@ -126,6 +168,8 @@ class Condition(Event):
     Used through the :class:`AllOf` / :class:`AnyOf` helpers.  The
     condition fails as soon as any child event fails.
     """
+
+    __slots__ = ("events", "_need", "_happened")
 
     def __init__(self, env: "Environment", events: List[Event], need: int) -> None:
         super().__init__(env)
@@ -165,6 +209,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggered once *all* child events have succeeded."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         events = list(events)
         super().__init__(env, events, need=len(events))
@@ -172,6 +218,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Triggered once *any* child event has succeeded."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: List[Event]) -> None:
         events = list(events)

@@ -14,18 +14,32 @@ Events scheduled for the same simulated time are processed in
 ``(priority, insertion order)``, so two runs of the same program with
 the same RNG seeds produce byte-identical traces.  This property is
 exercised by the property-based tests in ``tests/sim``.
+
+Performance
+-----------
+``run`` is the hottest function in the whole codebase (every
+simulated event passes through it), so its three loops inline the
+single-event dispatch instead of calling :meth:`step`, bind
+``heapq.heappop`` and the queue to locals, and branch on the
+queue-entry shape directly.  ``step`` remains the readable,
+fully-checked reference implementation used by external callers and
+tests.  See ``docs/MODEL.md`` ("Performance model of the simulator
+itself") for the full picture.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, List, Optional, Tuple
 
 from ..exceptions import SimulationError
-from .events import AllOf, AnyOf, Event, NORMAL, Timeout
-from .process import Process, ProcessGenerator
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT, _Deferred
+from .process import Process, ProcessGenerator, _INIT
 
-#: Queue entries: (time, priority, sequence, event)
+#: Queue entries: (time, priority, sequence, event).  Two entry kinds
+#: carry a 5th marker element and no Event at position 3: process
+#: bootstraps (marker ``True``, see ``_enqueue_bootstrap``) and deferred
+#: callbacks (marker ``False``, see ``schedule_callback``).
 _QueueItem = Tuple[float, int, int, Event]
 
 
@@ -79,19 +93,46 @@ class Environment:
         return AnyOf(self, list(events))
 
     def schedule(self, delay: float, callback, *args: Any) -> Event:
-        """Run ``callback(*args)`` after ``delay`` seconds; returns the event."""
+        """Run ``callback(*args)`` after ``delay`` seconds; returns the event.
+
+        Negative delays are rejected by :class:`Timeout` itself — the
+        single validation point for all time-based scheduling.
+        """
+        ev = Timeout(self, delay)
+        ev.callbacks.append(_Deferred(callback, args))
+        return ev
+
+    def schedule_callback(self, delay: float, callback, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds, eventlessly.
+
+        The fire-and-forget variant of :meth:`schedule` for hot paths
+        (event-stream deliveries): the queue entry carries the bound
+        callback directly, so no :class:`Timeout` and no callback list
+        are allocated.  Use :meth:`schedule` when the caller needs the
+        returned event (to wait on or to add further callbacks).
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        ev = Timeout(self, delay)
-        assert ev.callbacks is not None
-        ev.callbacks.append(lambda _ev: callback(*args))
-        return ev
+        self._seq += 1
+        heappush(self._queue, (self._now + delay, NORMAL, self._seq,
+                               _Deferred(callback, args), False))
 
     # -- kernel internals ----------------------------------------------------
 
     def _enqueue_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _enqueue_bootstrap(self, process: Process) -> None:
+        """Schedule a process's first resume without allocating an Event.
+
+        The queue entry carries the process itself plus a length-5
+        marker; dispatch resumes the generator with the shared ``_INIT``
+        sentinel.  The sequence number is unique, so heap comparisons
+        never reach the mixed-length tail of the tuple.
+        """
+        self._seq += 1
+        heappush(self._queue, (self._now, URGENT, self._seq, process, True))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -101,20 +142,26 @@ class Environment:
         """Process exactly one event, advancing the clock to its time."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        entry = heappop(self._queue)
+        when = entry[0]
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        event = entry[3]
+        if len(entry) == 5:
+            if entry[4]:
+                # Process bootstrap: resume the generator directly.
+                event._resume(_INIT)
+            else:
+                # Deferred callback (schedule_callback): invoke as-is.
+                event(None)
+            return
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
         for cb in callbacks:
             cb(event)
-        if (
-            event._ok is False
-            and not callbacks
-            and not getattr(event, "_defused", False)
-        ):
+        if event._ok is False and not callbacks and not event._defused:
             # A failure nobody waited for: surface it instead of silently
             # swallowing a crashed process.
             raise event._value
@@ -126,20 +173,55 @@ class Environment:
         (run until that simulated time) or an :class:`Event` (run until
         it is processed, returning its value).
         """
+        # The dispatch body is intentionally inlined in each loop (and
+        # must match step() semantically): at ~1e6 events/s of kernel
+        # throughput, a method call per event costs double-digit
+        # percentages of total runtime.
+        queue = self._queue
+        pop = heappop
+
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                if len(entry) == 5:
+                    if entry[4]:
+                        event._resume(_INIT)
+                    else:
+                        event(None)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not callbacks and not event._defused:
+                    raise event._value
             return None
 
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
+            while stop.callbacks is not None:  # i.e. not yet processed
+                if not queue:
                     raise SimulationError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"
                     )
-                self.step()
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                if len(entry) == 5:
+                    if entry[4]:
+                        event._resume(_INIT)
+                    else:
+                        event(None)
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not callbacks and not event._defused:
+                    raise event._value
             if stop._ok:
                 return stop._value
             if isinstance(stop._value, BaseException):
@@ -151,7 +233,24 @@ class Environment:
             raise SimulationError(
                 f"cannot run until {horizon} (already at {self._now})"
             )
-        while self._queue and self.peek() <= horizon:
-            self.step()
-        self._now = horizon
+        while queue and queue[0][0] <= horizon:
+            entry = pop(queue)
+            self._now = entry[0]
+            event = entry[3]
+            if len(entry) == 5:
+                if entry[4]:
+                    event._resume(_INIT)
+                else:
+                    event(None)
+                continue
+            callbacks = event.callbacks
+            event.callbacks = None
+            for cb in callbacks:
+                cb(event)
+            if event._ok is False and not callbacks and not event._defused:
+                raise event._value
+        if horizon > self._now:
+            # Only move the clock forward; run(until=now) with nothing
+            # left to do must leave the clock bit-for-bit untouched.
+            self._now = horizon
         return None

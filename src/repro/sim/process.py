@@ -25,6 +25,24 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 ProcessGenerator = Generator[Event, Any, Any]
 
 
+class _InitSentinel:
+    """Shared stand-in for the bootstrap event of every process.
+
+    ``Process._resume`` only reads ``_ok`` and ``_value`` from the
+    event it is resumed with; for the initial resume those are always
+    ``(True, None)``, so one immutable module-level instance replaces
+    a per-process ``Event`` allocation (see
+    ``Environment._enqueue_bootstrap``).
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_INIT = _InitSentinel()
+
+
 class Interrupt(Exception):
     """Raised inside a process generator when it is interrupted.
 
@@ -40,19 +58,19 @@ class Interrupt(Exception):
 class Process(Event):
     """Drives a generator through the event queue."""
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        try:
+            generator.send
+        except AttributeError:
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        # Bootstrap: resume the process at the current simulation time.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        env._enqueue_event(init, URGENT)
-        assert init.callbacks is not None
-        init.callbacks.append(self._resume)
+        # Bootstrap: resume the process at the current simulation time
+        # (an urgent queue entry; no init Event is allocated).
+        env._enqueue_bootstrap(self)
 
     @property
     def is_alive(self) -> bool:

@@ -10,8 +10,9 @@ experiment results comparable across code revisions.
 
 from __future__ import annotations
 
+import math
 import zlib
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
@@ -28,6 +29,18 @@ class RngStreams:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        # (name, mean, cv) -> (mu, sigma) for lognormal_latency.
+        # Experiments use a handful of distinct latency parameters but
+        # draw from them hundreds of thousands of times; caching skips
+        # two log() and a sqrt() per draw without changing any value.
+        self._lognorm_params: Dict[tuple, tuple] = {}
+        # name -> prefetched standard normals (reversed; pop from the
+        # end).  A lognormal draw is exp(mu + sigma*z) with z one
+        # standard normal from the stream, so batching the z draws
+        # yields bitwise-identical values to one-at-a-time generation
+        # while amortizing the numpy call overhead — even when draws
+        # with different (mean, cv) interleave on the same stream.
+        self._norm_buf: Dict[str, List[float]] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream for ``name``."""
@@ -51,10 +64,17 @@ class RngStreams:
         """
         if mean <= 0.0:
             return 0.0
-        rng = self.stream(name)
-        sigma2 = np.log(1.0 + cv * cv)
-        mu = np.log(mean) - 0.5 * sigma2
-        return float(rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
+        entry = self._lognorm_params.get((name, mean, cv))
+        if entry is None:
+            sigma2 = np.log(1.0 + cv * cv)
+            entry = (np.log(mean) - 0.5 * sigma2, np.sqrt(sigma2))
+            self._lognorm_params[(name, mean, cv)] = entry
+        mu, sigma = entry
+        buf = self._norm_buf.get(name)
+        if not buf:
+            buf = self.stream(name).standard_normal(512)[::-1].tolist()
+            self._norm_buf[name] = buf
+        return math.exp(mu + sigma * buf.pop())
 
     def uniform(self, name: str, low: float, high: float) -> float:
         """One uniform draw from ``[low, high)``."""

@@ -54,11 +54,13 @@ def dummy_workload(n_tasks: int, duration: float = 180.0,
         raise ValueError(f"negative task count {n_tasks}")
     spec = ResourceSpec(cores=cores, gpus=gpus)
     label = "null" if duration == 0 else f"sleep-{duration:g}"
-    return [
-        TaskDescription(executable=label, mode=mode, resources=spec,
-                        duration=duration, backend=backend)
-        for _ in range(n_tasks)
-    ]
+    # TaskDescription is frozen, so the identical description can be
+    # shared by every task: one construction + validation instead of
+    # tens of thousands for the large synthetic workloads.
+    description = TaskDescription(executable=label, mode=mode,
+                                  resources=spec, duration=duration,
+                                  backend=backend)
+    return [description] * n_tasks
 
 
 def mixed_workload(n_exec: int, n_func: int, duration: float = 360.0,

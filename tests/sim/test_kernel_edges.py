@@ -31,6 +31,31 @@ class TestRunHorizons:
         env.schedule(3.0, lambda: None)
         assert env.peek() == 3.0
 
+    def test_run_until_now_leaves_clock_untouched(self, env):
+        # A no-op horizon at the current instant must not perturb the
+        # clock — not even through a float round-trip.  Use a time
+        # that is not exactly representable to make any rewrite of
+        # `_now` (e.g. `_now = float(until)`) observable.
+        env.schedule(0.1, lambda: None)
+        env.run()
+        before = env.now
+        assert before == 0.1
+        env.run(until=env.now)
+        assert env.now is before or env.now == before
+        import struct
+
+        assert (struct.pack("<d", env.now)
+                == struct.pack("<d", before))
+
+    def test_run_until_now_still_fires_due_events(self, env):
+        hits = []
+        env.schedule(2.0, lambda: None)
+        env.run()
+        env.schedule(0.0, hits.append, "due-now")
+        env.run(until=env.now)
+        assert hits == ["due-now"]
+        assert env.now == 2.0
+
 
 class TestZeroDelays:
     def test_zero_delay_timeout_fires_now(self, env):
