@@ -4,44 +4,118 @@ RADICAL-Analytics operates on profile files written by RP at runtime;
 this module provides the equivalent round-trip so traces can be
 archived and analysed offline (``save_profile`` after a run,
 ``load_events`` in the analysis notebook/script).
+
+Profiles start with a one-line schema header
+(``{"format": "repro-profile", "version": 2}``); the loader also
+accepts headerless version-1 files written before the header existed.
+Metadata values survive the trip even when they are not plain JSON:
+non-finite floats (``inf`` walltimes, ``nan`` placeholders) are
+encoded as ``{"__nonfinite__": ...}`` markers, numpy scalars collapse
+to their Python values, and anything else falls back to ``repr`` so a
+single exotic value cannot make a whole profile unwritable.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import List, Union
+from typing import Any, List, Union
 
 from .events import TraceEvent
 from .profiler import Profiler
 
 PathLike = Union[str, Path]
 
+#: Schema identifier in the profile header line.
+PROFILE_FORMAT = "repro-profile"
+
+#: Current profile schema version (1 = headerless legacy files).
+PROFILE_VERSION = 2
+
+_NONFINITE_KEY = "__nonfinite__"
+
+
+def _sanitize(value: Any) -> Any:
+    """Make one value JSON-encodable without information loss.
+
+    Non-finite floats become ``{"__nonfinite__": "nan"|"inf"|"-inf"}``
+    markers (plain JSON has no spelling for them), numpy scalars are
+    unwrapped via ``.item()``, containers recurse, and unknown types
+    degrade to their ``repr`` rather than failing the export.
+    """
+    if isinstance(value, float):
+        if math.isfinite(value):
+            return value
+        if math.isnan(value):
+            return {_NONFINITE_KEY: "nan"}
+        return {_NONFINITE_KEY: "inf" if value > 0 else "-inf"}
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_sanitize(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _sanitize(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def _restore(value: Any) -> Any:
+    """Undo :func:`_sanitize`'s non-finite markers."""
+    if isinstance(value, dict):
+        if len(value) == 1 and _NONFINITE_KEY in value:
+            return float(value[_NONFINITE_KEY])
+        return {k: _restore(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_restore(v) for v in value]
+    return value
+
 
 def save_profile(profiler: Profiler, path: PathLike) -> int:
     """Write every trace event as one JSON object per line.
 
-    Returns the number of events written.
+    The first line is the schema header; it does not count toward the
+    returned number of events written.
     """
     path = Path(path)
     count = 0
     with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"format": PROFILE_FORMAT,
+                             "version": PROFILE_VERSION}, sort_keys=True))
+        fh.write("\n")
         for ev in profiler:
-            fh.write(json.dumps({
+            record = {
                 "time": ev.time,
                 "entity": ev.entity,
                 "name": ev.name,
                 "meta": ev.meta,
-            }, sort_keys=True))
+            }
+            try:
+                line = json.dumps(record, sort_keys=True, allow_nan=False)
+            except (ValueError, TypeError):
+                line = json.dumps(_sanitize(record), sort_keys=True,
+                                  allow_nan=False)
+            fh.write(line)
             fh.write("\n")
             count += 1
     return count
 
 
 def load_events(path: PathLike) -> List[TraceEvent]:
-    """Read a JSON-lines profile back into trace events (in file order)."""
+    """Read a JSON-lines profile back into trace events (in file order).
+
+    Accepts current (headered) and legacy (headerless) profiles; a
+    header from a *newer* schema than this code understands raises so
+    half-parsed data never masquerades as a clean load.
+    """
     path = Path(path)
     events: List[TraceEvent] = []
+    first = True
     with path.open("r", encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, start=1):
             line = line.strip()
@@ -49,11 +123,21 @@ def load_events(path: PathLike) -> List[TraceEvent]:
                 continue
             try:
                 record = json.loads(line)
+                if first:
+                    first = False
+                    if (isinstance(record, dict)
+                            and record.get("format") == PROFILE_FORMAT):
+                        version = record.get("version")
+                        if not isinstance(version, int) \
+                                or version > PROFILE_VERSION:
+                            raise ValueError(
+                                f"unsupported profile version {version!r}")
+                        continue
                 events.append(TraceEvent(
                     time=float(record["time"]),
                     entity=str(record["entity"]),
                     name=str(record["name"]),
-                    meta=dict(record.get("meta", {})),
+                    meta=_restore(dict(record.get("meta", {}))),
                 ))
             except (ValueError, KeyError, TypeError) as exc:
                 raise ValueError(

@@ -52,7 +52,20 @@ class Agent:
         self.latencies = session.latencies
         self.rng = session.rng
         self.profiler = session.profiler
+        self.obs = session.obs
+        self.metrics = session.obs.registry
         self.uid = session.ids.next("agent")
+        self.log = session.obs.logger(self.uid)
+        self._m_dispatched = self._m_intake = None
+        if self.metrics is not None:
+            self._m_dispatched = self.metrics.counter(
+                "repro_agent_dispatched_total",
+                "tasks through the serialized dispatch stage",
+                labels=("agent",)).labels(self.uid)
+            self._m_intake = self.metrics.gauge(
+                "repro_agent_intake_depth",
+                "tasks queued at the agent intake",
+                labels=("agent",)).labels(self.uid)
         self.incoming: Store = Store(self.env)
         self.executors: Dict[str, ExecutorBase] = {}
         self.stager_in = Stager(self.env, self.latencies, self.rng,
@@ -108,6 +121,8 @@ class Agent:
 
     def bootstrap(self):
         """Generator: bring up the agent and all backend executors."""
+        span = self.obs.tracer.begin(f"{self.uid}.bootstrap",
+                                     cat="bootstrap", agent=self.uid)
         yield self.env.timeout(self.latencies.agent_startup)
         allocation = self.pilot.allocation
         assert allocation is not None, "agent bootstraps after allocation"
@@ -117,13 +132,20 @@ class Agent:
         if procs:
             yield self.env.all_of(procs)
         # Drop executors that failed to bootstrap (Dragon watchdog etc.).
+        dropped = [name for name, ex in self.executors.items()
+                   if not ex.ready]
         self.executors = {
             name: ex for name, ex in self.executors.items() if ex.ready
         }
+        for name in dropped:
+            self.log.warning("backend failed to bootstrap", backend=name)
         if not self.executors:
             raise ConfigurationError(f"{self.uid}: no backend came up")
         self._router = self._make_router()
         self._alive = True
+        self.log.info("agent ready",
+                      backends=",".join(sorted(self.executors)))
+        self.obs.tracer.end(span)
         self.env.process(self._dispatch_loop())
 
     def _make_router(self) -> Router:
@@ -207,6 +229,9 @@ class Agent:
                 task = yield self.incoming.get()
             yield self.env.timeout(self.dispatch_cost())
             self.n_dispatched += 1
+            if self._m_dispatched is not None:
+                self._m_dispatched.inc()
+                self._m_intake.set(len(self.incoming.items))
             if task.description.input_staging > 0:
                 self.env.process(self._handle(task))
             else:

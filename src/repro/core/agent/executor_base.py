@@ -32,6 +32,8 @@ class ExecutorBase:
         self.latencies = agent.latencies
         self.rng = agent.rng
         self.profiler = agent.profiler
+        #: Metrics registry (``None`` when observability is disabled).
+        self.metrics = agent.metrics
         self.allocation = allocation
         self.ready = False
         self.failed = False

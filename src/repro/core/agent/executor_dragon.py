@@ -36,7 +36,8 @@ class DragonExecutor(ExecutorBase):
         self.runtimes: List[DragonRuntime] = [
             DragonRuntime(self.env, part, self.latencies, self.rng,
                           instance_id=f"{agent.uid}.dragon.{i:03d}",
-                          profiler=self.profiler, fail_startup=fail_startup)
+                          profiler=self.profiler, fail_startup=fail_startup,
+                          metrics=self.metrics)
             for i, part in enumerate(partitions)
         ]
         self._task_map: Dict[str, "Task"] = {}

@@ -21,12 +21,24 @@ class PartitionScheduler:
     """FIFO slot scheduler over one partition allocation."""
 
     def __init__(self, env: Environment, allocation: Allocation,
-                 name: str = "sched") -> None:
+                 name: str = "sched", metrics=None) -> None:
         self.env = env
         self.allocation = allocation
         self.name = name
         self._pending: Deque[Tuple[ResourceSpec, Event]] = deque()
         self.n_placed = 0
+        # Optional observability: placement-queue depth and grant count
+        # labeled by scheduler name (one scheduler per partition).
+        self._m_queue = self._m_placed = None
+        if metrics is not None:
+            self._m_queue = metrics.gauge(
+                "repro_agent_sched_queue_depth",
+                "placement requests waiting for partition slots",
+                labels=("scheduler",)).labels(name)
+            self._m_placed = metrics.counter(
+                "repro_agent_sched_placements_total",
+                "slot placements granted",
+                labels=("scheduler",)).labels(name)
 
     @property
     def queue_depth(self) -> int:
@@ -44,9 +56,13 @@ class PartitionScheduler:
             placements = self.allocation.try_place(spec)
             if placements is not None:
                 self.n_placed += 1
+                if self._m_placed is not None:
+                    self._m_placed.inc()
                 ev.succeed(placements)
                 return ev
         self._pending.append((spec, ev))
+        if self._m_queue is not None:
+            self._m_queue.set(len(self._pending))
         return ev
 
     def free(self, placements: List[Placement]) -> None:
@@ -59,10 +75,14 @@ class PartitionScheduler:
             spec, ev = self._pending[0]
             placements = self.allocation.try_place(spec)
             if placements is None:
-                return
+                break
             self._pending.popleft()
             self.n_placed += 1
+            if self._m_placed is not None:
+                self._m_placed.inc()
             ev.succeed(placements)
+        if self._m_queue is not None:
+            self._m_queue.set(len(self._pending))
 
     def cancel_pending(self) -> None:
         """Fail all queued placement requests (partition shutdown)."""

@@ -33,7 +33,8 @@ class Session:
                  latencies: LatencyModel = FRONTIER_LATENCIES,
                  seed: int = 0,
                  env: Optional[Environment] = None,
-                 trace: bool = True) -> None:
+                 trace: bool = True,
+                 observe: bool = False) -> None:
         self.env = env if env is not None else Environment()
         self.cluster = cluster if cluster is not None else frontier()
         self.latencies = latencies
@@ -41,12 +42,18 @@ class Session:
         self.ids = IdRegistry()
         self.uid = self.ids.next("session")
         self.profiler = Profiler(self.env, enabled=trace)
+        from ..observability import Observability
+
+        self.obs = Observability(self.env, enabled=observe)
+        if observe:
+            self.obs.attach_kernel(self.env)
         from ..platform.filesystem import SharedFilesystem
 
         self.filesystem = SharedFilesystem(self.env)
         self.slurm = SlurmController(self.env, self.cluster, latencies,
                                      self.rng, profiler=self.profiler)
-        self.srun = SrunLauncher(self.env, self.slurm, latencies, self.rng)
+        self.srun = SrunLauncher(self.env, self.slurm, latencies, self.rng,
+                                 metrics=self.obs.registry)
         self._closed = False
 
     def pilot_manager(self):

@@ -116,7 +116,7 @@ class DragonRuntime:
     def __init__(self, env: Environment, allocation: Allocation,
                  latencies: LatencyModel, rng: RngStreams,
                  instance_id: str = "dragon", profiler=None,
-                 fail_startup: bool = False) -> None:
+                 fail_startup: bool = False, metrics=None) -> None:
         self.env = env
         self.allocation = allocation
         self.latencies = latencies
@@ -130,7 +130,8 @@ class DragonRuntime:
 
         self.task_pipe = ZmqPipe(env, name=f"{instance_id}.tasks")
         self.completion_pipe = ZmqPipe(env, name=f"{instance_id}.events")
-        self.pool = WorkerPool(env, allocation)
+        self.pool = WorkerPool(env, allocation, metrics=metrics,
+                               instance_id=instance_id)
         #: Optional hook invoked with the task id when its payload starts.
         self.on_task_start = None
         self._canceled: set = set()

@@ -40,8 +40,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.waves:
         overrides["waves"] = args.waves
     cfg = config_by_id(args.exp_id, **overrides)
-    if args.summary or args.profile:
-        result = run_experiment(cfg, keep_session=True)
+    bundle = getattr(args, "bundle", "") or None
+    if args.summary or args.profile or bundle:
+        result = run_experiment(cfg, keep_session=True, bundle=bundle)
+        if bundle:
+            print(f"wrote observability bundle to {bundle}")
         if args.summary:
             from ..analytics import summarize
 
@@ -103,6 +106,77 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..observability import (
+        phase_rollup,
+        read_manifest,
+        spans_from_events,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    if args.trace_command == "run":
+        overrides = {}
+        if args.nodes:
+            overrides["n_nodes"] = args.nodes
+        if args.waves:
+            overrides["waves"] = args.waves
+        cfg = config_by_id(args.exp_id, **overrides)
+        result = run_experiment(cfg, keep_session=True, bundle=args.out)
+        print(f"wrote observability bundle to {args.out} "
+              f"({result.n_tasks} tasks, makespan {result.makespan:.1f}s)")
+        return 0
+
+    if args.trace_command == "inspect":
+        manifest = read_manifest(args.bundle)
+        print(f"bundle:   {args.bundle} (v{manifest.get('bundle_version')})")
+        print(f"session:  {manifest.get('session_uid', '?')}  "
+              f"seed {manifest.get('seed', '?')}")
+        cfg = manifest.get("config") or {}
+        if cfg:
+            print(f"config:   {cfg.get('exp_id')} — {cfg.get('launcher')} "
+                  f"@ {cfg.get('n_nodes')} nodes")
+        res = manifest.get("result") or {}
+        if res:
+            print(f"result:   {res.get('n_done')}/{res.get('n_tasks')} done, "
+                  f"{res.get('throughput_avg', 0.0):.1f} tasks/s avg, "
+                  f"makespan {res.get('makespan', 0.0):.1f}s")
+        print(f"files:    {', '.join(sorted(manifest.get('files', {})))}")
+        profile = manifest.get("files", {}).get("profile")
+        if profile:
+            from pathlib import Path
+
+            from ..analytics import load_events
+
+            events = load_events(Path(args.bundle) / profile)
+            root = spans_from_events(
+                events, session_uid=manifest.get("session_uid", "session"))
+            print("phases:   " + "  ".join(
+                f"{name}={stats['mean']:.3f}s×{int(stats['count'])}"
+                for name, stats in phase_rollup(root).items()))
+        return 0
+
+    if args.trace_command == "export":
+        import json
+
+        from ..analytics import load_events
+
+        events = load_events(args.profile)
+        root = spans_from_events(events)
+        path = write_chrome_trace(root, args.out)
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        problems = validate_chrome_trace(doc)
+        n = len(doc["traceEvents"])
+        if problems:
+            for p in problems:
+                print(f"invalid: {p}", file=sys.stderr)
+            return 1
+        print(f"wrote {n} trace events to {path} "
+              f"(open in https://ui.perfetto.dev)")
+        return 0
+    return 2  # pragma: no cover
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -125,6 +199,10 @@ def main(argv: List[str] = None) -> int:
                        help="print the per-backend session summary")
     p_run.add_argument("--profile", default="",
                        help="write the trace profile to this JSONL file")
+    p_run.add_argument("--bundle", default="",
+                       help="write the observability bundle (manifest, "
+                            "metrics, spans, Perfetto trace) to this "
+                            "directory")
 
     p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
     p_t1.add_argument("--waves", type=int, default=0)
@@ -143,6 +221,25 @@ def main(argv: List[str] = None) -> int:
     p_fig.add_argument("--quick", action="store_true",
                        help="reduced scales for a fast smoke run")
 
+    p_tr = sub.add_parser(
+        "trace", help="observability bundles and Perfetto traces")
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+    tr_run = tr_sub.add_parser(
+        "run", help="run one experiment and write its bundle")
+    tr_run.add_argument("exp_id", help="experiment id (see 'list')")
+    tr_run.add_argument("--out", required=True,
+                        help="bundle output directory")
+    tr_run.add_argument("--nodes", type=int, default=0)
+    tr_run.add_argument("--waves", type=int, default=0)
+    tr_ins = tr_sub.add_parser(
+        "inspect", help="summarize a bundle's manifest and phases")
+    tr_ins.add_argument("bundle", help="bundle directory")
+    tr_exp = tr_sub.add_parser(
+        "export", help="convert a profile JSONL into a Perfetto trace")
+    tr_exp.add_argument("profile", help="profile JSONL file")
+    tr_exp.add_argument("--out", default="trace.json",
+                        help="output trace file (default: trace.json)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -150,6 +247,8 @@ def main(argv: List[str] = None) -> int:
         return _cmd_run(args)
     if args.command == "table1":
         return _cmd_table1(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "figures":
         from .figures import export_figures
 

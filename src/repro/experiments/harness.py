@@ -120,11 +120,25 @@ def build_workload(cfg: ExperimentConfig,
 
 def run_experiment(cfg: ExperimentConfig,
                    latencies: LatencyModel = FRONTIER_LATENCIES,
-                   keep_session: bool = False) -> ExperimentResult:
-    """Run one experiment end-to-end and compute its metrics."""
+                   keep_session: bool = False,
+                   observe: bool = False,
+                   bundle: Optional[str] = None) -> ExperimentResult:
+    """Run one experiment end-to-end and compute its metrics.
+
+    ``observe`` enables the session's observability layer (metrics
+    registry + online tracer); ``bundle`` names a directory to write
+    the run's observability bundle into (manifest, metrics, spans,
+    Perfetto trace, raw profile) and implies ``observe``.  Both leave
+    the simulated event order untouched — same-seed runs produce
+    byte-identical traces with or without them.
+    """
     wall0 = time.perf_counter()
+    observe = observe or bundle is not None
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
-                      latencies=latencies, seed=cfg.seed)
+                      latencies=latencies, seed=cfg.seed, observe=observe)
+    span = session.obs.tracer.begin(
+        "experiment", cat="experiment",
+        launcher=cfg.launcher, workload=cfg.workload, seed=cfg.seed)
     pmgr = session.pilot_manager()
     tmgr = session.task_manager()
     pilot = pmgr.submit_pilots(build_pilot_description(cfg))
@@ -140,6 +154,7 @@ def run_experiment(cfg: ExperimentConfig,
         descriptions = build_workload(cfg, session.cluster.cores_per_node)
         tasks = tmgr.submit_tasks(descriptions)
         session.run(tmgr.wait_tasks())
+    session.obs.tracer.end(span)
 
     total_cores = cfg.n_nodes * session.cluster.cores_per_node
     total_gpus = cfg.n_nodes * session.cluster.gpus_per_node
@@ -158,8 +173,35 @@ def run_experiment(cfg: ExperimentConfig,
         session=session if keep_session else None,
         wall_seconds=time.perf_counter() - wall0,
     )
+    if bundle is not None:
+        write_run_bundle(bundle, cfg, session, result)
     session.close()
     return result
+
+
+def write_run_bundle(directory, cfg: ExperimentConfig, session: Session,
+                     result: Optional[ExperimentResult] = None):
+    """Write the observability bundle for a finished run.
+
+    Spans are reconstructed offline from the session's profiler (the
+    authoritative record); live tracer spans — e.g. the harness's
+    ``experiment`` span and agent bootstrap spans — ride along under
+    the session root.  Returns ``{artifact name: path}``.
+    """
+    from ..observability import build_manifest, spans_from_profiler
+    from ..observability.manifest import write_bundle
+
+    spans = None
+    if session.profiler.enabled and len(session.profiler):
+        spans = spans_from_profiler(session.profiler, session_uid=session.uid)
+        for live in session.obs.tracer.roots:
+            if live.closed:
+                spans.children.append(live)
+    manifest = build_manifest(config=cfg, session=session, result=result)
+    return write_bundle(directory, manifest,
+                        registry=session.obs.registry,
+                        spans=spans,
+                        profiler=session.profiler)
 
 
 @dataclass(frozen=True)

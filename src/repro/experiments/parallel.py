@@ -69,11 +69,12 @@ def _run_one(payload):
     import of the harness is deferred to avoid a circular import —
     ``harness`` imports :func:`run_many` lazily for the same reason.
     """
-    cfg, latencies, profile_path = payload
+    cfg, latencies, profile_path, bundle_path = payload
     from .harness import run_experiment
 
     keep = profile_path is not None
-    result = run_experiment(cfg, latencies, keep_session=keep)
+    result = run_experiment(cfg, latencies, keep_session=keep,
+                            bundle=bundle_path)
     if keep:
         from ..analytics import save_profile
 
@@ -85,6 +86,7 @@ def run_many(configs: Sequence[ExperimentConfig],
              latencies: LatencyModel = FRONTIER_LATENCIES,
              jobs: Union[int, str, None] = None,
              profile_paths: Optional[Sequence[Optional[str]]] = None,
+             bundle_paths: Optional[Sequence[Optional[str]]] = None,
              ) -> List["ExperimentResult"]:  # noqa: F821
     """Run several independent experiments, fanned out over processes.
 
@@ -92,6 +94,10 @@ def run_many(configs: Sequence[ExperimentConfig],
     With one worker (or one config) the pool is skipped entirely and
     the runs execute in-process — the serial fallback used by callers
     that were handed ``--parallel 1`` or run on a single-core box.
+
+    ``bundle_paths`` works like ``profile_paths``: each named run
+    writes its observability bundle inside the worker (spans, metrics,
+    manifest and Perfetto trace do not survive pickling either).
     """
     configs = list(configs)
     if profile_paths is None:
@@ -99,8 +105,14 @@ def run_many(configs: Sequence[ExperimentConfig],
     elif len(profile_paths) != len(configs):
         raise ConfigurationError(
             f"{len(profile_paths)} profile paths for {len(configs)} configs")
-    payloads = [(cfg, latencies, path)
-                for cfg, path in zip(configs, profile_paths)]
+    if bundle_paths is None:
+        bundle_paths = [None] * len(configs)
+    elif len(bundle_paths) != len(configs):
+        raise ConfigurationError(
+            f"{len(bundle_paths)} bundle paths for {len(configs)} configs")
+    payloads = [(cfg, latencies, path, bpath)
+                for cfg, path, bpath in zip(configs, profile_paths,
+                                            bundle_paths)]
     n_workers = resolve_jobs(jobs, n_items=len(configs))
     if n_workers <= 1 or len(configs) <= 1:
         return [_run_one(p) for p in payloads]

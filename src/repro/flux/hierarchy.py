@@ -27,7 +27,8 @@ class FluxHierarchy:
     def __init__(self, env: Environment, allocation: Allocation,
                  latencies: LatencyModel, rng: RngStreams,
                  n_instances: int = 1, policy: str = "fcfs",
-                 name: str = "flux", profiler: Optional["Profiler"] = None) -> None:
+                 name: str = "flux", profiler: Optional["Profiler"] = None,
+                 metrics=None) -> None:
         self.env = env
         self.allocation = allocation
         self.name = name
@@ -35,7 +36,7 @@ class FluxHierarchy:
         self.instances: List[FluxInstance] = [
             FluxInstance(env, part, latencies, rng,
                          instance_id=f"{name}.{i:03d}", policy=policy,
-                         profiler=profiler)
+                         profiler=profiler, metrics=metrics)
             for i, part in enumerate(partitions)
         ]
         self._rr = 0

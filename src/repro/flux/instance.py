@@ -63,7 +63,8 @@ class FluxInstance:
     def __init__(self, env: Environment, allocation: Allocation,
                  latencies: LatencyModel, rng: RngStreams,
                  instance_id: str = "", policy: str = "fcfs",
-                 profiler: Optional["Profiler"] = None) -> None:
+                 profiler: Optional["Profiler"] = None,
+                 metrics=None) -> None:
         from .scheduler import make_policy
 
         self.env = env
@@ -102,6 +103,28 @@ class FluxInstance:
         self.n_started = 0
         self.n_completed = 0
         self.n_failed = 0
+
+        # Optional observability: per-partition queue/backlog gauges
+        # and job counters, labeled by instance id.  ``None`` (the
+        # default) keeps every update site a single identity check.
+        self._m_queue = self._m_backlog = self._m_running = None
+        self._m_jobs = None
+        if metrics is not None:
+            self._m_queue = metrics.gauge(
+                "repro_flux_queue_depth",
+                "jobs pending in the instance scheduler queue",
+                labels=("instance",)).labels(self.instance_id)
+            self._m_backlog = metrics.gauge(
+                "repro_flux_backlog",
+                "jobs submitted but not yet retired",
+                labels=("instance",)).labels(self.instance_id)
+            self._m_running = metrics.gauge(
+                "repro_flux_running",
+                "jobs currently holding resources",
+                labels=("instance",)).labels(self.instance_id)
+            self._m_jobs = metrics.counter(
+                "repro_flux_jobs_total", "jobs retired by outcome",
+                labels=("instance", "outcome"))
 
     # -- properties -------------------------------------------------------
 
@@ -212,6 +235,9 @@ class FluxInstance:
         job.exception = reason
         job.state = FluxJobState.INACTIVE
         self.n_failed += 1
+        if self._m_jobs is not None:
+            self._m_jobs.labels(self.instance_id, "failed").inc()
+            self._m_backlog.set(self.outstanding)
         self.events.publish(job.job_id, EV_EXCEPTION, reason=reason)
 
     # -- submission -----------------------------------------------------------
@@ -233,6 +259,8 @@ class FluxInstance:
         self._jobs[job.job_id] = job
         self.n_submitted += 1
         self._ingest_queue.put(job)
+        if self._m_backlog is not None:
+            self._m_backlog.set(self.outstanding)
         return job
 
     def get_job(self, job_id: str) -> FluxJob:
@@ -312,6 +340,8 @@ class FluxInstance:
             if pending and job.spec.urgency > pending[-1].spec.urgency:
                 self._pending_dirty = True
             pending.append(job)
+            if self._m_queue is not None:
+                self._m_queue.set(len(pending))
             self.events.publish(job.job_id, EV_SUBMIT)
             self._kick()
 
@@ -363,6 +393,9 @@ class FluxInstance:
             else:
                 matched = {id(job) for job, _ in matches}
                 self._pending = [j for j in pending if id(j) not in matched]
+            if self._m_queue is not None:
+                self._m_queue.set(len(self._pending))
+                self._m_running.set(len(self._running))
 
     def _dispatch(self, job: FluxJob):
         """Spawn the job shell through a dispatch lane, then run it."""
@@ -400,6 +433,9 @@ class FluxInstance:
         job.finish_time = self.env.now
         job.state = FluxJobState.CLEANUP
         self.n_completed += 1
+        if self._m_jobs is not None:
+            self._m_jobs.labels(self.instance_id, "completed").inc()
+            self._m_backlog.set(self.outstanding)
         # Real flux event order: finish, then release/free.
         self.events.publish(job.job_id, EV_FINISH, status=0)
         self._retire(job, canceled=False)
@@ -411,6 +447,8 @@ class FluxInstance:
         self._release(job)
         if job in self._running:
             self._running.remove(job)
+            if self._m_running is not None:
+                self._m_running.set(len(self._running))
         self._run_procs.pop(job.job_id, None)
         if had_placements:
             # Mirror flux's resource-release event so subscribers can

@@ -57,6 +57,11 @@ class Environment:
         self._queue: List[_QueueItem] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional kernel instrumentation (see
+        #: :class:`repro.observability.metrics.KernelInstrument`).
+        #: ``None`` keeps the fast dispatch loops below untouched; the
+        #: check happens once per :meth:`run` call, not per event.
+        self._instrument = None
 
     # -- clock -------------------------------------------------------------
 
@@ -177,6 +182,8 @@ class Environment:
         # must match step() semantically): at ~1e6 events/s of kernel
         # throughput, a method call per event costs double-digit
         # percentages of total runtime.
+        if self._instrument is not None:
+            return self._run_instrumented(until)
         queue = self._queue
         pop = heappop
 
@@ -254,3 +261,59 @@ class Environment:
             # left to do must leave the clock bit-for-bit untouched.
             self._now = horizon
         return None
+
+    def _run_instrumented(self, until: Optional[Any] = None) -> Any:
+        """The metered twin of :meth:`run` (observability enabled).
+
+        Dispatches through :meth:`step` — semantically identical to
+        the inlined fast loops, and since nothing here touches event
+        ordering, RNG state or the clock beyond what ``run`` does,
+        instrumented runs produce byte-identical traces.  Per event it
+        classifies the queue head and samples the queue depth; per
+        ``run()`` call it accounts simulated-vs-wall seconds.
+        """
+        from time import perf_counter
+
+        ins = self._instrument
+        queue = self._queue
+        before = ins.before_step
+        step = self.step
+        sim0 = self._now
+        wall0 = perf_counter()
+        try:
+            if until is None:
+                while queue:
+                    before(queue)
+                    step()
+                return None
+
+            if isinstance(until, Event):
+                stop = until
+                while stop.callbacks is not None:
+                    if not queue:
+                        raise SimulationError(
+                            "simulation ran out of events before the "
+                            "awaited event triggered (deadlock?)"
+                        )
+                    before(queue)
+                    step()
+                if stop._ok:
+                    return stop._value
+                if isinstance(stop._value, BaseException):
+                    raise stop._value
+                raise SimulationError(
+                    f"awaited event failed: {stop._value!r}")
+
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"cannot run until {horizon} (already at {self._now})"
+                )
+            while queue and queue[0][0] <= horizon:
+                before(queue)
+                step()
+            if horizon > self._now:
+                self._now = horizon
+            return None
+        finally:
+            ins.account(self._now - sim0, perf_counter() - wall0)

@@ -88,3 +88,58 @@ class Monitor:
         if not vals:
             raise SimulationError(f"probe {name!r} has no samples")
         return sum(vals) / len(vals)
+
+    def to_series(self, name: str):
+        """One probe as an :class:`~repro.analytics.timeseries.Series`
+        (the same shape the figure pipeline plots)."""
+        import numpy as np
+
+        from ..analytics.timeseries import Series
+
+        samples = self.samples(name)
+        times = np.asarray([t for t, _ in samples], dtype=float)
+        values = np.asarray([v for _, v in samples], dtype=float)
+        return Series(times, values)
+
+    def export(self, path) -> int:
+        """Write all samples as profile-format JSON lines.
+
+        Each sample becomes one trace-event record
+        (``entity="monitor.<probe>"``, ``name="sample"``, the value
+        under ``meta["value"]``), with the standard schema header —
+        the file loads through
+        :func:`~repro.analytics.export.load_events` and merges with
+        task traces in offline analysis.  Returns the number of
+        samples written.
+        """
+        import json
+        from pathlib import Path
+
+        from ..analytics.export import (
+            PROFILE_FORMAT,
+            PROFILE_VERSION,
+            _sanitize,
+        )
+
+        records = []
+        for name in self._probes:
+            for t, v in self._samples[name]:
+                records.append((t, name, v))
+        records.sort(key=lambda r: r[0])
+        with Path(path).open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"format": PROFILE_FORMAT,
+                                 "version": PROFILE_VERSION},
+                                sort_keys=True))
+            fh.write("\n")
+            for t, name, v in records:
+                record = {"time": t, "entity": f"monitor.{name}",
+                          "name": "sample", "meta": {"value": v}}
+                try:
+                    line = json.dumps(record, sort_keys=True,
+                                      allow_nan=False)
+                except (ValueError, TypeError):
+                    line = json.dumps(_sanitize(record), sort_keys=True,
+                                      allow_nan=False)
+                fh.write(line)
+                fh.write("\n")
+        return len(records)

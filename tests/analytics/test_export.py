@@ -65,3 +65,87 @@ class TestRoundTrip:
         assert n == len(events) == len(session.profiler)
         # Reconstructed stream preserves record order and timing.
         assert [e.time for e in events] == [e.time for e in session.profiler]
+
+
+class TestSchemaHeader:
+    def test_header_written_first(self, env, tmp_path):
+        profiler = Profiler(env)
+        profiler.record("t1", "task_created")
+        path = tmp_path / "p.jsonl"
+        save_profile(profiler, path)
+        import json
+
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"format": "repro-profile", "version": 2}
+
+    def test_header_not_counted_or_loaded(self, env, tmp_path):
+        profiler = Profiler(env)
+        profiler.record("t1", "task_created")
+        path = tmp_path / "p.jsonl"
+        assert save_profile(profiler, path) == 1
+        assert len(load_events(path)) == 1
+
+    def test_legacy_headerless_files_load(self, tmp_path):
+        path = tmp_path / "legacy.jsonl"
+        path.write_text('{"time": 1.0, "entity": "a", "name": "x"}\n')
+        events = load_events(path)
+        assert len(events) == 1
+        assert events[0].entity == "a"
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"format": "repro-profile", "version": 99}\n')
+        with pytest.raises(ValueError, match="unsupported profile version"):
+            load_events(path)
+
+
+class TestHardening:
+    def test_nonfinite_floats_round_trip(self, env, tmp_path):
+        profiler = Profiler(env)
+        profiler.record("p1", "pilot_active",
+                        walltime=float("inf"),
+                        offset=float("-inf"),
+                        missing=float("nan"))
+        path = tmp_path / "nf.jsonl"
+        save_profile(profiler, path)
+        # The file itself is strict JSON (no bare NaN/Infinity tokens).
+        import json
+
+        for line in path.read_text().splitlines():
+            json.loads(line)
+        (ev,) = load_events(path)
+        assert ev.meta["walltime"] == float("inf")
+        assert ev.meta["offset"] == float("-inf")
+        assert ev.meta["missing"] != ev.meta["missing"]  # NaN
+
+    def test_numpy_meta_values_round_trip(self, env, tmp_path):
+        import numpy as np
+
+        profiler = Profiler(env)
+        profiler.record("t1", "task_done",
+                        cores=np.int64(4), rate=np.float64(2.5))
+        path = tmp_path / "np.jsonl"
+        save_profile(profiler, path)
+        (ev,) = load_events(path)
+        assert ev.meta["cores"] == 4
+        assert ev.meta["rate"] == 2.5
+
+    def test_tuple_meta_becomes_list(self, env, tmp_path):
+        profiler = Profiler(env)
+        profiler.record("t1", "task_done", shape=(2, 3))
+        path = tmp_path / "t.jsonl"
+        save_profile(profiler, path)
+        (ev,) = load_events(path)
+        assert ev.meta["shape"] == [2, 3]
+
+    def test_exotic_meta_degrades_to_repr(self, env, tmp_path):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        profiler = Profiler(env)
+        profiler.record("t1", "task_done", thing=Odd())
+        path = tmp_path / "o.jsonl"
+        save_profile(profiler, path)
+        (ev,) = load_events(path)
+        assert ev.meta["thing"] == "<odd>"

@@ -54,3 +54,47 @@ class TestCli:
 
         events = load_events(path)
         assert len(events) > 100
+
+
+class TestTraceCli:
+    def _bundle(self, tmp_path):
+        out = tmp_path / "bundle"
+        assert main(["trace", "run", "flux_1", "--nodes", "1",
+                     "--waves", "1", "--out", str(out)]) == 0
+        return out
+
+    def test_trace_run_writes_bundle(self, capsys, tmp_path):
+        out = self._bundle(tmp_path)
+        stdout = capsys.readouterr().out
+        assert "wrote observability bundle" in stdout
+        assert (out / "manifest.json").is_file()
+        assert (out / "trace.json").is_file()
+
+    def test_trace_inspect(self, capsys, tmp_path):
+        out = self._bundle(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "inspect", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "flux_1" in stdout
+        assert "phases:" in stdout
+        assert "schedule=" in stdout
+
+    def test_trace_export_from_profile(self, capsys, tmp_path):
+        import json
+
+        out = self._bundle(tmp_path)
+        capsys.readouterr()
+        target = tmp_path / "exported.json"
+        assert main(["trace", "export", str(out / "profile.jsonl"),
+                     "--out", str(target)]) == 0
+        stdout = capsys.readouterr().out
+        assert "perfetto" in stdout.lower()
+        from repro.observability import validate_chrome_trace
+
+        assert validate_chrome_trace(json.loads(target.read_text())) == []
+
+    def test_run_with_bundle_flag(self, capsys, tmp_path):
+        out = tmp_path / "b2"
+        assert main(["run", "flux_1", "--nodes", "1", "--waves", "1",
+                     "--bundle", str(out)]) == 0
+        assert (out / "metrics.json").is_file()

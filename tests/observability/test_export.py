@@ -1,0 +1,107 @@
+"""Exporter tests: Perfetto trace format, Prometheus text, JSON."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    metrics_json,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics,
+)
+
+
+def _tree():
+    root = Span("session.0", "session", 0.0, 20.0)
+    pilot = root.child("pilot.0", "pilot", 0.0, 20.0)
+    group = pilot.child("flux", "backend_group", 0.0, 20.0)
+    group.child("agent.flux.000", "backend", 0.0, 18.0, kind="flux")
+    task = group.child("task.0", "task", 1.0, 9.0, backend="flux")
+    task.child("schedule", "phase", 1.0, 2.0)
+    task.child("launch", "phase", 2.0, 4.0)
+    task.child("exec", "phase", 4.0, 8.0)
+    task.child("collect", "phase", 8.0, 9.0)
+    return root
+
+
+class TestChromeTrace:
+    def test_document_validates(self):
+        doc = chrome_trace(_tree())
+        assert validate_chrome_trace(doc) == []
+        assert doc["traceEvents"]
+
+    def test_microsecond_scaling(self):
+        doc = chrome_trace(_tree())
+        task = next(e for e in doc["traceEvents"]
+                    if e.get("name") == "task.0")
+        assert task["ts"] == pytest.approx(1.0e6)
+        assert task["dur"] == pytest.approx(8.0e6)
+
+    def test_backend_groups_become_processes(self):
+        doc = chrome_trace(_tree())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"runtime", "flux"}
+
+    def test_task_and_phases_share_one_lane(self):
+        doc = chrome_trace(_tree())
+        lanes = {(e["pid"], e["tid"]) for e in doc["traceEvents"]
+                 if e["ph"] == "X"
+                 and e["name"] in ("task.0", "schedule", "launch",
+                                   "exec", "collect")}
+        assert len(lanes) == 1
+
+    def test_write_round_trip(self, tmp_path):
+        path = write_chrome_trace(_tree(), tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+
+    def test_validator_flags_bad_events(self):
+        assert validate_chrome_trace({}) == \
+            ["traceEvents missing or not a list"]
+        doc = {"traceEvents": [
+            {"ph": "Z"},
+            {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": -1},
+            "nope",
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert len(problems) >= 3
+
+
+class TestMetricsExport:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", "xs seen",
+                    labels=("backend",)).labels("flux").inc(3)
+        reg.gauge("repro_depth", "queue depth").set(4)
+        h = reg.histogram("repro_lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        return reg
+
+    def test_prometheus_text(self):
+        text = prometheus_text(self._registry())
+        assert '# TYPE repro_x_total counter' in text
+        assert 'repro_x_total{backend="flux"} 3' in text
+        assert 'repro_depth 4' in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert 'repro_lat_count 2' in text
+
+    def test_json_snapshot(self):
+        snap = metrics_json(self._registry())
+        assert snap["repro_x_total"]["series"][0]["value"] == 3
+
+    def test_write_metrics_formats(self, tmp_path):
+        reg = self._registry()
+        jpath = write_metrics(reg, tmp_path / "m.json")
+        assert json.loads(jpath.read_text())["repro_depth"]
+        ppath = write_metrics(reg, tmp_path / "m.prom", fmt="prom")
+        assert "# TYPE" in ppath.read_text()
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            write_metrics(reg, tmp_path / "m.x", fmt="xml")

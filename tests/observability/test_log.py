@@ -1,0 +1,81 @@
+"""Structured sim-time logging tests."""
+
+import io
+
+import pytest
+
+from repro.observability import LogSink, SimLogger
+from repro.sim import Environment
+
+
+class TestLogSink:
+    def test_off_by_default(self):
+        env = Environment()
+        sink = LogSink(env)
+        log = SimLogger(sink, "agent.0")
+        log.info("hello")
+        assert sink.records == []
+
+    def test_records_are_sim_stamped(self):
+        env = Environment()
+        sink = LogSink(env)
+        sink.enable()
+        log = SimLogger(sink, "agent.0")
+        env._now = 12.5
+        log.info("ready", backend="flux")
+        (rec,) = sink.records
+        assert rec.time == 12.5
+        assert rec.component == "agent.0"
+        assert rec.fields == {"backend": "flux"}
+
+    def test_threshold_filters(self):
+        env = Environment()
+        sink = LogSink(env)
+        sink.enable(level="warning")
+        log = SimLogger(sink, "c")
+        log.info("dropped")
+        log.warning("kept")
+        log.error("kept too")
+        assert [r.level for r in sink.records] == ["warning", "error"]
+
+    def test_bad_level_raises(self):
+        sink = LogSink(Environment())
+        with pytest.raises(ValueError, match="unknown log level"):
+            sink.enable(level="loud")
+
+    def test_stream_mirror_formats(self):
+        env = Environment()
+        env._now = 1.25
+        sink = LogSink(env)
+        out = io.StringIO()
+        sink.enable(stream=out)
+        SimLogger(sink, "agent.0").info("go", n=3)
+        line = out.getvalue()
+        assert "INFO" in line
+        assert "agent.0: go n=3" in line
+
+    def test_records_for_component(self):
+        env = Environment()
+        sink = LogSink(env)
+        sink.enable()
+        SimLogger(sink, "a").info("x")
+        SimLogger(sink, "b").info("y")
+        assert [r.msg for r in sink.records_for("b")] == ["y"]
+
+
+class TestSessionIntegration:
+    def test_agent_logs_when_enabled(self):
+        from repro.core import (
+            PartitionSpec, PilotDescription, Session, TaskDescription)
+        from repro.platform import generic
+
+        session = Session(cluster=generic(2, 4), seed=0, observe=True)
+        session.obs.enable_logging(level="debug")
+        pmgr, tmgr = session.pilot_manager(), session.task_manager()
+        pilot = pmgr.submit_pilots(PilotDescription(
+            nodes=2, partitions=(PartitionSpec("flux"),)))
+        tmgr.add_pilot(pilot)
+        tmgr.submit_tasks([TaskDescription(duration=0.5)])
+        session.run(tmgr.wait_tasks())
+        msgs = [r.msg for r in session.obs.sink.records]
+        assert "agent ready" in msgs

@@ -1,0 +1,108 @@
+"""Tests for the metrics registry: kinds, labels, snapshots."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.observability.metrics import Counter, Gauge, Histogram
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert c.snapshot() == {"value": 3.5}
+
+    def test_gauge_watermarks(self):
+        g = Gauge()
+        g.set(5)
+        g.set(2)
+        g.inc(10)
+        g.dec(1)
+        assert g.value == 11
+        assert g.max == 12
+        assert g.min == 2
+
+    def test_gauge_watermark_starts_at_first_value(self):
+        g = Gauge()
+        g.set(7)
+        assert g.min == g.max == 7
+
+    def test_histogram_buckets(self):
+        h = Histogram(bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.1):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.6)
+        assert h.cumulative() == [2, 3, 4]
+        assert h.mean == pytest.approx(13.9)
+
+
+class TestLabels:
+    def test_positional_and_keyword_address_same_child(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("backend",))
+        fam.labels("flux").inc()
+        fam.labels(backend="flux").inc()
+        assert fam.labels("flux").value == 2
+        assert len(fam) == 1
+
+    def test_label_values_are_stringified(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("depth", labels=("instance",))
+        fam.labels(3).set(1)
+        assert fam.labels("3").value == 1
+
+    def test_wrong_arity_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("a", "b"))
+        with pytest.raises(ValueError, match="expected 2"):
+            fam.labels("only-one")
+
+    def test_unknown_keyword_label_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("a",))
+        with pytest.raises(ValueError, match="missing label"):
+            fam.labels(b="x")
+        with pytest.raises(ValueError, match="unknown labels"):
+            fam.labels(a="x", b="y")
+
+    def test_mixed_positional_keyword_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("a", "b"))
+        with pytest.raises(ValueError, match="mix"):
+            fam.labels("x", b="y")
+
+
+class TestRegistry:
+    def test_unlabeled_returns_single_child(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        assert reg.counter("n") is c
+
+    def test_redeclare_same_shape_is_idempotent(self):
+        reg = MetricsRegistry()
+        fam1 = reg.gauge("g", labels=("x",))
+        fam2 = reg.gauge("g", labels=("x",))
+        assert fam1 is fam2
+
+    def test_redeclare_different_shape_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("x",))
+        with pytest.raises(ValueError, match="re-declared"):
+            reg.gauge("m", labels=("x",))
+        with pytest.raises(ValueError, match="re-declared"):
+            reg.counter("m", labels=("y",))
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "help b", labels=("k",)).labels("x").inc(3)
+        reg.gauge("a_gauge").set(7)
+        snap = reg.snapshot()
+        assert list(snap) == ["a_gauge", "b_total"]  # sorted
+        assert snap["b_total"]["kind"] == "counter"
+        assert snap["b_total"]["series"] == [
+            {"labels": {"k": "x"}, "value": 3.0}]
+        assert snap["a_gauge"]["series"][0]["value"] == 7

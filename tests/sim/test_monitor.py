@@ -91,3 +91,41 @@ class TestSampling:
         # 64 x 20 s single-core tasks on 32 cores: the monitor saw the
         # machine fully busy at some point.
         assert mon.peak("busy_cores") == 32
+
+
+class TestMonitorExport:
+    def _sampled(self, env):
+        mon = Monitor(env, interval=1.0)
+        depth = {"v": 0}
+        mon.probe("depth", lambda: depth["v"])
+        mon.probe("load", lambda: depth["v"] * 0.5)
+        mon.start()
+        for t, v in ((0.5, 3), (1.5, 7), (2.5, 2)):
+            env.schedule(t, lambda v=v: depth.__setitem__("v", v))
+        env.schedule(3.5, mon.stop)
+        env.run(until=10.0)
+        return mon
+
+    def test_to_series(self, env):
+        mon = self._sampled(env)
+        series = mon.to_series("depth")
+        assert list(series.times) == [0.0, 1.0, 2.0, 3.0]
+        assert list(series.values) == [0.0, 3.0, 7.0, 2.0]
+        assert series.max() == 7.0
+
+    def test_export_loads_as_profile(self, env, tmp_path):
+        from repro.analytics import load_events
+
+        mon = self._sampled(env)
+        path = tmp_path / "monitor.jsonl"
+        n = mon.export(path)
+        events = load_events(path)
+        assert n == len(events) == 8  # 2 probes x 4 sweeps
+        entities = {e.entity for e in events}
+        assert entities == {"monitor.depth", "monitor.load"}
+        # Samples are time-ordered and merged across probes.
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        depth = [e.meta["value"] for e in events
+                 if e.entity == "monitor.depth"]
+        assert depth == [0, 3, 7, 2]
