@@ -1,0 +1,122 @@
+"""Fault-layer overhead guard (not a paper figure).
+
+Runs the kernel-benchmark reference configuration (64 nodes, 4 Flux
+partitions, 14,336 null tasks) with the fault layer disabled and with
+a representative fault specification enabled, and writes the measured
+rates to ``BENCH_faults.json``.  The contract under test is the
+ISSUE's inertness requirement: a session that never asked for fault
+injection must run the same hot kernel loops as before the subsystem
+existed.
+
+Wall-clock ratios on a shared machine are noisy, so the disabled
+overhead is asserted between two bracketing disabled rounds with a
+generous noise allowance; the real regression tracking happens on the
+recorded JSON across commits.  The faulty run has no pass bound
+(injected failures and retries are allowed to cost), but its slowdown
+is recorded for the same tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.faults import FaultSpec, RetryPolicy
+
+from .conftest import run_once
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+
+CFG = ExperimentConfig(exp_id="perf_faults", launcher="flux",
+                       workload="null", n_nodes=64, n_partitions=4,
+                       waves=4, seed=0)
+
+#: A realistic mid-pressure spec: node failures every ~30 simulated
+#: minutes, 1% flaky launches, occasional partition crashes.
+FAULTY = FaultSpec(mtbf=1800.0, mttr=120.0, p_launch_fail=0.01,
+                   backend_mtbf=3600.0,
+                   retry=RetryPolicy(backoff_base=0.5, jitter=0.1))
+
+#: Allowed disabled-path round spread (measurement-noise certificate,
+#: mirrors the observability benchmark's allowance).
+MAX_DISABLED_OVERHEAD = 0.10
+
+
+def _rate(faults) -> float:
+    from dataclasses import replace
+
+    wall0 = time.perf_counter()
+    result = run_experiment(replace(CFG, faults=faults))
+    wall = time.perf_counter() - wall0
+    assert result.n_tasks == 14336
+    if faults is None:
+        assert result.n_done == result.n_tasks
+    return result.n_tasks / wall
+
+
+def test_disabled_faults_overhead(benchmark, emit):
+    def _measure():
+        _rate(None)  # warm-up: allocator and import costs land here
+        return {
+            # Best of two per disabled round: scheduler jitter on a
+            # shared machine only ever slows a run down, so max() is
+            # the better estimator of the true rate.
+            "disabled_1": max(_rate(None), _rate(None)),
+            "faulty": _rate(FAULTY),
+            "disabled_2": max(_rate(None), _rate(None)),
+        }
+
+    rates = run_once(benchmark, _measure)
+
+    disabled = max(rates["disabled_1"], rates["disabled_2"])
+    faulty = rates["faulty"]
+    spread = abs(rates["disabled_1"] - rates["disabled_2"]) / disabled
+    overhead = 1.0 - min(rates["disabled_1"], rates["disabled_2"]) / disabled
+    faulty_cost = 1.0 - faulty / disabled
+
+    BENCH_FILE.write_text(json.dumps({
+        "tasks_per_wall_second_disabled": disabled,
+        "tasks_per_wall_second_faulty": faulty,
+        "disabled_round_spread": spread,
+        "faulty_slowdown": faulty_cost,
+    }, indent=2) + "\n")
+
+    emit(f"faults off: {disabled:,.0f} tasks/s  "
+         f"on: {faulty:,.0f} tasks/s  "
+         f"(faulty slowdown {faulty_cost:+.1%}, "
+         f"disabled round spread {spread:.1%})\n"
+         f"wrote {BENCH_FILE}")
+
+    # The two disabled rounds ARE the disabled path; their spread is
+    # pure measurement noise.  When it exceeds the allowance the
+    # machine cannot certify the overhead either way, so skip rather
+    # than fail — the hard regression gate is the kernel-baseline
+    # ratio asserted below, and the JSON tracks the trend.
+    if overhead > MAX_DISABLED_OVERHEAD:
+        import pytest
+
+        pytest.skip(f"disabled-path rounds differ by {overhead:.1%} "
+                    f"(> {MAX_DISABLED_OVERHEAD:.0%}); machine too noisy "
+                    f"to certify overhead")
+
+
+def test_disabled_matches_kernel_baseline(emit):
+    """Compare against BENCH_kernel.json when the kernel benchmark ran
+    earlier in the same session (pytest runs files alphabetically, so
+    ``test_perf_kernel`` precedes this file)."""
+    kernel_file = BENCH_FILE.parent / "BENCH_kernel.json"
+    if not kernel_file.is_file():
+        emit("BENCH_kernel.json absent; baseline comparison skipped")
+        return
+    baseline = json.loads(kernel_file.read_text())["tasks_per_wall_second"]
+    ours = json.loads(BENCH_FILE.read_text())[
+        "tasks_per_wall_second_disabled"]
+    ratio = ours / baseline
+    emit(f"faults-disabled rate vs kernel baseline: {ratio:.2f}x")
+    # Same workload, same code path: anything below this is a real
+    # regression, not noise.
+    assert ratio > 0.75, (
+        f"faults-disabled run reached only {ratio:.2f}x of the "
+        f"kernel benchmark baseline ({ours:,.0f} vs {baseline:,.0f})")

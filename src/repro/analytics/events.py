@@ -31,6 +31,14 @@ BACKEND_READY = "backend_ready"        #: runtime instance ready for tasks
 BACKEND_STOP = "backend_stop"          #: runtime instance shut down
 BACKEND_FAILED = "backend_failed"      #: runtime instance crashed / timed out
 
+# Fault injection and recovery (see :mod:`repro.faults`).
+TASK_ATTEMPT_FAILED = "task_attempt_failed"  #: one execution attempt failed
+NODE_FAILED = "node_failed"            #: compute node taken DOWN by a fault
+NODE_RECOVERED = "node_recovered"      #: compute node repaired, back UP
+FAULT_INJECTED = "fault_injected"      #: fault model injected an event
+BACKEND_RESTART = "backend_restart"    #: crashed runtime instance restarted
+BACKEND_BLACKLISTED = "backend_blacklisted"  #: backend removed from routing
+
 
 class TraceEvent(NamedTuple):
     """One timestamped event about one entity.

@@ -9,14 +9,18 @@ on disjoint node partitions, and drives every task through
 with a serialized per-task dispatch stage whose cost models RP's task
 management subsystem (the ~1,500-1,600 tasks/s upper bound observed
 in the hybrid experiment).  Retries and failover live here: executor
-attempt failures are retried while the task has retries left, and
-backends that fail to bootstrap are removed from the routing table.
+attempt failures are retried while the task has retries left (plus the
+session :class:`~repro.faults.RetryPolicy` budget for infrastructure
+failures, with seeded exponential backoff), backends that fail to
+bootstrap are removed from the routing table, and backends that keep
+failing are blacklisted so surviving backends absorb the work.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ...analytics.events import BACKEND_BLACKLISTED, TASK_ATTEMPT_FAILED
 from ...exceptions import ConfigurationError, SchedulingError
 from ...platform.cluster import Allocation
 from ...sim import Store
@@ -75,9 +79,19 @@ class Agent:
                                  name=f"{self.uid}.stage_out",
                                  filesystem=session.filesystem)
         self._router: Optional[Router] = None
+        # Set when backend membership changes (crash, blacklist,
+        # restart); the routing table is then rebuilt lazily on the
+        # next routing decision instead of once per retry.
+        self._router_dirty = False
         self._alive = False
         self._n_flux_instances = 0
         self._inflight: set = set()
+        #: Session fault model (``None`` unless the session was built
+        #: with a :class:`~repro.faults.FaultSpec`); owns the retry
+        #: policy and all fault randomness.
+        self.faults = session.faults
+        #: backend name -> consecutive infra-failure strikes.
+        self._backend_strikes: Dict[str, int] = {}
         self.services: List = []
         self.n_dispatched = 0
         self.n_done = 0
@@ -147,9 +161,20 @@ class Agent:
                       backends=",".join(sorted(self.executors)))
         self.obs.tracer.end(span)
         self.env.process(self._dispatch_loop())
+        if self.faults is not None:
+            # Arm the fault clocks only once the stack is fully up, so
+            # the injection schedule is a pure function of the seed and
+            # the bootstrapped topology.
+            self.faults.on_agent_ready(self)
 
     def _make_router(self) -> Router:
-        ready = {name: ex for name, ex in self.executors.items() if ex.ready}
+        ready = {name: ex for name, ex in self.executors.items()
+                 if ex.ready and ex.routable}
+        if not ready:
+            # Everything blacklisted/down: fall back to whatever is up
+            # rather than routing into the void.
+            ready = {name: ex for name, ex in self.executors.items()
+                     if ex.ready}
         if self.pilot.description.routing == "dynamic":
             return DynamicRouter(ready)
         return Router(list(ready))
@@ -193,6 +218,8 @@ class Agent:
         no task on it can finish.
         """
         self._alive = False
+        if self.faults is not None:
+            self.faults.stop()
         for ex in self.executors.values():
             ex.shutdown()
         while True:
@@ -311,18 +338,44 @@ class Agent:
 
     def _route_and_submit(self, task: "Task") -> None:
         assert self._router is not None
+        if self._router_dirty:
+            # Rebuild only when backend membership actually changed
+            # (crash, blacklist, restart) — not once per retry.
+            self._router = self._make_router()
+            self._router_dirty = False
         try:
             backend = self._router.route(
                 task.description,
                 cores_per_node=self.session.cluster.cores_per_node,
                 gpus_per_node=self.session.cluster.gpus_per_node)
         except SchedulingError as exc:
+            if self.faults is not None:
+                # No routable backend right now — possibly a total but
+                # transient outage (a restart or repair may be pending).
+                # Burn an infra attempt and let the retry policy decide
+                # whether to try again.  The previous attempt's backend
+                # is cleared first: no executor ran this attempt, so
+                # none should be retired or struck for it.
+                task.backend = None
+                self.attempt_finished(task, ok=False, reason=str(exc),
+                                      infra=True)
+                return
             self.n_failed += 1
             self._inflight.discard(task)
             task.fail(str(exc))
             return
         executor = self.executors[backend]
         if not executor.ready:
+            if self.faults is not None:
+                # The backend died between routing decisions: mark the
+                # table stale and account a failed attempt — the retry
+                # policy decides whether the task gets re-routed to a
+                # survivor.
+                self._router_dirty = True
+                self.attempt_finished(task, ok=False,
+                                      reason=f"backend {backend} unavailable",
+                                      infra=True)
+                return
             self.n_failed += 1
             self._inflight.discard(task)
             task.fail(f"backend {backend} unavailable")
@@ -332,16 +385,33 @@ class Agent:
 
     # -- attempt outcomes ---------------------------------------------------------
 
-    def attempt_finished(self, task: "Task", ok: bool,
-                         reason: str = "") -> None:
-        """Called exactly once per execution attempt by executors."""
-        if task.backend is not None:
-            executor = self.executors.get(task.backend)
+    def attempt_finished(self, task: "Task", ok: bool, reason: str = "",
+                         infra: bool = False) -> None:
+        """Called exactly once per execution attempt by executors.
+
+        ``infra`` marks infrastructure failures (node/backend death,
+        injected launch faults) as opposed to payload failures.  Infra
+        failures qualify for retries from the session
+        :class:`~repro.faults.RetryPolicy` budget on top of the task's
+        own ``retries``, and they accrue blacklist strikes against the
+        failing backend.
+        """
+        backend = task.backend
+        if backend is not None:
+            executor = self.executors.get(backend)
             if executor is not None:
                 executor.n_retired += 1
         if task.is_final:
             return
+        # Every finished attempt counts, whatever its outcome (failed
+        # final attempts used to go uncounted).
+        task.attempts += 1
+        faults = self.faults
         if ok:
+            if faults is not None:
+                faults.note_recovered(task)
+                if backend is not None:
+                    self._backend_strikes.pop(backend, None)
             if task.description.output_staging > 0:
                 self.env.process(self._finalize(task))
             else:
@@ -350,18 +420,88 @@ class Agent:
                 self.n_done += 1
                 task.advance(TaskState.DONE)
             return
+        self.profiler.record_event(
+            task.uid, TASK_ATTEMPT_FAILED,
+            {"attempt": task.attempts, "backend": backend or "",
+             "reason": reason, "infra": infra})
+        if faults is not None:
+            faults.note_attempt_failed(task, infra,
+                                       task.description.resources.cores)
+            if infra and backend is not None:
+                self._strike(backend)
+        retry = False
         if task.retries_left > 0:
             task.retries_left -= 1
-            task.attempts += 1
+            retry = True
+        elif infra and faults is not None \
+                and faults.retry.allows(task.attempts, self.env.now):
+            retry = True
+        if retry and self._alive:
             if task.state == TaskState.AGENT_EXECUTING:
                 task.advance(TaskState.AGENT_SCHEDULING, retry=True)
-            # Re-route: the failing backend may have gone away.
-            self._router = self._make_router()
-            self._route_and_submit(task)
+            delay = faults.retry_delay(task.attempts) \
+                if faults is not None else 0.0
+            if delay > 0:
+                self.env.schedule_callback(delay, self._retry_submit, task)
+            else:
+                self._route_and_submit(task)
             return
         self.n_failed += 1
         self._inflight.discard(task)
+        if infra and faults is not None:
+            reason = (f"retries exhausted after {task.attempts} attempts: "
+                      f"{reason or 'infrastructure failure'}")
         task.fail(reason or "execution failed")
+
+    def _retry_submit(self, task: "Task") -> None:
+        """Deferred resubmission after a backoff delay."""
+        if not self._alive or task.is_final:
+            # Agent shut down, or the task was canceled while backing
+            # off — the retry silently dies with it.
+            return
+        self._route_and_submit(task)
+
+    def _strike(self, backend: str) -> None:
+        """One blacklist strike against ``backend``; at the policy
+        threshold the backend drops out of routing (never the last
+        routable one — degraded service beats none)."""
+        assert self.faults is not None
+        limit = self.faults.retry.blacklist_after
+        if limit <= 0:
+            return
+        strikes = self._backend_strikes.get(backend, 0) + 1
+        self._backend_strikes[backend] = strikes
+        if strikes < limit:
+            return
+        executor = self.executors.get(backend)
+        if executor is None or not executor.routable:
+            return
+        survivors = [ex for name, ex in self.executors.items()
+                     if name != backend and ex.ready and ex.routable]
+        if not survivors:
+            return
+        executor.routable = False
+        self.notify_backend_change()
+        self.faults.note_blacklisted(backend)
+        self.profiler.record(f"{self.uid}.{backend}", BACKEND_BLACKLISTED,
+                             strikes=strikes)
+        self.log.warning("backend blacklisted", backend=backend,
+                         strikes=strikes)
+
+    # -- fault-model hooks ---------------------------------------------------
+
+    def notify_backend_change(self) -> None:
+        """Backend membership changed (crash, blacklist, restart): the
+        routing table is rebuilt lazily on the next routing decision."""
+        self._router_dirty = True
+
+    def backend_restored(self, name: str) -> None:
+        """A crashed backend came back up (fault-model restart)."""
+        self._backend_strikes.pop(name, None)
+        executor = self.executors.get(name)
+        if executor is not None:
+            executor.routable = True
+        self.notify_backend_change()
 
     def _finalize(self, task: "Task"):
         """Staging-out pipeline for tasks that produce output."""

@@ -37,6 +37,11 @@ class ExecutorBase:
         self.allocation = allocation
         self.ready = False
         self.failed = False
+        #: Cleared by the agent when the backend is blacklisted after
+        #: repeated infrastructure failures; restored on recovery.
+        #: Distinct from :attr:`ready` (backend up) — a blacklisted
+        #: backend may still be up but is skipped by the router.
+        self.routable = True
         self.n_submitted = 0
         self.n_active = 0
         #: Tasks whose attempt finished (any outcome); with
@@ -84,6 +89,17 @@ class ExecutorBase:
         work was found and canceled.
         """
         return False
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def on_node_failure(self, node) -> None:
+        """A node went DOWN (fault injection).  Executors owning the
+        node kill and requeue the affected work; the default ignores
+        the call (the node is not theirs or the backend has no
+        node-level state)."""
+
+    def on_node_recover(self, node) -> None:
+        """The node came back UP; executors may resume using it."""
 
     # -- helpers -------------------------------------------------------------
 

@@ -37,7 +37,7 @@ class DragonExecutor(ExecutorBase):
             DragonRuntime(self.env, part, self.latencies, self.rng,
                           instance_id=f"{agent.uid}.dragon.{i:03d}",
                           profiler=self.profiler, fail_startup=fail_startup,
-                          metrics=self.metrics)
+                          metrics=self.metrics, faults=agent.faults)
             for i, part in enumerate(partitions)
         ]
         self._task_map: Dict[str, "Task"] = {}
@@ -136,4 +136,21 @@ class DragonExecutor(ExecutorBase):
             else:
                 self.agent.attempt_finished(
                     task, ok=False,
-                    reason=completion.error or "dragon task failed")
+                    reason=completion.error or "dragon task failed",
+                    infra=completion.infra)
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def on_node_failure(self, node) -> None:
+        """Forward the failure to the runtime whose partition owns the
+        node; its worker pool shrinks and tasks there are killed."""
+        for rt in self.runtimes:
+            if node.index in rt.allocation._by_index:
+                rt.fail_node(node)
+                return
+
+    def on_node_recover(self, node) -> None:
+        for rt in self.runtimes:
+            if node.index in rt.allocation._by_index:
+                rt.recover_node(node)
+                return

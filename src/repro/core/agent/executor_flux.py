@@ -40,7 +40,7 @@ class FluxExecutor(ExecutorBase):
             self.env, allocation, self.latencies, self.rng,
             n_instances=n_instances, policy=policy,
             name=f"{agent.uid}.flux", profiler=self.profiler,
-            metrics=self.metrics)
+            metrics=self.metrics, faults=agent.faults)
         #: flux job id -> RP task, for event correlation.
         self._job_to_task: Dict[str, "Task"] = {}
         #: RP task uid -> (instance, flux job id), for cancellation.
@@ -98,8 +98,14 @@ class FluxExecutor(ExecutorBase):
             instance = self.hierarchy.least_loaded(
                 min_cores=td.resources.cores, min_gpus=td.resources.gpus)
             job = instance.submit(spec)
-        except (JobspecError, RuntimeStartupError) as exc:
+        except JobspecError as exc:
             self.agent.attempt_finished(task, ok=False, reason=str(exc))
+            return
+        except RuntimeStartupError as exc:
+            # No ready instance (or it died between pick and submit):
+            # infrastructural, so the retry policy may reroute the task.
+            self.agent.attempt_finished(task, ok=False, reason=str(exc),
+                                        infra=True)
             return
         self.n_submitted += 1
         self._job_to_task[job.job_id] = task
@@ -133,4 +139,22 @@ class FluxExecutor(ExecutorBase):
             del self._job_to_task[event.job_id]
             self._task_to_job.pop(task.uid, None)
             reason = event.meta.get("reason", "flux job exception")
-            self.agent.attempt_finished(task, ok=False, reason=reason)
+            self.agent.attempt_finished(task, ok=False, reason=reason,
+                                        infra=bool(event.meta.get("infra")))
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def on_node_failure(self, node) -> None:
+        """Forward the failure to the instance whose partition owns the
+        node; its running jobs there are killed and requeued."""
+        for inst in self.hierarchy.instances:
+            if node.index in inst.allocation._by_index:
+                inst.fail_node(node)
+                return
+
+    def on_node_recover(self, node) -> None:
+        """Recovered capacity: kick the owning instance's scheduler."""
+        for inst in self.hierarchy.instances:
+            if node.index in inst.allocation._by_index:
+                inst._kick()
+                return

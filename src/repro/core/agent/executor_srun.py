@@ -34,6 +34,9 @@ class SrunExecutor(ExecutorBase):
         self._alive = False
         self._procs = {}
         self._steps = {}
+        #: task uid -> granted placements, so node failures can find
+        #: the tasks running on the dead node.
+        self._placements = {}
 
     @property
     def outstanding(self) -> int:
@@ -71,12 +74,37 @@ class SrunExecutor(ExecutorBase):
             return True
         return False
 
+    def on_node_failure(self, node) -> None:
+        """Kill the running steps with placements on the dead node;
+        their attempts fail as infrastructure failures and qualify for
+        retry.  Queued requests that no longer fit the shrunken
+        partition fail immediately instead of deadlocking the queue."""
+        from ...exceptions import NodeFailureError
+
+        index = node.index
+        for uid, placements in list(self._placements.items()):
+            if all(pl.node_index != index for pl in placements):
+                continue
+            step = self._steps.get(uid)
+            if step is not None and getattr(step, "is_alive", False):
+                step.interrupt(NodeFailureError(f"node failure: {node.name}"))
+        self.scheduler.node_lost()
+
+    def on_node_recover(self, node) -> None:
+        """Recovered capacity may satisfy queued placement requests."""
+        self.scheduler._drain()
+
     def _execute(self, task: "Task"):
-        from ...exceptions import SchedulingError
+        from ...exceptions import BackendError, NodeFailureError, SchedulingError
         from ...sim import Interrupt
 
         try:
             placements = yield self.scheduler.place(task.description.resources)
+        except NodeFailureError as exc:
+            self._procs.pop(task.uid, None)
+            self.agent.attempt_finished(task, ok=False, reason=str(exc),
+                                        infra=True)
+            return
         except SchedulingError as exc:
             self._procs.pop(task.uid, None)
             self.agent.attempt_finished(task, ok=False, reason=str(exc))
@@ -86,10 +114,23 @@ class SrunExecutor(ExecutorBase):
             self._procs.pop(task.uid, None)
             self.scheduler.free(placements)
             return
+        self._placements[task.uid] = placements
+        faults = self.agent.faults
+        if faults is not None:
+            fault = faults.launch_outcome("srun")
+            if fault is not None:
+                if fault.delay > 0:
+                    yield self.env.timeout(fault.delay)
+                self._placements.pop(task.uid, None)
+                self._procs.pop(task.uid, None)
+                self.scheduler.free(placements)
+                self.agent.attempt_finished(task, ok=False,
+                                            reason=fault.reason, infra=True)
+                return
         self.n_active += 1
         payload_failed = task.description.fail
         duration = 0.0 if payload_failed else task.description.duration
-        canceled = False
+        interrupt_cause = None
         step = self.env.process(self.srun.run_task(
             alloc_nodes=self.agent.pilot_nodes,
             duration=duration,
@@ -99,14 +140,22 @@ class SrunExecutor(ExecutorBase):
         self._steps[task.uid] = step
         try:
             yield step
-        except Interrupt:
-            canceled = True
+        except Interrupt as interrupt:
+            interrupt_cause = interrupt.cause \
+                if interrupt.cause is not None else "canceled"
         finally:
             self.n_active -= 1
             self.scheduler.free(placements)
             self._procs.pop(task.uid, None)
             self._steps.pop(task.uid, None)
-        if canceled:
+            self._placements.pop(task.uid, None)
+        if interrupt_cause is not None:
+            if isinstance(interrupt_cause, (NodeFailureError, BackendError)):
+                # Killed by a fault, not canceled: report the attempt so
+                # the agent can retry/fail the task.
+                self.agent.attempt_finished(task, ok=False,
+                                            reason=str(interrupt_cause),
+                                            infra=True)
             return
         if payload_failed:
             self.agent.attempt_finished(task, ok=False,

@@ -52,6 +52,18 @@ class PartitionScheduler:
         own scheduler, e.g. Flux backfill, when that matters).
         """
         ev = Event(self.env)
+        alloc = self.allocation
+        if alloc.n_down_nodes and (spec.cores > alloc.usable_cores
+                                   or spec.gpus > alloc.usable_gpus):
+            # Node failures shrank the partition below the request:
+            # fail fast (the retry policy decides what happens next)
+            # instead of queueing a request nothing can ever grant.
+            from ...exceptions import NodeFailureError
+
+            ev._defused = True  # type: ignore[attr-defined]
+            ev.fail(NodeFailureError(
+                f"{self.name}: unsatisfiable after node failure"))
+            return ev
         if not self._pending:
             placements = self.allocation.try_place(spec)
             if placements is not None:
@@ -93,3 +105,23 @@ class PartitionScheduler:
                 from ...exceptions import SchedulingError
 
                 ev.fail(SchedulingError(f"{self.name}: partition shut down"))
+
+    def node_lost(self) -> None:
+        """A partition node went DOWN: fail the queued requests that no
+        longer fit the usable capacity (they would deadlock the FIFO
+        queue forever), keep the satisfiable rest, and re-drain."""
+        from ...exceptions import NodeFailureError
+
+        alloc = self.allocation
+        keep: Deque[Tuple[ResourceSpec, Event]] = deque()
+        for spec, ev in self._pending:
+            if spec.cores > alloc.usable_cores or spec.gpus > alloc.usable_gpus:
+                if not ev.triggered:
+                    ev._defused = True  # type: ignore[attr-defined]
+                    ev.fail(NodeFailureError(
+                        f"{self.name}: unsatisfiable after node failure"))
+            else:
+                keep.append((spec, ev))
+        if len(keep) != len(self._pending):
+            self._pending = keep
+        self._drain()

@@ -34,7 +34,8 @@ class Session:
                  seed: int = 0,
                  env: Optional[Environment] = None,
                  trace: bool = True,
-                 observe: bool = False) -> None:
+                 observe: bool = False,
+                 faults=None) -> None:
         self.env = env if env is not None else Environment()
         self.cluster = cluster if cluster is not None else frontier()
         self.latencies = latencies
@@ -54,6 +55,19 @@ class Session:
                                      self.rng, profiler=self.profiler)
         self.srun = SrunLauncher(self.env, self.slurm, latencies, self.rng,
                                  metrics=self.obs.registry)
+        #: Fault model, built from an optional
+        #: :class:`~repro.faults.FaultSpec`.  ``None`` (the default)
+        #: keeps every fault-instrumented code path inert: no fault
+        #: randomness is drawn and traces are identical to a faultless
+        #: build.  A spec with all-zero rates still activates the
+        #: retry policy (recovery from payload-only failures).
+        self.faults = None
+        if faults is not None:
+            from ..faults import FaultModel
+
+            self.faults = FaultModel(self.env, self.rng, faults,
+                                     profiler=self.profiler,
+                                     metrics=self.obs.registry)
         self._closed = False
 
     def pilot_manager(self):

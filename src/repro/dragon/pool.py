@@ -62,6 +62,23 @@ class WorkerPool:
         """Request one worker slot (an event; FIFO when contended)."""
         return self._slots.request()
 
+    def lose(self, n_slots: int) -> int:
+        """Shrink the pool by up to ``n_slots`` (a node died).
+
+        Returns how many slots were actually removed.  Busy slots are
+        not revoked here — their releases simply stop re-granting while
+        the pool is over capacity (see ``Resource.set_capacity``).
+        """
+        take = max(0, min(n_slots, self._slots.capacity))
+        if take:
+            self._slots.set_capacity(self._slots.capacity - take)
+        return take
+
+    def restore(self, n_slots: int) -> None:
+        """Grow the pool back by ``n_slots`` (a node recovered)."""
+        if n_slots > 0:
+            self._slots.set_capacity(self._slots.capacity + n_slots)
+
     def dispatch_cost(self, mode: str) -> float:
         """Local dispatch cost for a task of the given mode, updating
         warm/cold pool statistics.

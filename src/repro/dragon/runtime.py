@@ -27,7 +27,12 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..exceptions import DragonError, RuntimeStartupError
+from ..exceptions import (
+    BackendError,
+    DragonError,
+    NodeFailureError,
+    RuntimeStartupError,
+)
 from ..platform.cluster import Allocation
 from ..platform.latency import LatencyModel
 from ..sim import Environment, RngStreams
@@ -65,6 +70,10 @@ class DragonCompletion:
     start_time: float
     stop_time: float
     error: str = ""
+    #: True when the failure was infrastructural (worker/node/runtime
+    #: death) rather than the task payload — infra failures qualify for
+    #: policy-driven retries.
+    infra: bool = False
 
 
 @dataclass(frozen=True)
@@ -116,7 +125,8 @@ class DragonRuntime:
     def __init__(self, env: Environment, allocation: Allocation,
                  latencies: LatencyModel, rng: RngStreams,
                  instance_id: str = "dragon", profiler=None,
-                 fail_startup: bool = False, metrics=None) -> None:
+                 fail_startup: bool = False, metrics=None,
+                 faults=None) -> None:
         self.env = env
         self.allocation = allocation
         self.latencies = latencies
@@ -124,6 +134,11 @@ class DragonRuntime:
         self.profiler = profiler
         self.instance_id = instance_id
         self.state = DragonState.INIT
+        #: Optional :class:`~repro.faults.FaultModel` consulted once
+        #: per launch for injected worker failures.
+        self._faults = faults
+        #: node index -> worker slots confiscated by fail_node.
+        self._lost_by_node: Dict[int, int] = {}
         #: Fault injection: when true, bootstrap hangs forever so the
         #: executor-side watchdog can be exercised.
         self.fail_startup = fail_startup
@@ -200,19 +215,53 @@ class DragonRuntime:
                                  kind="dragon")
 
     def crash(self, reason: str = "runtime crashed") -> None:
-        """Simulate a runtime crash; queued tasks fail via completions."""
+        """Simulate a runtime crash: running processes die with it and
+        queued tasks fail via completions."""
         if self.state in (DragonState.STOPPED, DragonState.FAILED):
             return
         self.state = DragonState.FAILED
+        for proc in list(self._run_procs.values()):
+            if getattr(proc, "is_alive", False):
+                proc.interrupt(BackendError(reason))
         while len(self.task_pipe):
             msg = self.task_pipe._store.try_get()
             if msg is None:
                 break
-            self._complete(msg, ok=False, start=self.env.now,
-                           error=reason)
+            ranks = msg.ranks if isinstance(msg, DragonGroup) else (msg,)
+            for rank in ranks:
+                self._complete(rank, ok=False, start=self.env.now,
+                               error=reason, infra=True)
         if self.profiler is not None:
             self.profiler.record(self.instance_id, "backend_failed",
                                  kind="dragon", reason=reason)
+
+    def fail_node(self, node) -> None:
+        """A node of this allocation went DOWN (fault injection).
+
+        The worker pool shrinks by the node's core count, and one
+        running task per lost busy slot is killed.  Pool slots are
+        anonymous at this level of the model (Dragon's local services
+        do not expose a stable task->node mapping), so the victims are
+        the oldest running tasks — a deterministic stand-in for
+        whatever happened to live on the node.
+        """
+        if self.state in (DragonState.STOPPED, DragonState.FAILED):
+            return
+        if node.index in self._lost_by_node:
+            return
+        lost = self.pool.lose(node.n_cores)
+        self._lost_by_node[node.index] = lost
+        victims = list(self._run_procs.values())[:lost]
+        for proc in victims:
+            if getattr(proc, "is_alive", False):
+                proc.interrupt(NodeFailureError(f"node failure: {node.name}"))
+
+    def recover_node(self, node) -> None:
+        """The node came back UP: restore its worker slots."""
+        lost = self._lost_by_node.pop(node.index, 0)
+        if lost and self.state not in (DragonState.STOPPED,
+                                       DragonState.FAILED):
+            self.pool.restore(lost)
 
     # -- submission ---------------------------------------------------------
 
@@ -288,6 +337,11 @@ class DragonRuntime:
                                error="canceled before launch")
                 continue
             yield self.env.timeout(self._gs_cost(task.mode))
+            if self.state != DragonState.READY:
+                # Crashed while this task was in GS bookkeeping.
+                self._complete(task, ok=False, start=self.env.now,
+                               error="runtime crashed", infra=True)
+                continue
             self._run_procs[task.task_id] = self.env.process(
                 self._run_task(task))
 
@@ -347,6 +401,14 @@ class DragonRuntime:
         yield slot
         start = self.env.now
         try:
+            if self._faults is not None:
+                fault = self._faults.launch_outcome("dragon")
+                if fault is not None:
+                    if fault.delay > 0:
+                        yield self.env.timeout(fault.delay)
+                    self._complete(task, ok=False, start=start,
+                                   error=fault.reason, infra=True)
+                    return
             cost = self.pool.dispatch_cost(task.mode)
             if cost > 0:
                 yield self.env.timeout(cost)
@@ -362,14 +424,16 @@ class DragonRuntime:
                 yield self.env.timeout(task.duration)
             self._complete(task, ok=True, start=start)
         except Interrupt as interrupt:
+            cause = interrupt.cause
+            infra = isinstance(cause, (NodeFailureError, BackendError))
             self._complete(task, ok=False, start=start,
-                           error=str(interrupt.cause or "canceled"))
+                           error=str(cause or "canceled"), infra=infra)
         finally:
             self._run_procs.pop(task.task_id, None)
             slot.release()
 
     def _complete(self, task: DragonTask, ok: bool, start: float,
-                  error: str = "") -> None:
+                  error: str = "", infra: bool = False) -> None:
         self._retired.add(task.task_id)
         if ok:
             self.n_completed += 1
@@ -377,4 +441,4 @@ class DragonRuntime:
             self.n_failed += 1
         self.completion_pipe.send(DragonCompletion(
             task_id=task.task_id, ok=ok, start_time=start,
-            stop_time=self.env.now, error=error))
+            stop_time=self.env.now, error=error, infra=infra))

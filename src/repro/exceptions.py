@@ -44,6 +44,21 @@ class SrunCeilingError(LaunchError):
     """Raised when the platform srun concurrency ceiling rejects a launch."""
 
 
+class BackendError(LaunchError):
+    """Raised when an execution backend (Flux instance, Dragon pool,
+    srun partition) fails as a whole rather than for one task."""
+
+
+class NodeFailureError(ResourceError):
+    """Raised when a compute node fails under a running task or an
+    operation touches a node that is DOWN."""
+
+
+class TaskRetryExhausted(ReproError):
+    """Raised (or recorded as a failure reason) when a task has burned
+    through its per-task retries and the session retry policy."""
+
+
 class RuntimeStartupError(ReproError):
     """Raised when a third-party runtime (Flux/Dragon) fails to bootstrap."""
 

@@ -15,7 +15,8 @@ import sys
 from typing import List
 
 from ..analytics.report import format_table
-from .configs import config_by_id, table1_configs
+from ..exceptions import ReproError
+from .configs import config_by_id, faults_configs, table1_configs
 from .harness import run_experiment, run_repetitions
 
 
@@ -23,7 +24,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     rows = [
         (c.exp_id, c.launcher, c.workload, c.n_nodes, c.n_partitions,
          c.duration)
-        for c in table1_configs()
+        for c in table1_configs() + faults_configs()
     ]
     print(format_table(
         ["exp", "launcher", "workload", "nodes", "partitions", "dur[s]"],
@@ -40,11 +41,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.waves:
         overrides["waves"] = args.waves
     cfg = config_by_id(args.exp_id, **overrides)
+    if getattr(args, "faults", ""):
+        from dataclasses import replace
+
+        from ..faults import FaultSpec
+
+        cfg = replace(cfg, faults=FaultSpec.parse(args.faults,
+                                                  base=cfg.faults))
     bundle = getattr(args, "bundle", "") or None
     if args.summary or args.profile or bundle:
         result = run_experiment(cfg, keep_session=True, bundle=bundle)
         if bundle:
             print(f"wrote observability bundle to {bundle}")
+        if result.faults is not None:
+            print(result.faults.to_text())
         if args.summary:
             from ..analytics import summarize
 
@@ -73,6 +83,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             [(cfg.exp_id, cfg.n_nodes, cfg.n_partitions, r.n_tasks, r.n_done,
               r.n_failed, r.throughput.avg, r.throughput.peak,
               r.utilization_cores, r.makespan, r.wall_seconds)]))
+        if r.faults is not None:
+            print()
+            print(r.faults.to_text())
     return 0
 
 
@@ -195,6 +208,11 @@ def main(argv: List[str] = None) -> int:
                        metavar="N",
                        help="fan repetitions out over N worker processes "
                             "(bare flag = one per core)")
+    p_run.add_argument("--faults", default="", metavar="SPEC",
+                       help="fault injection spec, key=value pairs "
+                            "(e.g. mtbf=1800,p_launch_fail=0.01,"
+                            "max_attempts=5); layered over the "
+                            "config's own spec if it has one")
     p_run.add_argument("--summary", action="store_true",
                        help="print the per-backend session summary")
     p_run.add_argument("--profile", default="",
@@ -241,22 +259,28 @@ def main(argv: List[str] = None) -> int:
                         help="output trace file (default: trace.json)")
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "table1":
-        return _cmd_table1(args)
-    if args.command == "trace":
-        return _cmd_trace(args)
-    if args.command == "figures":
-        from .figures import export_figures
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "table1":
+            return _cmd_table1(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "figures":
+            from .figures import export_figures
 
-        written = export_figures(args.out, figures=args.only,
-                                 quick=args.quick)
-        for path in written:
-            print(f"wrote {path}")
-        return 0
+            written = export_figures(args.out, figures=args.only,
+                                     quick=args.quick)
+            for path in written:
+                print(f"wrote {path}")
+            return 0
+    except ReproError as exc:
+        # Configuration and stack errors are user errors, not crashes:
+        # one line on stderr, non-zero exit, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 2  # pragma: no cover
 
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import ConfigurationError
+from ..faults import FaultSpec
 
 #: Launcher configurations evaluated in the paper, plus the PRRTE
 #: extension backend (§5).
@@ -46,6 +47,7 @@ class ExperimentConfig:
     seed: int = 0
     generations: int = 12         #: IMPECCABLE generations
     adaptive: bool = True         #: IMPECCABLE adaptive task counts
+    faults: Optional[FaultSpec] = None  #: fault injection (None = off)
     tags: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -132,10 +134,43 @@ def table1_configs(null_workloads: bool = True,
     return cfgs
 
 
+#: Default fault regime for the resilience experiments: node crashes
+#: roughly every 30 simulated minutes across the allocation, a 1 %
+#: transient launch-failure rate, and a whole-backend crash about once
+#: an hour.  Aggressive relative to production MTBFs, by design — a
+#: short run must actually exercise recovery.
+DEFAULT_FAULTS = FaultSpec(mtbf=1800.0, p_launch_fail=0.01,
+                           backend_mtbf=3600.0)
+
+
+def faults_configs(seed: int = 0) -> List[ExperimentConfig]:
+    """Resilience experiment configurations (the fault-injection runs).
+
+    One per recovery path: Flux partition failover (node crashes +
+    broker restart), srun placement-level retry, and Dragon pool
+    shrinkage.
+    """
+    return [
+        ExperimentConfig(
+            exp_id="faults", launcher=LAUNCHER_FLUX, workload=WORKLOAD_NULL,
+            n_nodes=16, n_partitions=4, duration=0.0, waves=2, seed=seed,
+            faults=DEFAULT_FAULTS),
+        ExperimentConfig(
+            exp_id="faults_srun", launcher=LAUNCHER_SRUN,
+            workload=WORKLOAD_DUMMY, n_nodes=4, duration=60.0, waves=2,
+            seed=seed, faults=DEFAULT_FAULTS),
+        ExperimentConfig(
+            exp_id="faults_dragon", launcher=LAUNCHER_DRAGON,
+            workload=WORKLOAD_NULL, n_nodes=4, duration=0.0, waves=2,
+            seed=seed,
+            faults=replace(DEFAULT_FAULTS, backend_mtbf=0.0)),
+    ]
+
+
 def config_by_id(exp_id: str, **overrides) -> ExperimentConfig:
-    """First Table-1 config with the given experiment id, with
-    field overrides applied."""
-    for cfg in table1_configs():
+    """First Table-1 (or fault-injection) config with the given
+    experiment id, with field overrides applied."""
+    for cfg in table1_configs() + faults_configs():
         if cfg.exp_id == exp_id:
             return replace(cfg, **overrides) if overrides else cfg
     raise ConfigurationError(f"unknown experiment id {exp_id!r}")

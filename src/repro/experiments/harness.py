@@ -29,6 +29,7 @@ from ..core.description import (
 from ..core.session import Session
 from ..core.task import Task
 from ..exceptions import ConfigurationError
+from ..faults import FaultReport
 from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
 from ..platform.profiles import FRONTIER_CORES_PER_NODE, frontier
 from ..workloads.impeccable import CampaignRunner
@@ -67,6 +68,8 @@ class ExperimentResult:
     tasks: List[Task] = field(repr=False, default_factory=list)
     session: Optional[Session] = field(repr=False, default=None)
     wall_seconds: float = 0.0
+    #: Fault-injection summary; ``None`` when the run had no fault model.
+    faults: Optional[FaultReport] = None
 
     @property
     def throughput_avg(self) -> float:
@@ -135,7 +138,8 @@ def run_experiment(cfg: ExperimentConfig,
     wall0 = time.perf_counter()
     observe = observe or bundle is not None
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
-                      latencies=latencies, seed=cfg.seed, observe=observe)
+                      latencies=latencies, seed=cfg.seed, observe=observe,
+                      faults=cfg.faults)
     span = session.obs.tracer.begin(
         "experiment", cat="experiment",
         launcher=cfg.launcher, workload=cfg.workload, seed=cfg.seed)
@@ -172,6 +176,8 @@ def run_experiment(cfg: ExperimentConfig,
         tasks=tasks,
         session=session if keep_session else None,
         wall_seconds=time.perf_counter() - wall0,
+        faults=(FaultReport.collect(session.faults, tasks, makespan(tasks))
+                if session.faults is not None else None),
     )
     if bundle is not None:
         write_run_bundle(bundle, cfg, session, result)

@@ -1,0 +1,27 @@
+"""Deterministic fault injection and recovery.
+
+This package adds a seeded failure model to the simulated stack:
+
+- :class:`FaultSpec` / :class:`RetryPolicy` — frozen configuration,
+  parseable from the CLI's ``key=value,...`` syntax.
+- :class:`FaultModel` — schedules node crashes, transient launch
+  failures, and backend crashes on dedicated ``faults.*`` RNG streams;
+  keeps the recovery ledger.
+- :class:`FaultReport` — per-run goodput / waste / recovery summary.
+
+With no spec configured the instrumented code paths are inert: a
+healthy run draws no fault randomness, schedules no fault events, and
+produces byte-identical traces to a build without this package.
+"""
+
+from .model import FaultModel, LaunchFault
+from .report import FaultReport
+from .spec import FaultSpec, RetryPolicy
+
+__all__ = [
+    "FaultModel",
+    "FaultReport",
+    "FaultSpec",
+    "LaunchFault",
+    "RetryPolicy",
+]

@@ -1,0 +1,108 @@
+"""Characterization report for a faulted run.
+
+Summarizes what the :class:`~repro.faults.model.FaultModel` injected
+and what the recovery machinery delivered: goodput, the resource cost
+of failures (wasted core-seconds of killed attempts, node-seconds of
+downtime), and recovery latency.  Built once per experiment by the
+harness and rendered by the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.task import Task
+    from .model import FaultModel
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (no numpy: keeps the report trivially
+    serializable and exact on tiny samples)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Goodput / waste / recovery summary of one faulted run."""
+
+    n_tasks: int
+    n_done: int
+    n_failed: int
+    makespan: float
+    #: Successfully finished tasks per second of makespan.
+    goodput: float
+    #: Execution attempts that were retried.
+    n_retries: int
+    #: Core-seconds of execution killed mid-attempt.
+    wasted_core_seconds: float
+    #: Node-seconds of capacity lost to node downtime.
+    lost_node_seconds: float
+    #: Tasks that hit an infra failure and later finished: latency from
+    #: the first failure to the successful completion.
+    recovery_mean: float
+    recovery_p95: float
+    recovery_max: float
+    n_recovered: int
+    #: Tasks that hit an infra failure and never finished.
+    n_unrecovered: int
+    #: Injection counters by kind (node_crash, launch_fail, ...).
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: The deterministic fault schedule: (time, kind, target).
+    schedule: Tuple[Tuple[float, str, str], ...] = ()
+
+    @classmethod
+    def collect(cls, model: "FaultModel", tasks: Sequence["Task"],
+                makespan: float) -> "FaultReport":
+        """Build the report from a finished run."""
+        from ..core.states import TaskState
+
+        n_done = sum(1 for t in tasks if t.state is TaskState.DONE)
+        n_failed = sum(1 for t in tasks if t.state is TaskState.FAILED)
+        lat = model.recovery_latencies
+        now = model.env.now
+        return cls(
+            n_tasks=len(tasks),
+            n_done=n_done,
+            n_failed=n_failed,
+            makespan=makespan,
+            goodput=n_done / makespan if makespan > 0 else 0.0,
+            n_retries=model.n_retries,
+            wasted_core_seconds=model.wasted_core_seconds,
+            lost_node_seconds=(model.lost_node_seconds
+                               + model.open_downtime(now)),
+            recovery_mean=sum(lat) / len(lat) if lat else 0.0,
+            recovery_p95=_percentile(lat, 0.95),
+            recovery_max=max(lat) if lat else 0.0,
+            n_recovered=len(lat),
+            n_unrecovered=model.n_unrecovered,
+            injected=dict(model.injected),
+            schedule=tuple(model.schedule_log),
+        )
+
+    def to_text(self) -> str:
+        """Human-readable block for the experiments CLI."""
+        inj = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items())
+                        if v) or "none"
+        lines = [
+            "fault report",
+            f"  injected        : {inj}",
+            f"  tasks           : {self.n_done}/{self.n_tasks} done, "
+            f"{self.n_failed} failed",
+            f"  goodput         : {self.goodput:.2f} tasks/s over "
+            f"{self.makespan:.1f} s",
+            f"  retries         : {self.n_retries}",
+            f"  wasted          : {self.wasted_core_seconds:.1f} core-s "
+            f"(killed attempts)",
+            f"  lost capacity   : {self.lost_node_seconds:.1f} node-s "
+            f"(downtime)",
+            f"  recovery latency: mean {self.recovery_mean:.2f} s, "
+            f"p95 {self.recovery_p95:.2f} s, max {self.recovery_max:.2f} s "
+            f"({self.n_recovered} recovered, {self.n_unrecovered} not)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""Declarative fault-injection and retry-policy configuration.
+
+A :class:`FaultSpec` describes *what goes wrong* (node crashes on an
+MTBF process, transient launch failures, whole-backend crashes) and a
+nested :class:`RetryPolicy` describes *how the stack recovers* (backoff
+schedule, attempt budget, backend blacklisting, restart).  Both are
+frozen: a spec can be shared between repetitions and hashed into run
+manifests without defensive copies.
+
+Specs parse from the compact ``key=value,key=value`` syntax used by the
+experiments CLI (``--faults mtbf=1800,p_launch_fail=0.01``), mirroring
+how sbatch-style tools accept constraint strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.random import RngStreams
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed attempts are retried and failing backends handled.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution attempts per task (first try included) granted
+        for *infrastructure* failures.  Per-task ``retries`` from the
+        task description are honored on top of (before) this budget.
+    backoff_base / backoff_factor / backoff_max:
+        Exponential backoff: attempt ``k`` (1-based count of finished
+        attempts) waits ``min(base * factor**(k-1), backoff_max)``
+        seconds before resubmission.
+    jitter:
+        Relative jitter applied to each backoff delay, drawn from the
+        seeded ``faults.backoff`` stream: the delay is scaled by a
+        uniform factor in ``[1 - jitter, 1 + jitter]``.
+    deadline:
+        Give up retrying once the simulation clock passes this time.
+    blacklist_after:
+        Consecutive infrastructure failures on one backend before the
+        agent stops routing new tasks to it (0 disables blacklisting).
+    backend_restart:
+        Whether crashed Flux instances are restarted (with a fresh
+        cold-start delay from the latency calibration).
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 60.0
+    jitter: float = 0.1
+    deadline: float = float("inf")
+    blacklist_after: int = 3
+    backend_restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_factor < 0:
+            raise ConfigurationError("backoff parameters must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+        if self.blacklist_after < 0:
+            raise ConfigurationError(
+                f"blacklist_after must be >= 0, got {self.blacklist_after}")
+
+    def allows(self, attempts: int, now: float = 0.0) -> bool:
+        """May a task with ``attempts`` finished attempts try again?"""
+        return attempts < self.max_attempts and now < self.deadline
+
+    def delay(self, attempts: int, rng: "RngStreams") -> float:
+        """Backoff before the attempt following ``attempts`` failures.
+
+        Deterministic given the seed: the jitter factor is one uniform
+        draw from the dedicated ``faults.backoff`` stream.
+        """
+        base = min(self.backoff_base * self.backoff_factor ** (attempts - 1),
+                   self.backoff_max)
+        if base <= 0.0:
+            return 0.0
+        if self.jitter > 0.0:
+            base *= rng.uniform("faults.backoff",
+                                1.0 - self.jitter, 1.0 + self.jitter)
+        return base
+
+
+#: RetryPolicy field names, for routing parse() keys into the nested policy.
+_RETRY_FIELDS = frozenset(f.name for f in dataclasses.fields(RetryPolicy))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What the fault model injects, all rates per simulated second.
+
+    Every rate defaults to zero, so ``FaultSpec()`` injects nothing but
+    still activates the :class:`RetryPolicy` — useful for exercising
+    recovery against payload failures alone.
+
+    Parameters
+    ----------
+    mtbf:
+        Per-node mean time between failures [s]; 0 disables node
+        crashes.  Times are drawn per node from the ``faults.node``
+        stream using ``dist``.
+    dist:
+        Failure-time distribution: ``"exponential"`` or ``"weibull"``
+        (the latter with ``weibull_shape``, matching HPC failure
+        studies where infant mortality/wear-out skew the hazard).
+    mttr:
+        Mean time to repair a DOWN node [s]; 0 means nodes stay down.
+    max_node_failures:
+        Cap on injected node crashes (0 = unbounded).
+    p_launch_fail / p_launch_timeout:
+        Per-attempt probability that a launch fails immediately or
+        hangs for ``launch_timeout`` seconds before failing (srun step
+        errors, Flux exec errors, Dragon worker death).
+    backend_mtbf:
+        Mean time between whole-backend crashes (Flux broker death,
+        Dragon pool teardown) per runtime instance; 0 disables.
+    retry:
+        The recovery policy; see :class:`RetryPolicy`.
+    """
+
+    mtbf: float = 0.0
+    dist: str = "exponential"
+    weibull_shape: float = 1.5
+    mttr: float = 120.0
+    max_node_failures: int = 0
+    p_launch_fail: float = 0.0
+    p_launch_timeout: float = 0.0
+    launch_timeout: float = 30.0
+    backend_mtbf: float = 0.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.mtbf < 0 or self.mttr < 0 or self.backend_mtbf < 0:
+            raise ConfigurationError("MTBF/MTTR values must be >= 0")
+        if self.dist not in ("exponential", "weibull"):
+            raise ConfigurationError(
+                f"unknown failure distribution {self.dist!r} "
+                "(expected 'exponential' or 'weibull')")
+        if self.weibull_shape <= 0:
+            raise ConfigurationError(
+                f"weibull_shape must be > 0, got {self.weibull_shape}")
+        if not 0.0 <= self.p_launch_fail <= 1.0 \
+                or not 0.0 <= self.p_launch_timeout <= 1.0:
+            raise ConfigurationError("launch-fault probabilities must be in [0, 1]")
+        if self.p_launch_fail + self.p_launch_timeout > 1.0:
+            raise ConfigurationError(
+                "p_launch_fail + p_launch_timeout must not exceed 1")
+        if self.launch_timeout < 0:
+            raise ConfigurationError("launch_timeout must be >= 0")
+        if self.max_node_failures < 0:
+            raise ConfigurationError("max_node_failures must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Does this spec inject anything at all?"""
+        return (self.mtbf > 0.0 or self.backend_mtbf > 0.0
+                or self.p_launch_fail > 0.0 or self.p_launch_timeout > 0.0)
+
+    @classmethod
+    def parse(cls, text: str,
+              base: "Optional[FaultSpec]" = None) -> "FaultSpec":
+        """Parse ``"mtbf=1800,p_launch_fail=0.01,max_attempts=5"``.
+
+        Keys belonging to :class:`RetryPolicy` are routed into the
+        nested policy; unknown keys raise
+        :class:`~repro.exceptions.ConfigurationError`.  With ``base``,
+        unnamed keys keep the base spec's values instead of the class
+        defaults (the CLI layers ``--faults`` over a config's spec).
+        """
+        spec_fields = {f.name: f.type for f in dataclasses.fields(cls)
+                       if f.name != "retry"}
+        spec_kw: dict = {}
+        retry_kw: dict = {}
+        for chunk in text.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise ConfigurationError(
+                    f"malformed fault option {chunk!r} (expected key=value)")
+            key, _, raw = chunk.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            if key in spec_fields:
+                spec_kw[key] = _coerce(key, raw)
+            elif key in _RETRY_FIELDS:
+                retry_kw[key] = _coerce(key, raw)
+            else:
+                raise ConfigurationError(f"unknown fault option {key!r}")
+        if base is not None:
+            if retry_kw:
+                spec_kw["retry"] = dataclasses.replace(base.retry, **retry_kw)
+            return dataclasses.replace(base, **spec_kw)
+        if retry_kw:
+            spec_kw["retry"] = RetryPolicy(**retry_kw)
+        return cls(**spec_kw)
+
+
+_INT_KEYS = frozenset({"max_node_failures", "max_attempts", "blacklist_after"})
+_STR_KEYS = frozenset({"dist"})
+_BOOL_KEYS = frozenset({"backend_restart"})
+
+
+def _coerce(key: str, raw: str):
+    if key in _STR_KEYS:
+        return raw
+    if key in _BOOL_KEYS:
+        if raw.lower() in ("1", "true", "yes", "on"):
+            return True
+        if raw.lower() in ("0", "false", "no", "off"):
+            return False
+        raise ConfigurationError(f"{key} expects a boolean, got {raw!r}")
+    try:
+        return int(raw) if key in _INT_KEYS else float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{key} expects a number, got {raw!r}") from None

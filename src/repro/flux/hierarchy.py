@@ -28,7 +28,7 @@ class FluxHierarchy:
                  latencies: LatencyModel, rng: RngStreams,
                  n_instances: int = 1, policy: str = "fcfs",
                  name: str = "flux", profiler: Optional["Profiler"] = None,
-                 metrics=None) -> None:
+                 metrics=None, faults=None) -> None:
         self.env = env
         self.allocation = allocation
         self.name = name
@@ -36,7 +36,7 @@ class FluxHierarchy:
         self.instances: List[FluxInstance] = [
             FluxInstance(env, part, latencies, rng,
                          instance_id=f"{name}.{i:03d}", policy=policy,
-                         profiler=profiler, metrics=metrics)
+                         profiler=profiler, metrics=metrics, faults=faults)
             for i, part in enumerate(partitions)
         ]
         self._rr = 0
@@ -84,7 +84,10 @@ class FluxHierarchy:
             if inst.state != ready:
                 continue
             alloc = inst.allocation
-            if alloc._total_cores < min_cores or alloc._total_gpus < min_gpus:
+            # Usable (not total) capacity: an instance that lost nodes
+            # to failures must not receive jobs it can no longer host.
+            # Equal to the totals in a healthy run.
+            if alloc._usable_cores < min_cores or alloc._usable_gpus < min_gpus:
                 continue
             outstanding = (inst.n_submitted - inst.n_completed
                            - inst.n_failed)

@@ -26,7 +26,12 @@ from __future__ import annotations
 import math
 from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..exceptions import JobspecError, RuntimeStartupError
+from ..exceptions import (
+    BackendError,
+    JobspecError,
+    NodeFailureError,
+    RuntimeStartupError,
+)
 from ..ids import IdRegistry
 from ..platform.cluster import Allocation
 from ..platform.latency import LatencyModel
@@ -64,7 +69,7 @@ class FluxInstance:
                  latencies: LatencyModel, rng: RngStreams,
                  instance_id: str = "", policy: str = "fcfs",
                  profiler: Optional["Profiler"] = None,
-                 metrics=None) -> None:
+                 metrics=None, faults=None) -> None:
         from .scheduler import make_policy
 
         self.env = env
@@ -72,6 +77,9 @@ class FluxInstance:
         self.latencies = latencies
         self.rng = rng
         self.profiler = profiler
+        #: Optional :class:`~repro.faults.FaultModel` consulted once
+        #: per dispatch for injected launch failures.
+        self._faults = faults
         self.instance_id = instance_id or f"flux.{id(self):x}"
         self.policy = make_policy(policy)
         self.state = InstanceState.INIT
@@ -92,6 +100,10 @@ class FluxInstance:
         self._run_procs: Dict[str, object] = {}
         self._wake: Optional[Event] = None
         self._alive = False
+        # Incremented on every crash.  The ingest/sched loops capture
+        # the epoch at spawn and exit when it moves on, so loops from a
+        # pre-crash life cannot steal work after a restart.
+        self._epoch = 0
         self._load_factor = 1.0
 
         n = allocation.n_nodes
@@ -211,34 +223,90 @@ class FluxInstance:
             return
         self.state = InstanceState.FAILED
         self._alive = False
-        self._flush_pending(reason)
+        self._epoch += 1
+        self._flush_pending(reason, infra=True)
         for job in list(self._running):
             self._release(job)
-            self._fail_job(job, reason)
+            self._fail_job(job, reason, infra=True)
         self._running.clear()
         self._kick()
         if self.profiler is not None:
             self.profiler.record(self.instance_id, "backend_failed",
                                  kind="flux", reason=reason)
 
-    def _flush_pending(self, reason: str) -> None:
+    def restart(self):
+        """Generator: bring a crashed instance back up (fault recovery).
+
+        Only legal from ``FAILED``.  Re-runs the full bootstrap, so the
+        cold-start cost is a fresh draw from the startup-latency
+        calibration — restarting is never free.
+        """
+        if self.state != InstanceState.FAILED:
+            raise RuntimeStartupError(
+                f"{self.instance_id}: restart() called in state {self.state}")
+        self.state = InstanceState.INIT
+        yield from self.start()
+
+    def fail_node(self, node) -> None:
+        """A node of this allocation went DOWN (fault injection).
+
+        Jobs with placements on the node are killed (their held slots
+        release into the node's lost pool) and pending jobs that no
+        longer fit the shrunken usable capacity fail immediately, so
+        the queue cannot deadlock behind an unsatisfiable head.
+        """
+        if self.state in (InstanceState.STOPPED, InstanceState.FAILED):
+            return
+        index = node.index
+        for job in list(self._running):
+            if not job.placements or \
+                    all(pl.node_index != index for pl in job.placements):
+                continue
+            proc = self._run_procs.get(job.job_id)
+            if proc is not None and getattr(proc, "is_alive", False):
+                proc.interrupt(NodeFailureError(f"node failure: {node.name}"))
+            else:  # pragma: no cover - proc already winding down
+                self._retire(job, canceled=True)
+                self._fail_job(job, f"node failure: {node.name}", infra=True)
+        self._fail_unsatisfiable()
+        self._kick()
+
+    def _fail_unsatisfiable(self) -> None:
+        """Fail pending jobs larger than the current usable capacity."""
+        alloc = self.allocation
+        keep: List[FluxJob] = []
+        for job in self._pending:
+            res = job.spec.resources
+            if res.cores > alloc.usable_cores or res.gpus > alloc.usable_gpus:
+                self._fail_job(job, "unsatisfiable after node failure",
+                               infra=True)
+            else:
+                keep.append(job)
+        if len(keep) != len(self._pending):
+            self._pending = keep
+            if self._m_queue is not None:
+                self._m_queue.set(len(keep))
+
+    def _flush_pending(self, reason: str, infra: bool = False) -> None:
         for job in list(self._pending):
-            self._fail_job(job, reason)
+            self._fail_job(job, reason, infra=infra)
         self._pending.clear()
         while True:
             spec_job = self._ingest_queue.try_get()
             if spec_job is None:
                 break
-            self._fail_job(spec_job, reason)
+            self._fail_job(spec_job, reason, infra=infra)
 
-    def _fail_job(self, job: FluxJob, reason: str) -> None:
+    def _fail_job(self, job: FluxJob, reason: str,
+                  infra: bool = False) -> None:
         job.exception = reason
         job.state = FluxJobState.INACTIVE
         self.n_failed += 1
         if self._m_jobs is not None:
             self._m_jobs.labels(self.instance_id, "failed").inc()
             self._m_backlog.set(self.outstanding)
-        self.events.publish(job.job_id, EV_EXCEPTION, reason=reason)
+        self.events.publish(job.job_id, EV_EXCEPTION, reason=reason,
+                            infra=infra)
 
     # -- submission -----------------------------------------------------------
 
@@ -252,8 +320,8 @@ class FluxInstance:
         if self.state != InstanceState.READY:
             raise RuntimeStartupError(
                 f"{self.instance_id}: submit in state {self.state}")
-        spec.validate_against(self.allocation.total_cores,
-                              self.allocation.total_gpus)
+        spec.validate_against(self.allocation.usable_cores,
+                              self.allocation.usable_gpus)
         job = FluxJob(job_id=self._ids.next(f"{self.instance_id}.job"),
                       spec=spec, submit_time=self.env.now)
         self._jobs[job.job_id] = job
@@ -319,14 +387,21 @@ class FluxInstance:
 
     def _ingest_loop(self):
         """Serialized job-manager ingest: one job at a time."""
-        while self._alive:
+        epoch = self._epoch
+        while self._alive and self._epoch == epoch:
             # Pop synchronously while the queue has backlog; only park
             # on a blocking get when it is empty.  Under load this
             # halves the event-queue round-trips of the ingest stage.
             job = self._ingest_queue.try_get()
             if job is None:
                 job = yield self._ingest_queue.get()
-            if not self._alive:
+            if not self._alive or self._epoch != epoch:
+                # A loop from before a crash must not steal work from
+                # the restarted instance's loop: hand the job back (the
+                # queue delivers FIFO to the parked live getter).
+                if self._epoch != epoch and job is not None \
+                        and job.exception is None:
+                    self._ingest_queue.put(job)
                 break
             yield self.env.timeout(self.rng.lognormal_latency(
                 "flux.ingest", self.latencies.flux_ingest_cost,
@@ -347,7 +422,8 @@ class FluxInstance:
 
     def _sched_loop(self):
         """Scheduler duty cycle: bursts of matching separated by gaps."""
-        while self._alive:
+        epoch = self._epoch
+        while self._alive and self._epoch == epoch:
             if not self._pending:
                 self._wake = self.env.event()
                 yield self._wake
@@ -357,7 +433,7 @@ class FluxInstance:
                 cv=self.latencies.flux_cycle_cv)
             if gap > 0:
                 yield self.env.timeout(gap)
-            if not self._alive:
+            if not self._alive or self._epoch != epoch:
                 break
             if self._pending_dirty:
                 self._pending.sort(key=order_key)
@@ -411,6 +487,19 @@ class FluxInstance:
             if not self._alive or job.exception is not None:
                 self._retire(job, canceled=True)
                 return
+            if self._faults is not None:
+                fault = self._faults.launch_outcome("flux")
+                if fault is not None:
+                    if fault.delay > 0:
+                        yield self.env.timeout(fault.delay)
+                    if job.exception is not None:
+                        # Crashed while the launch was hanging: the
+                        # crash already retired and failed the job.
+                        self._run_procs.pop(job.job_id, None)
+                        return
+                    self._retire(job, canceled=True)
+                    self._fail_job(job, fault.reason, infra=True)
+                    return
             job.start_time = self.env.now
             self.n_started += 1
             self.events.publish(job.job_id, EV_START)
@@ -422,9 +511,12 @@ class FluxInstance:
             if job.spec.duration > 0:
                 yield self.env.timeout(job.spec.duration)
         except Interrupt as interrupt:
-            # Job canceled mid-flight (flux job cancel).
+            # Job canceled mid-flight (flux job cancel) or killed by an
+            # injected node/backend failure.
+            cause = interrupt.cause
+            infra = isinstance(cause, (NodeFailureError, BackendError))
             self._retire(job, canceled=True)
-            self._fail_job(job, str(interrupt.cause or "canceled"))
+            self._fail_job(job, str(cause or "canceled"), infra=infra)
             return
         if job.exception is not None:
             # Failed while sleeping (instance crash): already retired.

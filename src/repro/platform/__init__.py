@@ -10,7 +10,7 @@ calibration).
 from .cluster import Allocation, Cluster
 from .filesystem import SharedFilesystem
 from .latency import DETERMINISTIC_LATENCIES, FRONTIER_LATENCIES, LatencyModel
-from .node import Node, Placement
+from .node import Node, NodeHealth, Placement
 from .profiles import (
     FRONTIER_CORES_PER_NODE,
     FRONTIER_GPUS_PER_NODE,
@@ -31,6 +31,7 @@ __all__ = [
     "FRONTIER_NODES",
     "LatencyModel",
     "Node",
+    "NodeHealth",
     "Placement",
     "ResourceSpec",
     "SharedFilesystem",

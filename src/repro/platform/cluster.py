@@ -39,6 +39,14 @@ class Allocation:
         self._total_gpus = sum(n.n_gpus for n in self.nodes)
         self._free_cores = sum(n.free_cores for n in self.nodes)
         self._free_gpus = sum(n.free_gpus for n in self.nodes)
+        # Usable capacity: total minus the capacity of DOWN nodes.
+        # Updated only by fault events (Node.fail/recover), so healthy
+        # runs never touch it after construction.
+        self._down_nodes = sum(1 for n in self.nodes if not n.is_up)
+        self._usable_cores = self._total_cores - sum(
+            n.n_cores for n in self.nodes if not n.is_up)
+        self._usable_gpus = self._total_gpus - sum(
+            n.n_gpus for n in self.nodes if not n.is_up)
         # First-fit scan hint: every node at a position below
         # ``_scan_hint`` is fully busy (zero free cores and GPUs), so
         # ``try_place`` can skip straight past them.  The hint advances
@@ -58,6 +66,18 @@ class Allocation:
             pos = self._pos[index]
             if pos < self._scan_hint:
                 self._scan_hint = pos
+
+    def _on_node_down(self, index: int, n_cores: int, n_gpus: int) -> None:
+        """A watched node went DOWN: shrink the usable capacity."""
+        self._down_nodes += 1
+        self._usable_cores -= n_cores
+        self._usable_gpus -= n_gpus
+
+    def _on_node_up(self, index: int, n_cores: int, n_gpus: int) -> None:
+        """A watched node recovered from DOWN."""
+        self._down_nodes -= 1
+        self._usable_cores += n_cores
+        self._usable_gpus += n_gpus
 
     def detach(self) -> None:
         """Stop tracking node-level changes (allocation retired)."""
@@ -92,6 +112,24 @@ class Allocation:
     @property
     def busy_cores(self) -> int:
         return self._total_cores - self._free_cores
+
+    @property
+    def usable_cores(self) -> int:
+        """Cores on nodes that are not DOWN (equals ``total_cores`` in
+        a healthy allocation)."""
+        return self._usable_cores
+
+    @property
+    def usable_gpus(self) -> int:
+        return self._usable_gpus
+
+    @property
+    def n_down_nodes(self) -> int:
+        return self._down_nodes
+
+    def up_nodes(self) -> List[Node]:
+        """The healthy (UP) nodes, in allocation order."""
+        return [n for n in self.nodes if n.is_up]
 
     # -- partitioning ----------------------------------------------------------
 

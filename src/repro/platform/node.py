@@ -8,9 +8,24 @@ resource manager provides.
 
 from __future__ import annotations
 
+import enum
 from typing import List, NamedTuple, Tuple
 
 from ..exceptions import ResourceError
+
+
+class NodeHealth(enum.Enum):
+    """Health of one compute node.
+
+    ``UP`` serves placements normally.  ``DRAINING`` accepts no new
+    placements but lets running work finish (free slots are
+    confiscated, held slots stay held).  ``DOWN`` additionally means
+    running work on the node has been killed by the failure.
+    """
+
+    UP = "up"
+    DRAINING = "draining"
+    DOWN = "down"
 
 
 class Placement(NamedTuple):
@@ -53,6 +68,13 @@ class Node:
         self._free_gpus: List[int] = list(range(n_gpus))
         self._held_cores: set = set()
         self._held_gpus: set = set()
+        self.health = NodeHealth.UP
+        # Slots confiscated while unhealthy.  Keeping them out of the
+        # free lists means a DOWN/DRAINING node looks fully busy to the
+        # placement hot path — ``try_place`` and the allocation scan
+        # hint skip it with no health check of their own.
+        self._lost_cores: List[int] = []
+        self._lost_gpus: List[int] = []
         #: Allocations watching this node's free counts.  Every
         #: allocate/release pushes the delta to all watchers, keeping
         #: each allocation's aggregate free-core/GPU counters exact in
@@ -78,6 +100,10 @@ class Node:
     @property
     def is_idle(self) -> bool:
         return self.free_cores == self.n_cores and self.free_gpus == self.n_gpus
+
+    @property
+    def is_up(self) -> bool:
+        return self.health is NodeHealth.UP
 
     def can_fit(self, cores: int, gpus: int = 0) -> bool:
         """Could ``allocate(cores, gpus)`` succeed right now?"""
@@ -117,7 +143,12 @@ class Node:
                 f"node {self.index}"
             )
         held_cores = self._held_cores
-        free_cores = self._free_cores
+        # Slots released on an unhealthy node are confiscated rather
+        # than freed: the capacity is gone until the node recovers, so
+        # no positive delta reaches the watchers and the node keeps
+        # reading as fully busy to the placement scan.
+        free_cores = self._free_cores if self.health is NodeHealth.UP \
+            else self._lost_cores
         for slot in placement.core_slots:
             try:
                 held_cores.remove(slot)
@@ -125,16 +156,85 @@ class Node:
                 raise ResourceError(f"{self.name}: core {slot} double-freed")
             free_cores.append(slot)
         held_gpus = self._held_gpus
-        free_gpus = self._free_gpus
+        free_gpus = self._free_gpus if self.health is NodeHealth.UP \
+            else self._lost_gpus
         for slot in placement.gpu_slots:
             try:
                 held_gpus.remove(slot)
             except KeyError:
                 raise ResourceError(f"{self.name}: gpu {slot} double-freed")
             free_gpus.append(slot)
+        if self.health is NodeHealth.UP:
+            for watcher in self._watchers:
+                watcher._on_node_delta(len(placement.core_slots),
+                                       len(placement.gpu_slots), self.index)
+
+    # -- health ------------------------------------------------------------
+
+    def drain(self) -> bool:
+        """Stop serving new placements; running work may finish.
+
+        Confiscates the currently-free slots (pushing the negative
+        delta to watchers so their free counts stay exact) and marks
+        the node ``DRAINING``.  Returns ``False`` when the node was
+        already unhealthy.
+        """
+        if self.health is not NodeHealth.UP:
+            return False
+        self.health = NodeHealth.DRAINING
+        self._confiscate_free()
+        return True
+
+    def fail(self) -> bool:
+        """Take the node ``DOWN``.
+
+        Free slots are confiscated; held slots stay held until their
+        placements are released (the owning executors are responsible
+        for killing the tasks and releasing — released slots then land
+        in the lost pool).  Watchers are told about the capacity loss
+        via ``_on_node_down`` so aggregate *usable* capacity tracks the
+        failure.  Returns ``False`` when already DOWN.
+        """
+        if self.health is NodeHealth.DOWN:
+            return False
+        was_up = self.health is NodeHealth.UP
+        self.health = NodeHealth.DOWN
+        if was_up:
+            self._confiscate_free()
         for watcher in self._watchers:
-            watcher._on_node_delta(len(placement.core_slots),
-                                   len(placement.gpu_slots), self.index)
+            watcher._on_node_down(self.index, self.n_cores, self.n_gpus)
+        return True
+
+    def recover(self) -> bool:
+        """Bring the node back ``UP``, restoring confiscated slots."""
+        if self.health is NodeHealth.UP:
+            return False
+        was_down = self.health is NodeHealth.DOWN
+        self.health = NodeHealth.UP
+        cores = len(self._lost_cores)
+        gpus = len(self._lost_gpus)
+        self._free_cores.extend(sorted(self._lost_cores))
+        self._free_gpus.extend(sorted(self._lost_gpus))
+        self._lost_cores.clear()
+        self._lost_gpus.clear()
+        if was_down:
+            for watcher in self._watchers:
+                watcher._on_node_up(self.index, self.n_cores, self.n_gpus)
+        if cores or gpus:
+            for watcher in self._watchers:
+                watcher._on_node_delta(cores, gpus, self.index)
+        return True
+
+    def _confiscate_free(self) -> None:
+        cores = len(self._free_cores)
+        gpus = len(self._free_gpus)
+        self._lost_cores.extend(self._free_cores)
+        self._lost_gpus.extend(self._free_gpus)
+        self._free_cores.clear()
+        self._free_gpus.clear()
+        if cores or gpus:
+            for watcher in self._watchers:
+                watcher._on_node_delta(-cores, -gpus, self.index)
 
     def __repr__(self) -> str:
         return (

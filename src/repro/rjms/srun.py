@@ -83,11 +83,17 @@ class SrunLauncher:
         slot = self._ceiling.request()
         if self._m_waiting is not None:
             self._m_waiting.set(self._ceiling.queued)
-        yield slot
-        if self._m_active is not None:
-            self._m_active.set(self._ceiling.count)
-            self._m_launches.inc()
         try:
+            # The acquisition must sit inside the try: a step killed
+            # while queued for the ceiling (cancellation, node failure)
+            # would otherwise be granted its slot posthumously and
+            # never release it, draining the ceiling until no launch
+            # can ever proceed.  release() on an ungranted request
+            # just cancels the wait.
+            yield slot
+            if self._m_active is not None:
+                self._m_active.set(self._ceiling.count)
+                self._m_launches.inc()
             yield from self.controller.process_launch_rpc(alloc_nodes)
             setup = self.rng.lognormal_latency(
                 "srun.setup", self.latencies.srun_step_setup,

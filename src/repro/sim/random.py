@@ -85,3 +85,12 @@ class RngStreams:
         if mean <= 0.0:
             return 0.0
         return float(self.stream(name).exponential(mean))
+
+    def weibull(self, name: str, mean: float, shape: float = 1.5) -> float:
+        """One Weibull draw parameterized by its *mean* (the scale is
+        derived as ``mean / gamma(1 + 1/shape)``), matching how MTBF
+        figures are quoted in failure studies."""
+        if mean <= 0.0:
+            return 0.0
+        scale = mean / math.gamma(1.0 + 1.0 / shape)
+        return float(scale * self.stream(name).weibull(shape))

@@ -110,7 +110,24 @@ class Resource:
             except ValueError:
                 pass
             return
-        if self._waiters:
+        if self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the semaphore (fault injection: a worker pool losing
+        or regaining a node's worth of slots).
+
+        Shrinking below the held count is allowed — outstanding holds
+        keep their slots and releases simply stop re-granting until the
+        count drops under the new capacity.  Growing grants as many
+        FIFO waiters as the new headroom admits.
+        """
+        if capacity < 0:
+            raise SimulationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        while self._waiters and len(self._users) < self.capacity:
             nxt = self._waiters.popleft()
             self._users.append(nxt)
             nxt.succeed()

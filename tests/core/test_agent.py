@@ -128,7 +128,8 @@ class TestRetries:
             duration=1.0, fail=True, retries=2))
         session.run(tmgr.wait_tasks())
         assert task.state == TaskState.FAILED
-        assert task.attempts == 2
+        # attempts counts every finished attempt: first try + 2 retries.
+        assert task.attempts == 3
         assert task.retries_left == 0
 
     def test_retry_happens_on_each_backend_kind(self, session):
@@ -138,7 +139,7 @@ class TestRetries:
             task = tmgr.submit_tasks(TaskDescription(
                 duration=1.0, fail=True, retries=1, backend=backend))
             s.run(tmgr.wait_tasks())
-            assert task.attempts == 1, backend
+            assert task.attempts == 2, backend
             assert task.state == TaskState.FAILED, backend
 
 

@@ -32,11 +32,12 @@ class TestCli:
         assert "srun" not in out.replace("flux+dragon", "")
 
 
-    def test_unknown_exp_raises(self):
-        from repro.exceptions import ConfigurationError
-
-        with pytest.raises(ConfigurationError):
-            main(["run", "warpdrive"])
+    def test_unknown_exp_is_reported_not_raised(self, capsys):
+        # Stack errors surface as a one-line message and a non-zero
+        # exit, not a traceback.
+        assert main(["run", "warpdrive"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "warpdrive" in err
 
     def test_run_with_summary(self, capsys):
         assert main(["run", "flux_1", "--nodes", "1", "--waves", "1",

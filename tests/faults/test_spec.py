@@ -1,0 +1,109 @@
+"""FaultSpec / RetryPolicy parsing, validation and backoff behavior."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import FaultSpec, RetryPolicy
+from repro.sim import RngStreams
+
+
+class TestParse:
+    def test_defaults_inject_nothing(self):
+        spec = FaultSpec()
+        assert not spec.enabled
+        assert spec.retry.max_attempts == 4
+
+    def test_parse_spec_and_retry_keys(self):
+        spec = FaultSpec.parse(
+            "mtbf=1800,p_launch_fail=0.01,max_attempts=6,backoff_base=0.5")
+        assert spec.mtbf == 1800.0
+        assert spec.p_launch_fail == 0.01
+        assert spec.retry.max_attempts == 6
+        assert spec.retry.backoff_base == 0.5
+        assert spec.enabled
+
+    def test_parse_int_str_bool_coercion(self):
+        spec = FaultSpec.parse(
+            "dist=weibull,max_node_failures=3,backend_restart=no")
+        assert spec.dist == "weibull"
+        assert spec.max_node_failures == 3
+        assert spec.retry.backend_restart is False
+
+    def test_parse_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown fault option"):
+            FaultSpec.parse("mtbf=100,bogus=1")
+
+    def test_parse_malformed_chunk(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            FaultSpec.parse("mtbf")
+
+    def test_parse_bad_number(self):
+        with pytest.raises(ConfigurationError, match="expects a number"):
+            FaultSpec.parse("mtbf=soon")
+
+    def test_parse_layers_over_base(self):
+        base = FaultSpec(mtbf=1800.0, p_launch_fail=0.02,
+                         retry=RetryPolicy(max_attempts=7))
+        spec = FaultSpec.parse("mtbf=600,backoff_max=10", base=base)
+        # Named keys override; unnamed keys keep the base values.
+        assert spec.mtbf == 600.0
+        assert spec.p_launch_fail == 0.02
+        assert spec.retry.max_attempts == 7
+        assert spec.retry.backoff_max == 10.0
+
+    def test_empty_chunks_are_skipped(self):
+        spec = FaultSpec.parse("mtbf=100,,")
+        assert spec.mtbf == 100.0
+
+
+class TestValidation:
+    def test_negative_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(mtbf=-1.0)
+
+    def test_unknown_dist(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(dist="pareto")
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(p_launch_fail=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(p_launch_fail=0.7, p_launch_timeout=0.7)
+
+    def test_retry_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestRetryPolicy:
+    def test_allows_honors_attempts_and_deadline(self):
+        policy = RetryPolicy(max_attempts=3, deadline=100.0)
+        assert policy.allows(1)
+        assert policy.allows(2, now=99.0)
+        assert not policy.allows(3)
+        assert not policy.allows(1, now=100.0)
+
+    def test_delay_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0,
+                             backoff_max=5.0, jitter=0.0)
+        rng = RngStreams(0)
+        assert policy.delay(1, rng) == 1.0
+        assert policy.delay(2, rng) == 2.0
+        assert policy.delay(3, rng) == 4.0
+        assert policy.delay(4, rng) == 5.0   # capped
+        assert policy.delay(9, rng) == 5.0
+
+    def test_delay_jitter_is_seeded(self):
+        policy = RetryPolicy(jitter=0.25)
+        a = [policy.delay(k, RngStreams(7)) for k in range(1, 5)]
+        b = [policy.delay(k, RngStreams(7)) for k in range(1, 5)]
+        assert a == b
+        for k, d in enumerate(a, start=1):
+            base = min(1.0 * 2.0 ** (k - 1), 60.0)
+            assert 0.75 * base <= d <= 1.25 * base
+            assert not math.isclose(d, base)  # jitter actually applied

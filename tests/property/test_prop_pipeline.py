@@ -63,8 +63,9 @@ class TestConservation:
         for task in tasks:
             if task.description.fail:
                 assert task.state == TaskState.FAILED
-                # Every retry was consumed before giving up.
-                assert task.attempts == task.description.retries
+                # Every retry was consumed before giving up (attempts
+                # counts the first try plus each retry).
+                assert task.attempts == task.description.retries + 1
             else:
                 assert task.state == TaskState.DONE
 
@@ -92,7 +93,7 @@ class TestConservation:
         _, _, tasks = run_mix(specs, backends, seed)
         for task in tasks:
             if task.exec_start is not None and task.exec_stop is not None \
-                    and not task.description.fail and task.attempts == 0:
+                    and not task.description.fail and task.attempts == 1:
                 measured = task.exec_stop - task.exec_start
                 # Completion-notification skew is sub-millisecond.
                 assert measured >= task.description.duration - 1e-9

@@ -158,4 +158,4 @@ class TestExecutorIntegration:
                                                  retries=2))
         session.run(tmgr.wait_tasks())
         assert task.state == TaskState.FAILED
-        assert task.attempts == 2
+        assert task.attempts == 3
