@@ -25,7 +25,7 @@ from pathlib import Path
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.faults import FaultSpec, RetryPolicy
 
-from .conftest import run_once
+from .conftest import BENCH_ROUNDS, median_rate, run_once
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 
@@ -58,14 +58,13 @@ def _rate(faults) -> float:
 
 def test_disabled_faults_overhead(benchmark, emit):
     def _measure():
-        _rate(None)  # warm-up: allocator and import costs land here
+        # Median-of-N per leg (first leg absorbs the warmup): scheduler
+        # jitter on a shared machine only ever slows a round down, so
+        # the median is robust to the slow-outlier noise shape.
         return {
-            # Best of two per disabled round: scheduler jitter on a
-            # shared machine only ever slows a run down, so max() is
-            # the better estimator of the true rate.
-            "disabled_1": max(_rate(None), _rate(None)),
-            "faulty": _rate(FAULTY),
-            "disabled_2": max(_rate(None), _rate(None)),
+            "disabled_1": median_rate(lambda: _rate(None)),
+            "faulty": median_rate(lambda: _rate(FAULTY), warmup=False),
+            "disabled_2": median_rate(lambda: _rate(None), warmup=False),
         }
 
     rates = run_once(benchmark, _measure)
@@ -81,6 +80,7 @@ def test_disabled_faults_overhead(benchmark, emit):
         "tasks_per_wall_second_faulty": faulty,
         "disabled_round_spread": spread,
         "faulty_slowdown": faulty_cost,
+        "rounds": BENCH_ROUNDS,
     }, indent=2) + "\n")
 
     emit(f"faults off: {disabled:,.0f} tasks/s  "

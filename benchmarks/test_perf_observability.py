@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import run_once
+from .conftest import BENCH_ROUNDS, median_rate, run_once
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / \
     "BENCH_observability.json"
@@ -49,10 +49,14 @@ def _rate(observe: bool) -> float:
 
 
 def test_disabled_observability_overhead(benchmark, emit):
+    # Each leg is a warmup + median-of-N in its own right; the two
+    # disabled legs still bracket the enabled one so slow machine
+    # drift shows up as disabled-round spread, not as fake overhead.
     rates = run_once(benchmark, lambda: {
-        "disabled_1": _rate(observe=False),
-        "enabled": _rate(observe=True),
-        "disabled_2": _rate(observe=False),
+        "disabled_1": median_rate(lambda: _rate(observe=False)),
+        "enabled": median_rate(lambda: _rate(observe=True), warmup=False),
+        "disabled_2": median_rate(lambda: _rate(observe=False),
+                                  warmup=False),
     })
 
     disabled = max(rates["disabled_1"], rates["disabled_2"])
@@ -68,6 +72,7 @@ def test_disabled_observability_overhead(benchmark, emit):
         "tasks_per_wall_second_enabled": enabled,
         "disabled_round_spread": spread,
         "enabled_slowdown": enabled_cost,
+        "rounds": BENCH_ROUNDS,
     }, indent=2) + "\n")
 
     emit(f"observability off: {disabled:,.0f} tasks/s  "

@@ -76,11 +76,70 @@ def _restore(value: Any) -> Any:
     return value
 
 
+def write_event_lines(fh, events) -> int:
+    """Serialize trace events to ``fh``, one JSON object per line.
+
+    The single point of truth for the record wire format: full-profile
+    export and the streaming profiler's spill chunks both write
+    through here, which is what makes chunk files verbatim slices of a
+    profile.  Returns the number of lines written.
+    """
+    count = 0
+    for ev in events:
+        record = {
+            "time": ev.time,
+            "entity": ev.entity,
+            "name": ev.name,
+            "meta": ev.meta,
+        }
+        try:
+            line = json.dumps(record, sort_keys=True, allow_nan=False)
+        except (ValueError, TypeError):
+            line = json.dumps(_sanitize(record), sort_keys=True,
+                              allow_nan=False)
+        fh.write(line)
+        fh.write("\n")
+        count += 1
+    return count
+
+
+def iter_event_lines(fh, contains: str = None):
+    """Parse profile record lines from ``fh`` into trace events.
+
+    The loader twin of :func:`write_event_lines` (no header handling):
+    used by the streaming profiler to re-read its spill chunks.
+
+    ``contains`` is a raw-line prefilter: lines without that substring
+    are skipped *before* JSON decoding, which is what makes filtered
+    queries over spilled chunks cheap (decoding dominates re-read
+    cost).  It may over-match — e.g. the substring appearing inside a
+    meta value — so callers still check the decoded field; it must
+    never under-match, so build it from the same ``json.dumps`` the
+    writer used (see :meth:`Profiler._named`).
+    """
+    for line in fh:
+        if contains is not None and contains not in line:
+            continue
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        yield TraceEvent(
+            time=float(record["time"]),
+            entity=str(record["entity"]),
+            name=str(record["name"]),
+            meta=_restore(dict(record.get("meta", {}))),
+        )
+
+
 def save_profile(profiler: Profiler, path: PathLike) -> int:
     """Write every trace event as one JSON object per line.
 
     The first line is the schema header; it does not count toward the
-    returned number of events written.
+    returned number of events written.  A streaming (spill-to-disk)
+    profiler's chunks are concatenated verbatim — they are already in
+    the record format — so the output is byte-identical to an
+    in-memory profiler's, without materializing the trace.
     """
     path = Path(path)
     count = 0
@@ -88,21 +147,15 @@ def save_profile(profiler: Profiler, path: PathLike) -> int:
         fh.write(json.dumps({"format": PROFILE_FORMAT,
                              "version": PROFILE_VERSION}, sort_keys=True))
         fh.write("\n")
-        for ev in profiler:
-            record = {
-                "time": ev.time,
-                "entity": ev.entity,
-                "name": ev.name,
-                "meta": ev.meta,
-            }
-            try:
-                line = json.dumps(record, sort_keys=True, allow_nan=False)
-            except (ValueError, TypeError):
-                line = json.dumps(_sanitize(record), sort_keys=True,
-                                  allow_nan=False)
-            fh.write(line)
-            fh.write("\n")
-            count += 1
+        if getattr(profiler, "spilling", False):
+            for chunk in profiler.spilled_chunks:
+                with chunk.open("r", encoding="utf-8") as src:
+                    for line in src:
+                        fh.write(line)
+                        count += 1
+            count += write_event_lines(fh, profiler._events)
+        else:
+            count += write_event_lines(fh, profiler)
     return count
 
 

@@ -8,6 +8,7 @@ to numpy arrays for the metric functions.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 import numpy as np
@@ -17,9 +18,13 @@ from .events import TraceEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.kernel import Environment
 
+#: Default number of in-memory events before a spilling profiler
+#: writes a chunk to disk (~40 MB of records at typical meta sizes).
+SPILL_THRESHOLD = 200_000
+
 
 class Profiler:
-    """Append-only in-memory trace store keyed by event name and entity.
+    """Append-only trace store keyed by event name and entity.
 
     ``record`` sits on the per-task hot path (5+ events per task), so
     it does the minimum possible work: construct the record and append
@@ -35,9 +40,21 @@ class Profiler:
         (throughput, utilization, makespan) still work; only
         trace-derived data (startup overheads, exported profiles) is
         empty.
+    spill_dir:
+        Streaming mode for full-machine runs whose traces do not fit
+        in memory: every ``spill_threshold`` records the in-memory
+        tail is flushed to a chunked JSONL file (standard profile
+        record format, no header) under this directory, bounding RSS
+        at O(threshold) regardless of run size.  Queries transparently
+        re-read the chunks — lazily, keeping only matching events —
+        and :func:`~repro.analytics.export.save_profile` concatenates
+        the chunks verbatim, so exported profiles are byte-identical
+        to the in-memory profiler's.
     """
 
-    def __init__(self, env: "Environment", enabled: bool = True) -> None:
+    def __init__(self, env: "Environment", enabled: bool = True,
+                 spill_dir: Optional[Any] = None,
+                 spill_threshold: int = SPILL_THRESHOLD) -> None:
         self._env = env
         self.enabled = enabled
         self._events: List[TraceEvent] = []
@@ -49,6 +66,66 @@ class Profiler:
         # never built at all.
         self._indexed_name = 0
         self._indexed_entity = 0
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        # Infinity when not spilling: the per-record threshold compare
+        # then never passes, keeping the hot path one int comparison.
+        self._spill_threshold = (max(1, int(spill_threshold))
+                                 if spill_dir is not None else float("inf"))
+        self._chunks: List[Path] = []
+        self._n_spilled = 0
+
+    # -- spilling ---------------------------------------------------------
+
+    @property
+    def spilling(self) -> bool:
+        """True when this profiler streams chunks to disk."""
+        return self._spill_dir is not None
+
+    @property
+    def spilled_chunks(self) -> List[Path]:
+        """Paths of the chunk files written so far (record order)."""
+        return list(self._chunks)
+
+    def _maybe_spill(self) -> None:
+        if len(self._events) >= self._spill_threshold:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Flush the in-memory tail to the next chunk file."""
+        if not self._events:
+            return
+        from .export import write_event_lines
+
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_dir / f"chunk-{len(self._chunks):06d}.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            write_event_lines(fh, self._events)
+        self._chunks.append(path)
+        self._n_spilled += len(self._events)
+        self._events.clear()
+        # Spilled events leave the lazy indexes: queries on a spilling
+        # profiler stream the chunks instead (see _iter_spilled).
+        self._by_name.clear()
+        self._by_entity.clear()
+        self._indexed_name = 0
+        self._indexed_entity = 0
+
+    def flush(self) -> None:
+        """Force any in-memory tail out to disk (spilling mode only)."""
+        if self._spill_dir is not None:
+            self._spill()
+
+    def _iter_spilled(self, contains: str = None) -> Iterator[TraceEvent]:
+        """Lazily re-read spilled chunks as trace events.
+
+        ``contains`` prefilters raw lines before JSON decoding (see
+        :func:`~repro.analytics.export.iter_event_lines`).
+        """
+        from .export import iter_event_lines
+
+        for path in self._chunks:
+            with path.open("r", encoding="utf-8") as fh:
+                yield from iter_event_lines(fh, contains=contains)
 
     # -- recording --------------------------------------------------------
 
@@ -69,6 +146,8 @@ class Profiler:
         ev = TraceEvent(time=self._env._now if at is None else at,
                         entity=entity, name=name, meta=meta)
         self._events.append(ev)
+        if len(self._events) >= self._spill_threshold:
+            self._spill()
         return ev
 
     def record_event(self, entity: str, name: str, meta: Dict[str, Any],
@@ -85,6 +164,8 @@ class Profiler:
         ev = TraceEvent(self._env._now if at is None else at,
                         entity, name, meta)
         self._events.append(ev)
+        if len(self._events) >= self._spill_threshold:
+            self._spill()
         return ev
 
     def _index_names(self) -> None:
@@ -112,37 +193,69 @@ class Profiler:
     # -- queries ----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._n_spilled + len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        if self._n_spilled:
+            return self._iter_all()
         return iter(self._events)
+
+    def _iter_all(self) -> Iterator[TraceEvent]:
+        yield from self._iter_spilled()
+        yield from self._events
+
+    def _named(self, name: str) -> List[TraceEvent]:
+        """All events with the given name (internal, no defensive copy).
+
+        A spilling profiler streams its chunks and keeps only the
+        matches, so a query's footprint is O(matches), not O(trace).
+        """
+        if self._n_spilled:
+            import json
+
+            # The writer serializes with sort_keys + this exact
+            # spelling, so the needle never under-matches; the field
+            # check below handles needle text inside meta values.
+            needle = '"name": ' + json.dumps(name)
+            out = [ev for ev in self._iter_spilled(needle)
+                   if ev[2] == name]
+            out.extend(ev for ev in self._events if ev[2] == name)
+            return out
+        self._index_names()
+        return self._by_name.get(name, [])
 
     def events_named(self, name: str) -> List[TraceEvent]:
         """All events with the given name, in record order."""
-        self._index_names()
-        return list(self._by_name.get(name, ()))
+        return list(self._named(name))
 
     def events_for(self, entity: str) -> List[TraceEvent]:
         """All events of one entity, in record order."""
+        return list(self._for_entity(entity))
+
+    def _for_entity(self, entity: str) -> List[TraceEvent]:
+        if self._n_spilled:
+            import json
+
+            needle = '"entity": ' + json.dumps(entity)
+            out = [ev for ev in self._iter_spilled(needle)
+                   if ev[1] == entity]
+            out.extend(ev for ev in self._events if ev[1] == entity)
+            return out
         self._index_entities()
-        return list(self._by_entity.get(entity, ()))
+        return self._by_entity.get(entity, [])
 
     def times(self, name: str) -> np.ndarray:
         """Timestamps of all events named ``name`` as a sorted array."""
-        self._index_names()
-        ts = np.array([ev.time for ev in self._by_name.get(name, ())],
-                      dtype=float)
+        ts = np.array([ev.time for ev in self._named(name)], dtype=float)
         ts.sort()
         return ts
 
     def first(self, name: str) -> Optional[TraceEvent]:
-        self._index_names()
-        evs = self._by_name.get(name)
+        evs = self._named(name)
         return evs[0] if evs else None
 
     def last(self, name: str) -> Optional[TraceEvent]:
-        self._index_names()
-        evs = self._by_name.get(name)
+        evs = self._named(name)
         return evs[-1] if evs else None
 
     def duration(self, entity: str, start_name: str, stop_name: str) -> float:
@@ -150,9 +263,8 @@ class Profiler:
 
         Raises ``KeyError`` when either event is missing.
         """
-        self._index_entities()
         start = stop = None
-        for ev in self._by_entity.get(entity, ()):
+        for ev in self._for_entity(entity):
             if start is None and ev.name == start_name:
                 start = ev.time
             elif start is not None and ev.name == stop_name:
@@ -166,5 +278,4 @@ class Profiler:
 
     def timeline(self, entity: str) -> List[tuple]:
         """(time, name) pairs for one entity, in record order."""
-        self._index_entities()
-        return [(ev.time, ev.name) for ev in self._by_entity.get(entity, ())]
+        return [(ev.time, ev.name) for ev in self._for_entity(entity)]

@@ -86,6 +86,14 @@ class Agent:
         self._alive = False
         self._n_flux_instances = 0
         self._inflight: set = set()
+        #: Bulk-submission state: batches handed over before bootstrap,
+        #: tasks admitted but whose dispatch slot has not fired yet, and
+        #: the time at which the serialized dispatch stage frees up
+        #: (keeps successive bulk waves — and bulk after streaming —
+        #: serialized like the legacy loop).
+        self._bulk_backlog: List[List["Task"]] = []
+        self._bulk_pending: set = set()
+        self._dispatch_free_at = 0.0
         #: Session fault model (``None`` unless the session was built
         #: with a :class:`~repro.faults.FaultSpec`); owns the retry
         #: policy and all fault randomness.
@@ -166,6 +174,10 @@ class Agent:
             # the injection schedule is a pure function of the seed and
             # the bootstrapped topology.
             self.faults.on_agent_ready(self)
+        if self._bulk_backlog:
+            waves, self._bulk_backlog = self._bulk_backlog, []
+            for wave in waves:
+                self._admit_bulk(wave)
 
     def _make_router(self) -> Router:
         ready = {name: ex for name, ex in self.executors.items()
@@ -228,6 +240,19 @@ class Agent:
                 break
             self.n_canceled += 1
             task.cancel()
+        # Bulk tasks waiting for their dispatch slot (or for bootstrap)
+        # are queued work just like the intake store's.
+        for wave in self._bulk_backlog:
+            for task in wave:
+                if not task.is_final:
+                    self.n_canceled += 1
+                    task.cancel()
+        self._bulk_backlog.clear()
+        for task in list(self._bulk_pending):
+            if not task.is_final:
+                self.n_canceled += 1
+                task.cancel()
+        self._bulk_pending.clear()
         for task in list(self._inflight):
             if not task.is_final:
                 self.n_canceled += 1
@@ -236,14 +261,19 @@ class Agent:
 
     # -- dispatch ------------------------------------------------------------
 
-    def dispatch_cost(self) -> float:
-        """One draw of the serialized task-management cost [s]."""
+    def _dispatch_mean(self) -> float:
+        """Mean of the serialized task-management cost [s]."""
         lat = self.latencies
         mean = (lat.agent_dispatch_base
                 + lat.agent_dispatch_per_node * self.pilot_nodes)
-        mean *= 1.0 + lat.agent_coord_per_instance * self._n_flux_instances
-        return self.rng.lognormal_latency("agent.dispatch", mean,
-                                          cv=lat.agent_cv)
+        return mean * (1.0 + lat.agent_coord_per_instance
+                       * self._n_flux_instances)
+
+    def dispatch_cost(self) -> float:
+        """One draw of the serialized task-management cost [s]."""
+        return self.rng.lognormal_latency(
+            "agent.dispatch", self._dispatch_mean(),
+            cv=self.latencies.agent_cv)
 
     def _dispatch_loop(self):
         """Serialized dispatch: RP's task-management subsystem."""
@@ -255,10 +285,16 @@ class Agent:
             if task is None:
                 task = yield self.incoming.get()
             yield self.env.timeout(self.dispatch_cost())
+            # Keep the bulk path serialized behind streamed dispatches;
+            # a plain attribute write, so traces without bulk
+            # submission are untouched.
+            self._dispatch_free_at = self.env._now
             self.n_dispatched += 1
             if self._m_dispatched is not None:
                 self._m_dispatched.inc()
-                self._m_intake.set(len(self.incoming.items))
+                # len(Store) is O(1); .items would snapshot the whole
+                # deque per dispatch — O(n^2) over a saturated intake.
+                self._m_intake.set(len(self.incoming))
             if task.description.input_staging > 0:
                 self.env.process(self._handle(task))
             else:
@@ -266,6 +302,81 @@ class Agent:
                 # synchronous — skip the per-task process allocation
                 # and bootstrap round-trip through the event queue.
                 self._submit_routed(task)
+
+    # -- bulk submission -----------------------------------------------------
+
+    def submit_bulk(self, tasks) -> None:
+        """Admit a whole wave of tasks through the serialized dispatch
+        stage with O(batch) kernel events.
+
+        The legacy path threads every task through the intake store
+        and the dispatch-loop generator: a store round-trip, a Timeout
+        and a generator resume per task.  Bulk admission draws all
+        dispatch costs in one batched RNG call (bitwise-identical to
+        sequential draws, see
+        :meth:`~repro.sim.random.RngStreams.lognormal_latency_batch`)
+        and walks the wave with a single chained deferred callback —
+        one live queue entry regardless of wave size, admitting each
+        task at the exact simulated time the legacy loop would have.
+        Same-seed traces are byte-identical between the two paths.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        if not self._alive:
+            # Pre-bootstrap hand-over (the common case: the harness
+            # submits the workload, then runs): admitted once the
+            # backends are up, like tasks parked in the intake store.
+            self._bulk_backlog.append(tasks)
+            return
+        self._admit_bulk(tasks)
+
+    def _admit_bulk(self, tasks: list) -> None:
+        costs = self.rng.lognormal_latency_batch(
+            "agent.dispatch", self._dispatch_mean(),
+            cv=self.latencies.agent_cv, n=len(tasks))
+        now = self.env._now
+        start = now if self._dispatch_free_at < now else self._dispatch_free_at
+        self._bulk_pending.update(tasks)
+        # The dispatch stage is a serial resource: a later wave (or a
+        # streamed dispatch) queues behind this one.  Accumulate the
+        # end time with the same one-addition-per-task float order the
+        # legacy loop produces.
+        end = start
+        for cost in costs:
+            end += cost
+        self._dispatch_free_at = end
+        # (start - now) is exactly 0.0 when the stage is free, making
+        # the first admission land at now + costs[0] to the last ulp —
+        # the same float the legacy loop's first Timeout targets.
+        self.env.schedule_callback(start - now + costs[0],
+                                   self._bulk_step, [tasks, costs, 0])
+
+    def _bulk_step(self, wave: list) -> None:
+        """Admit one bulk task, then chain the next admission.
+
+        Mirrors one iteration of :meth:`_dispatch_loop` past its
+        ``timeout`` — same counters, same routing, same event order —
+        with the next admission scheduled exactly ``costs[i+1]`` after
+        this one, as the loop's next Timeout would be.
+        """
+        if not self._alive:
+            return
+        tasks, costs, i = wave
+        task = tasks[i]
+        self._bulk_pending.discard(task)
+        self.n_dispatched += 1
+        if self._m_dispatched is not None:
+            self._m_dispatched.inc()
+            self._m_intake.set(len(self.incoming))
+        if task.description.input_staging > 0:
+            self.env.process(self._handle(task))
+        else:
+            self._submit_routed(task)
+        i += 1
+        if i < len(tasks):
+            wave[2] = i
+            self.env.schedule_callback(costs[i], self._bulk_step, wave)
 
     def _handle(self, task: "Task"):
         """Per-task pipeline up to backend submission (staging path)."""

@@ -35,14 +35,25 @@ class Session:
                  env: Optional[Environment] = None,
                  trace: bool = True,
                  observe: bool = False,
-                 faults=None) -> None:
+                 faults=None,
+                 lean: bool = False,
+                 spill_dir=None) -> None:
         self.env = env if env is not None else Environment()
         self.cluster = cluster if cluster is not None else frontier()
         self.latencies = latencies
         self.rng = RngStreams(seed)
         self.ids = IdRegistry()
         self.uid = self.ids.next("session")
-        self.profiler = Profiler(self.env, enabled=trace)
+        #: Memory-lean mode for full-machine sweeps: components drop
+        #: retention that only post-hoc inspection reads (retired Flux
+        #: jobs, event-stream history).  Simulated behaviour — and the
+        #: trace — is identical either way.
+        self.lean = lean
+        #: ``spill_dir`` bounds profiler RSS by streaming trace events
+        #: to chunked JSONL files instead of holding them all in
+        #: memory; see :class:`~repro.analytics.profiler.Profiler`.
+        self.profiler = Profiler(self.env, enabled=trace,
+                                 spill_dir=spill_dir)
         from ..observability import Observability
 
         self.obs = Observability(self.env, enabled=observe)

@@ -162,3 +162,58 @@ class Task:
 
     def __repr__(self) -> str:
         return f"<Task {self.uid} {self.state} backend={self.backend}>"
+
+
+def build_tasks(env: "Environment", uids: List[str],
+                descriptions: List[TaskDescription],
+                profiler: Optional["Profiler"] = None) -> List["Task"]:
+    """Batched task construction for the bulk submission pipeline.
+
+    Produces exactly the objects and trace records that ``n`` calls of
+    ``Task(env, uid, desc, profiler)`` would, but shares the per-state
+    base payload and the TASK_CREATED meta dict across every task with
+    the same description (synthetic workloads repeat one frozen
+    description tens of thousands of times).  Sharing is safe because
+    ``advance``/``mark_exec_stop`` always ``copy()`` the payload before
+    mutating, and trace meta dicts are read-only once recorded.
+    """
+    if len(uids) != len(descriptions):
+        raise ValueError(f"{len(uids)} uids for "
+                         f"{len(descriptions)} descriptions")
+    now = env._now
+    record = profiler.record_event if profiler is not None else None
+    cache: dict = {}
+    out: List[Task] = []
+    for uid, desc in zip(uids, descriptions):
+        entry = cache.get(id(desc))
+        if entry is None:
+            resources = desc.resources
+            entry = (
+                {"cores": resources.cores, "gpus": resources.gpus},
+                {"cores": resources.cores, "gpus": resources.gpus,
+                 "mode": desc.mode},
+                desc.retries,
+            )
+            cache[id(desc)] = entry
+        payload, created_meta, retries = entry
+        task = Task.__new__(Task)
+        task.env = env
+        task.uid = uid
+        task.description = desc
+        task.profiler = profiler
+        task.state = TaskState.NEW
+        task.state_history = [(now, TaskState.NEW)]
+        task.backend = None
+        task.exec_start = None
+        task.exec_stop = None
+        task.exception = None
+        task.attempts = 0
+        task.retries_left = retries
+        task._final_event = None
+        task._exec_event = None
+        task._on_final = None
+        task._payload = payload
+        if record is not None:
+            record(uid, tev.TASK_CREATED, created_meta)
+        out.append(task)
+    return out

@@ -8,7 +8,7 @@ from ..exceptions import ConfigurationError
 from .description import TaskDescription
 from .pilot import Pilot
 from .states import TaskState
-from .task import Task
+from .task import Task, build_tasks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim import Event
@@ -32,17 +32,33 @@ class TaskManager:
         self.pilot = pilot
 
     def submit_tasks(
-        self, descriptions: Union[TaskDescription, Sequence[TaskDescription]]
+        self, descriptions: Union[TaskDescription, Sequence[TaskDescription]],
+        bulk: bool = False,
     ) -> Union[Task, List[Task]]:
         """Create tasks and enqueue them for the agent.
 
         Tasks queue in the agent's intake store immediately; the agent
-        starts draining it once bootstrapped.
+        starts draining it once bootstrapped.  ``bulk=True`` switches a
+        multi-task submission to the batched pipeline: tasks are built
+        in one pass (:func:`~repro.core.task.build_tasks`) and admitted
+        through :meth:`Agent.submit_bulk` with O(batch) kernel events
+        instead of one store/Timeout/generator chain per task.  Both
+        paths produce byte-identical same-seed traces.
         """
         if self.pilot is None or self.pilot.agent is None:
             raise ConfigurationError(f"{self.uid}: add_pilot() first")
         single = isinstance(descriptions, TaskDescription)
         descs = [descriptions] if single else list(descriptions)
+        if bulk and not single:
+            ids = self.session.ids
+            uids = [ids.next("task") for _ in descs]
+            out = build_tasks(self.env, uids, descs,
+                              profiler=self.session.profiler)
+            for task in out:
+                task.advance(TaskState.TMGR_SCHEDULING)
+            self.tasks.extend(out)
+            self.pilot.agent.submit_bulk(out)
+            return out
         out: List[Task] = []
         for desc in descs:
             task = Task(self.env, self.session.ids.next("task"), desc,

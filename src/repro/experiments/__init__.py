@@ -12,6 +12,7 @@ from .configs import (
     WORKLOAD_MIXED,
     WORKLOAD_NULL,
     config_by_id,
+    frontier_full_configs,
     table1_configs,
 )
 from .figures import FigureData, export_figures
@@ -43,6 +44,7 @@ __all__ = [
     "build_pilot_description",
     "build_workload",
     "config_by_id",
+    "frontier_full_configs",
     "resolve_jobs",
     "run_experiment",
     "run_many",

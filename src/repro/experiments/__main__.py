@@ -16,7 +16,12 @@ from typing import List
 
 from ..analytics.report import format_table
 from ..exceptions import ReproError
-from .configs import config_by_id, faults_configs, table1_configs
+from .configs import (
+    config_by_id,
+    faults_configs,
+    frontier_full_configs,
+    table1_configs,
+)
 from .harness import run_experiment, run_repetitions
 
 
@@ -24,7 +29,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     rows = [
         (c.exp_id, c.launcher, c.workload, c.n_nodes, c.n_partitions,
          c.duration)
-        for c in table1_configs() + faults_configs()
+        for c in table1_configs() + faults_configs() + frontier_full_configs()
     ]
     print(format_table(
         ["exp", "launcher", "workload", "nodes", "partitions", "dur[s]"],
@@ -40,6 +45,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["n_partitions"] = args.partitions
     if args.waves:
         overrides["waves"] = args.waves
+    if getattr(args, "bulk", False):
+        overrides["bulk"] = True
+    if getattr(args, "lean", False):
+        overrides["lean"] = True
     cfg = config_by_id(args.exp_id, **overrides)
     if getattr(args, "faults", ""):
         from dataclasses import replace
@@ -49,8 +58,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cfg = replace(cfg, faults=FaultSpec.parse(args.faults,
                                                   base=cfg.faults))
     bundle = getattr(args, "bundle", "") or None
+    spill_dir = getattr(args, "spill_dir", "") or None
     if args.summary or args.profile or bundle:
-        result = run_experiment(cfg, keep_session=True, bundle=bundle)
+        result = run_experiment(cfg, keep_session=True, bundle=bundle,
+                                spill_dir=spill_dir)
         if bundle:
             print(f"wrote observability bundle to {bundle}")
         if result.faults is not None:
@@ -76,7 +87,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
               agg.throughput_avg, agg.throughput_max, agg.utilization_avg,
               agg.makespan_avg)]))
     else:
-        r = run_experiment(cfg)
+        r = run_experiment(cfg, spill_dir=spill_dir)
         print(format_table(
             ["exp", "nodes", "parts", "tasks", "done", "failed",
              "avg tasks/s", "peak tasks/s", "util", "makespan[s]", "wall[s]"],
@@ -221,6 +232,15 @@ def main(argv: List[str] = None) -> int:
                        help="write the observability bundle (manifest, "
                             "metrics, spans, Perfetto trace) to this "
                             "directory")
+    p_run.add_argument("--bulk", action="store_true",
+                       help="batched task submission (trace-neutral; "
+                            "the frontier_full family sets it already)")
+    p_run.add_argument("--lean", action="store_true",
+                       help="memory-lean retention for full-machine "
+                            "runs (trace-neutral)")
+    p_run.add_argument("--spill-dir", default="", metavar="DIR",
+                       help="stream the trace to chunked files under "
+                            "DIR, bounding profiler memory")
 
     p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
     p_t1.add_argument("--waves", type=int, default=0)

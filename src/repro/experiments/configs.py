@@ -48,6 +48,13 @@ class ExperimentConfig:
     generations: int = 12         #: IMPECCABLE generations
     adaptive: bool = True         #: IMPECCABLE adaptive task counts
     faults: Optional[FaultSpec] = None  #: fault injection (None = off)
+    #: Batched task submission (``TaskManager.submit_tasks(bulk=True)``):
+    #: O(batch) kernel events per wave, byte-identical traces.
+    bulk: bool = False
+    #: Memory-lean mode for full-machine runs: drop retired per-job
+    #: bookkeeping and event-stream history that only post-hoc
+    #: debugging reads.  Off by default (tests inspect both).
+    lean: bool = False
     tags: Dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -134,6 +141,39 @@ def table1_configs(null_workloads: bool = True,
     return cfgs
 
 
+#: Full-machine scale pass: all of Frontier (9408 nodes) driven as one
+#: flux_n configuration with 64 partitions — 147 nodes per partition.
+FRONTIER_FULL_NODES = 9408
+FRONTIER_FULL_PARTITIONS = 64
+
+#: Weak-scaling sweep toward the full machine at a fixed 147
+#: nodes/partition (the full-machine partition size), so each point
+#: grows the machine and the partition count together.
+FRONTIER_SCALE_POINTS: Tuple[Tuple[int, int], ...] = (
+    (588, 4), (2352, 16), (FRONTIER_FULL_NODES, FRONTIER_FULL_PARTITIONS))
+
+
+def frontier_full_configs(seed: int = 0,
+                          waves: int = 4) -> List[ExperimentConfig]:
+    """The full-machine weak-scaling family (``frontier_full``).
+
+    Null-workload flux_n runs from 588 nodes up to the whole 9408-node
+    machine; at four waves the largest point is ~2.1 M tasks.  The
+    family enables the scale machinery (``bulk`` submission and
+    ``lean`` retention) by default — both are trace-neutral, and the
+    runs are unfeasibly slow and memory-hungry without them.
+    """
+    return [
+        ExperimentConfig(
+            exp_id="frontier_full", launcher=LAUNCHER_FLUX,
+            workload=WORKLOAD_NULL, n_nodes=n, n_partitions=p,
+            duration=0.0, waves=waves, seed=seed, bulk=True, lean=True,
+            tags={"family": "frontier_full",
+                  "nodes_per_partition": str(n // p)})
+        for n, p in FRONTIER_SCALE_POINTS
+    ]
+
+
 #: Default fault regime for the resilience experiments: node crashes
 #: roughly every 30 simulated minutes across the allocation, a 1 %
 #: transient launch-failure rate, and a whole-backend crash about once
@@ -170,7 +210,7 @@ def faults_configs(seed: int = 0) -> List[ExperimentConfig]:
 def config_by_id(exp_id: str, **overrides) -> ExperimentConfig:
     """First Table-1 (or fault-injection) config with the given
     experiment id, with field overrides applied."""
-    for cfg in table1_configs() + faults_configs():
+    for cfg in table1_configs() + faults_configs() + frontier_full_configs():
         if cfg.exp_id == exp_id:
             return replace(cfg, **overrides) if overrides else cfg
     raise ConfigurationError(f"unknown experiment id {exp_id!r}")

@@ -125,21 +125,25 @@ def run_experiment(cfg: ExperimentConfig,
                    latencies: LatencyModel = FRONTIER_LATENCIES,
                    keep_session: bool = False,
                    observe: bool = False,
-                   bundle: Optional[str] = None) -> ExperimentResult:
+                   bundle: Optional[str] = None,
+                   spill_dir=None) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
     ``observe`` enables the session's observability layer (metrics
     registry + online tracer); ``bundle`` names a directory to write
     the run's observability bundle into (manifest, metrics, spans,
-    Perfetto trace, raw profile) and implies ``observe``.  Both leave
-    the simulated event order untouched — same-seed runs produce
-    byte-identical traces with or without them.
+    Perfetto trace, raw profile) and implies ``observe``.
+    ``spill_dir`` streams the profiler's trace to chunked files under
+    that directory, bounding memory on full-machine runs.  All three —
+    like ``cfg.bulk`` and ``cfg.lean`` — leave the simulated event
+    order untouched: same-seed runs produce byte-identical traces with
+    or without them.
     """
     wall0 = time.perf_counter()
     observe = observe or bundle is not None
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
                       latencies=latencies, seed=cfg.seed, observe=observe,
-                      faults=cfg.faults)
+                      faults=cfg.faults, lean=cfg.lean, spill_dir=spill_dir)
     span = session.obs.tracer.begin(
         "experiment", cat="experiment",
         launcher=cfg.launcher, workload=cfg.workload, seed=cfg.seed)
@@ -156,7 +160,7 @@ def run_experiment(cfg: ExperimentConfig,
         tasks = runner.result.tasks
     else:
         descriptions = build_workload(cfg, session.cluster.cores_per_node)
-        tasks = tmgr.submit_tasks(descriptions)
+        tasks = tmgr.submit_tasks(descriptions, bulk=cfg.bulk)
         session.run(tmgr.wait_tasks())
     session.obs.tracer.end(span)
 

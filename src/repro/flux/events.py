@@ -40,9 +40,15 @@ class EventStream:
     """Fan-out event bus: each subscriber gets every event it asked
     for, in publication order."""
 
-    def __init__(self, env: Environment, delivery_delay: float = 0.3e-3) -> None:
+    def __init__(self, env: Environment, delivery_delay: float = 0.3e-3,
+                 keep_history: bool = True) -> None:
         self.env = env
         self.delivery_delay = delivery_delay
+        #: ``keep_history=False`` (memory-lean full-machine runs) stops
+        #: recording published events; only post-hoc debugging reads
+        #: :attr:`history`, delivery itself never does.  At ~6 events
+        #: per job this is the largest per-task retention in the stack.
+        self._keep_history = keep_history
         #: (sink, wanted-names) pairs; a sink is any callable taking
         #: one event (a queue's ``put`` or a plain callback); ``None``
         #: names = all events.
@@ -85,7 +91,8 @@ class EventStream:
     def publish(self, job_id: str, name: str, **meta: Any) -> JobEvent:
         """Emit an event; it reaches subscribers after ``delivery_delay``."""
         event = JobEvent(job_id, name, self.env._now, meta)
-        self._history.append(event)
+        if self._keep_history:
+            self._history.append(event)
         wanted = self._wanted
         if wanted is None or name in wanted:
             if self.delivery_delay > 0:

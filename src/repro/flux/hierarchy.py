@@ -28,7 +28,7 @@ class FluxHierarchy:
                  latencies: LatencyModel, rng: RngStreams,
                  n_instances: int = 1, policy: str = "fcfs",
                  name: str = "flux", profiler: Optional["Profiler"] = None,
-                 metrics=None, faults=None) -> None:
+                 metrics=None, faults=None, lean: bool = False) -> None:
         self.env = env
         self.allocation = allocation
         self.name = name
@@ -36,7 +36,8 @@ class FluxHierarchy:
         self.instances: List[FluxInstance] = [
             FluxInstance(env, part, latencies, rng,
                          instance_id=f"{name}.{i:03d}", policy=policy,
-                         profiler=profiler, metrics=metrics, faults=faults)
+                         profiler=profiler, metrics=metrics, faults=faults,
+                         lean=lean)
             for i, part in enumerate(partitions)
         ]
         self._rr = 0
@@ -123,6 +124,7 @@ class FluxHierarchy:
         child = FluxInstance(self.env, sub_alloc, parent.latencies,
                              parent.rng,
                              instance_id=f"{parent.instance_id}.child",
-                             policy=policy, profiler=parent.profiler)
+                             policy=policy, profiler=parent.profiler,
+                             lean=parent._lean)
         self.instances.append(child)
         return child

@@ -69,7 +69,7 @@ class FluxInstance:
                  latencies: LatencyModel, rng: RngStreams,
                  instance_id: str = "", policy: str = "fcfs",
                  profiler: Optional["Profiler"] = None,
-                 metrics=None, faults=None) -> None:
+                 metrics=None, faults=None, lean: bool = False) -> None:
         from .scheduler import make_policy
 
         self.env = env
@@ -80,11 +80,15 @@ class FluxInstance:
         #: Optional :class:`~repro.faults.FaultModel` consulted once
         #: per dispatch for injected launch failures.
         self._faults = faults
+        #: Memory-lean mode (full-machine sweeps): retired jobs and the
+        #: event-stream history are dropped instead of retained for
+        #: post-hoc inspection.  Simulated behaviour is unaffected.
+        self._lean = lean
         self.instance_id = instance_id or f"flux.{id(self):x}"
         self.policy = make_policy(policy)
         self.state = InstanceState.INIT
 
-        self.events = EventStream(env)
+        self.events = EventStream(env, keep_history=not lean)
         self._ids = IdRegistry()
         self._ingest_queue: Store = Store(env)
         #: Pending queue, kept in scheduling order incrementally: the
@@ -120,7 +124,7 @@ class FluxInstance:
         # and job counters, labeled by instance id.  ``None`` (the
         # default) keeps every update site a single identity check.
         self._m_queue = self._m_backlog = self._m_running = None
-        self._m_jobs = None
+        self._m_jobs_completed = self._m_jobs_failed = None
         if metrics is not None:
             self._m_queue = metrics.gauge(
                 "repro_flux_queue_depth",
@@ -134,9 +138,14 @@ class FluxInstance:
                 "repro_flux_running",
                 "jobs currently holding resources",
                 labels=("instance",)).labels(self.instance_id)
-            self._m_jobs = metrics.counter(
+            # Pre-bind per-outcome children: retiring a job is a hot
+            # path at full-machine scale, and resolving labels there
+            # would pay a dict lookup plus tuple hashing per job.
+            fam = metrics.counter(
                 "repro_flux_jobs_total", "jobs retired by outcome",
                 labels=("instance", "outcome"))
+            self._m_jobs_completed = fam.labels(self.instance_id, "completed")
+            self._m_jobs_failed = fam.labels(self.instance_id, "failed")
 
     # -- properties -------------------------------------------------------
 
@@ -302,11 +311,13 @@ class FluxInstance:
         job.exception = reason
         job.state = FluxJobState.INACTIVE
         self.n_failed += 1
-        if self._m_jobs is not None:
-            self._m_jobs.labels(self.instance_id, "failed").inc()
+        if self._m_jobs_failed is not None:
+            self._m_jobs_failed.inc()
             self._m_backlog.set(self.outstanding)
         self.events.publish(job.job_id, EV_EXCEPTION, reason=reason,
                             infra=infra)
+        if self._lean:
+            self._jobs.pop(job.job_id, None)
 
     # -- submission -----------------------------------------------------------
 
@@ -525,8 +536,8 @@ class FluxInstance:
         job.finish_time = self.env.now
         job.state = FluxJobState.CLEANUP
         self.n_completed += 1
-        if self._m_jobs is not None:
-            self._m_jobs.labels(self.instance_id, "completed").inc()
+        if self._m_jobs_completed is not None:
+            self._m_jobs_completed.inc()
             self._m_backlog.set(self.outstanding)
         # Real flux event order: finish, then release/free.
         self.events.publish(job.job_id, EV_FINISH, status=0)
@@ -547,6 +558,8 @@ class FluxInstance:
             # track the instance's free pool without polling.
             self.events.publish(job.job_id, EV_RELEASE,
                                 free_cores=self.allocation.free_cores)
+        if self._lean:
+            self._jobs.pop(job.job_id, None)
         self._kick()
 
     def _release(self, job: FluxJob) -> None:

@@ -259,10 +259,16 @@ class KernelInstrument:
     """Per-environment kernel probes, consumed by the instrumented
     dispatch loop in :meth:`repro.sim.kernel.Environment.run`.
 
-    ``before_step`` runs once per simulated event while observability
-    is on; it classifies the queue head (event / process bootstrap /
-    deferred callback) and tracks queue depth.  ``account`` converts
-    one ``run()`` invocation into the wall-per-sim-second gauge.
+    The hot path is O(1) per ``run()`` call, not per event: the
+    instrumented loop accumulates event-kind counts and queue-depth
+    extremes in plain locals and calls :meth:`flush` once when the
+    loop exits.  The flush replays the accumulated state onto the
+    metric children in a way that is observably identical to the old
+    per-event ``inc``/``set`` sequence (same counter totals, same
+    gauge value/max/min watermarks), so exporter output is unchanged
+    while the per-event cost drops from four method calls to a few
+    local integer operations.  ``account`` converts one ``run()``
+    invocation into the wall-per-sim-second gauge.
     """
 
     __slots__ = ("_events", "_bootstraps", "_callbacks", "_depth",
@@ -287,13 +293,25 @@ class KernelInstrument:
             "repro_kernel_wall_per_sim_second",
             "wall seconds per simulated second (cumulative)")
 
-    def before_step(self, queue: list) -> None:
-        entry = queue[0]
-        if len(entry) == 5:
-            (self._bootstraps if entry[4] else self._callbacks).inc()
-        else:
-            self._events.inc()
-        self._depth.set(len(queue))
+    def flush(self, n_events: int, n_bootstraps: int, n_callbacks: int,
+              depth_max: int, depth_min: int, depth_last: int) -> None:
+        """Fold one ``run()`` loop's accumulated samples into the
+        metrics.  ``depth_min`` < 0 means no event was dispatched (the
+        depth gauge is then left untouched, as the per-event path never
+        sampled it either)."""
+        if n_events:
+            self._events.inc(n_events)
+        if n_bootstraps:
+            self._bootstraps.inc(n_bootstraps)
+        if n_callbacks:
+            self._callbacks.inc(n_callbacks)
+        if depth_min >= 0:
+            # Watermark-equivalent replay of the per-event set() calls:
+            # extremes first, the final sample last so ``value`` is the
+            # last observed depth.
+            self._depth.set(depth_max)
+            self._depth.set(depth_min)
+            self._depth.set(depth_last)
 
     def account(self, sim_delta: float, wall_delta: float) -> None:
         self._runs.inc()

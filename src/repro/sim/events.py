@@ -35,6 +35,35 @@ NORMAL = 1
 URGENT = 0
 
 
+def push_event(env, delay: float, priority: int, event) -> None:
+    """THE canonical enqueue for 4-tuple (event) queue entries.
+
+    Every code path that schedules an :class:`Event` for dispatch —
+    ``Event.succeed`` / ``Event.fail``, ``Timeout`` creation and the
+    kernel's ``_enqueue_event`` — funnels through this one function, so
+    the queue-entry shape and the sequence-number discipline have a
+    single point of truth.  A module-level function (not a method) to
+    keep the per-call overhead at one plain call in the hottest path
+    of the whole simulator.
+    """
+    env._seq += 1
+    heappush(env._queue, (env._now + delay, priority, env._seq, event))
+
+
+def push_entry5(env, delay: float, priority: int, payload, marker: bool) -> None:
+    """THE canonical enqueue for marker-carrying 5-tuple entries.
+
+    The deferred-entry fast path: process bootstraps (marker ``True``)
+    and eventless callbacks (marker ``False``) share this shape; see
+    ``Environment._enqueue_bootstrap`` / ``Environment.schedule_callback``.
+    The unique sequence number guarantees heap comparisons never reach
+    the mixed-length tail of the tuple.
+    """
+    env._seq += 1
+    heappush(env._queue,
+             (env._now + delay, priority, env._seq, payload, marker))
+
+
 class Event:
     """A condition that may happen at a point in simulated time.
 
@@ -91,11 +120,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        # Inlined Environment._enqueue_event: succeed() runs for every
-        # message hand-off and semaphore grant in the stack.
-        env = self.env
-        env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        # succeed() runs for every message hand-off and semaphore grant
+        # in the stack; push_event is the shared fast path.
+        push_event(self.env, 0.0, NORMAL, self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -106,9 +133,7 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        env = self.env
-        env._seq += 1
-        heappush(env._queue, (env._now, NORMAL, env._seq, self))
+        push_event(self.env, 0.0, NORMAL, self)
         return self
 
     def __repr__(self) -> str:
@@ -141,8 +166,7 @@ class Timeout(Event):
         self._ok = True
         self._defused = False
         self.delay = delay
-        env._seq += 1
-        heappush(env._queue, (env._now + delay, NORMAL, env._seq, self))
+        push_event(env, delay, NORMAL, self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay}>"

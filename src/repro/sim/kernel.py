@@ -29,11 +29,21 @@ itself") for the full picture.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+from heapq import heappop
 from typing import Any, List, Optional, Tuple
 
 from ..exceptions import SimulationError
-from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT, _Deferred
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Timeout,
+    URGENT,
+    _Deferred,
+    push_entry5,
+    push_event,
+)
 from .process import Process, ProcessGenerator, _INIT
 
 #: Queue entries: (time, priority, sequence, event).  Two entry kinds
@@ -118,26 +128,21 @@ class Environment:
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, NORMAL, self._seq,
-                               _Deferred(callback, args), False))
+        push_entry5(self, delay, NORMAL, _Deferred(callback, args), False)
 
     # -- kernel internals ----------------------------------------------------
 
     def _enqueue_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        self._seq += 1
-        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        push_event(self, delay, priority, event)
 
     def _enqueue_bootstrap(self, process: Process) -> None:
         """Schedule a process's first resume without allocating an Event.
 
         The queue entry carries the process itself plus a length-5
         marker; dispatch resumes the generator with the shared ``_INIT``
-        sentinel.  The sequence number is unique, so heap comparisons
-        never reach the mixed-length tail of the tuple.
+        sentinel (see :func:`~repro.sim.events.push_entry5`).
         """
-        self._seq += 1
-        heappush(self._queue, (self._now, URGENT, self._seq, process, True))
+        push_entry5(self, 0.0, URGENT, process, True)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -265,26 +270,50 @@ class Environment:
     def _run_instrumented(self, until: Optional[Any] = None) -> Any:
         """The metered twin of :meth:`run` (observability enabled).
 
-        Dispatches through :meth:`step` — semantically identical to
-        the inlined fast loops, and since nothing here touches event
-        ordering, RNG state or the clock beyond what ``run`` does,
-        instrumented runs produce byte-identical traces.  Per event it
-        classifies the queue head and samples the queue depth; per
-        ``run()`` call it accounts simulated-vs-wall seconds.
+        Mirrors ``run``'s inlined dispatch loops exactly — nothing here
+        touches event ordering, RNG state or the clock beyond what
+        ``run`` does, so instrumented runs produce byte-identical
+        traces.  The metering itself is O(1) per ``run()`` call, not
+        per event: kind counts and queue-depth extremes accumulate in
+        plain locals and are folded into the registry once, via
+        :meth:`KernelInstrument.flush`, when the loop exits.
         """
         from time import perf_counter
 
         ins = self._instrument
         queue = self._queue
-        before = ins.before_step
-        step = self.step
+        pop = heappop
+        n_events = n_bootstraps = n_callbacks = 0
+        depth_max = depth_last = 0
+        depth_min = -1  # -1 = no event dispatched yet
         sim0 = self._now
         wall0 = perf_counter()
         try:
             if until is None:
                 while queue:
-                    before(queue)
-                    step()
+                    depth_last = len(queue)
+                    if depth_last > depth_max:
+                        depth_max = depth_last
+                    if depth_min < 0 or depth_last < depth_min:
+                        depth_min = depth_last
+                    entry = pop(queue)
+                    self._now = entry[0]
+                    event = entry[3]
+                    if len(entry) == 5:
+                        if entry[4]:
+                            n_bootstraps += 1
+                            event._resume(_INIT)
+                        else:
+                            n_callbacks += 1
+                            event(None)
+                        continue
+                    n_events += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not callbacks and not event._defused:
+                        raise event._value
                 return None
 
             if isinstance(until, Event):
@@ -295,8 +324,29 @@ class Environment:
                             "simulation ran out of events before the "
                             "awaited event triggered (deadlock?)"
                         )
-                    before(queue)
-                    step()
+                    depth_last = len(queue)
+                    if depth_last > depth_max:
+                        depth_max = depth_last
+                    if depth_min < 0 or depth_last < depth_min:
+                        depth_min = depth_last
+                    entry = pop(queue)
+                    self._now = entry[0]
+                    event = entry[3]
+                    if len(entry) == 5:
+                        if entry[4]:
+                            n_bootstraps += 1
+                            event._resume(_INIT)
+                        else:
+                            n_callbacks += 1
+                            event(None)
+                        continue
+                    n_events += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not callbacks and not event._defused:
+                        raise event._value
                 if stop._ok:
                     return stop._value
                 if isinstance(stop._value, BaseException):
@@ -310,10 +360,33 @@ class Environment:
                     f"cannot run until {horizon} (already at {self._now})"
                 )
             while queue and queue[0][0] <= horizon:
-                before(queue)
-                step()
+                depth_last = len(queue)
+                if depth_last > depth_max:
+                    depth_max = depth_last
+                if depth_min < 0 or depth_last < depth_min:
+                    depth_min = depth_last
+                entry = pop(queue)
+                self._now = entry[0]
+                event = entry[3]
+                if len(entry) == 5:
+                    if entry[4]:
+                        n_bootstraps += 1
+                        event._resume(_INIT)
+                    else:
+                        n_callbacks += 1
+                        event(None)
+                    continue
+                n_events += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not callbacks and not event._defused:
+                    raise event._value
             if horizon > self._now:
                 self._now = horizon
             return None
         finally:
+            ins.flush(n_events, n_bootstraps, n_callbacks,
+                      depth_max, depth_min, depth_last)
             ins.account(self._now - sim0, perf_counter() - wall0)

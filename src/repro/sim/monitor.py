@@ -18,9 +18,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class Monitor:
-    """Samples named probes every ``interval`` simulated seconds."""
+    """Samples named probes every ``interval`` simulated seconds.
 
-    def __init__(self, env: "Environment", interval: float = 1.0) -> None:
+    ``spill_dir`` turns on streaming mode for long full-machine runs:
+    whole sweeps are flushed to chunked JSONL files (profile record
+    format) once ``spill_threshold`` samples are buffered, bounding
+    RSS; queries lazily re-read the chunks and :meth:`export` output
+    is byte-identical to the in-memory monitor's.  Values must be
+    JSON-representable to round-trip exactly (numbers — the typical
+    probe output — always do).
+    """
+
+    def __init__(self, env: "Environment", interval: float = 1.0,
+                 spill_dir=None, spill_threshold: int = 100_000) -> None:
         if interval <= 0:
             raise SimulationError(f"interval must be > 0, got {interval}")
         self.env = env
@@ -29,6 +39,73 @@ class Monitor:
         self._samples: Dict[str, List[Tuple[float, Any]]] = {}
         self._running = False
         self._stop_when: Optional[Callable[[], bool]] = None
+        from pathlib import Path
+
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._spill_threshold = (max(1, int(spill_threshold))
+                                 if spill_dir is not None else float("inf"))
+        self._chunks: List[Any] = []
+        self._n_buffered = 0
+
+    # -- spilling ----------------------------------------------------------
+
+    def _spill(self) -> None:
+        """Flush buffered sweeps to the next chunk file.
+
+        Only called between sweeps, so every chunk holds whole sweeps:
+        concatenated chunks plus the tail reproduce exactly the
+        time-sorted, probe-registration-ordered record stream
+        :meth:`export` writes.
+        """
+        if not self._n_buffered:
+            return
+        import json
+
+        from ..analytics.export import _sanitize
+
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        path = self._spill_dir / f"monitor-{len(self._chunks):06d}.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            for t, name, v in self._sorted_tail():
+                record = {"time": t, "entity": f"monitor.{name}",
+                          "name": "sample", "meta": {"value": v}}
+                try:
+                    line = json.dumps(record, sort_keys=True, allow_nan=False)
+                except (ValueError, TypeError):
+                    line = json.dumps(_sanitize(record), sort_keys=True,
+                                      allow_nan=False)
+                fh.write(line)
+                fh.write("\n")
+        self._chunks.append(path)
+        for name in self._samples:
+            self._samples[name] = []
+        self._n_buffered = 0
+
+    def _sorted_tail(self) -> List[Tuple[float, str, Any]]:
+        """Buffered samples as (time, probe, value), time-sorted with
+        probe registration order breaking ties (stable sort)."""
+        records: List[Tuple[float, str, Any]] = []
+        for name in self._probes:
+            for t, v in self._samples[name]:
+                records.append((t, name, v))
+        records.sort(key=lambda r: r[0])
+        return records
+
+    def _spilled_samples(self, name: str) -> List[Tuple[float, Any]]:
+        """Lazily re-read one probe's samples from the spill chunks."""
+        import json
+
+        from ..analytics.export import iter_event_lines
+
+        entity = f"monitor.{name}"
+        needle = '"entity": ' + json.dumps(entity)
+        out: List[Tuple[float, Any]] = []
+        for path in self._chunks:
+            with path.open("r", encoding="utf-8") as fh:
+                for ev in iter_event_lines(fh, contains=needle):
+                    if ev.entity == entity:
+                        out.append((ev.time, ev.meta["value"]))
+        return out
 
     def probe(self, name: str, fn: Callable[[], Any]) -> None:
         """Register a probe (must be added before :meth:`start`)."""
@@ -60,6 +137,9 @@ class Monitor:
         while self._running:
             for name, fn in self._probes.items():
                 self._samples[name].append((self.env.now, fn()))
+            self._n_buffered += len(self._probes)
+            if self._n_buffered >= self._spill_threshold:
+                self._spill()
             if self._stop_when is not None and self._stop_when():
                 self._running = False
                 return
@@ -70,9 +150,12 @@ class Monitor:
     def samples(self, name: str) -> List[Tuple[float, Any]]:
         """(time, value) pairs recorded for one probe."""
         try:
-            return list(self._samples[name])
+            tail = self._samples[name]
         except KeyError:
             raise SimulationError(f"unknown probe {name!r}") from None
+        if self._chunks:
+            return self._spilled_samples(name) + list(tail)
+        return list(tail)
 
     def values(self, name: str) -> List[Any]:
         return [v for _, v in self.samples(name)]
@@ -121,17 +204,21 @@ class Monitor:
             _sanitize,
         )
 
-        records = []
-        for name in self._probes:
-            for t, v in self._samples[name]:
-                records.append((t, name, v))
-        records.sort(key=lambda r: r[0])
+        count = 0
         with Path(path).open("w", encoding="utf-8") as fh:
             fh.write(json.dumps({"format": PROFILE_FORMAT,
                                  "version": PROFILE_VERSION},
                                 sort_keys=True))
             fh.write("\n")
-            for t, name, v in records:
+            # Chunks hold whole sweeps already in the sorted record
+            # order, so concatenating them verbatim before the sorted
+            # tail reproduces the in-memory output byte for byte.
+            for chunk in self._chunks:
+                with chunk.open("r", encoding="utf-8") as src:
+                    for line in src:
+                        fh.write(line)
+                        count += 1
+            for t, name, v in self._sorted_tail():
                 record = {"time": t, "entity": f"monitor.{name}",
                           "name": "sample", "meta": {"value": v}}
                 try:
@@ -142,4 +229,5 @@ class Monitor:
                                       allow_nan=False)
                 fh.write(line)
                 fh.write("\n")
-        return len(records)
+                count += 1
+        return count

@@ -76,6 +76,43 @@ class RngStreams:
             self._norm_buf[name] = buf
         return math.exp(mu + sigma * buf.pop())
 
+    def lognormal_latency_batch(
+        self, name: str, mean: float, cv: float = 0.25, n: int = 1
+    ) -> List[float]:
+        """``n`` lognormal latency draws, bitwise-identical to ``n``
+        sequential :meth:`lognormal_latency` calls.
+
+        Consumes the same per-stream prefetch buffer in the same order
+        (including ``math.exp`` for the transform, so not even the last
+        ulp differs), which is what lets the bulk task pipeline admit a
+        whole wave while staying byte-compatible with per-task
+        submission traces.
+        """
+        if n <= 0:
+            return []
+        if mean <= 0.0:
+            return [0.0] * n
+        entry = self._lognorm_params.get((name, mean, cv))
+        if entry is None:
+            sigma2 = np.log(1.0 + cv * cv)
+            entry = (np.log(mean) - 0.5 * sigma2, np.sqrt(sigma2))
+            self._lognorm_params[(name, mean, cv)] = entry
+        mu, sigma = entry
+        exp = math.exp
+        out: List[float] = []
+        buf = self._norm_buf.get(name)
+        while len(out) < n:
+            if not buf:
+                buf = self.stream(name).standard_normal(512)[::-1].tolist()
+                self._norm_buf[name] = buf
+            take = min(n - len(out), len(buf))
+            # Slice from the end and reverse: the exact values (and
+            # order) that ``take`` individual pops would have returned.
+            chunk = buf[-take:]
+            del buf[-take:]
+            out.extend(exp(mu + sigma * z) for z in reversed(chunk))
+        return out
+
     def uniform(self, name: str, low: float, high: float) -> float:
         """One uniform draw from ``[low, high)``."""
         return float(self.stream(name).uniform(low, high))

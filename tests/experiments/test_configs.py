@@ -78,3 +78,43 @@ class TestTable1:
     def test_config_by_id_unknown(self):
         with pytest.raises(ConfigurationError):
             config_by_id("nonexistent")
+
+
+class TestFrontierFullFamily:
+    def test_weak_scaling_points(self):
+        from repro.experiments.configs import (
+            FRONTIER_SCALE_POINTS,
+            frontier_full_configs,
+        )
+
+        cfgs = frontier_full_configs()
+        assert [(c.n_nodes, c.n_partitions) for c in cfgs] == \
+            list(FRONTIER_SCALE_POINTS)
+        # fixed nodes/partition across the sweep (weak scaling)
+        assert {c.n_nodes // c.n_partitions for c in cfgs} == {147}
+
+    def test_full_machine_point(self):
+        from repro.experiments.configs import frontier_full_configs
+
+        full = frontier_full_configs()[-1]
+        assert full.n_nodes == 9408
+        assert full.n_partitions == 64
+        assert full.launcher == "flux"
+        assert full.workload == "null"
+        # ~2.1M tasks at the default four waves
+        assert full.n_nodes * 56 * full.waves == 2_107_392
+
+    def test_scale_machinery_on_by_default(self):
+        from repro.experiments.configs import frontier_full_configs
+
+        for cfg in frontier_full_configs():
+            assert cfg.bulk and cfg.lean
+
+    def test_config_by_id_resolves_family(self):
+        cfg = config_by_id("frontier_full", waves=1)
+        assert cfg.exp_id == "frontier_full"
+        assert cfg.waves == 1
+
+    def test_table1_defaults_stay_legacy(self):
+        for cfg in table1_configs():
+            assert not cfg.bulk and not cfg.lean

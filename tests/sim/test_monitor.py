@@ -129,3 +129,51 @@ class TestMonitorExport:
         depth = [e.meta["value"] for e in events
                  if e.entity == "monitor.depth"]
         assert depth == [0, 3, 7, 2]
+
+
+class TestMonitorSpill:
+    def _twins(self, tmp_path, threshold=4):
+        """An in-memory and a spilling monitor over the same schedule."""
+        monitors = []
+        for spill in (False, True):
+            from repro.sim import Environment
+
+            env = Environment()
+            kwargs = ({"spill_dir": tmp_path / "chunks",
+                       "spill_threshold": threshold} if spill else {})
+            mon = Monitor(env, interval=1.0, **kwargs)
+            depth = {"v": 0}
+            mon.probe("depth", lambda d=depth: d["v"])
+            mon.probe("load", lambda d=depth: d["v"] * 0.5)
+            mon.start()
+            for t, v in ((0.5, 3), (1.5, 7), (2.5, 2), (3.5, 9), (4.5, 1)):
+                env.schedule(t, lambda d=depth, v=v: d.__setitem__("v", v))
+            env.schedule(5.5, mon.stop)
+            env.run(until=10.0)
+            monitors.append(mon)
+        return monitors
+
+    def test_chunks_written_and_buffer_bounded(self, tmp_path):
+        _, spill = self._twins(tmp_path)
+        assert spill._chunks, "threshold 4 over 12 samples must spill"
+        assert spill._n_buffered < 4 + 2  # at most one sweep over
+
+    def test_samples_equivalent(self, tmp_path):
+        mem, spill = self._twins(tmp_path)
+        for name in ("depth", "load"):
+            assert spill.samples(name) == mem.samples(name)
+            assert spill.values(name) == mem.values(name)
+            assert spill.peak(name) == mem.peak(name)
+            assert spill.mean(name) == mem.mean(name)
+
+    def test_to_series_equivalent(self, tmp_path):
+        mem, spill = self._twins(tmp_path)
+        s_mem, s_spill = mem.to_series("depth"), spill.to_series("depth")
+        assert list(s_mem.times) == list(s_spill.times)
+        assert list(s_mem.values) == list(s_spill.values)
+
+    def test_export_bytes_identical(self, tmp_path):
+        mem, spill = self._twins(tmp_path)
+        pm, ps = tmp_path / "mem.jsonl", tmp_path / "spill.jsonl"
+        assert mem.export(pm) == spill.export(ps) == 12
+        assert pm.read_bytes() == ps.read_bytes()

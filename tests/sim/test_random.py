@@ -66,3 +66,46 @@ class TestDistributions:
 
     def test_exponential_zero_mean(self):
         assert RngStreams(0).exponential("e", 0.0) == 0.0
+
+
+class TestLognormalBatch:
+    """`lognormal_latency_batch` must be bitwise identical to the
+    equivalent sequence of scalar draws — the bulk submission path
+    relies on it to keep traces byte-identical to the legacy path."""
+
+    def test_batch_matches_sequential_bitwise(self):
+        a, b = RngStreams(7), RngStreams(7)
+        seq = [a.lognormal_latency("agent.dispatch", 0.004, cv=0.3)
+               for _ in range(1000)]
+        batch = b.lognormal_latency_batch("agent.dispatch", 0.004,
+                                          cv=0.3, n=1000)
+        assert batch == seq  # float equality: must be the same bits
+
+    def test_batch_spanning_refills_matches(self):
+        # 512 is the prefetch size; cross it mid-batch several times.
+        a, b = RngStreams(3), RngStreams(3)
+        seq = []
+        for n in (100, 500, 700):
+            seq.append([a.lognormal_latency("x", 1.0, cv=0.5)
+                        for _ in range(n)])
+        got = [b.lognormal_latency_batch("x", 1.0, cv=0.5, n=n)
+               for n in (100, 500, 700)]
+        assert got == seq
+
+    def test_batch_interleaves_with_scalar_draws(self):
+        a, b = RngStreams(11), RngStreams(11)
+        seq = [a.lognormal_latency("y", 0.01) for _ in range(30)]
+        got = b.lognormal_latency_batch("y", 0.01, n=10)
+        got += [b.lognormal_latency("y", 0.01) for _ in range(10)]
+        got += b.lognormal_latency_batch("y", 0.01, n=10)
+        assert got == seq
+
+    def test_zero_mean_draws_nothing(self):
+        a, b = RngStreams(5), RngStreams(5)
+        assert a.lognormal_latency_batch("z", 0.0, n=4) == [0.0] * 4
+        # the buffer was untouched: next draws still line up
+        assert (a.lognormal_latency("z", 1.0)
+                == b.lognormal_latency("z", 1.0))
+
+    def test_empty_batch(self):
+        assert RngStreams(0).lognormal_latency_batch("w", 1.0, n=0) == []

@@ -1,0 +1,117 @@
+"""The CI benchmark regression gate (tools/bench_gate.py)."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate",
+    Path(__file__).resolve().parent.parent / "tools" / "bench_gate.py")
+bench_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_gate)
+
+
+class TestExtractRates:
+    def test_flat_and_nested(self):
+        doc = {
+            "tasks_per_wall_second": 100.0,
+            "tasks_per_wall_second_disabled": 90.0,
+            "other": 5.0,
+            "points": [{"tasks_per_wall_second": 50.0, "n_nodes": 9408}],
+        }
+        rates = dict(bench_gate.extract_rates(doc))
+        assert rates == {
+            "tasks_per_wall_second": 100.0,
+            "tasks_per_wall_second_disabled": 90.0,
+            "points[0].tasks_per_wall_second": 50.0,
+        }
+
+    def test_non_numeric_metric_ignored(self):
+        assert dict(bench_gate.extract_rates(
+            {"tasks_per_wall_second": "fast"})) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        failures, notes = bench_gate.compare(
+            {"tasks_per_wall_second": 80.0},
+            {"tasks_per_wall_second": 100.0}, threshold=0.25)
+        assert failures == []
+        assert len(notes) == 1
+
+    def test_regression_fails(self):
+        failures, _ = bench_gate.compare(
+            {"tasks_per_wall_second": 70.0},
+            {"tasks_per_wall_second": 100.0}, threshold=0.25)
+        assert len(failures) == 1
+        assert "0.70x" in failures[0]
+
+    def test_improvement_passes(self):
+        failures, _ = bench_gate.compare(
+            {"tasks_per_wall_second": 130.0},
+            {"tasks_per_wall_second": 100.0}, threshold=0.25)
+        assert failures == []
+
+    def test_new_metric_skipped(self):
+        failures, notes = bench_gate.compare(
+            {"tasks_per_wall_second_enabled": 50.0}, {}, threshold=0.25)
+        assert failures == []
+        assert "no baseline" in notes[0]
+
+    def test_nested_points_compared(self):
+        failures, _ = bench_gate.compare(
+            {"points": [{"tasks_per_wall_second": 10.0}]},
+            {"points": [{"tasks_per_wall_second": 100.0}]}, threshold=0.25)
+        assert len(failures) == 1
+
+
+class TestEndToEnd:
+    def _repo(self, tmp_path, baseline_rate):
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                        "commit", "-q", "--allow-empty", "-m", "seed"],
+                       cwd=tmp_path, check=True)
+        bench = tmp_path / "BENCH_kernel.json"
+        bench.write_text(json.dumps(
+            {"tasks_per_wall_second": baseline_rate}))
+        subprocess.run(["git", "add", "BENCH_kernel.json"],
+                       cwd=tmp_path, check=True)
+        subprocess.run(["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                        "commit", "-q", "-m", "baseline"],
+                       cwd=tmp_path, check=True)
+        return bench
+
+    def _run_gate(self, tmp_path, *args):
+        gate = Path(bench_gate.__file__)
+        # run from a tools/-like layout inside the temp repo so the
+        # script resolves tmp_path as its repo root
+        tools = tmp_path / "tools"
+        tools.mkdir(exist_ok=True)
+        (tools / "bench_gate.py").write_text(gate.read_text())
+        return subprocess.run(
+            [sys.executable, str(tools / "bench_gate.py"), *args],
+            capture_output=True, text=True, cwd=tmp_path)
+
+    def test_pass_and_fail_paths(self, tmp_path):
+        bench = self._repo(tmp_path, 100.0)
+        bench.write_text(json.dumps({"tasks_per_wall_second": 90.0}))
+        ok = self._run_gate(tmp_path, "BENCH_kernel.json")
+        assert ok.returncode == 0, ok.stderr
+        assert "bench-gate: ok" in ok.stdout
+
+        bench.write_text(json.dumps({"tasks_per_wall_second": 30.0}))
+        bad = self._run_gate(tmp_path, "BENCH_kernel.json")
+        assert bad.returncode == 1
+        assert "REGRESSION" in bad.stderr
+
+    def test_missing_baseline_is_skipped(self, tmp_path):
+        self._repo(tmp_path, 100.0)
+        new = tmp_path / "BENCH_scale.json"
+        new.write_text(json.dumps({"tasks_per_wall_second": 10.0}))
+        res = self._run_gate(tmp_path, "BENCH_scale.json")
+        assert res.returncode == 0, res.stderr
+        assert "no baseline" in res.stdout
