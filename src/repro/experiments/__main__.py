@@ -49,6 +49,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["bulk"] = True
     if getattr(args, "lean", False):
         overrides["lean"] = True
+    if getattr(args, "shards", None) is not None:
+        shards = args.shards
+        if shards != "auto":
+            try:
+                shards = int(shards)
+            except ValueError:
+                print(f"error: bad shard count {shards!r}", file=sys.stderr)
+                return 1
+        overrides["shards"] = shards
     cfg = config_by_id(args.exp_id, **overrides)
     if getattr(args, "faults", ""):
         from dataclasses import replace
@@ -241,6 +250,14 @@ def main(argv: List[str] = None) -> int:
     p_run.add_argument("--spill-dir", default="", metavar="DIR",
                        help="stream the trace to chunked files under "
                             "DIR, bounding profiler memory")
+    p_run.add_argument("--shards", nargs="?", const="auto", default=None,
+                       metavar="N",
+                       help="partition-sharded execution: run the Flux "
+                            "partitions in N worker processes on "
+                            "shard-local kernels (bare flag = one per "
+                            "core); deterministic, but a different "
+                            "event interleaving than the sequential "
+                            "path")
 
     p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
     p_t1.add_argument("--waves", type=int, default=0)

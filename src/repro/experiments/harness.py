@@ -70,6 +70,10 @@ class ExperimentResult:
     wall_seconds: float = 0.0
     #: Fault-injection summary; ``None`` when the run had no fault model.
     faults: Optional[FaultReport] = None
+    #: Shard workers the run used (0 = sequential single-kernel path).
+    n_shards: int = 0
+    #: Peak RSS per shard worker [MB] (empty on the sequential path).
+    shard_peak_rss_mb: List[float] = field(default_factory=list)
 
     @property
     def throughput_avg(self) -> float:
@@ -126,7 +130,8 @@ def run_experiment(cfg: ExperimentConfig,
                    keep_session: bool = False,
                    observe: bool = False,
                    bundle: Optional[str] = None,
-                   spill_dir=None) -> ExperimentResult:
+                   spill_dir=None,
+                   shard_inline: bool = False) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
     ``observe`` enables the session's observability layer (metrics
@@ -138,12 +143,18 @@ def run_experiment(cfg: ExperimentConfig,
     like ``cfg.bulk`` and ``cfg.lean`` — leave the simulated event
     order untouched: same-seed runs produce byte-identical traces with
     or without them.
+
+    ``shard_inline`` runs a sharded config's shards on the calling
+    thread instead of worker processes — same simulation, same merged
+    trace, no parallelism; the equality is pinned by the determinism
+    tests.  Ignored when ``cfg.shards`` is off.
     """
     wall0 = time.perf_counter()
     observe = observe or bundle is not None
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
                       latencies=latencies, seed=cfg.seed, observe=observe,
-                      faults=cfg.faults, lean=cfg.lean, spill_dir=spill_dir)
+                      faults=cfg.faults, lean=cfg.lean, spill_dir=spill_dir,
+                      shards=cfg.shards, shard_inline=shard_inline)
     span = session.obs.tracer.begin(
         "experiment", cat="experiment",
         launcher=cfg.launcher, workload=cfg.workload, seed=cfg.seed)
@@ -182,6 +193,10 @@ def run_experiment(cfg: ExperimentConfig,
         wall_seconds=time.perf_counter() - wall0,
         faults=(FaultReport.collect(session.faults, tasks, makespan(tasks))
                 if session.faults is not None else None),
+        n_shards=len(session.engine.hosts) if session.engine is not None
+        else 0,
+        shard_peak_rss_mb=(list(session.engine.shard_peak_rss_mb)
+                           if session.engine is not None else []),
     )
     if bundle is not None:
         write_run_bundle(bundle, cfg, session, result)

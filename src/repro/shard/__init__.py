@@ -1,0 +1,27 @@
+"""Partition-sharded simulation: multi-core single-run DES.
+
+The paper's Flux hierarchy runs up to 64 *independent* instances on
+disjoint node partitions; this package exploits that independence to
+run each group of instances — scheduler, lanes, node accounting and
+all — in its own worker process on a shard-local kernel, while the RP
+Agent (routing, bulk admission, retry/failover) stays on the
+coordinator.  Shards synchronize through a conservative lookahead
+window and their trace streams are merged by a deterministic canonical
+sort, so a sharded run is a pure function of the seed regardless of
+worker count or process boundaries.
+
+Enable with ``Session(shards=...)`` or ``run --shards auto``; see
+``docs/MODEL.md`` ("Partition-sharded execution") for the protocol and
+its fidelity argument.
+"""
+
+from .coordinator import ShardEngine, resolve_shards
+from .merge import canonical_sort_key
+from .protocol import ShardConfig
+
+__all__ = [
+    "ShardConfig",
+    "ShardEngine",
+    "canonical_sort_key",
+    "resolve_shards",
+]

@@ -1,0 +1,686 @@
+"""The shard coordinator: proxies, hosts, and the window engine.
+
+The coordinator side of partition-sharded execution.  The agent keeps
+running unchanged on the session kernel; its Flux hierarchy is
+replaced by :class:`ProxyHierarchy` — lightweight
+:class:`InstanceProxy` mirrors whose routing-relevant state
+(lifecycle, usable capacity, outstanding counts) tracks the real
+instances living in shard workers.  :class:`ShardEngine` drives the
+conservative window protocol:
+
+1. run the coordinator kernel to the window boundary, buffering every
+   instance-bound message (submit, cancel, crash, ...) with its exact
+   simulated timestamp;
+2. hand each shard its message batch and the boundary; shards deliver
+   the messages at their timestamps and simulate to the boundary;
+3. apply the returned job reports at the boundary in canonical
+   ``(time, instance, seq)`` order — a pure function of the
+   simulation, never of the shard grouping.
+
+The boundary advances by the lookahead window past the earliest
+pending event on any kernel, so idle stretches are skipped in one hop
+and busy stretches are windowed finely enough that report latency is
+bounded by the window.
+
+Hosts come in two flavours with one contract: :class:`ProcessHost`
+(a worker process over a pipe) and :class:`InlineHost` (the same
+:class:`~repro.shard.worker.ShardRunner` called directly).  The
+digest-equality tests run both and compare bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError, RuntimeStartupError, SimulationError
+from ..flux.instance import InstanceState
+from ..sim.events import Event
+from .merge import ProfileMerger, load_metrics
+from .protocol import (
+    CancelMsg,
+    CrashMsg,
+    ErrorMsg,
+    InstanceSpec,
+    RestartMsg,
+    ShardConfig,
+    ShutdownMsg,
+    SpecMsg,
+    StartMsg,
+    SubmitMsg,
+)
+
+__all__ = ["InstanceProxy", "ProxyHierarchy", "InlineHost", "ProcessHost",
+           "ShardEngine", "resolve_shards"]
+
+_INF = float("inf")
+
+
+def resolve_shards(shards: Union[int, str, None] = None) -> int:
+    """Turn a ``--shards`` style argument into a shard count.
+
+    ``None`` means *sharding off* (resolves to 1, the sequential
+    path); ``0`` and ``"auto"`` mean *one shard per core*; an integer
+    requests exactly that many shards.  The engine later clamps to the
+    instance count (more shards than instances is pure overhead).
+    """
+    if shards is None:
+        return 1
+    if shards == 0 or shards == "auto":
+        return os.cpu_count() or 1
+    try:
+        resolved = int(shards)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"bad shard count {shards!r}")
+    if resolved < 0:
+        raise ConfigurationError(f"negative shard count {shards}")
+    if resolved == 0:
+        return os.cpu_count() or 1
+    return resolved
+
+
+class ShardWorkerError(SimulationError):
+    """A shard worker died; carries the worker-side traceback."""
+
+    def __init__(self, err: ErrorMsg) -> None:
+        super().__init__(
+            f"shard worker failed: {err.kind}: {err.message}\n"
+            f"--- worker traceback ---\n{err.traceback}")
+
+
+class InstanceProxy:
+    """Coordinator-side mirror of one shard-hosted Flux instance.
+
+    Holds exactly the state the agent's routing and fault paths read
+    synchronously: lifecycle state, submitted/completed/failed
+    counters (completion counters go stale by at most one window — the
+    documented fidelity cost), and the partition allocation over the
+    coordinator's *real* node objects, so node failures update usable
+    capacity for routing exactly as they do on the sequential path.
+
+    Job ids are mirrored locally (same ``<instance>.job.NNNNNN``
+    scheme as :class:`~repro.ids.IdRegistry`) and asserted against the
+    worker's, so the coordinator can key reports without a round-trip.
+    """
+
+    __slots__ = ("engine", "host", "index", "instance_id", "allocation",
+                 "state", "n_submitted", "n_completed", "n_failed",
+                 "_job_count", "_restart_event")
+
+    def __init__(self, engine: "ShardEngine", host: Any, index: int,
+                 instance_id: str, allocation) -> None:
+        self.engine = engine
+        self.host = host
+        self.index = index
+        self.instance_id = instance_id
+        self.allocation = allocation
+        self.state = InstanceState.INIT
+        self.n_submitted = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self._job_count = 0
+        self._restart_event: Optional[Event] = None
+
+    @property
+    def is_ready(self) -> bool:
+        return self.state == InstanceState.READY
+
+    @property
+    def outstanding(self) -> int:
+        return self.n_submitted - self.n_completed - self.n_failed
+
+    def submit(self, spec) -> str:
+        """Mirror of ``FluxInstance.submit``: same state check, same
+        synchronous spec validation, same job-id sequence — then the
+        submit itself ships to the owning shard.  Returns the job id.
+        """
+        if self.state != InstanceState.READY:
+            raise RuntimeStartupError(
+                f"{self.instance_id}: submit in state {self.state}")
+        spec.validate_against(self.allocation.usable_cores,
+                              self.allocation.usable_gpus)
+        job_id = f"{self.instance_id}.job.{self._job_count:06d}"
+        self._job_count += 1
+        self.n_submitted += 1
+        engine = self.engine
+        engine.post(self.host, SubmitMsg(
+            engine.env._now, self.index,
+            engine.intern_spec(self.host, spec), job_id))
+        return job_id
+
+    def cancel(self, job_id: str, reason: str = "canceled") -> bool:
+        engine = self.engine
+        engine.post(self.host, CancelMsg(engine.env._now, self.index,
+                                         job_id, reason))
+        return True
+
+    def crash(self, reason: str = "broker died") -> None:
+        if self.state in (InstanceState.STOPPED, InstanceState.FAILED):
+            return
+        self.state = InstanceState.FAILED
+        engine = self.engine
+        engine.post(self.host, CrashMsg(engine.env._now, self.index, reason))
+
+    def restart(self):
+        """Generator: restart the crashed instance; returns once the
+        shard reports it READY (quantized to a window boundary)."""
+        if self.state != InstanceState.FAILED:
+            raise RuntimeStartupError(
+                f"{self.instance_id}: restart() called in state {self.state}")
+        self.state = InstanceState.STARTING
+        engine = self.engine
+        engine.post(self.host, RestartMsg(engine.env._now, self.index))
+        self._restart_event = engine.env.event()
+        yield self._restart_event
+
+    def shutdown(self) -> None:
+        if self.state in (InstanceState.STOPPED, InstanceState.FAILED):
+            return
+        self.state = InstanceState.STOPPED
+        engine = self.engine
+        engine.post(self.host, ShutdownMsg(engine.env._now, self.index))
+
+
+class ProxyHierarchy:
+    """Drop-in for :class:`~repro.flux.hierarchy.FluxHierarchy` whose
+    instances are :class:`InstanceProxy` mirrors.
+
+    ``least_loaded`` replicates the sequential implementation line for
+    line (same capacity filter, same outstanding counts, same
+    round-robin tie-break), so given the same observed state it picks
+    the same instance.
+    """
+
+    def __init__(self, engine: "ShardEngine", name: str,
+                 proxies: List[InstanceProxy]) -> None:
+        self.engine = engine
+        self.name = name
+        self.instances = proxies
+        self._rr = 0
+        self._start_event: Optional[Event] = None
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def all_ready(self) -> bool:
+        return all(inst.is_ready for inst in self.instances)
+
+    def start_all(self):
+        """Generator: tell every shard to bootstrap its instances
+        concurrently; returns once all shards report READY."""
+        engine = self.engine
+        now = engine.env._now
+        for host in dict.fromkeys(p.host for p in self.instances):
+            engine.post(host, StartMsg(now))
+        self._start_event = engine.env.event()
+        yield self._start_event
+        if not self.all_ready:  # pragma: no cover - start cannot fail today
+            raise RuntimeStartupError(f"{self.name}: not all instances ready")
+
+    def shutdown_all(self) -> None:
+        for inst in self.instances:
+            inst.shutdown()
+
+    def least_loaded(self, min_cores: int = 0,
+                     min_gpus: int = 0) -> InstanceProxy:
+        ready = InstanceState.READY
+        low = None
+        candidates = []
+        for inst in self.instances:
+            if inst.state != ready:
+                continue
+            alloc = inst.allocation
+            if alloc._usable_cores < min_cores \
+                    or alloc._usable_gpus < min_gpus:
+                continue
+            outstanding = (inst.n_submitted - inst.n_completed
+                           - inst.n_failed)
+            if low is None or outstanding < low:
+                low = outstanding
+                candidates = [inst]
+            elif outstanding == low:
+                candidates.append(inst)
+        if not candidates:
+            raise RuntimeStartupError(
+                f"{self.name}: no ready instance can host "
+                f"{min_cores}c/{min_gpus}g")
+        self._rr = (self._rr + 1) % len(candidates)
+        return candidates[self._rr]
+
+
+class InlineHost:
+    """A shard executed on the coordinator's own thread.
+
+    Functionally identical to :class:`ProcessHost` — the runner and
+    the message protocol are shared — but with no process, no pipe and
+    no pickling.  Used by the determinism tests (inline == process is
+    the core equality) and as the fallback when processes are
+    unavailable.
+    """
+
+    def __init__(self, config: ShardConfig) -> None:
+        from .worker import ShardRunner
+
+        self.runner = ShardRunner(config)
+        self._result = None
+
+    def post_specs(self, specs: List[SpecMsg]) -> None:
+        self.runner.post_specs(specs)
+
+    def post(self, boundary: float, msgs: List[Any]) -> None:
+        self._result = self.runner.run_window(boundary, msgs)
+
+    def collect(self):
+        result, self._result = self._result, None
+        return result
+
+    def stats(self):
+        return self.runner.stats()
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessHost:
+    """A shard worker process driven over a multiprocessing pipe.
+
+    ``post``/``collect`` are split so the engine can post every
+    shard's window before collecting any result — that split is where
+    the multi-core parallelism comes from.
+    """
+
+    def __init__(self, config: ShardConfig) -> None:
+        import multiprocessing
+
+        from .worker import worker_main
+
+        method = os.environ.get("REPRO_SHARD_START_METHOD")
+        if method:
+            ctx = multiprocessing.get_context(method)
+        else:
+            try:
+                # fork keeps worker startup cheap; the worker rebuilds
+                # its whole simulation from the config anyway, so
+                # nothing inherited is load-bearing.
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                ctx = multiprocessing.get_context("spawn")
+        parent, child = ctx.Pipe()
+        self.proc = ctx.Process(target=worker_main, args=(child,),
+                                daemon=True)
+        self.proc.start()
+        child.close()
+        self.conn = parent
+        self.conn.send(config)
+        reply = self.conn.recv()
+        if isinstance(reply, ErrorMsg):
+            raise ShardWorkerError(reply)
+
+    def post_specs(self, specs: List[SpecMsg]) -> None:
+        self.conn.send(("specs", specs))
+
+    def post(self, boundary: float, msgs: List[Any]) -> None:
+        self.conn.send(("window", boundary, msgs))
+
+    def collect(self):
+        reply = self.conn.recv()
+        if isinstance(reply, ErrorMsg):
+            raise ShardWorkerError(reply)
+        return reply
+
+    def stats(self):
+        self.conn.send(("stats",))
+        reply = self.conn.recv()
+        if isinstance(reply, ErrorMsg):
+            raise ShardWorkerError(reply)
+        return reply
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("shutdown",))
+        except (BrokenPipeError, OSError):  # pragma: no cover - worker died
+            pass
+        self.proc.join(timeout=10)
+        if self.proc.is_alive():  # pragma: no cover - wedged worker
+            self.proc.terminate()
+            self.proc.join(timeout=5)
+        self.conn.close()
+
+
+class ShardEngine:
+    """Owns the shard hosts and runs the session through the window
+    protocol.
+
+    Created eagerly by :class:`~repro.core.session.Session` when
+    sharding is requested; :meth:`Session.run` then delegates here.
+    The engine mirrors ``Environment.run`` semantics exactly —
+    ``until`` may be ``None``, a number or an event, with the same
+    return values and the same error messages — so harness code cannot
+    tell which loop it is on.
+    """
+
+    def __init__(self, session, n_shards: int, window: float = 0.25,
+                 inline: bool = False) -> None:
+        if n_shards < 2:
+            raise ConfigurationError(
+                f"shard engine needs >= 2 shards, got {n_shards}")
+        if not window > 0.0:
+            raise ConfigurationError(
+                f"shard window must be positive, got {window!r}")
+        self.session = session
+        self.env = session.env
+        self.n_shards = n_shards
+        self.window = float(window)
+        self.inline = inline
+        self.hosts: List[Any] = []
+        #: Peak RSS per shard worker [MB], refreshed at every run end.
+        self.shard_peak_rss_mb: List[float] = []
+        self._hierarchies: List[ProxyHierarchy] = []
+        self._outbox: Dict[Any, List[Any]] = {}
+        self._next_times: Dict[Any, float] = {}
+        self._host_executor: Dict[Any, Any] = {}
+        # Jobspec interning: each distinct spec object crosses to each
+        # shard exactly once; the refs list pins the objects so their
+        # id() cannot be recycled.
+        self._spec_ids: Dict[int, int] = {}
+        self._spec_refs: List[Any] = []
+        self._spec_sent: Dict[Any, set] = {}
+        self._spec_pending: Dict[Any, List[SpecMsg]] = {}
+        self._merger = ProfileMerger(session.profiler)
+        self._shard_events: List[Any] = []
+        # Fault-ledger sync state: per-host last-seen injection counts
+        # and merged log length, so repeated end-of-run syncs apply
+        # deltas exactly once.
+        self._fault_counts: Dict[Any, Dict[str, int]] = {}
+        self._fault_log_merged: Dict[Any, int] = {}
+        self._closed = False
+
+    # -- topology ----------------------------------------------------------
+
+    def wants(self, n_instances: int) -> bool:
+        """Should a hierarchy with ``n_instances`` be sharded at all?"""
+        return min(self.n_shards, n_instances) >= 2
+
+    def build_hierarchy(self, executor, allocation, n_instances: int,
+                        policy: str, name: str) -> ProxyHierarchy:
+        """Partition ``allocation``, spread the instances over shard
+        hosts in contiguous blocks, and hand back the proxy hierarchy.
+
+        Instance ids, partition boundaries and scheduler policy match
+        the sequential :class:`~repro.flux.hierarchy.FluxHierarchy`
+        construction exactly.
+        """
+        session = self.session
+        partitions = allocation.partition(n_instances)
+        n_eff = min(self.n_shards, n_instances)
+        base, extra = divmod(n_instances, n_eff)
+        cluster = session.cluster
+        fault_spec = session.faults.spec if session.faults is not None \
+            else None
+        proxies: List[InstanceProxy] = []
+        cursor = 0
+        for s in range(n_eff):
+            size = base + (1 if s < extra else 0)
+            block = range(cursor, cursor + size)
+            cursor += size
+            config = ShardConfig(
+                shard_index=len(self.hosts),
+                seed=session.seed,
+                start_time=self.env._now,
+                latencies=session.latencies,
+                cluster_name=cluster.name,
+                cores_per_node=cluster.cores_per_node,
+                gpus_per_node=cluster.gpus_per_node,
+                mem_gb_per_node=cluster.mem_gb_per_node,
+                instances=tuple(
+                    InstanceSpec(i, f"{name}.{i:03d}",
+                                 tuple(node.index
+                                       for node in partitions[i].nodes),
+                                 policy)
+                    for i in block),
+                lean=session.lean,
+                trace=session.profiler.enabled,
+                observe=session.obs.registry is not None,
+                faults=fault_spec)
+            host = InlineHost(config) if self.inline else ProcessHost(config)
+            self.hosts.append(host)
+            self._outbox[host] = []
+            self._next_times[host] = _INF
+            self._host_executor[host] = executor
+            self._spec_sent[host] = set()
+            self._spec_pending[host] = []
+            for i in block:
+                proxies.append(InstanceProxy(self, host, i,
+                                             f"{name}.{i:03d}",
+                                             partitions[i]))
+        hierarchy = ProxyHierarchy(self, name, proxies)
+        self._hierarchies.append(hierarchy)
+        return hierarchy
+
+    # -- outbound messages -------------------------------------------------
+
+    def post(self, host, msg) -> None:
+        """Buffer one timestamped message for delivery at the next
+        window boundary."""
+        self._outbox[host].append(msg)
+
+    def intern_spec(self, host, spec) -> int:
+        sid = self._spec_ids.get(id(spec))
+        if sid is None:
+            sid = len(self._spec_refs)
+            self._spec_ids[id(spec)] = sid
+            self._spec_refs.append(spec)
+        sent = self._spec_sent[host]
+        if sid not in sent:
+            sent.add(sid)
+            self._spec_pending[host].append(SpecMsg(sid, spec))
+        return sid
+
+    # -- the window protocol -----------------------------------------------
+
+    def _next_time(self) -> float:
+        """Earliest pending event across the coordinator and all shards."""
+        t = self.env.peek()
+        for host in self.hosts:
+            nt = self._next_times[host]
+            if nt < t:
+                t = nt
+        return t
+
+    def _pending_messages(self) -> bool:
+        for host in self.hosts:
+            if self._outbox[host] or self._spec_pending[host]:
+                return True
+        return False
+
+    def _round(self, boundary: float, stop: Optional[Event] = None) -> bool:
+        """One window: coordinator to ``boundary``, then every shard.
+
+        Returns ``True`` when ``stop`` was processed (the shards are
+        then *not* advanced — exactly where ``run(until=stop)`` leaves
+        the sequential kernel; the next round catches them up).
+        """
+        if self.env.run_bounded(boundary, stop):
+            return True
+        hosts = self.hosts
+        if not hosts:
+            return False
+        for host in hosts:
+            pending = self._spec_pending[host]
+            if pending:
+                self._spec_pending[host] = []
+                host.post_specs(pending)
+            msgs = self._outbox[host]
+            self._outbox[host] = []
+            host.post(boundary, msgs)
+        results = [host.collect() for host in hosts]
+        reports: List[Tuple[Any, Any]] = []
+        for host, result in zip(hosts, results):
+            self._next_times[host] = result.next_time
+            executor = self._host_executor[host]
+            hierarchy = executor.hierarchy
+            for sr in result.states:
+                self._apply_state(hierarchy.instances[sr.instance], sr.state)
+            if result.events:
+                self._shard_events.extend(result.events)
+            for rep in result.reports:
+                reports.append((rep, executor))
+        # Canonical application order: a pure function of the
+        # simulation (event time, then global instance index, then the
+        # instance's own capture sequence) — identical for any shard
+        # grouping, so everything downstream of a report (retries,
+        # routing, task states) is grouping-invariant too.
+        reports.sort(key=lambda entry: (entry[0].time, entry[0].instance,
+                                        entry[0].seq))
+        for rep, executor in reports:
+            executor.apply_report(rep)
+        for hierarchy in self._hierarchies:
+            ev = hierarchy._start_event
+            if ev is not None and hierarchy.all_ready:
+                hierarchy._start_event = None
+                ev.succeed()
+        return False
+
+    @staticmethod
+    def _apply_state(proxy: InstanceProxy, state: str) -> None:
+        proxy.state = state
+        if state == InstanceState.READY \
+                and proxy._restart_event is not None:
+            ev = proxy._restart_event
+            proxy._restart_event = None
+            ev.succeed()
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Drive the sharded simulation; mirrors ``Environment.run``."""
+        if until is None:
+            self._run_drain()
+            self._finish_run()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            self._run_until_event(stop)
+            self._finish_run()
+            if stop._ok:
+                return stop._value
+            if isinstance(stop._value, BaseException):
+                raise stop._value
+            raise SimulationError(f"awaited event failed: {stop._value!r}")
+        self._run_horizon(float(until))
+        self._finish_run()
+        return None
+
+    def _run_drain(self) -> None:
+        env = self.env
+        window = self.window
+        while True:
+            next_t = self._next_time()
+            if next_t == _INF:
+                if not self._pending_messages():
+                    return
+                base = env._now
+            else:
+                base = next_t if next_t > env._now else env._now
+            self._round(base + window)
+
+    def _run_until_event(self, stop: Event) -> None:
+        env = self.env
+        window = self.window
+        while stop.callbacks is not None:  # i.e. not yet processed
+            next_t = self._next_time()
+            if next_t == _INF:
+                if not self._pending_messages():
+                    raise SimulationError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                base = env._now
+            else:
+                base = next_t if next_t > env._now else env._now
+            if self._round(base + window, stop):
+                return
+
+    def _run_horizon(self, horizon: float) -> None:
+        env = self.env
+        if horizon < env._now:
+            raise SimulationError(
+                f"cannot run until {horizon} (already at {env._now})"
+            )
+        window = self.window
+        while True:
+            next_t = self._next_time()
+            if next_t > horizon and not self._pending_messages():
+                break
+            base = next_t if next_t > env._now else env._now
+            if base > horizon:
+                base = horizon
+            boundary = base + window
+            if boundary > horizon:
+                boundary = horizon
+            self._round(boundary)
+        if horizon > env._now:
+            env.run(until=horizon)
+
+    # -- end-of-run sync ---------------------------------------------------
+
+    def _finish_run(self) -> None:
+        """Merge shard streams into the session's ledgers: trace events
+        (canonical sort), fault counters and schedule log (deltas),
+        metric series (state replacement), per-shard peak RSS.
+
+        Runs at the end of every successful ``run()`` call, so
+        everything the harness reads before ``session.close()`` —
+        reports, profiles, bundles — sees the merged state.
+
+        With no hosts (sharding requested but no hierarchy sharded —
+        non-Flux launchers, single-instance runs) this is a no-op: the
+        coordinator's profile must stay byte-identical to the
+        sequential path's, untouched by the canonical re-sort.
+        """
+        if not self.hosts:
+            return
+        stats = [host.stats() for host in self.hosts]
+        self.shard_peak_rss_mb = [s.peak_rss_mb for s in stats]
+        faults = self.session.faults
+        registry = self.session.obs.registry
+        log_dirty = False
+        for host, s in zip(self.hosts, stats):
+            if faults is not None:
+                last = self._fault_counts.get(host, {})
+                for kind, count in sorted(s.fault_injected.items()):
+                    delta = count - last.get(kind, 0)
+                    if delta > 0:
+                        faults.injected[kind] = (
+                            faults.injected.get(kind, 0) + delta)
+                        if faults._m_injections is not None:
+                            faults._m_injections.labels(kind=kind) \
+                                .inc(delta)
+                self._fault_counts[host] = dict(s.fault_injected)
+                merged = self._fault_log_merged.get(host, 0)
+                fresh = s.fault_log[merged:]
+                if fresh:
+                    faults.schedule_log.extend(
+                        tuple(entry) for entry in fresh)
+                    self._fault_log_merged[host] = len(s.fault_log)
+                    log_dirty = True
+            if registry is not None and s.metrics is not None:
+                load_metrics(registry, s.metrics)
+        if log_dirty:
+            # Chronological like the sequential model's log; the
+            # full-tuple key makes the order grouping-invariant.
+            faults.schedule_log.sort()
+        events, self._shard_events = self._shard_events, []
+        self._merger.merge(events)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for host in self.hosts:
+            try:
+                host.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass

@@ -1,0 +1,279 @@
+"""Deterministic canonical merge of shard-local trace/metric streams.
+
+A sharded run records trace events in several places at once: the
+coordinator's profiler (task lifecycle, agent, srun, faults) and one
+profiler per shard (Flux backend lifecycle, shard-side fault
+injections).  The merged profile orders everything by the canonical
+key ``(sim time, entity, per-entity sequence)``:
+
+* *time* first — the profile reads as a timeline;
+* *entity* breaks time ties between independent entities in a way
+  that no scheduling accident can perturb;
+* the *per-entity sequence number* (the running count of that
+  entity's events, in the order its owning stream recorded them)
+  breaks same-time ties within one entity while preserving causal
+  record order.
+
+Every entity is recorded by exactly one stream (task uids, agent,
+nodes and srun by the coordinator; each Flux instance by its owning
+shard), so per-entity sequence numbers are well-defined, and — the
+point of the whole exercise — the key is a pure function of the
+simulation, never of how instances were grouped into shards or
+whether a shard ran in-process or across a pipe.  Two sharded runs
+with the same seed produce byte-identical merged profiles for *any*
+worker count.
+
+The merger has two modes mirroring the profiler's: in-memory (keyed
+stable sort, re-run cheaply at every ``Session.run`` end) and
+spill-to-disk (key-annotated sorted runs + a streaming k-way
+``heapq.merge``, keeping memory bounded by one chunk).
+"""
+
+from __future__ import annotations
+
+import json
+from heapq import merge as heap_merge
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+from ..analytics.export import _sanitize
+from ..analytics.profiler import Profiler
+
+#: Record lines open with the entity field (``sort_keys`` order).
+_ENTITY_PREFIX = '{"entity": "'
+
+
+def canonical_sort_key(event, seq: int) -> Tuple[float, str, int]:
+    """The merge key for one trace event with per-entity sequence ``seq``."""
+    return (event.time, event.entity, seq)
+
+
+def format_event_line(ev) -> str:
+    """One event in the exact wire format of ``write_event_lines``."""
+    record = {
+        "time": ev.time,
+        "entity": ev.entity,
+        "name": ev.name,
+        "meta": ev.meta,
+    }
+    try:
+        return json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+    except (ValueError, TypeError):
+        return json.dumps(_sanitize(record), sort_keys=True,
+                          allow_nan=False) + "\n"
+
+
+def _line_key(line: str) -> Tuple[float, str]:
+    """(time, entity) of a record line, without a full JSON decode.
+
+    ``sort_keys`` serialization puts ``entity`` first and ``time``
+    last, so both are extractable by string slicing; ``float(repr(x))``
+    round-trips exactly, making sliced keys bit-equal to in-memory
+    ones.  Any structural surprise (escaped entity, exotic meta) falls
+    back to ``json.loads``.
+    """
+    try:
+        if line.startswith(_ENTITY_PREFIX):
+            end = line.index('"', 12)
+            entity = line[12:end]
+            if "\\" not in entity:
+                idx = line.rindex('"time": ')
+                return float(line[idx + 8:line.rindex("}")]), entity
+    except ValueError:
+        pass
+    record = json.loads(line)
+    return float(record["time"]), str(record["entity"])
+
+
+class ProfileMerger:
+    """Folds shard trace events into a session profiler, canonically.
+
+    One merger lives for the whole session: per-entity sequence
+    counters persist across ``merge`` calls, so a profile merged after
+    several ``Session.run`` invocations sorts exactly as if it had
+    been merged once at the end.
+    """
+
+    def __init__(self, profiler: Profiler) -> None:
+        self.profiler = profiler
+        self._seq: Dict[str, int] = {}
+        # In-memory mode: the keyed, sorted view of profiler._events.
+        self._keyed: List[Tuple[float, str, int, Any]] = []
+        # Spill mode: key-annotated sorted run files (kept across
+        # merges — re-merging streams from runs, never from the merged
+        # chunks, so repeated merges stay correct).
+        self._runs: List[Path] = []
+        self._generation = 0
+        self._n_merged_chunks = 0
+
+    # -- keying ------------------------------------------------------------
+
+    def _key_events(self, events) -> List[Tuple[float, str, int, Any]]:
+        seqs = self._seq
+        out = []
+        for ev in events:
+            entity = ev[1]
+            s = seqs.get(entity, 0)
+            seqs[entity] = s + 1
+            out.append((ev[0], entity, s, ev))
+        return out
+
+    # -- merge -------------------------------------------------------------
+
+    def merge(self, shard_events: List[Any]) -> None:
+        """Merge ``shard_events`` plus any coordinator events recorded
+        since the last call into canonical order, in place."""
+        if self.profiler.spilling:
+            self._merge_spilled(shard_events)
+        else:
+            self._merge_memory(shard_events)
+
+    def _merge_memory(self, shard_events: List[Any]) -> None:
+        prof = self.profiler
+        new = prof._events[len(self._keyed):]
+        if not new and not shard_events:
+            return
+        keyed = self._keyed
+        keyed.extend(self._key_events(new))
+        keyed.extend(self._key_events(shard_events))
+        # Mostly-sorted after the first merge; timsort makes the
+        # re-sort nearly linear.  (time, entity, seq) is unique, so
+        # the comparison never reaches the event itself.
+        keyed.sort()
+        prof._events[:] = [entry[3] for entry in keyed]
+        self._reset_indexes(prof)
+
+    def _merge_spilled(self, shard_events: List[Any]) -> None:
+        prof = self.profiler
+        prof.flush()  # push the in-memory tail into a chunk
+        new_chunks = prof._chunks[self._n_merged_chunks:]
+        if not new_chunks and not shard_events:
+            return
+        # 1. Key-annotate each new coordinator chunk into one sorted
+        #    run (memory stays bounded by a single chunk).  Chunks are
+        #    streamed through the sequence counters in record order,
+        #    which reproduces exactly the seqs the in-memory path
+        #    would have assigned.
+        seqs = self._seq
+        for chunk in new_chunks:
+            entries = []
+            with chunk.open("r", encoding="utf-8") as src:
+                for line in src:
+                    if line == "\n":
+                        continue
+                    when, entity = _line_key(line)
+                    s = seqs.get(entity, 0)
+                    seqs[entity] = s + 1
+                    entries.append((when, entity, s, line))
+            self._runs.append(self._write_run(entries))
+        if shard_events:
+            entries = [(when, entity, s, format_event_line(ev))
+                       for when, entity, s, ev
+                       in self._key_events(shard_events)]
+            self._runs.append(self._write_run(entries))
+        # 2. Streaming k-way merge of every run into fresh merged
+        #    chunks that replace the profiler's chunk list.
+        cap = prof._spill_threshold
+        if not cap < float("inf"):  # pragma: no cover - spill implies finite
+            cap = 200_000
+        merged: List[Path] = []
+        out = None
+        n = total = 0
+        try:
+            for entry in heap_merge(*map(_read_run, self._runs)):
+                if out is None or n >= cap:
+                    if out is not None:
+                        out.close()
+                    path = (prof._spill_dir /
+                            f"merged-{self._generation:04d}"
+                            f"-{len(merged):06d}.jsonl")
+                    merged.append(path)
+                    out = path.open("w", encoding="utf-8")
+                    n = 0
+                out.write(entry[3])
+                n += 1
+                total += 1
+        finally:
+            if out is not None:
+                out.close()
+        self._generation += 1
+        prof._chunks = merged
+        prof._n_spilled = total
+        self._n_merged_chunks = len(merged)
+        self._reset_indexes(prof)
+
+    def _write_run(self, entries: List[Tuple[float, str, int, str]]) -> Path:
+        entries.sort()
+        prof = self.profiler
+        prof._spill_dir.mkdir(parents=True, exist_ok=True)
+        path = prof._spill_dir / f"run-{len(self._runs):06d}.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            for when, entity, s, line in entries:
+                fh.write(json.dumps([when, entity, s, line]))
+                fh.write("\n")
+        return path
+
+    @staticmethod
+    def _reset_indexes(prof: Profiler) -> None:
+        prof._by_name.clear()
+        prof._by_entity.clear()
+        prof._indexed_name = 0
+        prof._indexed_entity = 0
+
+
+def _read_run(path: Path) -> Iterator[Tuple[float, str, int, str]]:
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            when, entity, s, record = json.loads(line)
+            yield (when, entity, s, record)
+
+
+# -- metrics -----------------------------------------------------------------
+
+def dump_metrics(registry) -> List[dict]:
+    """Serialize a registry's full state for the pipe (see
+    :func:`load_metrics`)."""
+    out = []
+    for fam in registry.families():
+        children = []
+        for key, child in fam.items():
+            if fam.kind == "counter":
+                state: List[Any] = [child.value]
+            elif fam.kind == "gauge":
+                state = [child.value, child.max, child.min, child._touched]
+            else:
+                state = [list(child.bounds), list(child.counts),
+                         child.sum, child.count]
+            children.append([list(key), state])
+        bounds = fam._hist_bounds
+        out.append({"name": fam.name, "kind": fam.kind, "help": fam.help,
+                    "labels": list(fam.label_names),
+                    "buckets": list(bounds) if bounds is not None else None,
+                    "children": children})
+    return out
+
+
+def load_metrics(registry, dumps: List[dict]) -> None:
+    """Replace-merge shard metric series into a coordinator registry.
+
+    Shard-side series (per-instance Flux gauges/counters) have exactly
+    one writer — their shard — so merging is plain state replacement,
+    which is also idempotent across repeated end-of-run syncs.  Shard
+    workers deliberately do not run a kernel instrument, so the
+    ``repro_kernel_*`` families never collide here.
+    """
+    for dump in dumps:
+        fam = registry._family(dump["name"], dump["kind"], dump["help"],
+                               tuple(dump["labels"]),
+                               buckets=dump["buckets"])
+        for key, state in dump["children"]:
+            child = fam.labels(*key)
+            if fam.kind == "counter":
+                child.value = state[0]
+            elif fam.kind == "gauge":
+                child.value, child.max, child.min, child._touched = state
+            else:
+                child.bounds = tuple(state[0])
+                child.counts = list(state[1])
+                child.sum = state[2]
+                child.count = state[3]

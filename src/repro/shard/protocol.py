@@ -1,0 +1,154 @@
+"""Coordinator <-> shard-worker wire protocol.
+
+Everything crossing the process boundary is a flat, picklable value
+type defined here: the one-shot :class:`ShardConfig` that tells a
+worker which slice of the machine it owns, the timestamped messages
+the coordinator buffers during a window and delivers in bulk at the
+window boundary, and the :class:`WindowResult` a worker returns after
+simulating up to that boundary.
+
+Determinism contract: messages carry *simulated* timestamps and are
+re-scheduled inside the worker at exactly those times, so a shard's
+event interleaving is independent of when (in wall time) the pipe
+delivered them — and identical when no pipe is involved at all (the
+inline host used by the digest-equality tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+
+class InstanceSpec(NamedTuple):
+    """One Flux instance a shard must host."""
+
+    index: int            #: global instance index within the hierarchy
+    instance_id: str      #: e.g. ``"agent.0000.flux.003"``
+    node_indices: Tuple[int, ...]  #: global node indices of its partition
+    policy: str           #: scheduler policy name
+
+
+class ShardConfig(NamedTuple):
+    """Everything a worker needs to rebuild its slice of the machine."""
+
+    shard_index: int
+    seed: int
+    start_time: float     #: coordinator clock at hierarchy creation
+    latencies: Any        #: LatencyModel (frozen dataclass, picklable)
+    cluster_name: str
+    cores_per_node: int
+    gpus_per_node: int
+    mem_gb_per_node: float
+    instances: Tuple[InstanceSpec, ...]
+    lean: bool
+    trace: bool
+    observe: bool
+    faults: Any           #: Optional[FaultSpec] (frozen dataclass)
+
+
+# -- coordinator -> worker messages ---------------------------------------
+#
+# Each carries the simulated time it must take effect at.  ``SpecMsg``
+# interns a Jobspec once per (spec, shard); submits then reference it
+# by id, so a 500k-task wave ships each distinct spec exactly once.
+
+class SpecMsg(NamedTuple):
+    spec_id: int
+    spec: Any             #: flux.jobspec.Jobspec (frozen dataclass)
+
+
+class StartMsg(NamedTuple):
+    time: float
+
+
+class SubmitMsg(NamedTuple):
+    time: float
+    instance: int         #: global instance index
+    spec_id: int
+    job_id: str           #: coordinator-mirrored id; worker asserts match
+
+
+class CancelMsg(NamedTuple):
+    time: float
+    instance: int
+    job_id: str
+    reason: str
+
+
+class CrashMsg(NamedTuple):
+    time: float
+    instance: int
+    reason: str
+
+
+class RestartMsg(NamedTuple):
+    time: float
+    instance: int
+
+
+class ShutdownMsg(NamedTuple):
+    time: float
+    instance: int
+
+
+class FailNodeMsg(NamedTuple):
+    time: float
+    node_index: int
+
+
+class RecoverNodeMsg(NamedTuple):
+    time: float
+    node_index: int
+
+
+# -- worker -> coordinator results ----------------------------------------
+
+class JobReport(NamedTuple):
+    """One job event (start/finish/exception) captured inside a shard.
+
+    ``seq`` is the per-instance capture sequence number; the
+    coordinator applies reports sorted by ``(time, instance, seq)``,
+    which is a pure function of the simulation (never of the shard
+    grouping), so retry and routing decisions downstream of a report
+    are grouping-invariant too.
+    """
+
+    time: float           #: delivery time of the event inside the shard
+    instance: int         #: global instance index
+    seq: int
+    job_id: str
+    name: str             #: flux.events.EV_* constant
+    meta: Dict[str, Any]
+
+
+class StateReport(NamedTuple):
+    """An instance's lifecycle state observed at the window boundary."""
+
+    instance: int
+    state: str
+
+
+class WindowResult(NamedTuple):
+    """What a worker hands back after simulating one window."""
+
+    next_time: float              #: shard-local ``env.peek()`` (inf = idle)
+    reports: List[JobReport]
+    states: List[StateReport]
+    events: List[Any]             #: drained shard-local TraceEvents
+
+
+class ShardStats(NamedTuple):
+    """End-of-run ledger sync (faults, metrics, memory)."""
+
+    fault_injected: Dict[str, int]
+    fault_log: List[Tuple[float, str, str]]
+    metrics: Optional[List[dict]]  #: raw family dumps, None when observe off
+    peak_rss_mb: float
+
+
+class ErrorMsg(NamedTuple):
+    """A worker-side exception, with its traceback rendered to text."""
+
+    kind: str
+    message: str
+    traceback: str

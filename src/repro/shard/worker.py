@@ -1,0 +1,347 @@
+"""The shard worker: a slice of the machine on its own kernel.
+
+A :class:`ShardRunner` rebuilds, from one :class:`ShardConfig`, the
+Flux instances of its shard — replica nodes (same global indices and
+names), allocations, schedulers, lanes — on a private
+:class:`~repro.sim.Environment`, and advances them window by window:
+deliver the coordinator's buffered messages at their exact simulated
+timestamps, run to the window boundary, hand back job reports, state
+changes and drained trace events.
+
+The same class backs both execution modes.  The inline host calls
+:meth:`run_window` directly on the coordinator's thread; the process
+host drives it through :func:`worker_main` over a pipe.  Nothing in
+the runner knows which mode it is in — that symmetry is what makes
+"process-parallel equals inline-serial" a structural property rather
+than something to test into existence.
+
+RNG: each instance draws through a :class:`~repro.sim.ScopedRng`
+prefixed with its globally-unique instance id, so every draw is a
+pure function of ``(seed, instance id, stream name)`` — grouping- and
+process-invariant by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..analytics.events import FAULT_INJECTED
+from ..analytics.profiler import Profiler
+from ..exceptions import JobspecError, RuntimeStartupError, SimulationError
+from ..faults.model import LaunchFault
+from ..flux.events import EV_EXCEPTION, EV_FINISH, EV_START
+from ..flux.instance import FluxInstance
+from ..platform.cluster import Allocation
+from ..platform.node import Node
+from ..sim import Environment, RngStreams, ScopedRng
+from .protocol import (
+    CancelMsg,
+    CrashMsg,
+    FailNodeMsg,
+    JobReport,
+    RecoverNodeMsg,
+    RestartMsg,
+    ShardConfig,
+    ShardStats,
+    ShutdownMsg,
+    SpecMsg,
+    StartMsg,
+    StateReport,
+    SubmitMsg,
+    WindowResult,
+)
+
+
+class _ShardCluster:
+    """Stand-in for the coordinator's Cluster inside a worker.
+
+    Allocations only hold their cluster for re-partitioning and node
+    naming; the instances themselves never call back into it, so the
+    replica needs nothing but the name.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class _LaunchFaults:
+    """Shard-side mirror of ``FaultModel.launch_outcome``.
+
+    One adapter per instance, drawing from that instance's scoped
+    ``faults.launch`` stream and logging injections with the instance
+    id as both schedule target and trace entity (the coordinator's
+    model uses the backend name; inside a shard the instance id keeps
+    merge entities unique per stream).  Counters and log entries are
+    shipped to the coordinator's FaultModel in the end-of-run stats
+    sync.
+    """
+
+    def __init__(self, rng: ScopedRng, spec, profiler: Optional[Profiler],
+                 env: Environment, instance_id: str,
+                 injected: Dict[str, int], log: List) -> None:
+        self._rng = rng
+        self.spec = spec
+        self._profiler = profiler
+        self._env = env
+        self._instance_id = instance_id
+        self._injected = injected
+        self._log = log
+
+    def launch_outcome(self, backend: str) -> Optional[LaunchFault]:
+        spec = self.spec
+        p_fail = spec.p_launch_fail
+        p_timeout = spec.p_launch_timeout
+        if p_fail <= 0.0 and p_timeout <= 0.0:
+            return None
+        u = self._rng.uniform("faults.launch", 0.0, 1.0)
+        if u < p_fail:
+            self._record("launch_fail")
+            return LaunchFault("launch_fail", 0.0,
+                               f"{backend}: launch failed (injected)")
+        if u < p_fail + p_timeout:
+            self._record("launch_timeout")
+            return LaunchFault("launch_timeout", spec.launch_timeout,
+                               f"{backend}: launch timed out (injected)")
+        return None
+
+    def _record(self, kind: str) -> None:
+        self._injected[kind] = self._injected.get(kind, 0) + 1
+        self._log.append((self._env.now, kind, self._instance_id))
+        if self._profiler is not None:
+            self._profiler.record(self._instance_id, FAULT_INJECTED,
+                                  kind=kind)
+
+
+class ShardRunner:
+    """One shard's simulation state and window-protocol endpoint."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        self.env = Environment(initial_time=config.start_time)
+        self.rng = RngStreams(config.seed)
+        self.profiler = Profiler(self.env, enabled=config.trace)
+        self.metrics = None
+        if config.observe:
+            from ..observability.metrics import MetricsRegistry
+
+            # Per-instance flux series only: the kernel instrument
+            # stays coordinator-side so the repro_kernel_* families
+            # keep a single writer.
+            self.metrics = MetricsRegistry()
+        self.fault_injected: Dict[str, int] = {}
+        self.fault_log: List = []
+
+        cluster = _ShardCluster(config.cluster_name)
+        self._nodes: Dict[int, Node] = {}
+        #: global instance index -> FluxInstance
+        self.instances: Dict[int, FluxInstance] = {}
+        #: global instance index -> owning node-index set
+        self._owned: Dict[int, frozenset] = {}
+        for spec in config.instances:
+            nodes = []
+            for index in spec.node_indices:
+                node = self._nodes.get(index)
+                if node is None:
+                    node = Node(index, config.cores_per_node,
+                                config.gpus_per_node,
+                                mem_gb=config.mem_gb_per_node,
+                                name=f"{config.cluster_name}-{index:05d}")
+                    self._nodes[index] = node
+                nodes.append(node)
+            alloc = Allocation(cluster, nodes,
+                               job_id=f"{spec.instance_id}.shard")
+            rng = ScopedRng(self.rng, spec.instance_id)
+            faults = None
+            fspec = config.faults
+            if fspec is not None and (fspec.p_launch_fail > 0.0
+                                      or fspec.p_launch_timeout > 0.0):
+                faults = _LaunchFaults(rng, fspec, self.profiler, self.env,
+                                       spec.instance_id,
+                                       self.fault_injected, self.fault_log)
+            self.instances[spec.index] = FluxInstance(
+                self.env, alloc, config.latencies, rng,
+                instance_id=spec.instance_id, policy=spec.policy,
+                profiler=self.profiler, metrics=self.metrics,
+                faults=faults, lean=config.lean)
+        self._specs: Dict[int, Any] = {}
+        self._reports: List[JobReport] = []
+        self._report_seq: Dict[int, int] = {i: 0 for i in self.instances}
+        self._last_state: Dict[int, str] = {
+            i: inst.state for i, inst in self.instances.items()}
+        self._index_of = {inst.instance_id: i
+                          for i, inst in self.instances.items()}
+        for index, inst in self.instances.items():
+            inst.events.subscribe_callback(
+                self._capture(index), names=(EV_START, EV_FINISH,
+                                             EV_EXCEPTION))
+
+    # -- event capture -----------------------------------------------------
+
+    def _capture(self, index: int):
+        def on_event(event) -> None:
+            seq = self._report_seq[index]
+            self._report_seq[index] = seq + 1
+            # env.now is the delivery time — the moment the legacy
+            # executor's _on_event would have observed the event.
+            self._reports.append(JobReport(
+                self.env._now, index, seq, event.job_id, event.name,
+                event.meta))
+        return on_event
+
+    def _report_error(self, index: int, job_id: str, exc: Exception) -> None:
+        """Synthesize the exception report for a submit-time error the
+        coordinator's proxy could not see (e.g. a crash racing a
+        buffered submit)."""
+        seq = self._report_seq[index]
+        self._report_seq[index] = seq + 1
+        self._reports.append(JobReport(
+            self.env._now, index, seq, job_id, EV_EXCEPTION,
+            {"reason": str(exc),
+             "infra": isinstance(exc, RuntimeStartupError)}))
+
+    # -- message application -------------------------------------------------
+
+    def _apply(self, msg) -> None:
+        kind = type(msg)
+        if kind is SubmitMsg:
+            inst = self.instances[msg.instance]
+            try:
+                job = inst.submit(self._specs[msg.spec_id])
+            except (JobspecError, RuntimeStartupError) as exc:
+                self._report_error(msg.instance, msg.job_id, exc)
+                return
+            if job.job_id != msg.job_id:  # pragma: no cover - protocol bug
+                raise SimulationError(
+                    f"shard job id {job.job_id} != coordinator-mirrored "
+                    f"{msg.job_id}")
+        elif kind is CancelMsg:
+            self.instances[msg.instance].cancel(msg.job_id, msg.reason)
+        elif kind is StartMsg:
+            for inst in self.instances.values():
+                self.env.process(inst.start())
+        elif kind is CrashMsg:
+            self.instances[msg.instance].crash(msg.reason)
+        elif kind is RestartMsg:
+            self.env.process(self.instances[msg.instance].restart())
+        elif kind is ShutdownMsg:
+            self.instances[msg.instance].shutdown()
+        elif kind is FailNodeMsg:
+            node = self._nodes.get(msg.node_index)
+            if node is None:
+                return
+            node.fail()
+            for index, inst in self.instances.items():
+                if msg.node_index in inst.allocation._by_index:
+                    inst.fail_node(node)
+        elif kind is RecoverNodeMsg:
+            node = self._nodes.get(msg.node_index)
+            if node is None:
+                return
+            node.recover()
+            for inst in self.instances.values():
+                if msg.node_index in inst.allocation._by_index:
+                    inst._kick()
+        else:  # pragma: no cover - protocol bug
+            raise SimulationError(f"unknown shard message {msg!r}")
+
+    # -- the window protocol -------------------------------------------------
+
+    def post_specs(self, specs: List[SpecMsg]) -> None:
+        for msg in specs:
+            self._specs[msg.spec_id] = msg.spec
+
+    def run_window(self, boundary: float, messages: List[Any]
+                   ) -> WindowResult:
+        """Deliver ``messages`` at their timestamps, run to ``boundary``."""
+        env = self.env
+        now = env._now
+        for msg in messages:
+            # Exact-time delivery keeps the shard's event interleaving
+            # a pure function of simulated time, not of pipe batching.
+            env.schedule_callback(msg.time - now, self._apply, msg)
+        env.run(until=boundary)
+        states: List[StateReport] = []
+        for index, inst in self.instances.items():
+            state = inst.state
+            if state != self._last_state[index]:
+                self._last_state[index] = state
+                states.append(StateReport(index, state))
+        reports, self._reports = self._reports, []
+        return WindowResult(env.peek(), reports, states,
+                            self._drain_events())
+
+    def _drain_events(self) -> List[Any]:
+        prof = self.profiler
+        events = prof._events
+        if not events:
+            return []
+        prof._events = []
+        prof._by_name.clear()
+        prof._by_entity.clear()
+        prof._indexed_name = 0
+        prof._indexed_entity = 0
+        return events
+
+    def stats(self) -> ShardStats:
+        """End-of-run ledger snapshot (fault totals, metrics, RSS)."""
+        try:
+            import resource
+
+            rss_mb = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                      / 1024.0)
+        except Exception:  # pragma: no cover - non-POSIX
+            rss_mb = 0.0
+        metrics = None
+        if self.metrics is not None:
+            from .merge import dump_metrics
+
+            metrics = dump_metrics(self.metrics)
+        return ShardStats(dict(self.fault_injected), list(self.fault_log),
+                          metrics, rss_mb)
+
+
+def worker_main(conn) -> None:
+    """Entry point of a shard worker process.
+
+    Protocol: first message is the :class:`ShardConfig`; afterwards
+    ``("specs", [SpecMsg...])``, ``("window", boundary, [msg...])``,
+    ``("stats",)`` and ``("shutdown",)`` requests, each answered in
+    order.  Worker-side exceptions are shipped back as
+    :class:`ErrorMsg` and re-raised on the coordinator.
+    """
+    from .protocol import ErrorMsg
+
+    runner = None
+    try:
+        runner = ShardRunner(conn.recv())
+        conn.send(("ready", None))
+    except BaseException as exc:  # pragma: no cover - config error
+        import traceback
+
+        conn.send(ErrorMsg(type(exc).__name__, str(exc),
+                           traceback.format_exc()))
+        return
+    while True:
+        try:
+            req = conn.recv()
+        except EOFError:
+            return
+        op = req[0]
+        if op == "shutdown":
+            return
+        try:
+            if op == "specs":
+                runner.post_specs(req[1])
+                continue  # fire-and-forget: no reply
+            if op == "window":
+                conn.send(runner.run_window(req[1], req[2]))
+            elif op == "stats":
+                conn.send(runner.stats())
+            else:  # pragma: no cover - protocol bug
+                raise SimulationError(f"unknown worker request {op!r}")
+        except BaseException as exc:
+            import traceback
+
+            conn.send(ErrorMsg(type(exc).__name__, str(exc),
+                               traceback.format_exc()))
+            return

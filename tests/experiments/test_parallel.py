@@ -51,6 +51,27 @@ def test_resolve_jobs_rejects_garbage():
         resolve_jobs("many")
     with pytest.raises(ConfigurationError):
         resolve_jobs(-2)
+    with pytest.raises(ConfigurationError):
+        resolve_jobs("-1")
+    with pytest.raises(ConfigurationError):
+        resolve_jobs(())
+
+
+def test_resolve_jobs_string_zero_means_auto():
+    import os
+
+    assert resolve_jobs("0") == (os.cpu_count() or 1)
+
+
+def test_resolve_jobs_oversubscription_allowed():
+    # More workers than cores is the user's call; only n_items clamps.
+    import os
+
+    cores = os.cpu_count() or 1
+    assert resolve_jobs(cores + 9) == cores + 9
+    assert resolve_jobs(cores + 9, n_items=cores + 2) == cores + 2
+    # Degenerate n_items never drops below one worker.
+    assert resolve_jobs(4, n_items=0) == 1
 
 
 # -- run_many ---------------------------------------------------------------

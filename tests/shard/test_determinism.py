@@ -1,0 +1,116 @@
+"""Sharded-run determinism: the whole point of the canonical merge.
+
+The contracts pinned here:
+
+* ``shards=None`` / hostless engines are *byte-exact* against the
+  sequential path (sharding requested but nothing shardable — srun,
+  dragon, single-instance flux);
+* a sharded flux run is a pure function of the seed: process workers
+  vs inline execution, 2 vs 3 shards, repeat runs — all produce the
+  identical merged profile, with faults and observability riding
+  along;
+* per-instance scoped RNG draws are independent of shard grouping.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.configs import DEFAULT_FAULTS, ExperimentConfig
+from repro.experiments.harness import run_experiment
+from repro.sim import RngStreams, ScopedRng
+
+
+def _digest(cfg, tmp_path, tag, **kw):
+    from repro.analytics import save_profile
+
+    result = run_experiment(cfg, keep_session=True, **kw)
+    path = tmp_path / f"{tag}.jsonl"
+    save_profile(result.session.profiler, path)
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    result.session.close()
+    return digest, result
+
+
+FLUX = dict(exp_id="shard_det", launcher="flux", workload="null",
+            n_nodes=16, n_partitions=4, duration=0.0, waves=1, seed=11)
+
+
+class TestShardedFluxDeterminism:
+    def test_process_inline_grouping_and_repeat_agree(self, tmp_path):
+        d2, r2 = _digest(ExperimentConfig(shards=2, **FLUX), tmp_path, "p2")
+        d2b, _ = _digest(ExperimentConfig(shards=2, **FLUX), tmp_path, "p2b")
+        din, rin = _digest(ExperimentConfig(shards=2, **FLUX), tmp_path,
+                           "inl", shard_inline=True)
+        d3, r3 = _digest(ExperimentConfig(shards=3, **FLUX), tmp_path, "p3")
+        assert d2 == d2b, "sharded run is not repeatable"
+        assert d2 == din, "process workers drifted from inline execution"
+        assert d2 == d3, "trace depends on the shard grouping"
+        assert r2.n_shards == 2 and rin.n_shards == 2 and r3.n_shards == 3
+        assert len(r2.shard_peak_rss_mb) == 2
+        assert all(rss > 0 for rss in r2.shard_peak_rss_mb)
+
+    def test_all_work_completes(self, tmp_path):
+        _, res = _digest(ExperimentConfig(shards=2, **FLUX), tmp_path, "ok")
+        assert res.n_done == res.n_tasks > 0
+
+    def test_faults_and_observability_ride_along(self, tmp_path):
+        cfg = ExperimentConfig(shards=2, faults=DEFAULT_FAULTS, **{
+            **FLUX, "waves": 2})
+        dp, rp = _digest(cfg, tmp_path, "fp", observe=True)
+        di, _ = _digest(cfg, tmp_path, "fi", observe=True,
+                        shard_inline=True)
+        dq, _ = _digest(cfg, tmp_path, "fq")
+        assert dp == di, "faulty sharded run not inline-equal"
+        assert dp == dq, "observability perturbed the sharded trace"
+        assert rp.faults is not None
+        assert sum(rp.faults.injected.values()) > 0
+
+    def test_shards_clamp_to_instances(self, tmp_path):
+        # 64 shards over 4 instances: the engine clamps, the run works.
+        _, res = _digest(ExperimentConfig(shards=64, **FLUX), tmp_path,
+                         "clamp", shard_inline=True)
+        assert res.n_shards == 4
+        assert res.n_done == res.n_tasks
+
+
+class TestHostlessEnginesAreByteExact:
+    """``shards=N`` with nothing to shard must take the sequential
+    path's trace verbatim."""
+
+    @pytest.mark.parametrize("launcher,parts", [
+        ("srun", 1),
+        ("dragon", 2),
+        ("flux", 1),       # single instance: engine.wants(1) is False
+    ])
+    def test_trace_identical_to_sequential(self, tmp_path, launcher, parts):
+        base = dict(exp_id="hostless", launcher=launcher, workload="null",
+                    n_nodes=2, n_partitions=parts, duration=0.0, waves=1,
+                    seed=5)
+        plain, _ = _digest(ExperimentConfig(**base), tmp_path, "plain")
+        sharded, res = _digest(ExperimentConfig(shards=2, **base), tmp_path,
+                               "sharded")
+        assert plain == sharded, (
+            f"{launcher}: hostless engine perturbed the trace")
+        assert res.n_shards == 0
+
+
+class TestScopedRng:
+    def test_draws_are_scope_pure(self):
+        a = ScopedRng(RngStreams(3), "agent.0.flux.001")
+        b = ScopedRng(RngStreams(3), "agent.0.flux.001")
+        c = ScopedRng(RngStreams(3), "agent.0.flux.002")
+        assert a.lognormal_latency("flux.cycle", 0.1) == \
+            b.lognormal_latency("flux.cycle", 0.1)
+        assert a.uniform("x", 0, 1) != c.uniform("x", 0, 1)
+
+    def test_scope_prefix_matches_shared_stream(self):
+        base = RngStreams(9)
+        scoped = ScopedRng(RngStreams(9), "inst")
+        assert scoped.lognormal_latency("lat", 0.2) == \
+            base.lognormal_latency("inst/lat", 0.2)
+
+    def test_batch_matches_scalar_stream_shape(self):
+        scoped = ScopedRng(RngStreams(1), "i")
+        vals = scoped.lognormal_latency_batch("l", 0.1, n=4)
+        assert len(vals) == 4 and all(v > 0 for v in vals)

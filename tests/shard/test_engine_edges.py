@@ -1,0 +1,112 @@
+"""ShardEngine edges: ``run`` semantics parity and failure surfaces.
+
+``Session.run`` delegates to the engine whenever sharding is active —
+including runs where nothing was sharded — so the engine must mirror
+``Environment.run`` semantics (return values, error messages) exactly.
+"""
+
+import pytest
+
+from repro.core.session import Session
+from repro.exceptions import SimulationError
+from repro.platform.profiles import frontier
+
+
+def _sharded_session(**kw):
+    return Session(cluster=frontier(4), seed=3, shards=2,
+                   shard_inline=True, **kw)
+
+
+def _flux_session(n_nodes=8, parts=2, **kw):
+    from repro.core.description import PartitionSpec, PilotDescription
+
+    session = Session(cluster=frontier(n_nodes), seed=3, shards=2,
+                      shard_inline=True, **kw)
+    pmgr = session.pilot_manager()
+    tmgr = session.task_manager()
+    pilot = pmgr.submit_pilots(PilotDescription(
+        nodes=n_nodes,
+        partitions=(PartitionSpec("flux", n_instances=parts),)))
+    tmgr.add_pilot(pilot)
+    return session, tmgr, pilot
+
+
+def test_run_drain_returns_none():
+    with _sharded_session() as session:
+        assert session.engine is not None
+        assert session.run() is None
+
+
+def test_run_to_horizon_advances_clock():
+    with _sharded_session() as session:
+        session.run(until=5.0)
+        assert session.now == 5.0
+
+
+def test_run_to_past_horizon_matches_sequential_error():
+    with _sharded_session() as session:
+        session.run(until=5.0)
+        with pytest.raises(SimulationError) as sharded_err:
+            session.run(until=1.0)
+    with Session(cluster=frontier(4), seed=3) as plain:
+        plain.run(until=5.0)
+        with pytest.raises(SimulationError) as plain_err:
+            plain.run(until=1.0)
+    assert str(sharded_err.value) == str(plain_err.value)
+
+
+def test_deadlock_matches_sequential_error():
+    with _sharded_session() as session:
+        ev = session.env.event()
+        with pytest.raises(SimulationError) as sharded_err:
+            session.run(ev)
+    with Session(cluster=frontier(4), seed=3) as plain:
+        ev = plain.env.event()
+        with pytest.raises(SimulationError) as plain_err:
+            plain.run(ev)
+    assert str(sharded_err.value) == str(plain_err.value)
+
+
+def test_sharded_hierarchy_deadlock_uses_same_message():
+    # With live shard hosts the deadlock detector must consider the
+    # shards' clocks, then fail with the sequential kernel's message.
+    session, _, _ = _flux_session()
+    with session:
+        session.run()  # drain startup: hierarchy comes up READY
+        assert session.engine.hosts
+        ev = session.env.event()
+        with pytest.raises(SimulationError, match="ran out of events"):
+            session.run(ev)
+
+
+def test_sharded_executor_selected_only_for_multi_instance_flux():
+    from repro.core.agent.executor_flux import (
+        FluxExecutor,
+        ShardedFluxExecutor,
+    )
+
+    session, _, pilot = _flux_session(n_nodes=8, parts=2)
+    with session:
+        session.run()
+        execs = list(pilot.agent.executors.values())
+        assert any(isinstance(ex, ShardedFluxExecutor) for ex in execs)
+        assert not any(type(ex) is FluxExecutor for ex in execs)
+
+    single, _, spilot = _flux_session(n_nodes=4, parts=1)
+    with single:
+        single.run()
+        execs = list(spilot.agent.executors.values())
+        assert any(type(ex) is FluxExecutor for ex in execs)
+        assert single.engine.hosts == []
+
+
+def test_task_completion_events_resolve_through_engine():
+    from repro.core.description import TaskDescription
+
+    session, tmgr, _ = _flux_session()
+    with session:
+        tasks = tmgr.submit_tasks([
+            TaskDescription(executable="/bin/true", duration=0.0)
+            for _ in range(8)])
+        session.run(tmgr.wait_tasks())
+        assert all(t.succeeded for t in tasks)

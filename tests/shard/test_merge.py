@@ -1,0 +1,142 @@
+"""Canonical merge machinery: keys, merger modes, metric sync."""
+
+import json
+
+from repro.analytics.events import TraceEvent
+from repro.analytics.export import save_profile
+from repro.analytics.profiler import Profiler
+from repro.shard.merge import (
+    ProfileMerger,
+    canonical_sort_key,
+    dump_metrics,
+    format_event_line,
+    load_metrics,
+)
+from repro.sim import Environment
+
+
+def _ev(time, entity, name, **meta):
+    return TraceEvent(time=time, entity=entity, name=name, meta=meta)
+
+
+def test_canonical_key_orders_time_entity_seq():
+    a = canonical_sort_key(_ev(1.0, "task.b", "x"), 0)
+    b = canonical_sort_key(_ev(1.0, "task.a", "x"), 5)
+    c = canonical_sort_key(_ev(0.5, "task.z", "x"), 9)
+    assert sorted([a, b, c]) == [c, b, a]
+
+
+def test_format_event_line_matches_export_format(tmp_path):
+    env = Environment()
+    prof = Profiler(env, enabled=True)
+    prof.record_event("e1", "ping", {"k": 1}, at=2.5)
+    path = tmp_path / "p.jsonl"
+    save_profile(prof, path)
+    body = path.read_text().splitlines()[1:]  # drop schema header
+    assert [format_event_line(ev).rstrip("\n") for ev in prof] == body
+
+
+def _merged_events(prof):
+    return [(ev.time, ev.entity, ev.name) for ev in prof]
+
+
+def test_memory_merge_is_incremental_and_canonical():
+    env = Environment()
+    prof = Profiler(env, enabled=True)
+    merger = ProfileMerger(prof)
+    prof.record_event("coord", "a", {}, at=1.0)
+    merger.merge([_ev(0.5, "shard.i0", "s1"), _ev(1.0, "shard.i0", "s2")])
+    # Second merge: later coordinator events and shard events fold in
+    # with persistent per-entity sequence numbers.
+    prof.record_event("coord", "b", {}, at=1.0)
+    merger.merge([_ev(1.0, "shard.i0", "s3")])
+    assert _merged_events(prof) == [
+        (0.5, "shard.i0", "s1"),
+        (1.0, "coord", "a"),
+        (1.0, "coord", "b"),
+        (1.0, "shard.i0", "s2"),
+        (1.0, "shard.i0", "s3"),
+    ]
+
+
+def test_incremental_merge_equals_one_shot():
+    def build(step):
+        env = Environment()
+        prof = Profiler(env, enabled=True)
+        merger = ProfileMerger(prof)
+        shard = [_ev(t / 7.0, f"shard.i{t % 3}", f"n{t}") for t in range(20)]
+        for t in range(20):
+            prof.record_event(f"task.{t % 5:04d}", "tick", {}, at=t / 9.0)
+        for i in range(0, 20, step):
+            merger.merge(shard[i:i + step])
+        return _merged_events(prof)
+
+    assert build(20) == build(7) == build(1)
+
+
+def test_spill_merge_matches_memory(tmp_path):
+    def build(spill):
+        env = Environment()
+        kw = {"spill_dir": tmp_path / "sp", "spill_threshold": 4} \
+            if spill else {}
+        prof = Profiler(env, enabled=True, **kw)
+        merger = ProfileMerger(prof)
+        for t in range(12):
+            prof.record_event(f"task.{t % 3:04d}", "tick", {"t": t},
+                              at=float(t))
+        merger.merge([_ev(float(t) + 0.5, "shard.i0", "s", t=t)
+                      for t in range(12)])
+        merger.merge([_ev(99.0, "shard.i1", "late")])
+        path = tmp_path / ("spill.jsonl" if spill else "mem.jsonl")
+        save_profile(prof, path)
+        return path.read_bytes()
+
+    assert build(False) == build(True)
+
+
+def test_save_profile_dedupes_chunk_headers(tmp_path):
+    # A chunk written by another save_profile (e.g. a shard worker's
+    # exported stream) leads with its own schema header; concatenation
+    # must keep exactly one.
+    env = Environment()
+    prof = Profiler(env, enabled=True, spill_dir=tmp_path / "sp",
+                    spill_threshold=2)
+    for t in range(5):
+        prof.record_event("e", "tick", {}, at=float(t))
+    prof.flush()
+    assert prof.spilling and prof._chunks
+    inner = save_profile(prof, prof._spill_dir / "chunk-zzz.jsonl")
+    assert inner == 5
+    prof._chunks.append(prof._spill_dir / "chunk-zzz.jsonl")
+    out = tmp_path / "out.jsonl"
+    save_profile(prof, out)
+    lines = out.read_text().splitlines()
+    headers = [ln for ln in lines if '"format"' in ln]
+    assert len(headers) == 1 and lines[0] == headers[0]
+
+
+def test_metric_dump_load_roundtrip_is_idempotent():
+    from repro.observability.metrics import MetricsRegistry
+
+    src = MetricsRegistry()
+    c = src.counter("repro_t_total", "t", labels=("kind",))
+    c.labels(kind="x").inc(3)
+    g = src.gauge("repro_g", "g", labels=("i",))
+    g.labels(i="0").set(7.5)
+    h = src.histogram("repro_h", "h", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+
+    dst = MetricsRegistry()
+    dump = dump_metrics(src)
+    load_metrics(dst, dump)
+    load_metrics(dst, dump)  # replace-merge: repeat is a no-op
+    assert dump_metrics(dst) == dump
+
+
+def test_dump_metrics_is_json_safe():
+    from repro.observability.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "x").inc()
+    json.dumps(dump_metrics(reg))

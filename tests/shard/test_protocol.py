@@ -1,0 +1,95 @@
+"""Wire protocol: everything crossing the pipe must pickle cleanly."""
+
+import pickle
+
+from repro.platform.latency import FRONTIER_LATENCIES
+from repro.shard.protocol import (
+    CancelMsg,
+    CrashMsg,
+    ErrorMsg,
+    FailNodeMsg,
+    InstanceSpec,
+    JobReport,
+    RecoverNodeMsg,
+    RestartMsg,
+    ShardConfig,
+    ShardStats,
+    ShutdownMsg,
+    SpecMsg,
+    StartMsg,
+    StateReport,
+    SubmitMsg,
+    WindowResult,
+)
+
+
+def _roundtrip(msg):
+    clone = pickle.loads(pickle.dumps(msg))
+    assert clone == msg
+    return clone
+
+
+def test_messages_roundtrip():
+    for msg in [
+        StartMsg(1.0),
+        SubmitMsg(1.5, 3, 7, "agent.0.flux.003.job.000001"),
+        CancelMsg(2.0, 3, "agent.0.flux.003.job.000001", "canceled by RP"),
+        CrashMsg(3.0, 0, "backend crash"),
+        RestartMsg(4.0, 0),
+        ShutdownMsg(5.0, 1),
+        FailNodeMsg(6.0, 12),
+        RecoverNodeMsg(7.0, 12),
+        StateReport(2, "READY"),
+        ErrorMsg("ValueError", "boom", "trace..."),
+    ]:
+        _roundtrip(msg)
+
+
+def test_job_report_sorts_by_time_instance_seq():
+    reports = [
+        JobReport(2.0, 0, 0, "j", "flux.job.start", {}),
+        JobReport(1.0, 1, 0, "j", "flux.job.start", {}),
+        JobReport(1.0, 0, 1, "j", "flux.job.finish", {}),
+        JobReport(1.0, 0, 0, "j", "flux.job.start", {}),
+    ]
+    ordered = sorted(reports)
+    assert [(r.time, r.instance, r.seq) for r in ordered] == [
+        (1.0, 0, 0), (1.0, 0, 1), (1.0, 1, 0), (2.0, 0, 0)]
+
+
+def test_shard_config_roundtrips_with_real_payloads():
+    cfg = ShardConfig(
+        shard_index=1, seed=42, start_time=0.25,
+        latencies=FRONTIER_LATENCIES, cluster_name="frontier",
+        cores_per_node=56, gpus_per_node=8, mem_gb_per_node=512.0,
+        instances=(InstanceSpec(0, "agent.0.flux.000", (0, 1), "fcfs"),
+                   InstanceSpec(1, "agent.0.flux.001", (2, 3), "easy")),
+        lean=True, trace=True, observe=False, faults=None)
+    clone = _roundtrip(cfg)
+    assert clone.instances[1].node_indices == (2, 3)
+
+
+def test_window_result_roundtrips():
+    wr = WindowResult(
+        next_time=float("inf"),
+        reports=[JobReport(1.0, 0, 0, "j1", "flux.job.finish", {"ok": 1})],
+        states=[StateReport(0, "READY")],
+        events=[])
+    clone = _roundtrip(wr)
+    assert clone.next_time == float("inf")
+
+
+def test_shard_stats_roundtrips():
+    _roundtrip(ShardStats(
+        fault_injected={"node_crash": 2},
+        fault_log=[(1.0, "node_crash", "node.0012")],
+        metrics=None, peak_rss_mb=123.5))
+
+
+def test_spec_msg_roundtrips_with_jobspec():
+    from repro.flux.jobspec import Jobspec, ResourceSpec
+
+    spec = Jobspec(command="t", resources=ResourceSpec(cores=2, gpus=1),
+                   duration=0.5)
+    clone = _roundtrip(SpecMsg(7, spec))
+    assert clone.spec.resources.cores == 2

@@ -1,0 +1,36 @@
+"""Cross-machine determinism: the committed reference digest.
+
+A sharded run is specified to be a pure function of the seed — not of
+the host, core count, worker scheduling, or hash randomization.  This
+test regenerates the CI smoke configuration (flux_n, 64 nodes, 4
+partitions, 1 wave, seed 0, 2 shards) and compares the exported merged
+profile against the sha256 committed in ``reference_digests.json``.
+
+If an *intentional* model change shifts the trace, regenerate the
+digest (command in the JSON) and commit it alongside the change.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analytics import save_profile
+from repro.experiments.configs import config_by_id
+from repro.experiments.harness import run_experiment
+
+REFERENCE = Path(__file__).with_name("reference_digests.json")
+
+
+def test_sharded_reference_digest(tmp_path):
+    expected = json.loads(REFERENCE.read_text())[
+        "flux_n-64n-4p-w1-s0-shards2"]
+    cfg = config_by_id("flux_n", n_nodes=64, n_partitions=4, waves=1,
+                       seed=0, shards=2)
+    result = run_experiment(cfg, keep_session=True)
+    path = tmp_path / "profile.jsonl"
+    save_profile(result.session.profiler, path)
+    result.session.close()
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert digest == expected, (
+        "sharded reference trace drifted — if the model change is "
+        "intentional, regenerate tests/shard/reference_digests.json")

@@ -1,0 +1,50 @@
+"""``resolve_shards``: the ``--shards`` argument grammar."""
+
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.shard import resolve_shards
+
+
+def test_none_means_off():
+    assert resolve_shards(None) == 1
+
+
+def test_auto_and_zero_use_cores():
+    cores = os.cpu_count() or 1
+    assert resolve_shards("auto") == cores
+    assert resolve_shards(0) == cores
+    assert resolve_shards("0") == cores
+
+
+def test_explicit_counts_pass_through():
+    assert resolve_shards(1) == 1
+    assert resolve_shards(2) == 2
+    assert resolve_shards("7") == 7
+    # More shards than cores is allowed (the engine clamps to the
+    # instance count, not the core count — oversubscription is the
+    # user's call).
+    assert resolve_shards((os.cpu_count() or 1) + 13) == \
+        (os.cpu_count() or 1) + 13
+
+
+def test_rejects_garbage():
+    with pytest.raises(ConfigurationError):
+        resolve_shards("many")
+    with pytest.raises(ConfigurationError):
+        resolve_shards(-1)
+    with pytest.raises(ConfigurationError):
+        resolve_shards("-3")
+    with pytest.raises(ConfigurationError):
+        resolve_shards(())
+
+
+def test_config_validates_shards_eagerly():
+    from repro.experiments.configs import config_by_id
+
+    with pytest.raises(ConfigurationError):
+        config_by_id("flux_n", shards="lots")
+    cfg = config_by_id("flux_n", shards=2)
+    assert cfg.shards == 2

@@ -27,12 +27,30 @@ class TestExtractRates:
         assert rates == {
             "tasks_per_wall_second": 100.0,
             "tasks_per_wall_second_disabled": 90.0,
-            "points[0].tasks_per_wall_second": 50.0,
+            "points.9408n.tasks_per_wall_second": 50.0,
         }
 
     def test_non_numeric_metric_ignored(self):
         assert dict(bench_gate.extract_rates(
             {"tasks_per_wall_second": "fast"})) == {}
+
+    def test_labels_are_content_derived_not_positional(self):
+        # Reordering or inserting points must not shift the labels:
+        # each point compares against its own baseline entry.
+        a = {"n_nodes": 588, "n_partitions": 4, "tasks_per_wall_second": 1.0}
+        b = {"n_nodes": 9408, "n_partitions": 64, "n_shards": 2,
+             "tasks_per_wall_second": 2.0}
+        forward = dict(bench_gate.extract_rates({"points": [a, b]}))
+        reordered = dict(bench_gate.extract_rates({"points": [b, a]}))
+        assert forward == reordered == {
+            "points.588n4p.tasks_per_wall_second": 1.0,
+            "points.9408n64px2shards.tasks_per_wall_second": 2.0,
+        }
+
+    def test_unlabelled_entries_stay_positional(self):
+        rates = dict(bench_gate.extract_rates(
+            {"runs": [{"tasks_per_wall_second": 3.0}]}))
+        assert rates == {"runs[0].tasks_per_wall_second": 3.0}
 
 
 class TestCompare:

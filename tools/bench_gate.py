@@ -33,6 +33,27 @@ from typing import Dict, Iterator, List, Tuple
 METRIC_PREFIX = "tasks_per_wall_second"
 
 
+def entry_label(entry, index: int) -> str:
+    """A content-derived label for one list entry.
+
+    BENCH_scale.json's ``points[]`` entries are labelled by what they
+    measure (``9408n64p``, plus ``xNshards`` for sharded points), not
+    by position — so reordering points or inserting one in the middle
+    compares each point against *its own* baseline instead of its
+    neighbour's.  Entries without identifying keys keep the positional
+    ``[i]`` form.
+    """
+    if isinstance(entry, dict) and "n_nodes" in entry:
+        label = f"{entry['n_nodes']}n"
+        if "n_partitions" in entry:
+            label += f"{entry['n_partitions']}p"
+        shards = entry.get("n_shards") or entry.get("shards")
+        if shards:
+            label += f"x{shards}shards"
+        return label
+    return f"[{index}]"
+
+
 def extract_rates(doc, prefix: str = "") -> Iterator[Tuple[str, float]]:
     """Yield ``(dotted.path, value)`` for every throughput metric."""
     if isinstance(doc, dict):
@@ -45,7 +66,10 @@ def extract_rates(doc, prefix: str = "") -> Iterator[Tuple[str, float]]:
                 yield from extract_rates(value, path)
     elif isinstance(doc, list):
         for i, value in enumerate(doc):
-            yield from extract_rates(value, f"{prefix}[{i}]")
+            label = entry_label(value, i)
+            sep = "." if label[0] != "[" else ""
+            yield from extract_rates(value, f"{prefix}{sep}{label}"
+                                     if sep else f"{prefix}{label}")
 
 
 def compare(fresh: dict, baseline: dict, threshold: float
