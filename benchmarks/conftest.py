@@ -33,8 +33,8 @@ def run_once(benchmark, fn):
 BENCH_ROUNDS = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "3")))
 
 
-def median_rate(fn, rounds: int = None, warmup: bool = True) -> float:
-    """Median of ``rounds`` calls to ``fn`` after one discarded warmup.
+def rate_stats(fn, rounds: int = None, warmup: bool = True) -> dict:
+    """Per-round spread of ``rounds`` calls to ``fn`` after one warmup.
 
     The perf guards compare wall-clock rates, and single rounds on a
     shared machine routinely spread by 10-20% (allocator state, page
@@ -42,6 +42,11 @@ def median_rate(fn, rounds: int = None, warmup: bool = True) -> float:
     costs; the median of the remaining rounds is robust to a single
     slow outlier, which is the dominant noise shape observed (runs
     are only ever *slowed down* by interference, never sped up).
+
+    Returns ``{"min", "median", "max", "rounds"}`` so the BENCH JSONs
+    record the whole spread — when the regression gate trips, the
+    baseline's min/max show whether the median moved outside the
+    machine's observed noise band or the run was just unlucky.
     """
     import statistics
 
@@ -49,7 +54,18 @@ def median_rate(fn, rounds: int = None, warmup: bool = True) -> float:
         rounds = BENCH_ROUNDS
     if warmup:
         fn()
-    return statistics.median(fn() for _ in range(rounds))
+    rates = sorted(fn() for _ in range(rounds))
+    return {
+        "min": rates[0],
+        "median": statistics.median(rates),
+        "max": rates[-1],
+        "rounds": rounds,
+    }
+
+
+def median_rate(fn, rounds: int = None, warmup: bool = True) -> float:
+    """Median rate only; see :func:`rate_stats` for the spread."""
+    return rate_stats(fn, rounds=rounds, warmup=warmup)["median"]
 
 
 def repetitions(cfg, n_reps):

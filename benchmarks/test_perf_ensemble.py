@@ -1,0 +1,95 @@
+"""Ensemble-engine cost-per-seed benchmark (not a paper figure).
+
+Runs the reference sweep — 64 seeds of the srun configuration at
+4 nodes, one null-task wave (224 tasks/seed) — through the vectorized
+ensemble engine and through 64 independent sequential
+``run_experiment`` calls, and writes both rates plus their ratio to
+``BENCH_ensemble.json``.  The committed gate is the ISSUE's ≥10×
+cheaper-per-seed contract; ``tools/bench_gate.py`` then guards both
+absolute rates and the speedup across commits.
+
+The comparison is apples-to-apples because the per-seed *outputs* are
+identical by construction: metrics float-equal, exported profiles
+byte-equal (pinned by ``tests/ensemble/``) — the engines differ only
+in how much work they share across members.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.ensemble import run_ensemble, supports_vectorized
+from repro.experiments import ExperimentConfig, run_experiment
+
+from .conftest import BENCH_ROUNDS, rate_stats, run_once
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_ensemble.json"
+
+#: The reference sweep: srun at 4 nodes, one null wave = 224 tasks
+#: per seed, 64 seeds.
+CFG = ExperimentConfig(exp_id="perf_ensemble", launcher="srun",
+                       workload="null", n_nodes=4, waves=1, seed=0)
+N_SEEDS = 64
+SEEDS = list(range(N_SEEDS))
+
+#: The acceptance gate: ensemble per-seed cost at most a tenth of an
+#: independent run's.
+MIN_SPEEDUP = 10.0
+
+
+def _tasks(result) -> int:
+    assert result.n_done == result.n_tasks == 224
+    return result.n_tasks
+
+
+def _ensemble_rate() -> float:
+    wall0 = time.perf_counter()
+    ens = run_ensemble(CFG, seeds=SEEDS)
+    wall = time.perf_counter() - wall0
+    assert ens.engine == "vectorized"
+    total = sum(_tasks(m.result) for m in ens.members)
+    return total / wall
+
+
+def _independent_rate() -> float:
+    wall0 = time.perf_counter()
+    total = sum(_tasks(run_experiment(CFG.with_seed(seed)))
+                for seed in SEEDS)
+    return total / (time.perf_counter() - wall0)
+
+
+def test_ensemble_per_seed_speedup(benchmark, emit):
+    assert supports_vectorized(CFG)
+
+    def _measure():
+        ensemble = rate_stats(_ensemble_rate)
+        # The independent leg is ~64 full DES runs; one timed round
+        # after the shared warmup keeps the benchmark's wall time
+        # bounded, and the gate's 10x margin dwarfs its round noise.
+        independent = rate_stats(_independent_rate, rounds=1)
+        return ensemble, independent
+
+    ensemble, independent = run_once(benchmark, _measure)
+    speedup = ensemble["median"] / independent["median"]
+
+    BENCH_FILE.write_text(json.dumps({
+        "n_seeds": N_SEEDS,
+        "tasks_per_seed": 224,
+        "tasks_per_wall_second_ensemble": ensemble["median"],
+        "tasks_per_wall_second_independent": independent["median"],
+        "per_seed_speedup": speedup,
+        "spread": {"ensemble": ensemble, "independent": independent},
+        "rounds": BENCH_ROUNDS,
+    }, indent=2) + "\n")
+
+    emit(f"ensemble: {ensemble['median']:,.0f} tasks/s  "
+         f"independent: {independent['median']:,.0f} tasks/s  "
+         f"-> {speedup:.1f}x cheaper per seed "
+         f"({N_SEEDS} seeds x 224 tasks)\n"
+         f"wrote {BENCH_FILE}")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"ensemble engine is only {speedup:.1f}x cheaper per seed "
+        f"than independent runs (gate: {MIN_SPEEDUP:.0f}x)")

@@ -25,7 +25,7 @@ from pathlib import Path
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.faults import FaultSpec, RetryPolicy
 
-from .conftest import BENCH_ROUNDS, median_rate, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 
@@ -62,12 +62,13 @@ def test_disabled_faults_overhead(benchmark, emit):
         # jitter on a shared machine only ever slows a round down, so
         # the median is robust to the slow-outlier noise shape.
         return {
-            "disabled_1": median_rate(lambda: _rate(None)),
-            "faulty": median_rate(lambda: _rate(FAULTY), warmup=False),
-            "disabled_2": median_rate(lambda: _rate(None), warmup=False),
+            "disabled_1": rate_stats(lambda: _rate(None)),
+            "faulty": rate_stats(lambda: _rate(FAULTY), warmup=False),
+            "disabled_2": rate_stats(lambda: _rate(None), warmup=False),
         }
 
-    rates = run_once(benchmark, _measure)
+    stats = run_once(benchmark, _measure)
+    rates = {leg: s["median"] for leg, s in stats.items()}
 
     disabled = max(rates["disabled_1"], rates["disabled_2"])
     faulty = rates["faulty"]
@@ -80,6 +81,7 @@ def test_disabled_faults_overhead(benchmark, emit):
         "tasks_per_wall_second_faulty": faulty,
         "disabled_round_spread": spread,
         "faulty_slowdown": faulty_cost,
+        "spread": stats,
         "rounds": BENCH_ROUNDS,
     }, indent=2) + "\n")
 

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import BENCH_ROUNDS, median_rate, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -37,11 +37,14 @@ def _rate() -> float:
 
 
 def test_kernel_tasks_per_wall_second(benchmark, emit):
-    rate = run_once(benchmark, lambda: median_rate(_rate))
+    stats = run_once(benchmark, lambda: rate_stats(_rate))
+    rate = stats["median"]
 
     BENCH_FILE.write_text(json.dumps(
         {"tasks_per_wall_second": rate,
+         "spread": stats,
          "rounds": BENCH_ROUNDS}, indent=2) + "\n")
     emit(f"kernel throughput: {rate:,.0f} simulated tasks / wall second "
-         f"(median of {BENCH_ROUNDS} after warmup)\n"
+         f"(median of {BENCH_ROUNDS} after warmup, round spread "
+         f"{stats['min']:,.0f}-{stats['max']:,.0f})\n"
          f"wrote {BENCH_FILE}")

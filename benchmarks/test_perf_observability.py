@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import BENCH_ROUNDS, median_rate, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / \
     "BENCH_observability.json"
@@ -52,12 +52,13 @@ def test_disabled_observability_overhead(benchmark, emit):
     # Each leg is a warmup + median-of-N in its own right; the two
     # disabled legs still bracket the enabled one so slow machine
     # drift shows up as disabled-round spread, not as fake overhead.
-    rates = run_once(benchmark, lambda: {
-        "disabled_1": median_rate(lambda: _rate(observe=False)),
-        "enabled": median_rate(lambda: _rate(observe=True), warmup=False),
-        "disabled_2": median_rate(lambda: _rate(observe=False),
-                                  warmup=False),
+    stats = run_once(benchmark, lambda: {
+        "disabled_1": rate_stats(lambda: _rate(observe=False)),
+        "enabled": rate_stats(lambda: _rate(observe=True), warmup=False),
+        "disabled_2": rate_stats(lambda: _rate(observe=False),
+                                 warmup=False),
     })
+    rates = {leg: s["median"] for leg, s in stats.items()}
 
     disabled = max(rates["disabled_1"], rates["disabled_2"])
     enabled = rates["enabled"]
@@ -72,6 +73,7 @@ def test_disabled_observability_overhead(benchmark, emit):
         "tasks_per_wall_second_enabled": enabled,
         "disabled_round_spread": spread,
         "enabled_slowdown": enabled_cost,
+        "spread": stats,
         "rounds": BENCH_ROUNDS,
     }, indent=2) + "\n")
 

@@ -13,6 +13,7 @@ from .metrics import (
     task_throughput,
     throughput,
     utilization,
+    utilization_from_intervals,
 )
 from .profiler import Profiler
 from .summary import (
@@ -56,5 +57,6 @@ __all__ = [
     "task_throughput",
     "throughput",
     "utilization",
+    "utilization_from_intervals",
     "validate_trace",
 ]

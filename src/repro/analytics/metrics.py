@@ -115,10 +115,25 @@ def utilization(tasks: Iterable["Task"], total_cores: int,
     resource:
         ``cores`` or ``gpus``.
     """
+    return utilization_from_intervals(exec_intervals(tasks), total_cores,
+                                      span=span, resource=resource)
+
+
+def utilization_from_intervals(iv: np.ndarray, total_cores: int,
+                               span: Optional[Tuple[float, float]] = None,
+                               resource: str = "cores") -> float:
+    """:func:`utilization` over precomputed ``(start, stop, cores,
+    gpus)`` rows (see :func:`exec_intervals`).
+
+    The array-level entry point lets callers that already hold the
+    exec intervals as columns — the vectorized ensemble engine
+    computes them for every member at once — reuse the exact same
+    accounting (same row order, same float operations) as the
+    task-object path.
+    """
     if total_cores <= 0:
         raise ValueError(f"total_cores must be positive, got {total_cores}")
     col = {"cores": 2, "gpus": 3}[resource]
-    iv = exec_intervals(tasks)
     if iv.shape[0] == 0:
         return 0.0
     if span is None:

@@ -1,0 +1,282 @@
+"""Ensemble execution: many seeds of one config, cheaply.
+
+:func:`run_ensemble` is the sweep-shaped entry point the paper's
+methodology calls for — throughput/utilization *distributions* over
+seeds, not a single run.  It picks the cheapest engine that preserves
+the correctness contract:
+
+``vectorized``
+    The structure-of-arrays fast path in
+    :mod:`repro.ensemble.vectorized` — all members advance in
+    lock-stepped task cohorts through the (exact) srun pipeline
+    recurrence, sharing the captured bootstrap preamble, the workload
+    descriptions and the platform topology.  Per-seed cost is an
+    order of magnitude below a kernel run (gated by
+    ``benchmarks/test_perf_ensemble.py``).
+
+``replay``
+    Generic fallback: one real :func:`run_experiment` per seed with
+    the per-sweep setup (workload construction, config validation)
+    hoisted out of the loop.  Used for launchers/workloads the
+    recurrence does not cover.
+
+Either way the results are *identical* to N independent sequential
+runs — same metric floats, byte-identical exported profiles.  The
+determinism tests pin both engines against the real stack.
+
+``parallel=`` composes with :mod:`repro.experiments.parallel` by
+splitting the seed list into contiguous batches, one worker process
+per batch, each running the same engine on its slice.  Profilers do
+not survive pickling, so parallel ensembles return traces only via
+``profile_dir`` (exported inside the worker), mirroring
+``run_many``'s ``profile_paths`` contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..analytics.profiler import Profiler
+from ..exceptions import ConfigurationError
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+from .seeds import SeedsLike, resolve_seeds
+from .vectorized import run_vectorized, supports_vectorized
+
+#: Engine names accepted by ``run_ensemble(engine=...)``.
+ENGINE_VECTORIZED = "vectorized"
+ENGINE_REPLAY = "replay"
+_ENGINES = (ENGINE_VECTORIZED, ENGINE_REPLAY)
+
+
+@dataclass
+class EnsembleMember:
+    """One seed's outcome inside an ensemble."""
+
+    seed: int
+    result: "ExperimentResult"  # noqa: F821 - forward ref, lazy import
+    profiler: Optional[Profiler] = field(repr=False, default=None)
+    #: Where the member's profile was exported (``profile_dir`` runs).
+    profile_path: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EnsembleResult:
+    """All members of one multi-seed sweep."""
+
+    config: "ExperimentConfig"  # noqa: F821
+    seeds: Tuple[int, ...]
+    members: Tuple[EnsembleMember, ...]
+    engine: str                 #: ``vectorized`` or ``replay``
+    wall_seconds: float         #: whole-sweep wall time
+    n_workers: int = 1          #: worker processes used
+
+    @property
+    def results(self) -> List["ExperimentResult"]:  # noqa: F821
+        return [m.result for m in self.members]
+
+    @property
+    def wall_seconds_per_seed(self) -> float:
+        return self.wall_seconds / max(len(self.members), 1)
+
+    def aggregate(self) -> "AggregateResult":  # noqa: F821
+        """Across-seed aggregation, same formulas as ``run_repetitions``."""
+        from ..experiments.harness import AggregateResult
+
+        results = self.results
+        n = len(results)
+        return AggregateResult(
+            config=self.config,
+            n_reps=n,
+            throughput_avg=sum(r.throughput.avg for r in results) / n,
+            throughput_max=max(r.throughput.peak for r in results),
+            utilization_avg=sum(r.utilization_cores for r in results) / n,
+            makespan_avg=sum(r.makespan for r in results) / n,
+            results=tuple(results),
+        )
+
+
+def _profile_path(profile_dir: str, seed: int) -> str:
+    return os.path.join(profile_dir, f"profile-seed{seed}.jsonl")
+
+
+def _select_engine(cfg, latencies: LatencyModel,
+                   engine: Optional[str]) -> str:
+    if engine is None:
+        return (ENGINE_VECTORIZED
+                if supports_vectorized(cfg, latencies) else ENGINE_REPLAY)
+    if engine not in _ENGINES:
+        raise ConfigurationError(
+            f"unknown ensemble engine {engine!r}; pick from {_ENGINES}")
+    if engine == ENGINE_VECTORIZED and not supports_vectorized(cfg,
+                                                               latencies):
+        raise ConfigurationError(
+            f"config {cfg.exp_id!r} does not qualify for the vectorized "
+            "ensemble engine (srun + null/dummy workload only)")
+    return engine
+
+
+def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
+                 engine: str, keep_profiles: bool,
+                 profile_dir: Optional[str]) -> List[EnsembleMember]:
+    """Run one batch of seeds in-process with the chosen engine."""
+    need_records = keep_profiles or profile_dir is not None
+    if engine == ENGINE_VECTORIZED:
+        results, profilers = run_vectorized(cfg, seeds, latencies,
+                                            keep_profiles=need_records)
+    else:
+        results, profilers = _run_replay(cfg, seeds, latencies,
+                                         keep_profiles=need_records)
+    members = []
+    for seed, result, profiler in zip(seeds, results, profilers):
+        path = None
+        if profile_dir is not None:
+            from ..analytics import save_profile
+
+            path = _profile_path(profile_dir, seed)
+            save_profile(profiler, path)
+        members.append(EnsembleMember(
+            seed=seed, result=result,
+            profiler=profiler if keep_profiles else None,
+            profile_path=path))
+    return members
+
+
+def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
+                keep_profiles: bool):
+    """Generic engine: sequential per-seed runs, setup hoisted.
+
+    The workload descriptions are built once for the whole batch and
+    handed to every :func:`run_experiment` call — description
+    construction is seed-independent, and the per-run task objects are
+    built *from* the shared descriptions, so sharing them is exactly
+    the kernel's own bulk-submission idiom.
+    """
+    from ..experiments.harness import build_workload, run_experiment
+
+    descriptions = (build_workload(cfg)
+                    if cfg.workload != "impeccable" else None)
+    results, profilers = [], []
+    for seed in seeds:
+        member_cfg = cfg.with_seed(seed)
+        result = run_experiment(member_cfg, latencies,
+                                keep_session=keep_profiles,
+                                descriptions=descriptions)
+        profiler = None
+        if keep_profiles and result.session is not None:
+            profiler = result.session.profiler
+            result.session.close()
+        result.session = None
+        result.tasks = []
+        results.append(result)
+        profilers.append(profiler)
+    return results, profilers
+
+
+def _run_batch(payload):
+    """Worker entry point for parallel ensembles (module-level so the
+    pool can pickle it).  Profilers cannot cross the process boundary;
+    traces only come back via ``profile_dir`` exports."""
+    cfg, seeds, latencies, engine, profile_dir = payload
+    members = _run_members(cfg, seeds, latencies, engine,
+                           keep_profiles=False, profile_dir=profile_dir)
+    for member in members:
+        member.profiler = None
+    return members
+
+
+def _split_batches(seeds: Sequence[int], n_workers: int
+                   ) -> List[List[int]]:
+    """Contiguous near-equal batches, one per worker, order preserved."""
+    n = len(seeds)
+    base, extra = divmod(n, n_workers)
+    batches, start = [], 0
+    for w in range(n_workers):
+        size = base + (1 if w < extra else 0)
+        if size:
+            batches.append(list(seeds[start:start + size]))
+        start += size
+    return batches
+
+
+def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
+                 n_reps: Optional[int] = None,
+                 latencies: LatencyModel = FRONTIER_LATENCIES,
+                 keep_profiles: bool = False,
+                 profile_dir: Optional[str] = None,
+                 parallel=None,
+                 engine: Optional[str] = None) -> EnsembleResult:
+    """Run ``cfg`` under many seeds and return all members.
+
+    Parameters
+    ----------
+    seeds:
+        Explicit seed list — a sequence of ints or a spec string like
+        ``"1,2,5-20"``.  Defaults to ``cfg.seed + rep`` for
+        ``n_reps`` repetitions (3 when neither is given), matching
+        :func:`~repro.experiments.harness.run_repetitions`.
+    keep_profiles:
+        Attach each member's profiler to its
+        :class:`EnsembleMember` (incompatible with ``parallel``;
+        profilers do not pickle).
+    profile_dir:
+        Export each member's trace to
+        ``<dir>/profile-seed<seed>.jsonl`` — byte-identical to the
+        export of an independent ``run_experiment`` at that seed.
+    parallel:
+        Fan batches of seeds out over worker processes
+        (``"auto"``/``0`` = one per core; an int = that many), via the
+        same pool semantics as :mod:`repro.experiments.parallel`.
+    engine:
+        Force ``"vectorized"`` or ``"replay"``; default picks
+        vectorized whenever the config qualifies.
+    """
+    if seeds is not None and n_reps is not None:
+        raise ConfigurationError("pass seeds= or n_reps=, not both")
+    if seeds is None:
+        reps = 3 if n_reps is None else n_reps
+        if reps < 1:
+            raise ConfigurationError("n_reps must be >= 1")
+        seed_list = [cfg.seed + rep for rep in range(reps)]
+    else:
+        seed_list = resolve_seeds(seeds)
+    chosen = _select_engine(cfg, latencies, engine)
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+
+    wall0 = time.perf_counter()
+    n_workers = 1
+    if parallel is not None:
+        from ..experiments.parallel import resolve_jobs
+
+        n_workers = resolve_jobs(parallel, n_items=len(seed_list))
+    if n_workers > 1 and len(seed_list) > 1:
+        if keep_profiles:
+            raise ConfigurationError(
+                "keep_profiles does not compose with parallel ensembles; "
+                "use profile_dir to export traces inside the workers")
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [(cfg, batch, latencies, chosen, profile_dir)
+                    for batch in _split_batches(seed_list, n_workers)]
+        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+            members = [m for batch in pool.map(_run_batch, payloads)
+                       for m in batch]
+    else:
+        n_workers = 1
+        members = _run_members(cfg, seed_list, latencies, chosen,
+                               keep_profiles, profile_dir)
+    wall = time.perf_counter() - wall0
+    per_seed = wall / max(len(members), 1)
+    for member in members:
+        member.result.wall_seconds = per_seed
+    return EnsembleResult(
+        config=cfg,
+        seeds=tuple(seed_list),
+        members=tuple(members),
+        engine=chosen,
+        wall_seconds=wall,
+        n_workers=n_workers,
+    )

@@ -1,0 +1,333 @@
+"""Vectorized multi-seed execution of the srun launch pipeline.
+
+The srun synthetic experiments (null/dummy single-core workloads) put
+every task through the same FIFO queueing network:
+
+    serial agent dispatch -> partition scheduler (``nodes * cpn``
+    core slots) -> srun concurrency ceiling (112 slots) -> serialized
+    slurmctld launch pipeline -> step setup -> payload execution
+
+Every stage grants strictly in task-submission order, so the event
+timestamps of a whole run are an exact recurrence in the task index —
+no discrete-event kernel needed.  This module evaluates that
+recurrence for *all ensemble members at once* (structure-of-arrays:
+``(members,)`` vectors per pipeline stage, ``(members, slots)``
+free-time tables for the two semaphores), advancing the member cohort
+in lock-step over the task index.
+
+Exactness is the contract, not an approximation: the per-stage
+latency draws come from the same named RNG streams via
+:meth:`~repro.sim.random.RngStreams.lognormal_latency_batch` (bitwise
+identical to the kernel's sequential draws), the float arithmetic
+reproduces the kernel's one-addition-per-event order, and the
+bootstrap preamble (allocation grant, agent + backend bring-up) is
+not modelled at all — it is *captured* by running the real session
+machinery once per config (it consumes no randomness, so it is
+identical across members).  Synthesized per-seed profiles are
+byte-identical to independent sequential runs; the determinism tests
+pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analytics.events import (
+    TASK_CREATED,
+    TASK_DONE,
+    TASK_EXEC_START,
+    TASK_EXEC_STOP,
+    TASK_SCHEDULED,
+    TraceEvent,
+)
+from ..analytics.metrics import (
+    startup_overheads,
+    throughput,
+    utilization_from_intervals,
+)
+from ..analytics.profiler import Profiler
+from ..core.description import MODE_EXECUTABLE
+from ..core.session import Session
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+from ..platform.profiles import frontier
+
+#: Launcher handled by this fast path (the other runtimes interleave
+#: non-FIFO stages — scheduler cycles, TBON lanes — and go through the
+#: generic per-member replay engine instead).
+_SRUN = "srun"
+_SYNTHETIC = ("null", "dummy")
+
+
+def supports_vectorized(cfg, latencies: LatencyModel = FRONTIER_LATENCIES
+                        ) -> bool:
+    """Whether ``cfg`` qualifies for the vectorized srun engine.
+
+    The recurrence is exact only for the FIFO pipeline above: srun
+    launcher, uniform single-core no-staging null/dummy tasks, no
+    fault injection and no partition sharding.  Everything else falls
+    back to the generic engine (same results, per-member replay).
+    """
+    if cfg.launcher != _SRUN or cfg.workload not in _SYNTHETIC:
+        return False
+    if cfg.faults is not None or cfg.shards is not None:
+        return False
+    descriptions = _workload(cfg)
+    first = descriptions[0]
+    if any(d is not first and d != first for d in descriptions):
+        return False
+    res = first.resources
+    return (first.mode == MODE_EXECUTABLE
+            and first.backend in (None, _SRUN)
+            and res.cores == 1 and res.gpus == 0
+            and first.input_staging == 0 and first.output_staging == 0
+            and first.retries == 0)
+
+
+def _workload(cfg):
+    from ..experiments.harness import build_workload  # circular-safe
+
+    return build_workload(cfg)
+
+
+@dataclass(frozen=True)
+class _Preamble:
+    """Seed-independent run prefix captured from the real stack."""
+
+    records: Tuple[TraceEvent, ...]   #: alloc grant + agent/backend events
+    t_ready: float                    #: dispatch-loop start time
+    overheads: List[Tuple[str, float]]  #: startup_overheads() rows
+
+
+def capture_preamble(cfg, latencies: LatencyModel = FRONTIER_LATENCIES
+                     ) -> Optional[_Preamble]:
+    """Run the real bootstrap (no tasks) and capture its trace.
+
+    With an empty intake the simulation runs allocation grant, agent
+    bootstrap and backend bring-up, then the dispatch loop blocks and
+    the event queue drains.  None of that consumes randomness for the
+    srun backend, so the captured records and the agent-ready time are
+    identical for every member seed; the capture is reused across the
+    whole ensemble.  Returns ``None`` (caller falls back to the
+    generic engine) if the preamble unexpectedly drew from any RNG
+    stream — a guard against future backends violating the
+    assumption, not a path any current config takes.
+    """
+    from ..experiments.harness import build_pilot_description
+
+    session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
+                      latencies=latencies, seed=cfg.seed)
+    try:
+        pmgr = session.pilot_manager()
+        tmgr = session.task_manager()
+        pilot = pmgr.submit_pilots(build_pilot_description(cfg))
+        tmgr.add_pilot(pilot)
+        session.env.run()
+        if session.rng._streams:
+            return None
+        return _Preamble(records=tuple(session.profiler),
+                         t_ready=session.env.now,
+                         overheads=startup_overheads(session.profiler))
+    finally:
+        session.close()
+
+
+def _stage_means(cfg, latencies: LatencyModel) -> Tuple[float, float, float]:
+    """Exact mean service times of the three stochastic stages.
+
+    Mirrors :meth:`Agent._dispatch_mean` (zero Flux instances on a
+    pure-srun pilot) and :meth:`SlurmController.launch_service_time`
+    term by term so the cached lognormal parameters match bitwise.
+    """
+    n = cfg.n_nodes
+    dispatch = (latencies.agent_dispatch_base
+                + latencies.agent_dispatch_per_node * n)
+    dispatch = dispatch * (1.0 + latencies.agent_coord_per_instance * 0)
+    ctl = (latencies.srun_ctl_base
+           + latencies.srun_ctl_per_node * n
+           + latencies.srun_ctl_per_node15 * n ** 1.5)
+    return dispatch, ctl, latencies.srun_step_setup
+
+
+def _member_draws(seeds: Sequence[int], cfg, latencies: LatencyModel,
+                  n_tasks: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Whole-run latency draws for every member, ``(M, n_tasks)`` each.
+
+    Per member this extends PR 4's per-wave ``lognormal_batch`` idiom
+    to the full run: all three streams are pre-drawn in one batch,
+    which is bitwise-identical to the kernel's interleaved sequential
+    draws because each stage owns its stream and every stage serves
+    strictly in task order.
+    """
+    from ..sim.random import RngStreams
+
+    dispatch_mean, ctl_mean, setup_mean = _stage_means(cfg, latencies)
+    dispatch = np.empty((len(seeds), n_tasks))
+    ctl = np.empty_like(dispatch)
+    setup = np.empty_like(dispatch)
+    for m, seed in enumerate(seeds):
+        rng = RngStreams(seed)
+        dispatch[m] = rng.lognormal_latency_batch(
+            "agent.dispatch", dispatch_mean, cv=latencies.agent_cv,
+            n=n_tasks)
+        ctl[m] = rng.lognormal_latency_batch(
+            "slurm.ctl", ctl_mean, cv=latencies.srun_cv, n=n_tasks)
+        setup[m] = rng.lognormal_latency_batch(
+            "srun.setup", setup_mean, cv=latencies.srun_cv, n=n_tasks)
+    return dispatch, ctl, setup
+
+
+def _cohort_recurrence(dispatch: np.ndarray, ctl: np.ndarray,
+                       setup: np.ndarray, t_ready: float, duration: float,
+                       core_slots: int, ceiling_slots: int
+                       ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lock-step evaluation of the srun pipeline across all members.
+
+    Returns ``(scheduled, exec_start, exec_stop)`` arrays of shape
+    ``(members, tasks)``.  Per task index ``i`` (the cohort step),
+    vectorized over members ``m``:
+
+    * dispatch: ``D[i] = D[i-1] + dispatch[i]`` — the serialized agent
+      stage, accumulated in the kernel's one-addition-per-task order;
+    * core slot: pop the earliest of ``core_slots`` free times
+      (``P = max(D, free)``) — a counted FIFO semaphore is exactly a
+      pop-min/push-completion recurrence;
+    * ceiling slot: same over ``ceiling_slots``;
+    * controller: ``E[i] = max(G, E[i-1]) + ctl[i]`` — the serialized
+      launch pipeline (single-server FIFO queue);
+    * setup/payload: ``X = E + setup[i]``; ``stop = X + duration``,
+      which releases both semaphore slots.
+
+    Both semaphores are capped at the task count: extra slots beyond
+    that can never make anyone wait, and the ``(M, slots)`` free-time
+    tables stay small on large allocations.
+    """
+    n_members, n_tasks = dispatch.shape
+    rows = np.arange(n_members)
+    free_cores = np.zeros((n_members, min(core_slots, n_tasks)))
+    free_ceiling = np.zeros((n_members, min(ceiling_slots, n_tasks)))
+    scheduled = np.empty_like(dispatch)
+    exec_start = np.empty_like(dispatch)
+    dispatch_at = np.full(n_members, t_ready)
+    pipeline_free = np.full(n_members, -np.inf)
+    for i in range(n_tasks):
+        dispatch_at = dispatch_at + dispatch[:, i]
+        slot = np.argmin(free_cores, axis=1)
+        placed = np.maximum(dispatch_at, free_cores[rows, slot])
+        ceil = np.argmin(free_ceiling, axis=1)
+        granted = np.maximum(placed, free_ceiling[rows, ceil])
+        launched = np.maximum(granted, pipeline_free) + ctl[:, i]
+        started = launched + setup[:, i]
+        stopped = started + duration
+        free_cores[rows, slot] = stopped
+        free_ceiling[rows, ceil] = stopped
+        pipeline_free = launched
+        scheduled[:, i] = dispatch_at
+        exec_start[:, i] = started
+    return scheduled, exec_start, exec_start + duration
+
+
+def synthesize_profiler(preamble: _Preamble, scheduled: np.ndarray,
+                        exec_start: np.ndarray, exec_stop: np.ndarray,
+                        description) -> Profiler:
+    """One member's full trace, in the kernel's emission order.
+
+    Record streams are chronological; the only coincident-timestamp
+    records the pipeline produces are one task's own exec-start /
+    exec-stop / done cascade (zero-duration payloads), ordered by a
+    per-record subkey under the stable merge sort.  Meta dicts are
+    shared across records exactly like the kernel's bulk path shares
+    them — they are read-only once recorded.
+    """
+    n_tasks = scheduled.shape[0]
+    res = description.resources
+    meta_created = {"cores": res.cores, "gpus": res.gpus,
+                    "mode": description.mode}
+    meta_sched = {"cores": res.cores, "gpus": res.gpus}
+    meta_exec = {"cores": res.cores, "gpus": res.gpus, "backend": _SRUN}
+    uids = [f"task.{i:06d}" for i in range(n_tasks)]
+    events = [TraceEvent(0.0, uid, TASK_CREATED, meta_created)
+              for uid in uids]
+    events.extend(preamble.records)
+    times = np.concatenate([scheduled, exec_start, exec_stop, exec_stop])
+    cascade = np.repeat(np.arange(4.0), n_tasks)
+    names = (TASK_SCHEDULED, TASK_EXEC_START, TASK_EXEC_STOP, TASK_DONE)
+    metas = (meta_sched, meta_exec, meta_exec, meta_exec)
+    for flat in np.lexsort((cascade, times)):
+        kind, i = divmod(int(flat), n_tasks)
+        events.append(TraceEvent(times[flat], uids[i], names[kind],
+                                 metas[kind]))
+    profiler = Profiler(None, enabled=True)
+    profiler._events = events
+    return profiler
+
+
+def run_vectorized(cfg, seeds: Sequence[int],
+                   latencies: LatencyModel = FRONTIER_LATENCIES,
+                   keep_profiles: bool = False):
+    """Run all member seeds of ``cfg`` through the vectorized engine.
+
+    Returns ``(results, profilers)``: per-seed
+    :class:`~repro.experiments.harness.ExperimentResult` objects whose
+    metrics are float-identical to independent
+    :func:`~repro.experiments.harness.run_experiment` calls, and (when
+    ``keep_profiles``) per-seed profilers whose exported traces are
+    byte-identical to those runs.  Falls back by raising
+    ``ValueError`` when the config does not qualify — callers check
+    :func:`supports_vectorized` first.
+    """
+    from ..experiments.harness import ExperimentResult
+
+    if not supports_vectorized(cfg, latencies):
+        raise ValueError(f"config {cfg.exp_id!r} does not qualify for "
+                         "the vectorized ensemble engine")
+    preamble = capture_preamble(cfg, latencies)
+    if preamble is None:
+        raise ValueError("bootstrap preamble consumed randomness; "
+                         "vectorized engine unavailable")
+    descriptions = _workload(cfg)
+    description = descriptions[0]
+    n_tasks = len(descriptions)
+    duration = float(description.duration)
+    cluster_cores = cfg.n_nodes * frontier(1).cores_per_node
+    total_gpus = cfg.n_nodes * frontier(1).gpus_per_node
+    dispatch, ctl, setup = _member_draws(seeds, cfg, latencies, n_tasks)
+    scheduled, exec_start, exec_stop = _cohort_recurrence(
+        dispatch, ctl, setup, preamble.t_ready, duration,
+        core_slots=cluster_cores, ceiling_slots=latencies.srun_ceiling)
+
+    results = []
+    profilers: List[Optional[Profiler]] = []
+    ones = np.ones(n_tasks)
+    zeros = np.zeros(n_tasks)
+    for m, seed in enumerate(seeds):
+        starts, stops = exec_start[m], exec_stop[m]
+        # Same rows, order and float ops as metrics.exec_intervals /
+        # exec_start_times over the kernel's task list.
+        intervals = np.stack(
+            [starts, stops, ones * description.resources.cores,
+             zeros + description.resources.gpus], axis=1)
+        member_cfg = cfg.with_seed(seed)
+        results.append(ExperimentResult(
+            config=member_cfg,
+            n_tasks=n_tasks,
+            n_done=n_tasks,
+            n_failed=0,
+            throughput=throughput(np.sort(starts)),
+            utilization_cores=utilization_from_intervals(
+                intervals, cluster_cores),
+            utilization_gpus=(utilization_from_intervals(
+                intervals, total_gpus, resource="gpus")
+                if total_gpus else 0.0),
+            makespan=float(stops.max()) - 0.0,
+            startup_overheads=list(preamble.overheads),
+            tasks=[],
+            session=None,
+        ))
+        profilers.append(
+            synthesize_profiler(preamble, scheduled[m], starts, stops,
+                                description)
+            if keep_profiles else None)
+    return results, profilers

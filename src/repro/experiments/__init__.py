@@ -21,6 +21,7 @@ from .harness import (
     ExperimentResult,
     build_pilot_description,
     build_workload,
+    run_ensemble,
     run_experiment,
     run_repetitions,
 )
@@ -46,6 +47,7 @@ __all__ = [
     "config_by_id",
     "frontier_full_configs",
     "resolve_jobs",
+    "run_ensemble",
     "run_experiment",
     "run_many",
     "run_repetitions",

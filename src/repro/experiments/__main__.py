@@ -68,6 +68,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                                   base=cfg.faults))
     bundle = getattr(args, "bundle", "") or None
     spill_dir = getattr(args, "spill_dir", "") or None
+    seeds = getattr(args, "seeds", "") or None
+    if getattr(args, "ensemble", False):
+        from .harness import run_ensemble
+
+        ens = run_ensemble(cfg, seeds=seeds,
+                           n_reps=None if seeds else args.reps,
+                           profile_dir=getattr(args, "profile_dir", "")
+                           or None,
+                           parallel=args.parallel)
+        agg = ens.aggregate()
+        print(format_table(
+            ["exp", "nodes", "parts", "seeds", "engine", "avg tasks/s",
+             "max tasks/s", "util", "makespan[s]", "ms/seed"],
+            [(cfg.exp_id, cfg.n_nodes, cfg.n_partitions, len(ens.seeds),
+              ens.engine, agg.throughput_avg, agg.throughput_max,
+              agg.utilization_avg, agg.makespan_avg,
+              ens.wall_seconds_per_seed * 1e3)]))
+        if ens.members and ens.members[0].profile_path:
+            print(f"wrote {len(ens.members)} per-seed profiles to "
+                  f"{args.profile_dir}")
+        return 0
     if args.summary or args.profile or bundle:
         result = run_experiment(cfg, keep_session=True, bundle=bundle,
                                 spill_dir=spill_dir)
@@ -87,8 +108,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n = save_profile(result.session.profiler, args.profile)
             print(f"wrote {n} trace events to {args.profile}")
         return 0
-    if args.reps > 1:
-        agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel)
+    if args.reps > 1 or seeds:
+        agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel,
+                              seeds=seeds)
         print(format_table(
             ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
              "util", "makespan[s]"],
@@ -250,6 +272,18 @@ def main(argv: List[str] = None) -> int:
     p_run.add_argument("--spill-dir", default="", metavar="DIR",
                        help="stream the trace to chunked files under "
                             "DIR, bounding profiler memory")
+    p_run.add_argument("--ensemble", action="store_true",
+                       help="run the seeds through the batched ensemble "
+                            "engine (vectorized fast path where the "
+                            "config qualifies; per-seed results "
+                            "identical to independent runs)")
+    p_run.add_argument("--seeds", default="", metavar="SPEC",
+                       help="explicit seed list, e.g. 1,2,5-20 "
+                            "(default: cfg.seed + rep for --reps "
+                            "repetitions)")
+    p_run.add_argument("--profile-dir", default="", metavar="DIR",
+                       help="with --ensemble: export each seed's trace "
+                            "to DIR/profile-seed<seed>.jsonl")
     p_run.add_argument("--shards", nargs="?", const="auto", default=None,
                        metavar="N",
                        help="partition-sharded execution: run the Flux "

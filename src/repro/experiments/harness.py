@@ -131,7 +131,9 @@ def run_experiment(cfg: ExperimentConfig,
                    observe: bool = False,
                    bundle: Optional[str] = None,
                    spill_dir=None,
-                   shard_inline: bool = False) -> ExperimentResult:
+                   shard_inline: bool = False,
+                   descriptions: Optional[List[TaskDescription]] = None
+                   ) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
     ``observe`` enables the session's observability layer (metrics
@@ -148,6 +150,13 @@ def run_experiment(cfg: ExperimentConfig,
     thread instead of worker processes — same simulation, same merged
     trace, no parallelism; the equality is pinned by the determinism
     tests.  Ignored when ``cfg.shards`` is off.
+
+    ``descriptions`` supplies a pre-built synthetic workload, letting
+    sweep callers (:func:`run_repetitions`, the ensemble engine) pay
+    description construction once for all seeds — the descriptions
+    are immutable and seed-independent, so sharing them across runs
+    cannot change any outcome.  Ignored for the IMPECCABLE campaign,
+    which generates tasks adaptively inside the run.
     """
     wall0 = time.perf_counter()
     observe = observe or bundle is not None
@@ -170,7 +179,8 @@ def run_experiment(cfg: ExperimentConfig,
         session.run(runner.start())
         tasks = runner.result.tasks
     else:
-        descriptions = build_workload(cfg, session.cluster.cores_per_node)
+        if descriptions is None:
+            descriptions = build_workload(cfg, session.cluster.cores_per_node)
         tasks = tmgr.submit_tasks(descriptions, bulk=cfg.bulk)
         session.run(tmgr.wait_tasks())
     session.obs.tracer.end(span)
@@ -244,8 +254,12 @@ class AggregateResult:
 
 def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                     latencies: LatencyModel = FRONTIER_LATENCIES,
-                    parallel=None) -> AggregateResult:
-    """Run ``n_reps`` seeds of one configuration and aggregate.
+                    parallel=None, seeds=None) -> AggregateResult:
+    """Run several seeds of one configuration and aggregate.
+
+    ``seeds`` names the repetition seeds explicitly — a sequence of
+    ints or a CLI-style spec string (``"1,2,5-20"``); the default
+    derives ``cfg.seed + rep`` for ``n_reps`` repetitions.
 
     ``parallel`` fans the repetitions out over worker processes
     (``"auto"``/``0`` = one per core, an int = that many workers; see
@@ -255,18 +269,32 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     (``ExperimentResult.tasks`` is empty; tasks cannot cross the
     process boundary).  The default (``None``) keeps the serial path.
     """
-    if n_reps < 1:
-        raise ConfigurationError("n_reps must be >= 1")
-    cfgs = [cfg.with_seed(cfg.seed + rep) for rep in range(n_reps)]
+    if seeds is not None:
+        from ..ensemble.seeds import resolve_seeds
+
+        seed_list = resolve_seeds(seeds)
+    else:
+        if n_reps < 1:
+            raise ConfigurationError("n_reps must be >= 1")
+        seed_list = [cfg.seed + rep for rep in range(n_reps)]
+    n_reps = len(seed_list)
+    cfgs = [cfg.with_seed(seed) for seed in seed_list]
+    # Per-sweep setup is paid once: the synthetic workload is
+    # seed-independent, so every repetition submits the same immutable
+    # descriptions (the campaign workload generates its own tasks).
+    shared = (build_workload(cfg, frontier(max(cfg.n_nodes, 1)).cores_per_node)
+              if cfg.workload != WORKLOAD_IMPECCABLE else None)
     if parallel is not None:
         from .parallel import resolve_jobs, run_many
 
         if resolve_jobs(parallel, n_items=n_reps) > 1:
             results = run_many(cfgs, latencies, jobs=parallel)
         else:
-            results = [run_experiment(c, latencies) for c in cfgs]
+            results = [run_experiment(c, latencies, descriptions=shared)
+                       for c in cfgs]
     else:
-        results = [run_experiment(c, latencies) for c in cfgs]
+        results = [run_experiment(c, latencies, descriptions=shared)
+                   for c in cfgs]
     return AggregateResult(
         config=cfg,
         n_reps=n_reps,
@@ -276,3 +304,18 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
         makespan_avg=sum(r.makespan for r in results) / n_reps,
         results=tuple(results),
     )
+
+
+def run_ensemble(cfg: ExperimentConfig, seeds=None, n_reps=None,
+                 latencies: LatencyModel = FRONTIER_LATENCIES,
+                 **kwargs):
+    """Batched multi-seed sweep; see :func:`repro.ensemble.run_ensemble`.
+
+    Re-exported here so sweep code has one import site for both
+    execution shapes (`run_repetitions` for aggregate-only, ensembles
+    for per-member results/profiles).
+    """
+    from ..ensemble import run_ensemble as _run_ensemble
+
+    return _run_ensemble(cfg, seeds=seeds, n_reps=n_reps,
+                         latencies=latencies, **kwargs)

@@ -1,0 +1,138 @@
+"""The ensemble engine's correctness contract: N-for-N identity.
+
+An ensemble run of seeds ``[s1..sN]`` must be indistinguishable from
+N independent sequential ``run_experiment`` calls — float-identical
+metrics and byte-identical exported profiles — on both engines (the
+vectorized srun fast path and the generic replay).  These tests pin
+that contract the way the shard suite pins merged traces.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.analytics import save_profile
+from repro.ensemble import run_ensemble, supports_vectorized
+from repro.experiments.configs import ExperimentConfig, config_by_id
+from repro.experiments.harness import run_experiment
+
+SEEDS = [0, 3, 7]
+
+
+def _independent(cfg, seed, tmp_path, tag):
+    result = run_experiment(cfg.with_seed(seed), keep_session=True)
+    path = tmp_path / f"{tag}.jsonl"
+    save_profile(result.session.profiler, path)
+    result.session.close()
+    return result, hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _member_digest(member, tmp_path, tag):
+    path = tmp_path / f"{tag}.jsonl"
+    save_profile(member.profiler, path)
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _metrics(r):
+    return (r.n_tasks, r.n_done, r.n_failed, r.throughput,
+            r.utilization_cores, r.utilization_gpus, r.makespan,
+            r.startup_overheads)
+
+
+@pytest.mark.parametrize("overrides", [
+    dict(),                                   # 4 nodes, null
+    dict(workload="dummy"),                   # payload durations
+    dict(n_nodes=1, waves=2),                 # multi-wave, 1 node
+    dict(n_nodes=2, bulk=True),               # bulk submission path
+])
+def test_vectorized_matches_independent_runs(tmp_path, overrides):
+    cfg = config_by_id("srun", waves=overrides.pop("waves", 1),
+                       **overrides)
+    assert supports_vectorized(cfg)
+    ens = run_ensemble(cfg, seeds=SEEDS, keep_profiles=True)
+    assert ens.engine == "vectorized"
+    assert ens.seeds == tuple(SEEDS)
+    for member in ens.members:
+        ref, ref_digest = _independent(cfg, member.seed, tmp_path,
+                                       f"ind-{member.seed}")
+        assert _metrics(member.result) == _metrics(ref)
+        assert member.result.config.seed == member.seed
+        assert _member_digest(member, tmp_path,
+                              f"ens-{member.seed}") == ref_digest
+
+
+def test_replay_matches_independent_runs(tmp_path):
+    for exp_id in ["flux_1", "dragon"]:
+        cfg = config_by_id(exp_id, n_nodes=1, waves=1)
+        ens = run_ensemble(cfg, seeds=[0, 5], keep_profiles=True)
+        assert ens.engine == "replay"
+        for member in ens.members:
+            ref, ref_digest = _independent(
+                cfg, member.seed, tmp_path, f"{exp_id}-ind-{member.seed}")
+            assert _metrics(member.result) == _metrics(ref)
+            assert _member_digest(
+                member, tmp_path,
+                f"{exp_id}-ens-{member.seed}") == ref_digest
+
+
+def test_forced_replay_equals_vectorized(tmp_path):
+    cfg = config_by_id("srun", n_nodes=1, waves=1)
+    replay = run_ensemble(cfg, seeds=[2, 4], keep_profiles=True,
+                          engine="replay")
+    fast = run_ensemble(cfg, seeds=[2, 4], keep_profiles=True,
+                        engine="vectorized")
+    assert replay.engine == "replay" and fast.engine == "vectorized"
+    for mr, mf in zip(replay.members, fast.members):
+        assert _metrics(mr.result) == _metrics(mf.result)
+        assert (_member_digest(mr, tmp_path, f"r{mr.seed}")
+                == _member_digest(mf, tmp_path, f"f{mf.seed}"))
+
+
+def test_profile_dir_exports_are_byte_identical(tmp_path):
+    cfg = config_by_id("srun", n_nodes=1, waves=1)
+    ens = run_ensemble(cfg, seeds=[1, 6], profile_dir=str(tmp_path / "out"))
+    for member in ens.members:
+        assert member.profile_path is not None
+        assert member.profiler is None  # not kept unless asked
+        _, ref_digest = _independent(cfg, member.seed, tmp_path,
+                                     f"ref-{member.seed}")
+        with open(member.profile_path, "rb") as fh:
+            assert hashlib.sha256(fh.read()).hexdigest() == ref_digest
+
+
+def test_seed_grouping_is_irrelevant(tmp_path):
+    """Members are independent: any partition of the seed list into
+    ensemble calls yields the same per-seed bytes."""
+    cfg = config_by_id("srun", n_nodes=1, waves=1)
+    whole = run_ensemble(cfg, seeds=[0, 1, 2, 3], keep_profiles=True)
+    split_a = run_ensemble(cfg, seeds=[0, 1], keep_profiles=True)
+    split_b = run_ensemble(cfg, seeds=[2, 3], keep_profiles=True)
+    parts = list(split_a.members) + list(split_b.members)
+    for mw, mp in zip(whole.members, parts):
+        assert mw.seed == mp.seed
+        assert (_member_digest(mw, tmp_path, f"w{mw.seed}")
+                == _member_digest(mp, tmp_path, f"p{mp.seed}"))
+
+
+@pytest.mark.parametrize("overrides, reason", [
+    (dict(launcher="flux"), "flux launcher"),
+    (dict(launcher="dragon"), "dragon launcher"),
+    (dict(workload="mixed"), "mixed workload"),
+    (dict(shards=2), "sharded run"),
+])
+def test_vectorized_gating(overrides, reason):
+    base = dict(exp_id="gate", launcher="srun", workload="null",
+                n_nodes=4, n_partitions=1, duration=3.0, waves=1, seed=0)
+    base.update(overrides)
+    assert not supports_vectorized(ExperimentConfig(**base)), reason
+
+
+def test_vectorized_gating_faults():
+    from repro.faults import FaultSpec
+
+    cfg = config_by_id("srun", waves=1)
+    assert supports_vectorized(cfg)
+    import dataclasses
+
+    faulty = dataclasses.replace(cfg, faults=FaultSpec(mtbf=100.0))
+    assert not supports_vectorized(faulty)

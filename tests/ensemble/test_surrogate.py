@@ -1,0 +1,113 @@
+"""Surrogate fidelity against the EXPERIMENTS.md measured tables.
+
+The error-band contract documented there: most points within ±25 %,
+all within roughly a factor of two.  srun and dragon are mean-value
+exact (their pipelines are single-bottleneck), so they must sit in
+the ±25 % band uncalibrated; Flux's bursty scheduler dynamics put the
+raw bottleneck analysis in the factor-of-two band, and a single
+1-node DES anchor calibration brings the whole Fig. 5(b) sweep into
+±25 %.
+
+The reference numbers are the committed measured values from
+EXPERIMENTS.md (regenerating them at 16-64 nodes in a unit test would
+cost minutes); the benchmarks that produced them run in CI.
+"""
+
+import pytest
+
+from repro.ensemble import FluidSurrogate, SurrogatePrediction
+from repro.exceptions import ConfigurationError
+from repro.experiments.configs import config_by_id
+
+#: EXPERIMENTS.md "measured avg" columns.
+FIG5A_SRUN = {1: 139.5, 2: 91.2, 4: 52.6, 16: 13.2}
+FIG5B_FLUX1 = {1: 20.2, 4: 40.6, 16: 81.0, 64: 157.6}
+FIG5C_DRAGON = {4: 361.7, 16: 312.5, 64: 203.6}
+FIG6_FLUXN = {(4, 4): 59.9, (16, 16): 213.0, (64, 16): 501.7,
+              (64, 64): 614.1}
+
+
+def test_srun_within_quarter_band():
+    sur = FluidSurrogate()
+    for n, measured in FIG5A_SRUN.items():
+        p = sur.predict(config_by_id("srun", n_nodes=n))
+        assert p.throughput == pytest.approx(measured, rel=0.25), n
+        assert p.bottleneck == "slurmctld"
+
+
+def test_dragon_within_quarter_band():
+    sur = FluidSurrogate()
+    for n, measured in FIG5C_DRAGON.items():
+        p = sur.predict(config_by_id("dragon", n_nodes=n))
+        assert p.throughput == pytest.approx(measured, rel=0.25), n
+        assert p.bottleneck == "dragon-gs"
+
+
+def test_flux_uncalibrated_within_factor_two():
+    sur = FluidSurrogate()
+    for n, measured in FIG5B_FLUX1.items():
+        p = sur.predict(config_by_id("flux_1", n_nodes=n))
+        assert 0.5 < p.throughput / measured < 2.0, n
+
+
+def test_flux_calibrated_within_bands():
+    """One cheap 1-node DES anchor tightens the whole Fig. 5(b) sweep
+    into ±25 % and brings the multi-instance Fig. 6 grid (whose
+    cross-instance scheduler dynamics the raw bottleneck analysis
+    undershoots) into the factor-of-two band."""
+    sur = FluidSurrogate()
+    sur.calibrate([config_by_id("flux_1", n_nodes=1, waves=1)],
+                  seeds=(0, 1, 2))
+    assert 0.5 < sur.calibration["flux"] < 1.0
+    for n, measured in FIG5B_FLUX1.items():
+        p = sur.predict(config_by_id("flux_1", n_nodes=n))
+        assert p.throughput == pytest.approx(measured, rel=0.25), n
+    for (n, inst), measured in FIG6_FLUXN.items():
+        p = sur.predict(config_by_id("flux_n", n_nodes=n,
+                                     n_partitions=inst))
+        assert 0.5 < p.throughput / measured < 2.0, (n, inst)
+
+
+def test_srun_ceiling_utilization():
+    """Fig. 4: the 112-srun ceiling caps 4-node dummy utilization at
+    one half (112 of 224 cores busy)."""
+    p = FluidSurrogate().predict(config_by_id("srun", workload="dummy"))
+    assert p.bottleneck == "srun-ceiling"
+    assert p.utilization_cores == pytest.approx(0.5, abs=0.02)
+
+
+def test_null_workload_has_zero_utilization():
+    p = FluidSurrogate().predict(config_by_id("srun"))
+    assert p.utilization_cores == 0.0
+    assert p.makespan > 0.0
+
+
+def test_hybrid_within_factor_two():
+    sur = FluidSurrogate()
+    measured = {4: 80.7, 16: 246.4, 64: 552.3}   # Fig. 5(d)
+    for n, m in measured.items():
+        p = sur.predict(config_by_id("flux+dragon", n_nodes=n))
+        assert 0.5 < p.throughput / m < 2.0, n
+
+
+def test_tracks_latency_ablations():
+    """No constants of its own: an ablated latency model moves the
+    prediction the way it moves the DES."""
+    from repro.platform.latency import FRONTIER_LATENCIES
+
+    base = FluidSurrogate().predict(config_by_id("srun", n_nodes=4))
+    halved = FluidSurrogate(latencies=FRONTIER_LATENCIES.with_overrides(
+        srun_ctl_per_node=FRONTIER_LATENCIES.srun_ctl_per_node / 2))
+    faster = halved.predict(config_by_id("srun", n_nodes=4))
+    assert faster.throughput > base.throughput * 1.3
+
+
+def test_unknown_launcher_rejected():
+    with pytest.raises(ConfigurationError):
+        FluidSurrogate().predict(config_by_id("prrte_16"))
+
+
+def test_prediction_shape():
+    p = FluidSurrogate().predict(config_by_id("srun"))
+    assert isinstance(p, SurrogatePrediction)
+    assert p.throughput > 0 and p.makespan > 0

@@ -14,10 +14,13 @@ Usage::
     python tools/bench_gate.py BENCH_kernel.json     # a subset
     python tools/bench_gate.py --ref origin/main --threshold 0.3
 
-Only ``tasks_per_wall_second*`` keys are compared (recursively, so
-BENCH_scale.json's per-point entries are covered).  A file or key
-missing from the baseline is reported and skipped — new benchmarks
-must not fail the gate on the commit that introduces them.
+Only ``tasks_per_wall_second*`` and ``per_seed_speedup*`` keys are
+compared (recursively, so BENCH_scale.json's per-point entries are
+covered; BENCH_ensemble.json's ensemble-vs-independent speedup is
+gated like a rate — a drop means the ensemble engine lost its edge).
+A file or key missing from the baseline is reported and skipped —
+new benchmarks must not fail the gate on the commit that introduces
+them.
 """
 
 from __future__ import annotations
@@ -29,8 +32,9 @@ import sys
 from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
-#: Metric keys compared by the gate (prefix match).
-METRIC_PREFIX = "tasks_per_wall_second"
+#: Metric keys compared by the gate (prefix match, tuple form as
+#: accepted by ``str.startswith``).
+METRIC_PREFIX = ("tasks_per_wall_second", "per_seed_speedup")
 
 
 def entry_label(entry, index: int) -> str:
