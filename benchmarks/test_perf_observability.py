@@ -39,10 +39,17 @@ CFG = ExperimentConfig(exp_id="perf_obs", launcher="flux",
 #: is tracked via the recorded JSON.
 MAX_DISABLED_OVERHEAD = 0.10
 
+#: Allowed telemetry slowdown relative to the enabled path.  The ISSUE
+#: budget for progress streaming is 5%; the hard gate again adds a
+#: noise allowance, and the strict number is tracked via the JSON.
+MAX_PROGRESS_OVERHEAD = 0.15
 
-def _rate(observe: bool) -> float:
+
+def _rate(observe: bool, progress: bool = False) -> float:
     wall0 = time.perf_counter()
-    result = run_experiment(CFG, observe=observe)
+    result = run_experiment(CFG, observe=observe,
+                            progress=(lambda record: None)
+                            if progress else None)
     wall = time.perf_counter() - wall0
     assert result.n_done == result.n_tasks == 14336
     return result.n_tasks / wall
@@ -50,11 +57,14 @@ def _rate(observe: bool) -> float:
 
 def test_disabled_observability_overhead(benchmark, emit):
     # Each leg is a warmup + median-of-N in its own right; the two
-    # disabled legs still bracket the enabled one so slow machine
-    # drift shows up as disabled-round spread, not as fake overhead.
+    # disabled legs still bracket the enabled + progress ones so slow
+    # machine drift shows up as disabled-round spread, not as fake
+    # overhead.
     stats = run_once(benchmark, lambda: {
         "disabled_1": rate_stats(lambda: _rate(observe=False)),
         "enabled": rate_stats(lambda: _rate(observe=True), warmup=False),
+        "progress": rate_stats(lambda: _rate(observe=True, progress=True),
+                               warmup=False),
         "disabled_2": rate_stats(lambda: _rate(observe=False),
                                  warmup=False),
     })
@@ -62,24 +72,32 @@ def test_disabled_observability_overhead(benchmark, emit):
 
     disabled = max(rates["disabled_1"], rates["disabled_2"])
     enabled = rates["enabled"]
+    progress = rates["progress"]
     # Interleaving the rounds cancels machine-level drift: the two
-    # disabled measurements bracket the enabled one.
+    # disabled measurements bracket the instrumented ones.
     spread = abs(rates["disabled_1"] - rates["disabled_2"]) / disabled
     overhead = 1.0 - min(rates["disabled_1"], rates["disabled_2"]) / disabled
     enabled_cost = 1.0 - enabled / disabled
+    # Telemetry rides on the instrumented loop, so its marginal cost
+    # is measured against the enabled leg, not the disabled one.
+    progress_cost = 1.0 - progress / enabled
 
     BENCH_FILE.write_text(json.dumps({
         "tasks_per_wall_second_disabled": disabled,
         "tasks_per_wall_second_enabled": enabled,
+        "tasks_per_wall_second_progress": progress,
         "disabled_round_spread": spread,
         "enabled_slowdown": enabled_cost,
+        "progress_slowdown": progress_cost,
         "spread": stats,
         "rounds": BENCH_ROUNDS,
     }, indent=2) + "\n")
 
     emit(f"observability off: {disabled:,.0f} tasks/s  "
          f"on: {enabled:,.0f} tasks/s  "
+         f"with progress: {progress:,.0f} tasks/s\n"
          f"(enabled slowdown {enabled_cost:+.1%}, "
+         f"progress slowdown {progress_cost:+.1%}, "
          f"disabled round spread {spread:.1%})\n"
          f"wrote {BENCH_FILE}")
 
@@ -89,6 +107,11 @@ def test_disabled_observability_overhead(benchmark, emit):
     assert overhead <= MAX_DISABLED_OVERHEAD, (
         f"disabled-path rounds differ by {overhead:.1%} "
         f"(> {MAX_DISABLED_OVERHEAD:.0%}); machine too noisy to certify")
+    # Live telemetry must stay in its budget: the probe is a countdown
+    # in the instrumented loop and sampling is wall-clock limited.
+    assert progress_cost <= MAX_PROGRESS_OVERHEAD, (
+        f"progress streaming costs {progress_cost:.1%} over the "
+        f"instrumented baseline (> {MAX_PROGRESS_OVERHEAD:.0%})")
 
 
 def test_disabled_matches_kernel_baseline(emit):

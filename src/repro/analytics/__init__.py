@@ -1,6 +1,7 @@
 """Trace recording and performance metrics (RADICAL-Analytics analogue)."""
 
 from . import events
+from .critical_path import CriticalStep, critical_path, format_critical_path
 from .events import TraceEvent
 from .export import load_events, save_profile
 from .metrics import (
@@ -33,6 +34,7 @@ from .validate import Violation, assert_valid_trace, validate_trace
 
 __all__ = [
     "BackendSummary",
+    "CriticalStep",
     "PhaseStats",
     "Profiler",
     "Series",
@@ -43,7 +45,9 @@ __all__ = [
     "Violation",
     "assert_valid_trace",
     "concurrency_series",
+    "critical_path",
     "events",
+    "format_critical_path",
     "exec_intervals",
     "exec_start_times",
     "load_events",

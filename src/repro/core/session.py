@@ -63,6 +63,12 @@ class Session:
         self.obs = Observability(self.env, enabled=observe)
         if observe:
             self.obs.attach_kernel(self.env)
+        #: Live telemetry plumbing for this run, when progress
+        #: streaming is on (see
+        #: :class:`~repro.observability.telemetry.RunTelemetry`).  The
+        #: harness attaches it; the kernel probe and the shard
+        #: engine's window loop reach it here.  ``None`` = off.
+        self.telemetry = None
         from ..platform.filesystem import SharedFilesystem
 
         self.filesystem = SharedFilesystem(self.env)

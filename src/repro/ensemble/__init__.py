@@ -25,6 +25,7 @@ from .engine import (
     EnsembleMember,
     EnsembleResult,
     run_ensemble,
+    write_ensemble_bundle,
 )
 from .seeds import SeedsLike, parse_seed_list, resolve_seeds
 from .surrogate import FluidSurrogate, SurrogatePrediction
@@ -43,4 +44,5 @@ __all__ = [
     "run_ensemble",
     "run_vectorized",
     "supports_vectorized",
+    "write_ensemble_bundle",
 ]

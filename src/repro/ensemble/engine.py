@@ -120,15 +120,34 @@ def _select_engine(cfg, latencies: LatencyModel,
 
 def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
                  engine: str, keep_profiles: bool,
-                 profile_dir: Optional[str]) -> List[EnsembleMember]:
-    """Run one batch of seeds in-process with the chosen engine."""
+                 profile_dir: Optional[str],
+                 telemetry=None) -> List[EnsembleMember]:
+    """Run one batch of seeds in-process with the chosen engine.
+
+    ``telemetry`` (a
+    :class:`~repro.observability.telemetry.SweepTelemetry`) receives
+    one ``member_done`` per completed seed — live for the replay
+    engine, after the cohort recurrence (which feeds the intra-run
+    :meth:`~repro.observability.telemetry.SweepTelemetry.cohort` hook
+    instead) for the vectorized one.
+    """
     need_records = keep_profiles or profile_dir is not None
+    on_member = None
+    if telemetry is not None:
+        def on_member(result):
+            telemetry.member_done(result.n_tasks, result.n_done,
+                                  result.n_failed)
     if engine == ENGINE_VECTORIZED:
-        results, profilers = run_vectorized(cfg, seeds, latencies,
-                                            keep_profiles=need_records)
+        results, profilers = run_vectorized(
+            cfg, seeds, latencies, keep_profiles=need_records,
+            progress=telemetry.cohort if telemetry is not None else None)
+        if on_member is not None:
+            for result in results:
+                on_member(result)
     else:
         results, profilers = _run_replay(cfg, seeds, latencies,
-                                         keep_profiles=need_records)
+                                         keep_profiles=need_records,
+                                         on_member=on_member)
     members = []
     for seed, result, profiler in zip(seeds, results, profilers):
         path = None
@@ -145,7 +164,7 @@ def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
 
 
 def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
-                keep_profiles: bool):
+                keep_profiles: bool, on_member=None):
     """Generic engine: sequential per-seed runs, setup hoisted.
 
     The workload descriptions are built once for the whole batch and
@@ -172,6 +191,8 @@ def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
         result.tasks = []
         results.append(result)
         profilers.append(profiler)
+        if on_member is not None:
+            on_member(result)
     return results, profilers
 
 
@@ -201,13 +222,63 @@ def _split_batches(seeds: Sequence[int], n_workers: int
     return batches
 
 
+def write_ensemble_bundle(directory, result: EnsembleResult,
+                          telemetry=None):
+    """Write an ensemble run's observability bundle into ``directory``.
+
+    The manifest carries a whole-sweep ``ensemble`` section — engine,
+    worker count, seed list, wall time and one metrics row per member
+    — alongside the usual config/versions/host blocks, so a sharded
+    farm of sweeps stays auditable the same way single runs are.
+    Per-seed profile exports already sitting inside the bundle
+    directory (``profile_dir`` pointed there) are indexed in the
+    manifest's ``files`` section as ``profile_seed<seed>``;
+    ``telemetry`` records (when the sweep streamed progress) land in
+    ``telemetry.jsonl``.  Returns ``{artifact name: path}``.
+    """
+    from ..observability.manifest import build_manifest, write_bundle
+
+    rows = []
+    for member in result.members:
+        r = member.result
+        rows.append({
+            "seed": member.seed,
+            "n_tasks": r.n_tasks,
+            "n_done": r.n_done,
+            "n_failed": r.n_failed,
+            "throughput_avg": r.throughput.avg,
+            "throughput_peak": r.throughput.peak,
+            "utilization_cores": r.utilization_cores,
+            "makespan": r.makespan,
+        })
+    manifest = build_manifest(config=result.config, extra={
+        "ensemble": {
+            "engine": result.engine,
+            "n_workers": result.n_workers,
+            "seeds": list(result.seeds),
+            "wall_seconds": result.wall_seconds,
+            "members": rows,
+        }})
+    bundle_dir = os.path.abspath(directory)
+    extra_files = {}
+    for member in result.members:
+        path = member.profile_path
+        if path is not None and \
+                os.path.dirname(os.path.abspath(path)) == bundle_dir:
+            extra_files[f"profile_seed{member.seed}"] = path
+    return write_bundle(directory, manifest, telemetry=telemetry,
+                        extra_files=extra_files or None)
+
+
 def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
                  n_reps: Optional[int] = None,
                  latencies: LatencyModel = FRONTIER_LATENCIES,
                  keep_profiles: bool = False,
                  profile_dir: Optional[str] = None,
                  parallel=None,
-                 engine: Optional[str] = None) -> EnsembleResult:
+                 engine: Optional[str] = None,
+                 progress=None,
+                 bundle=None) -> EnsembleResult:
     """Run ``cfg`` under many seeds and return all members.
 
     Parameters
@@ -232,6 +303,17 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
     engine:
         Force ``"vectorized"`` or ``"replay"``; default picks
         vectorized whenever the config qualifies.
+    progress:
+        Stream live telemetry records (``source: "ensemble"``): a
+        callable sink, a pre-built
+        :class:`~repro.observability.telemetry.TelemetryBus`, or any
+        truthy value for buffered-only records.  One record per
+        completed seed (rate-limited; the last is always emitted),
+        plus intra-cohort task progress on the vectorized engine.
+    bundle:
+        Write an observability bundle into this directory via
+        :func:`write_ensemble_bundle`.  Per-seed profiles are
+        exported into it unless ``profile_dir`` redirects them.
     """
     if seeds is not None and n_reps is not None:
         raise ConfigurationError("pass seeds= or n_reps=, not both")
@@ -243,8 +325,18 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
     else:
         seed_list = resolve_seeds(seeds)
     chosen = _select_engine(cfg, latencies, engine)
+    if bundle is not None and profile_dir is None:
+        profile_dir = str(bundle)
     if profile_dir is not None:
         os.makedirs(profile_dir, exist_ok=True)
+    telemetry = None
+    if progress is not None or bundle is not None:
+        # Bundle runs record telemetry even without a live sink, so
+        # the bundle's ``telemetry.jsonl`` is never empty.
+        from ..observability.telemetry import SweepTelemetry
+
+        telemetry = SweepTelemetry.create("ensemble", len(seed_list),
+                                          progress)
 
     wall0 = time.perf_counter()
     n_workers = 1
@@ -257,22 +349,36 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
             raise ConfigurationError(
                 "keep_profiles does not compose with parallel ensembles; "
                 "use profile_dir to export traces inside the workers")
-        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import ProcessPoolExecutor, as_completed
 
         payloads = [(cfg, batch, latencies, chosen, profile_dir)
                     for batch in _split_batches(seed_list, n_workers)]
+        # submit + as_completed (not pool.map): progress is reported
+        # the moment each batch lands, while the result list is still
+        # restored to input order below.
+        batches: List[Optional[List[EnsembleMember]]] = [None] * len(payloads)
         with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-            members = [m for batch in pool.map(_run_batch, payloads)
-                       for m in batch]
+            futures = {pool.submit(_run_batch, payload): i
+                       for i, payload in enumerate(payloads)}
+            for future in as_completed(futures):
+                batch = future.result()
+                batches[futures[future]] = batch
+                if telemetry is not None:
+                    for member in batch:
+                        r = member.result
+                        telemetry.member_done(r.n_tasks, r.n_done,
+                                              r.n_failed)
+        members = [m for batch in batches for m in batch]
     else:
         n_workers = 1
         members = _run_members(cfg, seed_list, latencies, chosen,
-                               keep_profiles, profile_dir)
+                               keep_profiles, profile_dir,
+                               telemetry=telemetry)
     wall = time.perf_counter() - wall0
     per_seed = wall / max(len(members), 1)
     for member in members:
         member.result.wall_seconds = per_seed
-    return EnsembleResult(
+    result = EnsembleResult(
         config=cfg,
         seeds=tuple(seed_list),
         members=tuple(members),
@@ -280,3 +386,8 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
         wall_seconds=wall,
         n_workers=n_workers,
     )
+    if bundle is not None:
+        write_ensemble_bundle(
+            bundle, result,
+            telemetry=telemetry.records if telemetry is not None else None)
+    return result

@@ -179,9 +179,15 @@ def _member_draws(seeds: Sequence[int], cfg, latencies: LatencyModel,
     return dispatch, ctl, setup
 
 
+#: Cohort steps between progress-callback firings; the callback is
+#: wall-clock rate-limited downstream, this just bounds call overhead.
+_PROGRESS_STEP = 1024
+
+
 def _cohort_recurrence(dispatch: np.ndarray, ctl: np.ndarray,
                        setup: np.ndarray, t_ready: float, duration: float,
-                       core_slots: int, ceiling_slots: int
+                       core_slots: int, ceiling_slots: int,
+                       progress=None
                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Lock-step evaluation of the srun pipeline across all members.
 
@@ -203,6 +209,11 @@ def _cohort_recurrence(dispatch: np.ndarray, ctl: np.ndarray,
     Both semaphores are capped at the task count: extra slots beyond
     that can never make anyone wait, and the ``(M, slots)`` free-time
     tables stay small on large allocations.
+
+    ``progress(i, n_tasks)``, when given, is called every
+    :data:`_PROGRESS_STEP` cohort steps — a read-only hook for the
+    telemetry bus; the recurrence itself is pure arithmetic and
+    unaffected by it.
     """
     n_members, n_tasks = dispatch.shape
     rows = np.arange(n_members)
@@ -213,6 +224,8 @@ def _cohort_recurrence(dispatch: np.ndarray, ctl: np.ndarray,
     dispatch_at = np.full(n_members, t_ready)
     pipeline_free = np.full(n_members, -np.inf)
     for i in range(n_tasks):
+        if progress is not None and i % _PROGRESS_STEP == 0:
+            progress(i, n_tasks)
         dispatch_at = dispatch_at + dispatch[:, i]
         slot = np.argmin(free_cores, axis=1)
         placed = np.maximum(dispatch_at, free_cores[rows, slot])
@@ -266,7 +279,8 @@ def synthesize_profiler(preamble: _Preamble, scheduled: np.ndarray,
 
 def run_vectorized(cfg, seeds: Sequence[int],
                    latencies: LatencyModel = FRONTIER_LATENCIES,
-                   keep_profiles: bool = False):
+                   keep_profiles: bool = False,
+                   progress=None):
     """Run all member seeds of ``cfg`` through the vectorized engine.
 
     Returns ``(results, profilers)``: per-seed
@@ -277,6 +291,10 @@ def run_vectorized(cfg, seeds: Sequence[int],
     byte-identical to those runs.  Falls back by raising
     ``ValueError`` when the config does not qualify — callers check
     :func:`supports_vectorized` first.
+
+    ``progress(tasks_done, tasks_total)`` (cohort-level counts summed
+    over members) is invoked periodically during the recurrence — the
+    ensemble engine wires it to the telemetry bus.
     """
     from ..experiments.harness import ExperimentResult
 
@@ -294,9 +312,16 @@ def run_vectorized(cfg, seeds: Sequence[int],
     cluster_cores = cfg.n_nodes * frontier(1).cores_per_node
     total_gpus = cfg.n_nodes * frontier(1).gpus_per_node
     dispatch, ctl, setup = _member_draws(seeds, cfg, latencies, n_tasks)
+    cohort_progress = None
+    if progress is not None:
+        n_members = len(seeds)
+
+        def cohort_progress(i, total):
+            progress(i * n_members, total * n_members)
     scheduled, exec_start, exec_stop = _cohort_recurrence(
         dispatch, ctl, setup, preamble.t_ready, duration,
-        core_slots=cluster_cores, ceiling_slots=latencies.srun_ceiling)
+        core_slots=cluster_cores, ceiling_slots=latencies.srun_ceiling,
+        progress=cohort_progress)
 
     results = []
     profilers: List[Optional[Profiler]] = []

@@ -37,6 +37,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_sink(spec: str):
+    """Build the telemetry subscriber ``--progress`` asked for.
+
+    ``line`` renders one human-readable status line per record,
+    ``jsonl`` one JSON object — both to stderr, so stdout tables and
+    shell pipelines stay clean.
+    """
+    if not spec:
+        return None
+    from ..observability.telemetry import jsonl_sink, line_sink
+
+    return jsonl_sink() if spec == "jsonl" else line_sink()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.nodes:
@@ -69,6 +83,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     bundle = getattr(args, "bundle", "") or None
     spill_dir = getattr(args, "spill_dir", "") or None
     seeds = getattr(args, "seeds", "") or None
+    progress = _progress_sink(getattr(args, "progress", ""))
     if getattr(args, "ensemble", False):
         from .harness import run_ensemble
 
@@ -76,7 +91,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            n_reps=None if seeds else args.reps,
                            profile_dir=getattr(args, "profile_dir", "")
                            or None,
-                           parallel=args.parallel)
+                           parallel=args.parallel,
+                           progress=progress,
+                           bundle=bundle)
         agg = ens.aggregate()
         print(format_table(
             ["exp", "nodes", "parts", "seeds", "engine", "avg tasks/s",
@@ -85,13 +102,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
               ens.engine, agg.throughput_avg, agg.throughput_max,
               agg.utilization_avg, agg.makespan_avg,
               ens.wall_seconds_per_seed * 1e3)]))
-        if ens.members and ens.members[0].profile_path:
+        if bundle:
+            print(f"wrote ensemble bundle to {bundle}")
+        if ens.members and ens.members[0].profile_path and \
+                getattr(args, "profile_dir", ""):
             print(f"wrote {len(ens.members)} per-seed profiles to "
                   f"{args.profile_dir}")
         return 0
     if args.summary or args.profile or bundle:
         result = run_experiment(cfg, keep_session=True, bundle=bundle,
-                                spill_dir=spill_dir)
+                                spill_dir=spill_dir, progress=progress)
         if bundle:
             print(f"wrote observability bundle to {bundle}")
         if result.faults is not None:
@@ -110,7 +130,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     if args.reps > 1 or seeds:
         agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel,
-                              seeds=seeds)
+                              seeds=seeds, progress=progress)
         print(format_table(
             ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
              "util", "makespan[s]"],
@@ -118,7 +138,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
               agg.throughput_avg, agg.throughput_max, agg.utilization_avg,
               agg.makespan_avg)]))
     else:
-        r = run_experiment(cfg, spill_dir=spill_dir)
+        r = run_experiment(cfg, spill_dir=spill_dir, progress=progress)
         print(format_table(
             ["exp", "nodes", "parts", "tasks", "done", "failed",
              "avg tasks/s", "peak tasks/s", "util", "makespan[s]", "wall[s]"],
@@ -211,6 +231,66 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 for name, stats in phase_rollup(root).items()))
         return 0
 
+    if args.trace_command == "watch":
+        from pathlib import Path
+
+        from ..observability.telemetry import (
+            read_telemetry,
+            render_progress_line,
+        )
+
+        target = Path(args.bundle)
+        path = target / "telemetry.jsonl" if target.is_dir() else target
+        if not path.exists():
+            print(f"error: no telemetry at {path} (run with --progress "
+                  "or --bundle to record some)", file=sys.stderr)
+            return 1
+        records = read_telemetry(path)
+        for record in records:
+            print(render_progress_line(record))
+        print(f"{len(records)} telemetry records from {path}")
+        return 0
+
+    if args.trace_command == "critical":
+        import json as _json
+        from pathlib import Path
+
+        from ..analytics import critical_path, format_critical_path
+        from ..observability import span_from_dict
+
+        target = Path(args.bundle)
+        root = None
+        if target.is_dir():
+            spans_path = target / "spans.json"
+            if spans_path.exists():
+                root = span_from_dict(_json.loads(
+                    spans_path.read_text(encoding="utf-8")))
+            else:
+                manifest = read_manifest(target)
+                profile = manifest.get("files", {}).get("profile")
+                if not profile:
+                    print(f"error: {target} has neither spans.json nor "
+                          "a profile", file=sys.stderr)
+                    return 1
+                from ..analytics import load_events
+
+                root = spans_from_events(
+                    load_events(target / profile),
+                    session_uid=manifest.get("session_uid", "session"))
+        else:
+            from ..analytics import load_events
+
+            root = spans_from_events(load_events(target))
+        steps = critical_path(root)
+        print(format_critical_path(steps))
+        if steps:
+            gate = max(steps, key=lambda s: s.exclusive)
+            print(f"\ncritical path: {len(steps)} levels, "
+                  f"{steps[0].duration:.3f}s end to end; largest "
+                  f"exclusive contribution {gate.exclusive:.3f}s "
+                  f"at {gate.cat}:{gate.name}")
+        return 0
+
     if args.trace_command == "export":
         import json
 
@@ -269,6 +349,13 @@ def main(argv: List[str] = None) -> int:
     p_run.add_argument("--lean", action="store_true",
                        help="memory-lean retention for full-machine "
                             "runs (trace-neutral)")
+    p_run.add_argument("--progress", nargs="?", const="line", default="",
+                       choices=["line", "jsonl"], metavar="FMT",
+                       help="stream live telemetry to stderr while the "
+                            "run executes: 'line' (default) renders one "
+                            "status line per record, 'jsonl' one JSON "
+                            "object (the machine feed); same-seed "
+                            "results are identical with or without it")
     p_run.add_argument("--spill-dir", default="", metavar="DIR",
                        help="stream the trace to chunked files under "
                             "DIR, bounding profiler memory")
@@ -328,6 +415,15 @@ def main(argv: List[str] = None) -> int:
     tr_exp.add_argument("profile", help="profile JSONL file")
     tr_exp.add_argument("--out", default="trace.json",
                         help="output trace file (default: trace.json)")
+    tr_watch = tr_sub.add_parser(
+        "watch", help="render a run's recorded telemetry stream")
+    tr_watch.add_argument("bundle",
+                          help="bundle directory or telemetry.jsonl file")
+    tr_crit = tr_sub.add_parser(
+        "critical", help="extract the critical path from a bundle's "
+                         "span tree (or reconstruct it from a profile)")
+    tr_crit.add_argument("bundle",
+                         help="bundle directory or profile JSONL file")
 
     args = parser.parse_args(argv)
     try:

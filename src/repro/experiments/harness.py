@@ -125,6 +125,46 @@ def build_workload(cfg: ExperimentConfig,
         f"workload {cfg.workload!r} is not synthetic; use run_experiment")
 
 
+def _attach_telemetry(session: Session, cfg: ExperimentConfig,
+                      latencies: LatencyModel, progress):
+    """Build and attach one run's live telemetry plumbing.
+
+    ``progress`` is a :class:`~repro.observability.telemetry.
+    TelemetryBus` (used as-is), a callable (subscribed as the sink of
+    a fresh bus), or any other truthy value (fresh bus, no sink — the
+    records still land in the bundle).  The ETA prior comes from the
+    fluid surrogate when it covers the launcher.
+    """
+    from ..exceptions import ReproError
+    from ..observability.telemetry import (
+        EtaEstimator,
+        HostProfiler,
+        RunTelemetry,
+        SessionSampler,
+        TelemetryBus,
+    )
+
+    if isinstance(progress, TelemetryBus):
+        bus = progress
+    else:
+        source = "shard" if session.engine is not None else "plain"
+        bus = TelemetryBus(source,
+                           sink=progress if callable(progress) else None)
+    prior = None
+    try:
+        from ..ensemble.surrogate import FluidSurrogate
+
+        prior = FluidSurrogate(latencies).predict(cfg).makespan
+    except ReproError:
+        pass  # launcher outside the surrogate's coverage: rate-only ETA
+    sampler = SessionSampler(session, eta=EtaEstimator(None, prior),
+                             host=HostProfiler())
+    telemetry = RunTelemetry(bus, sampler)
+    session.telemetry = telemetry
+    session.env._probe = telemetry.probe()
+    return telemetry
+
+
 def run_experiment(cfg: ExperimentConfig,
                    latencies: LatencyModel = FRONTIER_LATENCIES,
                    keep_session: bool = False,
@@ -132,7 +172,8 @@ def run_experiment(cfg: ExperimentConfig,
                    bundle: Optional[str] = None,
                    spill_dir=None,
                    shard_inline: bool = False,
-                   descriptions: Optional[List[TaskDescription]] = None
+                   descriptions: Optional[List[TaskDescription]] = None,
+                   progress=None
                    ) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
@@ -157,33 +198,70 @@ def run_experiment(cfg: ExperimentConfig,
     are immutable and seed-independent, so sharing them across runs
     cannot change any outcome.  Ignored for the IMPECCABLE campaign,
     which generates tasks adaptively inside the run.
+
+    ``progress`` turns on the live telemetry bus (implies
+    ``observe``): pass a sink callable, a pre-built ``TelemetryBus``,
+    or ``True``.  Sampling is read-only and wall-clock rate-limited,
+    so — like the other switches — same-seed traces stay
+    byte-identical with it on or off.
     """
     wall0 = time.perf_counter()
-    observe = observe or bundle is not None
+    observe = observe or bundle is not None or progress is not None
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
                       latencies=latencies, seed=cfg.seed, observe=observe,
                       faults=cfg.faults, lean=cfg.lean, spill_dir=spill_dir,
                       shards=cfg.shards, shard_inline=shard_inline)
+    # A bundle run records telemetry even without a live sink, so
+    # ``trace watch`` always has something to replay from the bundle.
+    telemetry = (_attach_telemetry(session, cfg, latencies, progress)
+                 if progress is not None or bundle is not None else None)
+    host = telemetry.sampler.host if telemetry is not None else None
     span = session.obs.tracer.begin(
         "experiment", cat="experiment",
         launcher=cfg.launcher, workload=cfg.workload, seed=cfg.seed)
+    if host is not None:
+        host.start("setup")
     pmgr = session.pilot_manager()
     tmgr = session.task_manager()
     pilot = pmgr.submit_pilots(build_pilot_description(cfg))
     tmgr.add_pilot(pilot)
+    if telemetry is not None:
+        telemetry.sampler.pilot = pilot
+    if host is not None:
+        host.stop("setup")
 
     if cfg.workload == WORKLOAD_IMPECCABLE:
+        # Campaign tasks are generated adaptively mid-run, so the
+        # telemetry total stays unknown (ETA falls back to the prior).
         runner = CampaignRunner(session, tmgr, pilot, cfg.n_nodes,
                                 generations=cfg.generations,
                                 adaptive=cfg.adaptive)
+        if host is not None:
+            host.start("run")
         session.run(runner.start())
+        if host is not None:
+            host.stop("run")
         tasks = runner.result.tasks
     else:
+        if host is not None:
+            host.start("workload")
         if descriptions is None:
             descriptions = build_workload(cfg, session.cluster.cores_per_node)
         tasks = tmgr.submit_tasks(descriptions, bulk=cfg.bulk)
+        if host is not None:
+            host.stop("workload")
+        if telemetry is not None:
+            telemetry.sampler.tasks_total = len(tasks)
+        if host is not None:
+            host.start("run")
         session.run(tmgr.wait_tasks())
+        if host is not None:
+            host.stop("run")
     session.obs.tracer.end(span)
+    if telemetry is not None:
+        telemetry.sampler.tasks_total = len(tasks)
+    if host is not None:
+        host.start("metrics")
 
     total_cores = cfg.n_nodes * session.cluster.cores_per_node
     total_gpus = cfg.n_nodes * session.cluster.gpus_per_node
@@ -208,6 +286,12 @@ def run_experiment(cfg: ExperimentConfig,
         shard_peak_rss_mb=(list(session.engine.shard_peak_rss_mb)
                            if session.engine is not None else []),
     )
+    if host is not None:
+        host.stop("metrics")
+    if telemetry is not None:
+        # The final record: every progress-enabled run emits at least
+        # one snapshot regardless of how briefly it ran.
+        telemetry.flush()
     if bundle is not None:
         write_run_bundle(bundle, cfg, session, result)
     session.close()
@@ -229,14 +313,20 @@ def write_run_bundle(directory, cfg: ExperimentConfig, session: Session,
     spans = None
     if session.profiler.enabled and len(session.profiler):
         spans = spans_from_profiler(session.profiler, session_uid=session.uid)
-        for live in session.obs.tracer.roots:
-            if live.closed:
-                spans.children.append(live)
+        live = [s for s in session.obs.tracer.roots if s.closed]
+        # Sorted, not arrival-ordered: sharded runs merge worker spans
+        # at window boundaries, so arrival order depends on shard
+        # grouping while (start, name) does not.
+        live.sort(key=lambda s: (s.start, s.name))
+        spans.children.extend(live)
     manifest = build_manifest(config=cfg, session=session, result=result)
     return write_bundle(directory, manifest,
                         registry=session.obs.registry,
                         spans=spans,
-                        profiler=session.profiler)
+                        profiler=session.profiler,
+                        telemetry=(session.telemetry.records
+                                   if session.telemetry is not None
+                                   else None))
 
 
 @dataclass(frozen=True)
@@ -254,7 +344,8 @@ class AggregateResult:
 
 def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                     latencies: LatencyModel = FRONTIER_LATENCIES,
-                    parallel=None, seeds=None) -> AggregateResult:
+                    parallel=None, seeds=None,
+                    progress=None) -> AggregateResult:
     """Run several seeds of one configuration and aggregate.
 
     ``seeds`` names the repetition seeds explicitly — a sequence of
@@ -268,6 +359,12 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     the serial loop's — but parallel results carry no per-task objects
     (``ExperimentResult.tasks`` is empty; tasks cannot cross the
     process boundary).  The default (``None``) keeps the serial path.
+
+    ``progress`` streams sweep telemetry (``source: "parallel"``,
+    one record per completed repetition, wall-clock ETA): a callable
+    sink, a pre-built
+    :class:`~repro.observability.telemetry.TelemetryBus`, or any
+    truthy value for buffered-only records.
     """
     if seeds is not None:
         from ..ensemble.seeds import resolve_seeds
@@ -279,22 +376,37 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
         seed_list = [cfg.seed + rep for rep in range(n_reps)]
     n_reps = len(seed_list)
     cfgs = [cfg.with_seed(seed) for seed in seed_list]
+    telemetry = None
+    if progress is not None:
+        from ..observability.telemetry import SweepTelemetry
+
+        telemetry = SweepTelemetry.create("parallel", n_reps, progress)
+
+    def rep_done(result):
+        if telemetry is not None:
+            telemetry.member_done(result.n_tasks, result.n_done,
+                                  result.n_failed)
     # Per-sweep setup is paid once: the synthetic workload is
     # seed-independent, so every repetition submits the same immutable
     # descriptions (the campaign workload generates its own tasks).
     shared = (build_workload(cfg, frontier(max(cfg.n_nodes, 1)).cores_per_node)
               if cfg.workload != WORKLOAD_IMPECCABLE else None)
+    serial = True
     if parallel is not None:
         from .parallel import resolve_jobs, run_many
 
         if resolve_jobs(parallel, n_items=n_reps) > 1:
-            results = run_many(cfgs, latencies, jobs=parallel)
-        else:
-            results = [run_experiment(c, latencies, descriptions=shared)
-                       for c in cfgs]
-    else:
-        results = [run_experiment(c, latencies, descriptions=shared)
-                   for c in cfgs]
+            serial = False
+            results = run_many(
+                cfgs, latencies, jobs=parallel,
+                progress=(lambda done, total, r: rep_done(r))
+                if telemetry is not None else None)
+    if serial:
+        results = []
+        for c in cfgs:
+            result = run_experiment(c, latencies, descriptions=shared)
+            results.append(result)
+            rep_done(result)
     return AggregateResult(
         config=cfg,
         n_reps=n_reps,

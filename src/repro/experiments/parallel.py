@@ -26,9 +26,9 @@ filesystem.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..exceptions import ConfigurationError
 from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
@@ -87,6 +87,7 @@ def run_many(configs: Sequence[ExperimentConfig],
              jobs: Union[int, str, None] = None,
              profile_paths: Optional[Sequence[Optional[str]]] = None,
              bundle_paths: Optional[Sequence[Optional[str]]] = None,
+             progress: Optional[Callable] = None,
              ) -> List["ExperimentResult"]:  # noqa: F821
     """Run several independent experiments, fanned out over processes.
 
@@ -98,6 +99,10 @@ def run_many(configs: Sequence[ExperimentConfig],
     ``bundle_paths`` works like ``profile_paths``: each named run
     writes its observability bundle inside the worker (spans, metrics,
     manifest and Perfetto trace do not survive pickling either).
+
+    ``progress(n_completed, n_total, result)`` is called in the parent
+    process as each run lands, in completion order (the telemetry
+    feed ``run_repetitions(progress=)`` builds on).
     """
     configs = list(configs)
     if profile_paths is None:
@@ -115,6 +120,24 @@ def run_many(configs: Sequence[ExperimentConfig],
                                             bundle_paths)]
     n_workers = resolve_jobs(jobs, n_items=len(configs))
     if n_workers <= 1 or len(configs) <= 1:
-        return [_run_one(p) for p in payloads]
+        results = []
+        for payload in payloads:
+            result = _run_one(payload)
+            results.append(result)
+            if progress is not None:
+                progress(len(results), len(payloads), result)
+        return results
+    # submit + as_completed (not pool.map): the progress callback
+    # fires the moment each run lands; input order is restored below.
+    results = [None] * len(payloads)
+    completed = 0
     with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_run_one, payloads))
+        futures = {pool.submit(_run_one, payload): i
+                   for i, payload in enumerate(payloads)}
+        for future in as_completed(futures):
+            result = future.result()
+            results[futures[future]] = result
+            completed += 1
+            if progress is not None:
+                progress(completed, len(payloads), result)
+    return results

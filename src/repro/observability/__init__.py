@@ -57,8 +57,21 @@ from .spans import (
     Span,
     Tracer,
     phase_rollup,
+    span_from_dict,
     spans_from_events,
     spans_from_profiler,
+)
+from .telemetry import (
+    TELEMETRY_SCHEMA,
+    EtaEstimator,
+    HostProfiler,
+    RunTelemetry,
+    SessionSampler,
+    SweepTelemetry,
+    TelemetryBus,
+    read_telemetry,
+    render_progress_line,
+    validate_telemetry,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,8 +80,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "BUNDLE_VERSION",
     "Counter",
+    "EtaEstimator",
     "Gauge",
     "Histogram",
+    "HostProfiler",
     "KernelInstrument",
     "LogRecord",
     "LogSink",
@@ -76,8 +91,13 @@ __all__ = [
     "MetricsRegistry",
     "Observability",
     "PHASES",
+    "RunTelemetry",
+    "SessionSampler",
     "SimLogger",
     "Span",
+    "SweepTelemetry",
+    "TELEMETRY_SCHEMA",
+    "TelemetryBus",
     "Tracer",
     "build_manifest",
     "chrome_trace",
@@ -86,9 +106,13 @@ __all__ = [
     "phase_rollup",
     "prometheus_text",
     "read_manifest",
+    "read_telemetry",
+    "render_progress_line",
+    "span_from_dict",
     "spans_from_events",
     "spans_from_profiler",
     "validate_chrome_trace",
+    "validate_telemetry",
     "write_bundle",
     "write_chrome_trace",
     "write_metrics",

@@ -217,3 +217,19 @@ def write_metrics(registry: MetricsRegistry, path: PathLike,
     else:
         raise ValueError(f"unknown metrics format {fmt!r}")
     return path
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+def write_telemetry(records, path: PathLike) -> Path:
+    """Write telemetry records as JSONL (the bundle's
+    ``telemetry.jsonl``) — the same stream ``run --progress jsonl``
+    prints live, so ``trace watch`` replays either identically."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path

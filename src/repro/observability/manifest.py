@@ -12,6 +12,7 @@ that produced it:
       spans.json      nested span tree (sim-time)
       trace.json      Perfetto / chrome://tracing export of the spans
       profile.jsonl   raw trace events (loadable via analytics.load_events)
+      telemetry.jsonl live progress records (when the run streamed any)
 
 ``manifest.json`` is the index: every other file is listed under
 ``"files"`` so consumers can discover what a (possibly partial)
@@ -145,15 +146,22 @@ def write_bundle(directory: PathLike,
                  manifest: Dict[str, Any],
                  registry=None,
                  spans: Optional["Span"] = None,
-                 profiler=None) -> Dict[str, Path]:
+                 profiler=None,
+                 telemetry=None,
+                 extra_files: Optional[Dict[str, PathLike]] = None
+                 ) -> Dict[str, Path]:
     """Write a bundle; returns ``{artifact name: path}``.
 
     Only the artifacts whose source was passed are written — the
-    manifest always, metrics/spans/trace/profile when available — and
-    the manifest's ``files`` section lists exactly what landed.
+    manifest always; metrics/spans/trace/profile/telemetry when
+    available — and the manifest's ``files`` section lists exactly
+    what landed.  ``telemetry`` is a sequence of live progress records
+    (see :mod:`repro.observability.telemetry`).  ``extra_files`` names
+    artifacts already sitting inside the bundle directory (e.g. an
+    ensemble's per-seed profiles) so the manifest indexes them too.
     """
     from ..analytics.export import save_profile
-    from .export import write_chrome_trace, write_metrics
+    from .export import write_chrome_trace, write_metrics, write_telemetry
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -174,6 +182,11 @@ def write_bundle(directory: PathLike,
         profile_path = directory / "profile.jsonl"
         save_profile(profiler, profile_path)
         written["profile"] = profile_path
+    if telemetry:
+        written["telemetry"] = write_telemetry(
+            telemetry, directory / "telemetry.jsonl")
+    for name, path in (extra_files or {}).items():
+        written[name] = Path(path)
 
     manifest = dict(manifest)
     manifest["files"] = {name: path.name for name, path in written.items()}

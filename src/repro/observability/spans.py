@@ -345,6 +345,24 @@ def spans_from_profiler(profiler, session_uid: str = "session") -> Span:
     return spans_from_events(iter(profiler), session_uid=session_uid)
 
 
+def span_from_dict(doc: Dict[str, Any],
+                   parent: Optional[Span] = None) -> Span:
+    """Rebuild a span (and its subtree) from its ``to_dict`` form.
+
+    The inverse of :meth:`Span.to_dict`, used where span trees cross a
+    process boundary — shard workers serialize their locally-recorded
+    spans into window results and the coordinator grafts them back
+    into the session tracer — and by offline consumers loading a
+    bundle's ``spans.json``.
+    """
+    span = Span(doc["name"], doc.get("cat", "span"), doc["start"],
+                doc.get("end"), parent=parent,
+                attrs=dict(doc.get("attrs") or {}))
+    for child in doc.get("children", ()):
+        span_from_dict(child, parent=span)
+    return span
+
+
 def phase_rollup(root: Span) -> Dict[str, Dict[str, float]]:
     """Aggregate task-phase durations across the whole span tree.
 

@@ -377,6 +377,10 @@ class ShardEngine:
         self.hosts: List[Any] = []
         #: Peak RSS per shard worker [MB], refreshed at every run end.
         self.shard_peak_rss_mb: List[float] = []
+        #: Latest per-shard telemetry delta (index = shard index,
+        #: ``None`` until that shard reported one); read by the
+        #: session sampler for the cluster-wide progress view.
+        self.shard_telemetry: List[Optional[dict]] = []
         self._hierarchies: List[ProxyHierarchy] = []
         self._outbox: Dict[Any, List[Any]] = {}
         self._next_times: Dict[Any, float] = {}
@@ -443,9 +447,11 @@ class ShardEngine:
                 lean=session.lean,
                 trace=session.profiler.enabled,
                 observe=session.obs.registry is not None,
-                faults=fault_spec)
+                faults=fault_spec,
+                telemetry=session.telemetry is not None)
             host = InlineHost(config) if self.inline else ProcessHost(config)
             self.hosts.append(host)
+            self.shard_telemetry.append(None)
             self._outbox[host] = []
             self._next_times[host] = _INF
             self._host_executor[host] = executor
@@ -517,6 +523,7 @@ class ShardEngine:
             host.post(boundary, msgs)
         results = [host.collect() for host in hosts]
         reports: List[Tuple[Any, Any]] = []
+        tracer = self.session.obs.tracer
         for host, result in zip(hosts, results):
             self._next_times[host] = result.next_time
             executor = self._host_executor[host]
@@ -525,6 +532,18 @@ class ShardEngine:
                 self._apply_state(hierarchy.instances[sr.instance], sr.state)
             if result.events:
                 self._shard_events.extend(result.events)
+            if result.spans and tracer.enabled:
+                # Graft worker-recorded spans (instance bootstraps)
+                # into the session tracer; the bundle writer orders
+                # live roots canonically, so grouping cannot leak
+                # into the artifact.
+                from ..observability.spans import span_from_dict
+
+                for doc in result.spans:
+                    tracer.roots.append(span_from_dict(doc))
+            if result.telemetry is not None:
+                self.shard_telemetry[result.telemetry["shard"]] = \
+                    result.telemetry
             for rep in result.reports:
                 reports.append((rep, executor))
         # Canonical application order: a pure function of the
@@ -541,6 +560,12 @@ class ShardEngine:
             if ev is not None and hierarchy.all_ready:
                 hierarchy._start_event = None
                 ev.succeed()
+        # The window boundary is the sharded path's telemetry
+        # heartbeat (the kernel probe only sees coordinator events);
+        # the bus rate-limits on wall time, so fine windows stay cheap.
+        telemetry = self.session.telemetry
+        if telemetry is not None:
+            telemetry.tick()
         return False
 
     @staticmethod

@@ -44,6 +44,10 @@ class ShardConfig(NamedTuple):
     trace: bool
     observe: bool
     faults: Any           #: Optional[FaultSpec] (frozen dataclass)
+    #: Live telemetry on: workers piggyback an occupancy/RSS delta on
+    #: every window result (defaulted so pickled configs from older
+    #: coordinators keep working).
+    telemetry: bool = False
 
 
 # -- coordinator -> worker messages ---------------------------------------
@@ -135,6 +139,13 @@ class WindowResult(NamedTuple):
     reports: List[JobReport]
     states: List[StateReport]
     events: List[Any]             #: drained shard-local TraceEvents
+    #: Closed worker-side span trees (``Span.to_dict`` form), drained
+    #: each window; the coordinator grafts them into the session
+    #: tracer so sharded bundles carry complete spans.
+    spans: Tuple[Any, ...] = ()
+    #: Occupancy/RSS snapshot for the cluster-wide telemetry view
+    #: (``None`` when telemetry is off).
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 class ShardStats(NamedTuple):

@@ -121,13 +121,20 @@ class ShardRunner:
         self.rng = RngStreams(config.seed)
         self.profiler = Profiler(self.env, enabled=config.trace)
         self.metrics = None
+        self.tracer = None
         if config.observe:
             from ..observability.metrics import MetricsRegistry
+            from ..observability.spans import Tracer
 
             # Per-instance flux series only: the kernel instrument
             # stays coordinator-side so the repro_kernel_* families
             # keep a single writer.
             self.metrics = MetricsRegistry()
+            # Worker-side live spans (instance bootstraps): closed
+            # roots are drained into every window result and grafted
+            # into the coordinator's tracer, so sharded bundles carry
+            # the same spans as sequential ones.
+            self.tracer = Tracer(self.env, enabled=True)
         self.fault_injected: Dict[str, int] = {}
         self.fault_log: List = []
 
@@ -162,7 +169,7 @@ class ShardRunner:
                 self.env, alloc, config.latencies, rng,
                 instance_id=spec.instance_id, policy=spec.policy,
                 profiler=self.profiler, metrics=self.metrics,
-                faults=faults, lean=config.lean)
+                faults=faults, lean=config.lean, tracer=self.tracer)
         self._specs: Dict[int, Any] = {}
         self._reports: List[JobReport] = []
         self._report_seq: Dict[int, int] = {i: 0 for i in self.instances}
@@ -268,7 +275,41 @@ class ShardRunner:
                 states.append(StateReport(index, state))
         reports, self._reports = self._reports, []
         return WindowResult(env.peek(), reports, states,
-                            self._drain_events())
+                            self._drain_events(), self._drain_spans(),
+                            self._telemetry_delta())
+
+    def _drain_spans(self):
+        """Closed root spans since the last window, in ``to_dict``
+        form (spans stay worker-side until they close)."""
+        tracer = self.tracer
+        if tracer is None or not tracer.roots:
+            return ()
+        closed = [s for s in tracer.roots if s.closed]
+        if not closed:
+            return ()
+        tracer.roots = [s for s in tracer.roots if not s.closed]
+        return tuple(s.to_dict() for s in closed)
+
+    def _telemetry_delta(self) -> Optional[Dict[str, Any]]:
+        """This shard's occupancy/RSS snapshot for the cluster-wide
+        telemetry view (``None`` when telemetry is off)."""
+        if not self.config.telemetry:
+            return None
+        try:
+            import resource
+
+            rss_mb = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                      / 1024.0)
+        except Exception:  # pragma: no cover - non-POSIX
+            rss_mb = 0.0
+        return {
+            "shard": self.config.shard_index,
+            "active": sum(inst.n_running for inst in
+                          self.instances.values()),
+            "queued": sum(inst.outstanding for inst in
+                          self.instances.values()),
+            "rss_mb": round(rss_mb, 3),
+        }
 
     def _drain_events(self) -> List[Any]:
         prof = self.profiler

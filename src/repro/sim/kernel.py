@@ -52,6 +52,12 @@ from .process import Process, ProcessGenerator, _INIT
 #: callbacks (marker ``False``, see ``schedule_callback``).
 _QueueItem = Tuple[float, int, int, Event]
 
+#: Dispatch count between firings of the telemetry probe
+#: (``Environment._probe``) inside the instrumented loops.  The probe
+#: itself rate-limits on wall time; the stride only bounds how often
+#: that wall-clock check runs, so it can stay coarse.
+PROBE_STRIDE = 4096
+
 
 class Environment:
     """A discrete-event simulation environment.
@@ -72,6 +78,13 @@ class Environment:
         #: ``None`` keeps the fast dispatch loops below untouched; the
         #: check happens once per :meth:`run` call, not per event.
         self._instrument = None
+        #: Optional zero-argument telemetry heartbeat, called every
+        #: :data:`PROBE_STRIDE` dispatches by the *instrumented* loops
+        #: only (telemetry implies observability).  The probe must be
+        #: read-only: no scheduling, no RNG, no clock writes — the
+        #: determinism tests pin that instrumented runs with a probe
+        #: attached stay byte-identical.
+        self._probe = None
 
     # -- clock -------------------------------------------------------------
 
@@ -326,10 +339,19 @@ class Environment:
         depth_min = -1
         sim0 = self._now
         wall0 = perf_counter()
+        probe = self._probe
+        # inf sentinel: with no probe the countdown never reaches zero,
+        # so the per-event cost is one subtract and one compare.
+        stride = PROBE_STRIDE if probe is not None else float("inf")
+        tick = stride
         try:
             while queue and queue[0][0] <= horizon:
                 if stop.callbacks is None:
                     return True
+                tick -= 1.0
+                if tick <= 0.0:
+                    probe()
+                    tick = stride
                 depth_last = len(queue)
                 if depth_last > depth_max:
                     depth_max = depth_last
@@ -384,9 +406,18 @@ class Environment:
         depth_min = -1  # -1 = no event dispatched yet
         sim0 = self._now
         wall0 = perf_counter()
+        probe = self._probe
+        # inf sentinel: with no probe the countdown never reaches zero,
+        # so the per-event cost is one subtract and one compare.
+        stride = PROBE_STRIDE if probe is not None else float("inf")
+        tick = stride
         try:
             if until is None:
                 while queue:
+                    tick -= 1.0
+                    if tick <= 0.0:
+                        probe()
+                        tick = stride
                     depth_last = len(queue)
                     if depth_last > depth_max:
                         depth_max = depth_last
@@ -420,6 +451,10 @@ class Environment:
                             "simulation ran out of events before the "
                             "awaited event triggered (deadlock?)"
                         )
+                    tick -= 1.0
+                    if tick <= 0.0:
+                        probe()
+                        tick = stride
                     depth_last = len(queue)
                     if depth_last > depth_max:
                         depth_max = depth_last
@@ -456,6 +491,10 @@ class Environment:
                     f"cannot run until {horizon} (already at {self._now})"
                 )
             while queue and queue[0][0] <= horizon:
+                tick -= 1.0
+                if tick <= 0.0:
+                    probe()
+                    tick = stride
                 depth_last = len(queue)
                 if depth_last > depth_max:
                     depth_max = depth_last

@@ -62,7 +62,7 @@ class TestBundle:
         assert manifest["result"]["makespan"] == \
             pytest.approx(result.makespan)
         assert set(manifest["files"]) == \
-            {"metrics", "spans", "trace", "profile"}
+            {"metrics", "spans", "trace", "profile", "telemetry"}
 
     def test_trace_artifact_validates(self, bundle):
         out, _ = bundle
