@@ -27,6 +27,21 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
+def write_bench(path, doc) -> None:
+    """Write a ``BENCH_*.json`` document crash-safely.
+
+    Atomic temp-file-and-rename (see :mod:`repro.resilience.atomic`),
+    so a benchmark run killed mid-write leaves the previous baseline
+    intact instead of a truncated JSON that breaks the regression
+    gate.  Key order and layout match the old direct writes.
+    """
+    import json
+
+    from repro.resilience.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+
+
 #: Measurement rounds for the ``test_perf_*`` wall-clock guards,
 #: overridable via ``REPRO_BENCH_ROUNDS`` (CI uses the default; 1
 #: gives the old single-shot behaviour for quick local runs).

@@ -23,7 +23,7 @@ from pathlib import Path
 from repro.ensemble import run_ensemble, supports_vectorized
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import BENCH_ROUNDS, rate_stats, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once, write_bench
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_ensemble.json"
 
@@ -74,7 +74,7 @@ def test_ensemble_per_seed_speedup(benchmark, emit):
     ensemble, independent = run_once(benchmark, _measure)
     speedup = ensemble["median"] / independent["median"]
 
-    BENCH_FILE.write_text(json.dumps({
+    write_bench(BENCH_FILE, {
         "n_seeds": N_SEEDS,
         "tasks_per_seed": 224,
         "tasks_per_wall_second_ensemble": ensemble["median"],
@@ -82,7 +82,7 @@ def test_ensemble_per_seed_speedup(benchmark, emit):
         "per_seed_speedup": speedup,
         "spread": {"ensemble": ensemble, "independent": independent},
         "rounds": BENCH_ROUNDS,
-    }, indent=2) + "\n")
+    })
 
     emit(f"ensemble: {ensemble['median']:,.0f} tasks/s  "
          f"independent: {independent['median']:,.0f} tasks/s  "

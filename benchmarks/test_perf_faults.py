@@ -25,7 +25,7 @@ from pathlib import Path
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.faults import FaultSpec, RetryPolicy
 
-from .conftest import BENCH_ROUNDS, rate_stats, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once, write_bench
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
 
@@ -76,14 +76,14 @@ def test_disabled_faults_overhead(benchmark, emit):
     overhead = 1.0 - min(rates["disabled_1"], rates["disabled_2"]) / disabled
     faulty_cost = 1.0 - faulty / disabled
 
-    BENCH_FILE.write_text(json.dumps({
+    write_bench(BENCH_FILE, {
         "tasks_per_wall_second_disabled": disabled,
         "tasks_per_wall_second_faulty": faulty,
         "disabled_round_spread": spread,
         "faulty_slowdown": faulty_cost,
         "spread": stats,
         "rounds": BENCH_ROUNDS,
-    }, indent=2) + "\n")
+    })
 
     emit(f"faults off: {disabled:,.0f} tasks/s  "
          f"on: {faulty:,.0f} tasks/s  "

@@ -18,7 +18,7 @@ from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import BENCH_ROUNDS, rate_stats, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once, write_bench
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
 
@@ -40,10 +40,10 @@ def test_kernel_tasks_per_wall_second(benchmark, emit):
     stats = run_once(benchmark, lambda: rate_stats(_rate))
     rate = stats["median"]
 
-    BENCH_FILE.write_text(json.dumps(
-        {"tasks_per_wall_second": rate,
-         "spread": stats,
-         "rounds": BENCH_ROUNDS}, indent=2) + "\n")
+    write_bench(BENCH_FILE,
+                {"tasks_per_wall_second": rate,
+                 "spread": stats,
+                 "rounds": BENCH_ROUNDS})
     emit(f"kernel throughput: {rate:,.0f} simulated tasks / wall second "
          f"(median of {BENCH_ROUNDS} after warmup, round spread "
          f"{stats['min']:,.0f}-{stats['max']:,.0f})\n"

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from repro.experiments import ExperimentConfig, run_experiment
 
-from .conftest import BENCH_ROUNDS, rate_stats, run_once
+from .conftest import BENCH_ROUNDS, rate_stats, run_once, write_bench
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / \
     "BENCH_observability.json"
@@ -82,7 +82,7 @@ def test_disabled_observability_overhead(benchmark, emit):
     # is measured against the enabled leg, not the disabled one.
     progress_cost = 1.0 - progress / enabled
 
-    BENCH_FILE.write_text(json.dumps({
+    write_bench(BENCH_FILE, {
         "tasks_per_wall_second_disabled": disabled,
         "tasks_per_wall_second_enabled": enabled,
         "tasks_per_wall_second_progress": progress,
@@ -91,7 +91,7 @@ def test_disabled_observability_overhead(benchmark, emit):
         "progress_slowdown": progress_cost,
         "spread": stats,
         "rounds": BENCH_ROUNDS,
-    }, indent=2) + "\n")
+    })
 
     emit(f"observability off: {disabled:,.0f} tasks/s  "
          f"on: {enabled:,.0f} tasks/s  "

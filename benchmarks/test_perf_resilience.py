@@ -1,0 +1,177 @@
+"""Resilience-layer overhead guard (not a paper figure).
+
+Two costs are pinned to ``BENCH_resilience.json``:
+
+* **Checkpoint overhead** — the kernel-benchmark reference workload
+  run plain and with durable checkpointing at the default cadence
+  (``checkpoint_sim_interval=60``).  The ISSUE's budget is <= 10%:
+  a crash-safe run must stay within a tenth of the unprotected run,
+  or nobody will leave checkpointing on.
+* **Recovery latency** — wall seconds for a supervised
+  :class:`~repro.shard.coordinator.ProcessHost` to notice a
+  SIGKILLed worker, respawn it, and replay the journal.  The crash
+  path is detected by pid polling, not by waiting out the hang
+  deadline, so it should be milliseconds.
+
+As with the fault-layer guard, wall-clock ratios on a shared machine
+are noisy — and they *drift* (rates fall over a session), so plain
+and checkpointed rounds are interleaved and each checkpointed round
+is judged against its neighboring plain rounds.  When the per-round
+overheads disagree by more than the allowance the machine cannot
+certify either way and the assertion is skipped — the recorded JSON
+tracks the trend across commits either way (see
+``tools/bench_gate.py``, which gates ``checkpoint_overhead`` as a
+ceiling metric).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.platform.latency import FRONTIER_LATENCIES
+from repro.resilience import ResilienceSpec
+from repro.resilience.supervisor import SupervisorPolicy
+from repro.shard.coordinator import ProcessHost
+from repro.shard.protocol import InstanceSpec, ShardConfig
+
+from .conftest import BENCH_ROUNDS, run_once, write_bench
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / \
+    "BENCH_resilience.json"
+
+CFG = ExperimentConfig(exp_id="perf_resilience", launcher="srun",
+                       workload="null", n_nodes=64, waves=2, seed=0)
+
+#: The ISSUE's checkpoint budget: crash safety at the default cadence
+#: must cost no more than a tenth of the run.
+MAX_CHECKPOINT_OVERHEAD = 0.10
+
+#: Noise certificate: allowed spread between the per-round overhead
+#: estimates (mirrors the fault-layer benchmark's allowance).
+MAX_PLAIN_SPREAD = 0.10
+
+
+def _rate(resilience) -> float:
+    wall0 = time.perf_counter()
+    result = run_experiment(CFG, resilience=resilience)
+    wall = time.perf_counter() - wall0
+    assert result.n_done == result.n_tasks > 0
+    return result.n_tasks / wall
+
+
+def test_checkpoint_overhead(benchmark, emit, tmp_path):
+    import statistics
+
+    spec = ResilienceSpec(checkpoint_dir=str(tmp_path / "ckpt"))
+
+    def _measure():
+        # Shared machines drift — rates fall monotonically over a
+        # session (frequency scaling, cache pressure), so bracketing
+        # legs mis-attribute the drift to the checkpoint layer.
+        # Interleave instead: p c p c ... p, and compare each
+        # checkpointed round against the *average of its neighboring
+        # plain rounds*, which cancels linear drift exactly.
+        _rate(None)  # warmup
+        plain = [_rate(None)]
+        overheads = []
+        for _ in range(BENCH_ROUNDS):
+            checked = _rate(spec)
+            plain.append(_rate(None))
+            local = (plain[-2] + plain[-1]) / 2.0
+            overheads.append(1.0 - checked / local)
+        return plain, overheads
+
+    plain, overheads = run_once(benchmark, _measure)
+    # Certify from the closest-agreeing pair of rounds: interference
+    # only ever *adds* overhead, so a single slow outlier round must
+    # not veto an otherwise clean measurement.
+    srt = sorted(overheads)
+    if len(srt) == 1:
+        jitter, overhead = 0.0, max(0.0, srt[0])
+    else:
+        jitter, lo = min((srt[i + 1] - srt[i], srt[i])
+                         for i in range(len(srt) - 1))
+        overhead = max(0.0, lo + jitter / 2.0)
+    drift = abs(plain[0] - plain[-1]) / max(plain)
+
+    write_bench(BENCH_FILE, {
+        "tasks_per_wall_second_plain": statistics.median(plain),
+        "checkpoint_overhead": overhead,
+        "checkpoint_sim_interval": spec.checkpoint_sim_interval,
+        "overhead_per_round": overheads,
+        "plain_drift": drift,
+        "rounds": BENCH_ROUNDS,
+    })
+
+    emit(f"plain: {statistics.median(plain):,.0f} tasks/s  "
+         f"checkpoint overhead {overhead:+.1%} at "
+         f"{spec.checkpoint_sim_interval:.0f}s sim cadence "
+         f"(per-round {', '.join(f'{o:+.1%}' for o in overheads)}; "
+         f"plain drift {drift:.1%})\n"
+         f"wrote {BENCH_FILE}")
+
+    if jitter > MAX_PLAIN_SPREAD:
+        import pytest
+
+        pytest.skip(f"per-round overheads spread by {jitter:.1%} "
+                    f"(> {MAX_PLAIN_SPREAD:.0%}); machine too noisy to "
+                    f"certify checkpoint overhead")
+    assert overhead <= MAX_CHECKPOINT_OVERHEAD, (
+        f"checkpointing at the default cadence costs {overhead:.1%} "
+        f"(budget {MAX_CHECKPOINT_OVERHEAD:.0%})")
+
+
+def _recovery_seconds() -> float:
+    """Kill a supervised shard worker mid-conversation and time the
+    respawn-and-replay to a collected window result."""
+    config = ShardConfig(
+        shard_index=0, seed=7, start_time=0.0,
+        latencies=FRONTIER_LATENCIES, cluster_name="frontier",
+        cores_per_node=8, gpus_per_node=0, mem_gb_per_node=64.0,
+        instances=(InstanceSpec(0, "agent.0.flux.000", (0, 1), "fcfs"),),
+        lean=False, trace=True, observe=False, faults=None,
+        heartbeat=0.1)
+    policy = SupervisorPolicy(supervise=True, heartbeat_interval=0.1,
+                              hang_deadline=5.0, max_respawns=2,
+                              respawn_backoff=0.0)
+    host = ProcessHost(config, policy=policy)
+    try:
+        host.post(1.0, [])
+        host.collect()
+        os.kill(host.proc.pid, signal.SIGKILL)
+        t0 = time.monotonic()
+        host.post(2.0, [])
+        host.collect()
+        return time.monotonic() - t0
+    finally:
+        host.close()
+
+
+def test_supervised_recovery_latency(benchmark, emit):
+    latencies = run_once(
+        benchmark,
+        lambda: sorted(_recovery_seconds() for _ in range(BENCH_ROUNDS)))
+    median = latencies[len(latencies) // 2]
+
+    doc = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.is_file() else {}
+    doc.update({
+        "recovery_seconds_median": median,
+        "recovery_seconds_max": latencies[-1],
+    })
+    write_bench(BENCH_FILE, doc)
+
+    emit(f"worker kill -> respawn+replay: median {median * 1e3:.1f}ms, "
+         f"max {latencies[-1] * 1e3:.1f}ms over {len(latencies)} rounds\n"
+         f"updated {BENCH_FILE}")
+
+    # Crash detection polls the pid — recovery must not wait out the
+    # hang deadline (5s above).  Generous bound: fork + config resend
+    # + two-window replay in a couple of seconds even under load.
+    assert median < 2.0, (
+        f"supervised recovery took {median:.2f}s — the crash path is "
+        f"waiting on a deadline instead of polling")

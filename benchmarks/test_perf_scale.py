@@ -29,7 +29,7 @@ from pathlib import Path
 
 from repro.experiments.configs import FRONTIER_SCALE_POINTS
 
-from .conftest import run_once
+from .conftest import run_once, write_bench
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
 
@@ -110,12 +110,12 @@ def test_weak_scaling_to_full_machine(benchmark, emit):
             f"{p['n_nodes']}-node point lost tasks: "
             f"{p['n_done']}/{p['n_tasks']}")
 
-    BENCH_FILE.write_text(json.dumps({
+    write_bench(BENCH_FILE, {
         "waves": WAVES,
         "points": points,
         "wall_budget_s": WALL_BUDGET_S,
         "rss_budget_mb": RSS_BUDGET_MB,
-    }, indent=2) + "\n")
+    })
 
     rows = "\n".join(
         f"  {p['n_nodes']:>5} nodes / {p['n_partitions']:>2} parts"

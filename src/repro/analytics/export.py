@@ -146,10 +146,17 @@ def save_profile(profiler: Profiler, path: PathLike) -> int:
     profiler's chunks are concatenated verbatim — they are already in
     the record format — so the output is byte-identical to an
     in-memory profiler's, without materializing the trace.
+
+    The write is crash-safe: the profile is staged to a temp file in
+    the target directory and atomically renamed into place, so a kill
+    mid-export leaves either the previous profile or the new one —
+    never a truncated file (see :mod:`repro.resilience.atomic`).
     """
+    from ..resilience.atomic import atomic_writer
+
     path = Path(path)
     count = 0
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_writer(path, encoding="utf-8") as fh:
         fh.write(json.dumps({"format": PROFILE_FORMAT,
                              "version": PROFILE_VERSION}, sort_keys=True))
         fh.write("\n")

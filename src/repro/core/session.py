@@ -40,7 +40,8 @@ class Session:
                  spill_dir=None,
                  shards=None,
                  shard_window: float = 0.25,
-                 shard_inline: bool = False) -> None:
+                 shard_inline: bool = False,
+                 resilience=None) -> None:
         self.env = env if env is not None else Environment()
         self.cluster = cluster if cluster is not None else frontier()
         self.latencies = latencies
@@ -104,7 +105,8 @@ class Session:
             if n_shards >= 2:
                 self.engine = ShardEngine(self, n_shards,
                                           window=shard_window,
-                                          inline=shard_inline)
+                                          inline=shard_inline,
+                                          resilience=resilience)
                 self.shards = n_shards
         self._closed = False
 

@@ -201,6 +201,14 @@ def _run_batch(payload):
     pool can pickle it).  Profilers cannot cross the process boundary;
     traces only come back via ``profile_dir`` exports."""
     cfg, seeds, latencies, engine, profile_dir = payload
+    from ..resilience.crash import crash_point, crash_value
+
+    # Crash-injection hook (tests only; inert without the env var):
+    # ``REPRO_CRASH_AT=pool:<seed>`` kills the worker holding that
+    # seed's batch, exercising the coordinator's salvage-and-resubmit.
+    if crash_value("pool") is not None:
+        for seed in seeds:
+            crash_point("pool", float(seed))
     members = _run_members(cfg, seeds, latencies, engine,
                            keep_profiles=False, profile_dir=profile_dir)
     for member in members:
@@ -350,24 +358,54 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
                 "keep_profiles does not compose with parallel ensembles; "
                 "use profile_dir to export traces inside the workers")
         from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        from ..exceptions import HostFailureError
+        from ..experiments.parallel import POOL_RETRIES, POOL_RETRY_BACKOFF
 
         payloads = [(cfg, batch, latencies, chosen, profile_dir)
                     for batch in _split_batches(seed_list, n_workers)]
         # submit + as_completed (not pool.map): progress is reported
         # the moment each batch lands, while the result list is still
-        # restored to input order below.
+        # restored to input order below.  A pool worker killed by the
+        # OS breaks the pool; landed batches are salvaged and only the
+        # missing ones are resubmitted (each batch is an independent
+        # seeded replay, so a re-run is bit-identical).
         batches: List[Optional[List[EnsembleMember]]] = [None] * len(payloads)
-        with ProcessPoolExecutor(max_workers=len(payloads)) as pool:
-            futures = {pool.submit(_run_batch, payload): i
-                       for i, payload in enumerate(payloads)}
-            for future in as_completed(futures):
-                batch = future.result()
-                batches[futures[future]] = batch
-                if telemetry is not None:
-                    for member in batch:
-                        r = member.result
-                        telemetry.member_done(r.n_tasks, r.n_done,
-                                              r.n_failed)
+
+        def land(i, batch):
+            batches[i] = batch
+            if telemetry is not None:
+                for member in batch:
+                    r = member.result
+                    telemetry.member_done(r.n_tasks, r.n_done, r.n_failed)
+
+        pending = list(range(len(payloads)))
+        retries = 0
+        while pending:
+            broken = None
+            with ProcessPoolExecutor(max_workers=len(pending)) as pool:
+                futures = {pool.submit(_run_batch, payloads[i]): i
+                           for i in pending}
+                for future in as_completed(futures):
+                    try:
+                        batch = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = exc
+                        continue
+                    land(futures[future], batch)
+            if broken is None:
+                break
+            pending = [i for i in pending if batches[i] is None]
+            if not pending:
+                break
+            if retries >= POOL_RETRIES:
+                raise HostFailureError(
+                    f"ensemble pool lost workers {retries + 1} times; "
+                    f"{len(pending)} of {len(payloads)} batches incomplete"
+                ) from broken
+            time.sleep(POOL_RETRY_BACKOFF * (2 ** retries))
+            retries += 1
         members = [m for batch in batches for m in batch]
     else:
         n_workers = 1

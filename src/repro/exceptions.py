@@ -77,3 +77,17 @@ class ConfigurationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload description is malformed."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unusable checkpoints: corrupt or version-skewed
+    headers, config mismatches, or a resumed replay that diverged from
+    the checkpointed state (non-deterministic code or code drift)."""
+
+
+class HostFailureError(SimulationError):
+    """Raised when a *host-side* worker process (shard worker, pool
+    worker) is lost — crashed pid or hung heartbeat — and supervision
+    is off or its respawn budget is exhausted.  Distinct from
+    :class:`NodeFailureError`, which models failures of the *simulated*
+    machine."""

@@ -51,6 +51,17 @@ def _progress_sink(spec: str):
     return jsonl_sink() if spec == "jsonl" else line_sink()
 
 
+def _print_recovery(result) -> None:
+    """Echo the host-recovery ledger of a supervised run, if any."""
+    doc = getattr(result, "host_recovery", None)
+    if not doc:
+        return
+    print(f"host recovery: healed {doc['n_incidents']} worker "
+          f"loss(es) ({doc['n_crashes']} crashed, {doc['n_hangs']} hung), "
+          f"{doc['windows_replayed']} windows replayed in "
+          f"{doc['total_recovery_seconds']:.2f}s wall", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.nodes:
@@ -84,6 +95,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spill_dir = getattr(args, "spill_dir", "") or None
     seeds = getattr(args, "seeds", "") or None
     progress = _progress_sink(getattr(args, "progress", ""))
+    checkpoint = getattr(args, "checkpoint", "") or None
+    multi = args.reps > 1 or seeds or getattr(args, "ensemble", False)
+    from ..resilience import parse_resilience
+
+    # Multi-run sweeps use the directory as a sweep *ledger* (one doc
+    # per finished unit), not a per-run checkpoint — per-rep
+    # checkpoints in a shared directory would clobber each other.
+    resilience = parse_resilience(
+        checkpoint=None if multi else checkpoint,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        checkpoint_wall=getattr(args, "checkpoint_wall", None),
+        supervise=getattr(args, "supervise", False))
     if getattr(args, "ensemble", False):
         from .harness import run_ensemble
 
@@ -111,7 +134,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     if args.summary or args.profile or bundle:
         result = run_experiment(cfg, keep_session=True, bundle=bundle,
-                                spill_dir=spill_dir, progress=progress)
+                                spill_dir=spill_dir, progress=progress,
+                                resilience=resilience)
+        _print_recovery(result)
         if bundle:
             print(f"wrote observability bundle to {bundle}")
         if result.faults is not None:
@@ -130,7 +155,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     if args.reps > 1 or seeds:
         agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel,
-                              seeds=seeds, progress=progress)
+                              seeds=seeds, progress=progress,
+                              checkpoint=checkpoint,
+                              resilience=resilience)
         print(format_table(
             ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
              "util", "makespan[s]"],
@@ -138,7 +165,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
               agg.throughput_avg, agg.throughput_max, agg.utilization_avg,
               agg.makespan_avg)]))
     else:
-        r = run_experiment(cfg, spill_dir=spill_dir, progress=progress)
+        r = run_experiment(cfg, spill_dir=spill_dir, progress=progress,
+                           resilience=resilience)
+        _print_recovery(r)
         print(format_table(
             ["exp", "nodes", "parts", "tasks", "done", "failed",
              "avg tasks/s", "peak tasks/s", "util", "makespan[s]", "wall[s]"],
@@ -148,6 +177,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if r.faults is not None:
             print()
             print(r.faults.to_text())
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .harness import resume_experiment
+
+    bundle = args.bundle or None
+    progress = _progress_sink(args.progress)
+    keep = bool(args.summary or args.profile)
+    result = resume_experiment(args.directory, keep_session=keep,
+                               bundle=bundle, progress=progress)
+    cfg = result.config
+    _print_recovery(result)
+    print(format_table(
+        ["exp", "nodes", "parts", "tasks", "done", "failed",
+         "avg tasks/s", "peak tasks/s", "util", "makespan[s]", "wall[s]"],
+        [(cfg.exp_id, cfg.n_nodes, cfg.n_partitions, result.n_tasks,
+          result.n_done, result.n_failed, result.throughput.avg,
+          result.throughput.peak, result.utilization_cores,
+          result.makespan, result.wall_seconds)]))
+    if bundle:
+        print(f"wrote observability bundle to {bundle}")
+    if args.summary:
+        from ..analytics import summarize
+
+        total_cores = cfg.n_nodes * result.session.cluster.cores_per_node
+        print(summarize(result.tasks, total_cores=total_cores).to_text())
+    if args.profile:
+        from ..analytics import save_profile
+
+        n = save_profile(result.session.profiler, args.profile)
+        print(f"wrote {n} trace events to {args.profile}")
     return 0
 
 
@@ -380,6 +441,39 @@ def main(argv: List[str] = None) -> int:
                             "event interleaving than the sequential "
                             "path")
 
+    p_run.add_argument("--checkpoint", default="", metavar="DIR",
+                       help="durable crash-safety state in DIR: periodic "
+                            "run checkpoints for a single run, or a "
+                            "sweep ledger (finished repetitions are "
+                            "never re-run) with --reps/--seeds")
+    p_run.add_argument("--checkpoint-every", type=float, default=None,
+                       metavar="SIMSECS",
+                       help="simulated seconds between checkpoint ticks "
+                            "(default 60)")
+    p_run.add_argument("--checkpoint-wall", type=float, default=None,
+                       metavar="SECS",
+                       help="rate-limit checkpoint writes to one per "
+                            "SECS wall seconds (default 1; 0 writes "
+                            "at every tick)")
+    p_run.add_argument("--supervise", action="store_true",
+                       help="watchdog + deterministic replay recovery "
+                            "for crashed or hung shard workers "
+                            "(sharded runs)")
+
+    p_res = sub.add_parser(
+        "resume", help="resume a checkpointed run to completion")
+    p_res.add_argument("directory", help="checkpoint directory "
+                                         "(from run --checkpoint)")
+    p_res.add_argument("--summary", action="store_true",
+                       help="print the per-phase latency summary")
+    p_res.add_argument("--profile", default="",
+                       help="write the trace profile (JSONL) here")
+    p_res.add_argument("--bundle", default="", metavar="DIR",
+                       help="write the observability bundle here")
+    p_res.add_argument("--progress", nargs="?", const="line", default="",
+                       choices=["line", "jsonl"],
+                       help="stream live progress to stderr")
+
     p_t1 = sub.add_parser("table1", help="run the full Table-1 sweep")
     p_t1.add_argument("--waves", type=int, default=0)
     p_t1.add_argument("--max-nodes", type=int, default=1024)
@@ -431,6 +525,8 @@ def main(argv: List[str] = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "resume":
+            return _cmd_resume(args)
         if args.command == "table1":
             return _cmd_table1(args)
         if args.command == "trace":

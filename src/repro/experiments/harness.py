@@ -74,6 +74,10 @@ class ExperimentResult:
     n_shards: int = 0
     #: Peak RSS per shard worker [MB] (empty on the sequential path).
     shard_peak_rss_mb: List[float] = field(default_factory=list)
+    #: Host-recovery summary (crashed/hung shard workers respawned and
+    #: replayed); ``None`` when nothing was recovered.  Wall-clock
+    #: metadata only — recovery never changes the trace.
+    host_recovery: Optional[dict] = None
 
     @property
     def throughput_avg(self) -> float:
@@ -173,7 +177,9 @@ def run_experiment(cfg: ExperimentConfig,
                    spill_dir=None,
                    shard_inline: bool = False,
                    descriptions: Optional[List[TaskDescription]] = None,
-                   progress=None
+                   progress=None,
+                   resilience=None,
+                   _resume_verify=None
                    ) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
@@ -204,13 +210,31 @@ def run_experiment(cfg: ExperimentConfig,
     or ``True``.  Sampling is read-only and wall-clock rate-limited,
     so — like the other switches — same-seed traces stay
     byte-identical with it on or off.
+
+    ``resilience`` is an optional
+    :class:`~repro.resilience.ResilienceSpec`: a checkpoint directory
+    arms periodic durable checkpoints of the run's progress
+    watermarks, and ``supervise`` turns on respawn-and-replay recovery
+    of crashed/hung shard workers.  Both are wall-clock-side and
+    trace-inert (see ``docs/RESILIENCE.md``).  ``_resume_verify`` is
+    internal resume plumbing — the checkpointed state document the
+    replay must match (see :func:`resume_experiment`).
     """
     wall0 = time.perf_counter()
     observe = observe or bundle is not None or progress is not None
+    checkpointer = None
+    if resilience is not None and resilience.checkpointing:
+        from ..resilience.checkpoint import RunCheckpointer
+
+        checkpointer = RunCheckpointer(resilience.checkpoint_dir, cfg,
+                                       resilience, verify=_resume_verify)
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
                       latencies=latencies, seed=cfg.seed, observe=observe,
                       faults=cfg.faults, lean=cfg.lean, spill_dir=spill_dir,
-                      shards=cfg.shards, shard_inline=shard_inline)
+                      shards=cfg.shards, shard_inline=shard_inline,
+                      resilience=resilience)
+    if checkpointer is not None:
+        checkpointer.attach(session)
     # A bundle run records telemetry even without a live sink, so
     # ``trace watch`` always has something to replay from the bundle.
     telemetry = (_attach_telemetry(session, cfg, latencies, progress)
@@ -285,7 +309,15 @@ def run_experiment(cfg: ExperimentConfig,
         else 0,
         shard_peak_rss_mb=(list(session.engine.shard_peak_rss_mb)
                            if session.engine is not None else []),
+        host_recovery=(session.engine.recovery.to_doc()
+                       if session.engine is not None
+                       and session.engine.recovery else None),
     )
+    if checkpointer is not None:
+        # The final (complete) checkpoint — and, on a resume, the
+        # point where a replay that never crossed the watermark fails
+        # loudly instead of pretending it continued anything.
+        checkpointer.close(complete=True)
     if host is not None:
         host.stop("metrics")
     if telemetry is not None:
@@ -329,6 +361,33 @@ def write_run_bundle(directory, cfg: ExperimentConfig, session: Session,
                                    else None))
 
 
+def resume_experiment(directory,
+                      latencies: LatencyModel = FRONTIER_LATENCIES,
+                      **kwargs) -> ExperimentResult:
+    """Continue an interrupted checkpointed run to completion.
+
+    Loads the checkpoint header from ``directory``, rebuilds the exact
+    config (seed included), and re-executes the run deterministically;
+    when the replayed clock reaches the checkpoint's watermark the
+    live kernel/RNG/profile state is compared against the snapshot and
+    a mismatch raises :class:`~repro.exceptions.CheckpointError`.  The
+    returned result — and any profile written from it — is
+    byte-identical to the uninterrupted run's, which is the whole
+    point: resume never invents a state the original run would not
+    have reached.  ``kwargs`` pass through to :func:`run_experiment`
+    (``keep_session``, ``bundle``, ...).
+    """
+    from ..resilience.checkpoint import config_from_doc, load_checkpoint
+    from ..resilience.spec import ResilienceSpec
+
+    doc = load_checkpoint(directory)
+    cfg = config_from_doc(doc["config"])
+    spec = ResilienceSpec.from_doc(
+        dict(doc.get("spec", {}), checkpoint_dir=str(directory)))
+    return run_experiment(cfg, latencies, resilience=spec,
+                          _resume_verify=doc.get("state"), **kwargs)
+
+
 @dataclass(frozen=True)
 class AggregateResult:
     """Across-repetition aggregation (the paper's avg / max)."""
@@ -345,7 +404,8 @@ class AggregateResult:
 def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                     latencies: LatencyModel = FRONTIER_LATENCIES,
                     parallel=None, seeds=None,
-                    progress=None) -> AggregateResult:
+                    progress=None, checkpoint=None,
+                    resilience=None) -> AggregateResult:
     """Run several seeds of one configuration and aggregate.
 
     ``seeds`` names the repetition seeds explicitly — a sequence of
@@ -365,7 +425,24 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     sink, a pre-built
     :class:`~repro.observability.telemetry.TelemetryBus`, or any
     truthy value for buffered-only records.
+
+    ``checkpoint`` names a directory for a durable sweep ledger: each
+    finished repetition's metrics document is recorded atomically, and
+    a restarted sweep with the same directory skips every repetition
+    already in the ledger (their results are rebuilt from the ledger,
+    task-free, like parallel results).  Each repetition is an
+    independent seeded run, so skip-and-reload aggregates identically
+    to rerunning.
+
+    ``resilience`` applies shard-worker supervision to each serial
+    repetition (see :class:`~repro.resilience.ResilienceSpec`); its
+    ``checkpoint_dir`` must be unset — per-rep run checkpoints would
+    clobber each other, the sweep ledger is the durable state here.
     """
+    if resilience is not None and resilience.checkpointing:
+        raise ConfigurationError(
+            "run checkpoints do not compose with repetitions; pass "
+            "checkpoint= for a sweep ledger instead")
     if seeds is not None:
         from ..ensemble.seeds import resolve_seeds
 
@@ -391,6 +468,11 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     # descriptions (the campaign workload generates its own tasks).
     shared = (build_workload(cfg, frontier(max(cfg.n_nodes, 1)).cores_per_node)
               if cfg.workload != WORKLOAD_IMPECCABLE else None)
+    ledger = None
+    if checkpoint is not None:
+        from ..resilience.checkpoint import SweepLedger
+
+        ledger = SweepLedger(checkpoint)
     serial = True
     if parallel is not None:
         from .parallel import resolve_jobs, run_many
@@ -400,11 +482,26 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
             results = run_many(
                 cfgs, latencies, jobs=parallel,
                 progress=(lambda done, total, r: rep_done(r))
-                if telemetry is not None else None)
+                if telemetry is not None else None,
+                ledger=ledger)
     if serial:
+        from ..resilience.checkpoint import result_from_doc
+
         results = []
         for c in cfgs:
-            result = run_experiment(c, latencies, descriptions=shared)
+            if ledger is not None:
+                doc = ledger.completed(c)
+                if doc is not None:
+                    # Finished before the interruption: rebuild from
+                    # the ledger instead of re-simulating.
+                    result = result_from_doc(c, doc)
+                    results.append(result)
+                    rep_done(result)
+                    continue
+            result = run_experiment(c, latencies, descriptions=shared,
+                                    resilience=resilience)
+            if ledger is not None:
+                ledger.record(c, result)
             results.append(result)
             rep_done(result)
     return AggregateResult(

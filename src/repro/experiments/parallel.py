@@ -26,15 +26,24 @@ filesystem.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import replace
 from typing import Callable, List, Optional, Sequence, Union
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, HostFailureError
 from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
 from .configs import ExperimentConfig
 
 __all__ = ["resolve_jobs", "run_many"]
+
+#: Fresh-pool retries after a :class:`BrokenProcessPool` (a pool
+#: worker killed by the OS — OOM, signal, node policy) before giving
+#: up.  Each retry resubmits only the units that have no result yet;
+#: everything already completed is salvaged, not re-run.
+POOL_RETRIES = 2
+POOL_RETRY_BACKOFF = 0.5
 
 
 def resolve_jobs(jobs: Union[int, str, None] = None,
@@ -70,8 +79,15 @@ def _run_one(payload):
     ``harness`` imports :func:`run_many` lazily for the same reason.
     """
     cfg, latencies, profile_path, bundle_path = payload
+    from ..resilience.crash import crash_point, crash_value
     from .harness import run_experiment
 
+    # Crash-injection hook (tests only; inert without the env var):
+    # ``REPRO_CRASH_AT=pool:<seed>`` hard-kills the pool worker that
+    # picked up the first unit with that seed (or later), which the
+    # parent sees as a BrokenProcessPool and must recover from.
+    if crash_value("pool") is not None:
+        crash_point("pool", float(cfg.seed))
     keep = profile_path is not None
     result = run_experiment(cfg, latencies, keep_session=keep,
                             bundle=bundle_path)
@@ -88,6 +104,7 @@ def run_many(configs: Sequence[ExperimentConfig],
              profile_paths: Optional[Sequence[Optional[str]]] = None,
              bundle_paths: Optional[Sequence[Optional[str]]] = None,
              progress: Optional[Callable] = None,
+             ledger=None,
              ) -> List["ExperimentResult"]:  # noqa: F821
     """Run several independent experiments, fanned out over processes.
 
@@ -103,6 +120,18 @@ def run_many(configs: Sequence[ExperimentConfig],
     ``progress(n_completed, n_total, result)`` is called in the parent
     process as each run lands, in completion order (the telemetry
     feed ``run_repetitions(progress=)`` builds on).
+
+    ``ledger`` (a :class:`~repro.resilience.SweepLedger`) makes the
+    fan-out restartable: units already recorded as complete are not
+    re-run (their metrics documents are rehydrated instead), and every
+    unit that lands is durably recorded before the next progress call.
+
+    A pool worker killed by the OS surfaces as
+    :class:`BrokenProcessPool`; every result that already landed is
+    salvaged, and only the unfinished units are resubmitted to a
+    fresh pool (with backoff, up to :data:`POOL_RETRIES` times).
+    A *deterministic* simulation error is never retried — it would
+    fail identically — and propagates as-is.
     """
     configs = list(configs)
     if profile_paths is None:
@@ -118,26 +147,63 @@ def run_many(configs: Sequence[ExperimentConfig],
     payloads = [(cfg, latencies, path, bpath)
                 for cfg, path, bpath in zip(configs, profile_paths,
                                             bundle_paths)]
-    n_workers = resolve_jobs(jobs, n_items=len(configs))
-    if n_workers <= 1 or len(configs) <= 1:
-        results = []
-        for payload in payloads:
-            result = _run_one(payload)
-            results.append(result)
-            if progress is not None:
-                progress(len(results), len(payloads), result)
+    results: List[Optional["ExperimentResult"]] = [None] * len(payloads)
+    completed = 0
+
+    def land(i, result, record=True):
+        nonlocal completed
+        results[i] = result
+        if ledger is not None and record:
+            ledger.record(configs[i], result)
+        completed += 1
+        if progress is not None:
+            progress(completed, len(payloads), result)
+
+    pending = []
+    for i, cfg in enumerate(configs):
+        doc = ledger.completed(cfg) if ledger is not None else None
+        if doc is not None:
+            from ..resilience.checkpoint import result_from_doc
+
+            land(i, result_from_doc(cfg, doc), record=False)
+        else:
+            pending.append(i)
+    n_workers = resolve_jobs(jobs, n_items=len(pending))
+    if n_workers <= 1 or len(pending) <= 1:
+        for i in pending:
+            land(i, _run_one(payloads[i]))
         return results
     # submit + as_completed (not pool.map): the progress callback
-    # fires the moment each run lands; input order is restored below.
-    results = [None] * len(payloads)
-    completed = 0
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = {pool.submit(_run_one, payload): i
-                   for i, payload in enumerate(payloads)}
-        for future in as_completed(futures):
-            result = future.result()
-            results[futures[future]] = result
-            completed += 1
-            if progress is not None:
-                progress(completed, len(payloads), result)
+    # fires the moment each run lands; input order is restored via
+    # the futures -> index map.
+    retries = 0
+    while pending:
+        broken = None
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(_run_one, payloads[i]): i
+                       for i in pending}
+            for future in as_completed(futures):
+                try:
+                    result = future.result()
+                except BrokenProcessPool as exc:
+                    # This future's worker died (or the pool it needed
+                    # did); keep draining — futures that finished
+                    # before the breakage still hold good results.
+                    broken = exc
+                    continue
+                land(futures[future], result)
+        if broken is None:
+            break
+        pending = [i for i in pending if results[i] is None]
+        if not pending:
+            break
+        if retries >= POOL_RETRIES:
+            raise HostFailureError(
+                f"parallel pool lost workers {retries + 1} times; "
+                f"{len(pending)} of {len(payloads)} runs incomplete "
+                f"(seeds {[configs[i].seed for i in pending]})"
+            ) from broken
+        time.sleep(POOL_RETRY_BACKOFF * (2 ** retries))
+        retries += 1
+        n_workers = resolve_jobs(jobs, n_items=len(pending))
     return results

@@ -19,6 +19,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..resilience.atomic import atomic_write_text, atomic_writer
 from .metrics import MetricsRegistry
 from .spans import CAT_PHASE, CAT_TASK, Span
 
@@ -150,7 +151,7 @@ def write_chrome_trace(root: Span, path: PathLike) -> Path:
     problems = validate_chrome_trace(doc)
     if problems:  # pragma: no cover - internal consistency guard
         raise ValueError(f"invalid trace produced: {problems[:3]}")
-    path.write_text(json.dumps(doc), encoding="utf-8")
+    atomic_write_text(path, json.dumps(doc))
     return path
 
 
@@ -209,11 +210,10 @@ def write_metrics(registry: MetricsRegistry, path: PathLike,
     """Write a metrics snapshot (``fmt``: ``"json"`` or ``"prom"``)."""
     path = Path(path)
     if fmt == "json":
-        path.write_text(json.dumps(metrics_json(registry), indent=2,
-                                   sort_keys=True) + "\n",
-                        encoding="utf-8")
+        atomic_write_text(path, json.dumps(metrics_json(registry), indent=2,
+                                           sort_keys=True) + "\n")
     elif fmt == "prom":
-        path.write_text(prometheus_text(registry), encoding="utf-8")
+        atomic_write_text(path, prometheus_text(registry))
     else:
         raise ValueError(f"unknown metrics format {fmt!r}")
     return path
@@ -229,7 +229,7 @@ def write_telemetry(records, path: PathLike) -> Path:
     ``telemetry.jsonl``) — the same stream ``run --progress jsonl``
     prints live, so ``trace watch`` replays either identically."""
     path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
+    with atomic_writer(path, encoding="utf-8") as fh:
         for record in records:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
     return path

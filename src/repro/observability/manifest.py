@@ -137,6 +137,12 @@ def build_manifest(config: Optional["ExperimentConfig"] = None,
             "makespan": result.makespan,
             "wall_seconds": result.wall_seconds,
         }
+        # Host-side recovery ledger (supervised shard runs that healed
+        # a crashed/hung worker) — absent on incident-free runs, so
+        # manifests only change when the supervisor actually acted.
+        recovery = getattr(result, "host_recovery", None)
+        if recovery:
+            manifest["host_recovery"] = recovery
     if extra:
         manifest.update(extra)
     return manifest
@@ -161,6 +167,7 @@ def write_bundle(directory: PathLike,
     ensemble's per-seed profiles) so the manifest indexes them too.
     """
     from ..analytics.export import save_profile
+    from ..resilience.atomic import atomic_write_text
     from .export import write_chrome_trace, write_metrics, write_telemetry
 
     directory = Path(directory)
@@ -172,9 +179,9 @@ def write_bundle(directory: PathLike,
             registry, directory / "metrics.json")
     if spans is not None:
         spans_path = directory / "spans.json"
-        spans_path.write_text(
-            json.dumps(spans.to_dict(), sort_keys=True) + "\n",
-            encoding="utf-8")
+        atomic_write_text(
+            spans_path,
+            json.dumps(spans.to_dict(), sort_keys=True) + "\n")
         written["spans"] = spans_path
         written["trace"] = write_chrome_trace(
             spans, directory / "trace.json")
@@ -191,9 +198,9 @@ def write_bundle(directory: PathLike,
     manifest = dict(manifest)
     manifest["files"] = {name: path.name for name, path in written.items()}
     manifest_path = directory / MANIFEST_NAME
-    manifest_path.write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8")
+    atomic_write_text(
+        manifest_path,
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     written["manifest"] = manifest_path
     return written
 

@@ -306,6 +306,12 @@ class SessionSampler:
             deltas = [d for d in engine.shard_telemetry if d is not None]
             if deltas:
                 record["shards"] = deltas
+            # Supervisor healed a crashed/hung shard worker: surface
+            # the running incident count (absent on incident-free
+            # runs, keeping the record schema unchanged).
+            recovery = getattr(engine, "recovery", None)
+            if recovery:
+                record["host_recoveries"] = len(recovery)
         return record
 
 

@@ -1,0 +1,107 @@
+"""Resilience policy: one frozen spec threaded from CLI to engine.
+
+Mirrors :class:`repro.faults.spec.FaultSpec` in spirit — a single
+hashable value object that travels from the command line through
+``run_experiment`` into :class:`repro.core.session.Session` and the
+shard engine — but describes *host*-side robustness (checkpoints,
+heartbeats, watchdog deadlines) rather than modeled machine faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceSpec:
+    """Host-fault tolerance policy for one run.
+
+    Attributes
+    ----------
+    checkpoint_dir:
+        Directory for durable run checkpoints; ``None`` disables
+        checkpointing entirely (the default — checkpointing off means
+        zero instrumentation in the run).
+    checkpoint_sim_interval:
+        Sim-seconds between checkpoint ticks.  Ticks are scheduled in
+        *sim* time so a resumed replay revisits the exact same
+        checkpoint points, which is what makes drift verification
+        possible.
+    checkpoint_wall_interval:
+        Wall-seconds that must elapse between checkpoint *writes*;
+        ``0`` writes at every tick.  Rate-limits the fsync cost when
+        sim time runs much faster than wall time — a crash loses at
+        most this much wall-clock progress, so the default of one
+        wall-second keeps overhead negligible without weakening the
+        durability story.
+    supervise:
+        Respawn-and-replay crashed or hung shard workers instead of
+        failing the run.  Detection (dead pid / stalled heartbeat) is
+        always on; this flag controls *recovery*.
+    heartbeat_interval:
+        Wall-seconds between worker heartbeats on the window pipe.
+    hang_deadline:
+        Wall-seconds of heartbeat silence after which a live worker
+        is declared hung and recovered.
+    max_respawns:
+        Per-shard respawn budget; exceeding it fails the run.
+    respawn_backoff:
+        Wall-seconds to wait before a respawn (doubled per incident
+        on the same shard).
+    """
+
+    checkpoint_dir: Optional[str] = None
+    checkpoint_sim_interval: float = 60.0
+    checkpoint_wall_interval: float = 1.0
+    supervise: bool = False
+    heartbeat_interval: float = 1.0
+    hang_deadline: float = 120.0
+    max_respawns: int = 3
+    respawn_backoff: float = 0.5
+
+    def __post_init__(self) -> None:
+        from ..exceptions import ConfigurationError
+
+        if self.checkpoint_sim_interval <= 0:
+            raise ConfigurationError("checkpoint_sim_interval must be > 0")
+        if self.checkpoint_wall_interval < 0:
+            raise ConfigurationError("checkpoint_wall_interval must be >= 0")
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
+        if self.hang_deadline <= 0:
+            raise ConfigurationError("hang_deadline must be > 0")
+        if self.max_respawns < 0:
+            raise ConfigurationError("max_respawns must be >= 0")
+        if self.respawn_backoff < 0:
+            raise ConfigurationError("respawn_backoff must be >= 0")
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint_dir is not None
+
+    def to_doc(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "ResilienceSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+def parse_resilience(checkpoint: Optional[str] = None,
+                     checkpoint_every: Optional[float] = None,
+                     checkpoint_wall: Optional[float] = None,
+                     supervise: bool = False) -> Optional[ResilienceSpec]:
+    """Build a spec from CLI flags; ``None`` when nothing was asked
+    for (so default runs carry no resilience object at all)."""
+    if checkpoint is None and not supervise:
+        return None
+    kwargs: Dict[str, Any] = {"supervise": bool(supervise)}
+    if checkpoint is not None:
+        kwargs["checkpoint_dir"] = str(checkpoint)
+    if checkpoint_every is not None:
+        kwargs["checkpoint_sim_interval"] = float(checkpoint_every)
+    if checkpoint_wall is not None:
+        kwargs["checkpoint_wall_interval"] = float(checkpoint_wall)
+    return ResilienceSpec(**kwargs)

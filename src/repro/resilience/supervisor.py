@@ -1,0 +1,114 @@
+"""Shard-worker supervision: watchdog policy and recovery reporting.
+
+The mechanics of heartbeats, journaling and respawn live next to the
+process plumbing in :mod:`repro.shard.coordinator`; this module holds
+the *policy* (deadlines, budgets) and the *record* of what happened
+(:class:`HostRecoveryReport`), which flows into experiment results,
+manifests and telemetry.
+
+Host recovery is deliberately invisible to the simulation: a replayed
+worker reconstructs its pre-crash state from the journaled inbound
+messages, so the trace a recovered run produces is byte-identical to
+an uninterrupted one.  The report is therefore pure wall-clock
+metadata — evidence that recovery happened and what it cost, never an
+input to the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class SupervisorPolicy:
+    """Watchdog knobs for process shard workers (see
+    :class:`repro.resilience.spec.ResilienceSpec` for semantics)."""
+
+    supervise: bool = False
+    heartbeat_interval: float = 1.0
+    hang_deadline: float = 120.0
+    max_respawns: int = 3
+    respawn_backoff: float = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class RecoveryIncident:
+    """One crashed-or-hung worker that was (or failed to be) recovered.
+
+    ``kind`` is ``"crash"`` (pid died) or ``"hang"`` (heartbeats
+    stalled past the deadline); ``windows_replayed`` counts the
+    completed windows re-executed from the journal to rebuild state;
+    ``recovery_seconds`` is wall-clock from detection to the replayed
+    worker being current again.
+    """
+
+    shard: int
+    kind: str
+    boundary: Optional[float]
+    windows_replayed: int
+    recovery_seconds: float
+    respawn_count: int
+
+    def to_doc(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class HostRecoveryReport:
+    """Accumulates recovery incidents for one run."""
+
+    def __init__(self) -> None:
+        self.incidents: List[RecoveryIncident] = []
+
+    def record(self, incident: RecoveryIncident) -> None:
+        self.incidents.append(incident)
+
+    def __len__(self) -> int:
+        return len(self.incidents)
+
+    def __bool__(self) -> bool:
+        return bool(self.incidents)
+
+    @property
+    def n_crashes(self) -> int:
+        return sum(1 for i in self.incidents if i.kind == "crash")
+
+    @property
+    def n_hangs(self) -> int:
+        return sum(1 for i in self.incidents if i.kind == "hang")
+
+    @property
+    def total_recovery_seconds(self) -> float:
+        return sum(i.recovery_seconds for i in self.incidents)
+
+    @property
+    def windows_replayed(self) -> int:
+        return sum(i.windows_replayed for i in self.incidents)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "n_incidents": len(self.incidents),
+            "n_crashes": self.n_crashes,
+            "n_hangs": self.n_hangs,
+            "windows_replayed": self.windows_replayed,
+            "total_recovery_seconds": self.total_recovery_seconds,
+            "incidents": [i.to_doc() for i in self.incidents],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            "host recovery: "
+            f"{len(self.incidents)} incident(s) "
+            f"({self.n_crashes} crash, {self.n_hangs} hang), "
+            f"{self.windows_replayed} window(s) replayed, "
+            f"{self.total_recovery_seconds:.2f}s recovering"
+        ]
+        for inc in self.incidents:
+            where = ("window %.1f" % inc.boundary
+                     if inc.boundary is not None else "between windows")
+            lines.append(
+                f"  shard {inc.shard}: {inc.kind} at {where}, "
+                f"replayed {inc.windows_replayed}, "
+                f"{inc.recovery_seconds:.2f}s "
+                f"(respawn #{inc.respawn_count})")
+        return "\n".join(lines)

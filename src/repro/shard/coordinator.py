@@ -30,10 +30,18 @@ digest-equality tests run both and compare bytes.
 
 from __future__ import annotations
 
+import atexit
 import os
+import time
+import weakref
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from ..exceptions import ConfigurationError, RuntimeStartupError, SimulationError
+from ..exceptions import (
+    ConfigurationError,
+    HostFailureError,
+    RuntimeStartupError,
+    SimulationError,
+)
 from ..flux.instance import InstanceState
 from ..sim.events import Event
 from .merge import ProfileMerger, load_metrics
@@ -41,6 +49,7 @@ from .protocol import (
     CancelMsg,
     CrashMsg,
     ErrorMsg,
+    HeartbeatMsg,
     InstanceSpec,
     RestartMsg,
     ShardConfig,
@@ -54,6 +63,58 @@ __all__ = ["InstanceProxy", "ProxyHierarchy", "InlineHost", "ProcessHost",
            "ShardEngine", "resolve_shards"]
 
 _INF = float("inf")
+
+
+# -- orphan prevention -------------------------------------------------------
+#
+# Every live worker process is tracked in a weak set; one atexit hook
+# reaps whatever is still alive when the interpreter exits.  This is
+# the backstop for paths that never reach ``ProcessHost.close`` — a
+# test runner (pytest-xdist included) tearing down mid-run, an
+# exception unwinding past the engine, a ``--parallel`` pool worker
+# dying with shard hosts open — so orphaned shard workers cannot
+# outlive the interpreter that spawned them.
+
+_LIVE_WORKERS: "weakref.WeakSet" = weakref.WeakSet()
+_REAPER_ARMED = False
+
+
+def _reap_workers() -> None:  # pragma: no cover - interpreter teardown
+    procs = [p for p in list(_LIVE_WORKERS) if p.is_alive()]
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    deadline = time.monotonic() + 2.0
+    for proc in procs:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        except Exception:
+            pass
+
+
+def _track_worker(proc) -> None:
+    global _REAPER_ARMED
+    if not _REAPER_ARMED:
+        atexit.register(_reap_workers)
+        _REAPER_ARMED = True
+    _LIVE_WORKERS.add(proc)
+
+
+class _WorkerLost(Exception):
+    """Internal watchdog signal: a worker crashed (dead pid / EOF) or
+    hung (no heartbeat or result past the deadline).  Either recovered
+    by :meth:`ProcessHost.recover` or surfaced as
+    :class:`~repro.exceptions.HostFailureError`."""
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(detail)
+        self.kind = kind  #: "crash" | "hang"
+        self.detail = detail
 
 
 def resolve_shards(shards: Union[int, str, None] = None) -> int:
@@ -289,9 +350,45 @@ class ProcessHost:
     ``post``/``collect`` are split so the engine can post every
     shard's window before collecting any result — that split is where
     the multi-core parallelism comes from.
+
+    The receive path doubles as the watchdog: it consumes heartbeat
+    frames, detects a dead pid or EOF ("crash") and a worker whose
+    beats and results both stall past the hang deadline ("hang").
+    With supervision on (``policy.supervise``), every inbound message
+    batch is journaled and a lost worker is respawned *on the same
+    host object* — engine bookkeeping is keyed by host identity — and
+    deterministically replayed from the journal: the worker's state is
+    a pure function of its config and ordered message sequence, so the
+    replayed worker is bit-identical to the lost one at the last
+    window boundary, and the run's trace is unchanged.  Without
+    supervision the journal is empty (zero memory overhead) and a lost
+    worker raises :class:`~repro.exceptions.HostFailureError`.
     """
 
-    def __init__(self, config: ShardConfig) -> None:
+    def __init__(self, config: ShardConfig, policy=None,
+                 on_incident=None) -> None:
+        if policy is None:
+            from ..resilience.supervisor import SupervisorPolicy
+
+            policy = SupervisorPolicy()
+        self.config = config
+        self.policy = policy
+        self.on_incident = on_incident
+        #: Inbound-message journal (supervision only): spec batches in
+        #: send order, plus every posted ``(boundary, messages)``
+        #: window.  Replaying config -> specs -> windows rebuilds the
+        #: worker's exact state at the last completed boundary.
+        self._journal_specs: List[List[SpecMsg]] = []
+        self._journal_windows: List[Tuple[float, List[Any]]] = []
+        self._in_flight = False
+        self.respawns = 0
+        self.proc = None
+        self.conn = None
+        self._spawn()
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _spawn(self) -> None:
         import multiprocessing
 
         from .worker import worker_main
@@ -313,29 +410,160 @@ class ProcessHost:
         self.proc.start()
         child.close()
         self.conn = parent
-        self.conn.send(config)
-        reply = self.conn.recv()
-        if isinstance(reply, ErrorMsg):
-            raise ShardWorkerError(reply)
+        _track_worker(self.proc)
+        self.conn.send(self.config)
+        self._recv()  # ("ready", None) — or an ErrorMsg, re-raised
+
+    def _kill(self) -> None:
+        """Force the current worker down (recovery path: it is already
+        presumed dead or wedged, so no polite shutdown attempt)."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.proc is not None and self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=2)
+            if self.proc.is_alive():  # pragma: no cover - wedged hard
+                self.proc.kill()
+                self.proc.join(timeout=2)
+
+    # -- supervised receive ------------------------------------------------
+
+    def _recv(self):
+        """Next non-heartbeat message, with crash/hang detection.
+
+        Polls in short steps instead of blocking so a dead pid is
+        noticed promptly; heartbeat frames refresh the hang clock and
+        are consumed silently.  Detection is always on — it costs a
+        few wakeups per window and turns an indefinite hang on a dead
+        pipe into a diagnosable failure — recovery is the part gated
+        by ``policy.supervise``.
+        """
+        conn, proc = self.conn, self.proc
+        hang = self.policy.hang_deadline
+        step = min(0.25, self.policy.heartbeat_interval)
+        last = time.monotonic()
+        while True:
+            try:
+                if conn.poll(step):
+                    reply = conn.recv()
+                    last = time.monotonic()
+                    if isinstance(reply, HeartbeatMsg):
+                        continue
+                    if isinstance(reply, ErrorMsg):
+                        raise ShardWorkerError(reply)
+                    return reply
+            except (EOFError, BrokenPipeError, OSError):
+                raise _WorkerLost(
+                    "crash", f"shard {self.config.shard_index}: worker "
+                    f"pid {proc.pid} closed the pipe")
+            if not proc.is_alive():
+                # One last zero-timeout poll: the worker may have
+                # written its reply and then exited.
+                if conn.poll(0):
+                    continue
+                raise _WorkerLost(
+                    "crash", f"shard {self.config.shard_index}: worker "
+                    f"pid {proc.pid} died "
+                    f"(exit code {proc.exitcode})")
+            if time.monotonic() - last > hang:
+                raise _WorkerLost(
+                    "hang", f"shard {self.config.shard_index}: worker "
+                    f"pid {proc.pid} sent no heartbeat for "
+                    f"{hang:.0f}s")
+
+    def _send(self, payload) -> None:
+        try:
+            self.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            # Worker death is detected (and possibly recovered) on the
+            # receive side; the payload is journaled when supervising.
+            pass
+
+    # -- the host contract -------------------------------------------------
 
     def post_specs(self, specs: List[SpecMsg]) -> None:
-        self.conn.send(("specs", specs))
+        if self.policy.supervise:
+            self._journal_specs.append(specs)
+        self._send(("specs", specs))
 
     def post(self, boundary: float, msgs: List[Any]) -> None:
-        self.conn.send(("window", boundary, msgs))
+        if self.policy.supervise:
+            self._journal_windows.append((boundary, msgs))
+        self._in_flight = True
+        self._send(("window", boundary, msgs))
 
     def collect(self):
-        reply = self.conn.recv()
-        if isinstance(reply, ErrorMsg):
-            raise ShardWorkerError(reply)
+        try:
+            reply = self._recv()
+        except _WorkerLost as lost:
+            reply = self.recover(lost)
+        self._in_flight = False
         return reply
 
     def stats(self):
-        self.conn.send(("stats",))
-        reply = self.conn.recv()
-        if isinstance(reply, ErrorMsg):
-            raise ShardWorkerError(reply)
-        return reply
+        self._send(("stats",))
+        try:
+            return self._recv()
+        except _WorkerLost as lost:
+            self.recover(lost)
+            self._send(("stats",))
+            return self._recv()
+
+    def recover(self, lost: _WorkerLost):
+        """Respawn the worker and replay it back to currency.
+
+        Replays the journal in original order (config, spec batches,
+        then every window — including the one in flight, if any);
+        results of already-applied windows are discarded, and the
+        in-flight window's result is returned for normal application.
+        Raises :class:`~repro.exceptions.HostFailureError` when
+        supervision is off or the respawn budget is exhausted.
+        """
+        if not self.policy.supervise:
+            raise HostFailureError(
+                f"{lost.detail} (supervision off; run with supervision "
+                "to respawn and replay lost workers)") from lost
+        if self.respawns >= self.policy.max_respawns:
+            raise HostFailureError(
+                f"{lost.detail} (respawn budget of "
+                f"{self.policy.max_respawns} exhausted)") from lost
+        wall0 = time.monotonic()
+        self._kill()
+        backoff = self.policy.respawn_backoff * (2 ** self.respawns)
+        if backoff > 0:
+            time.sleep(backoff)
+        self.respawns += 1
+        self._spawn()
+        for specs in self._journal_specs:
+            self._send(("specs", specs))
+        result = None
+        for boundary, msgs in self._journal_windows:
+            self._send(("window", boundary, msgs))
+            try:
+                result = self._recv()
+            except _WorkerLost as again:
+                # Died again mid-replay (e.g. a crash hook without a
+                # one-shot marker); recurse within the respawn budget.
+                return self.recover(again)
+        if self.on_incident is not None:
+            from ..resilience.supervisor import RecoveryIncident
+
+            n_replayed = len(self._journal_windows)
+            self.on_incident(RecoveryIncident(
+                shard=self.config.shard_index,
+                kind=lost.kind,
+                boundary=(self._journal_windows[-1][0]
+                          if self._in_flight and self._journal_windows
+                          else None),
+                windows_replayed=n_replayed,
+                recovery_seconds=time.monotonic() - wall0,
+                respawn_count=self.respawns))
+        # Without an in-flight window the last replayed result was
+        # already applied before the loss; the caller must not apply
+        # it twice.
+        return result if self._in_flight else None
 
     def close(self) -> None:
         try:
@@ -346,7 +574,14 @@ class ProcessHost:
         if self.proc.is_alive():  # pragma: no cover - wedged worker
             self.proc.terminate()
             self.proc.join(timeout=5)
+            if self.proc.is_alive():
+                # terminate() sends SIGTERM, which a worker stuck in
+                # uninterruptible state can survive; SIGKILL cannot be
+                # ignored.
+                self.proc.kill()
+                self.proc.join(timeout=5)
         self.conn.close()
+        _LIVE_WORKERS.discard(self.proc)
 
 
 class ShardEngine:
@@ -362,18 +597,35 @@ class ShardEngine:
     """
 
     def __init__(self, session, n_shards: int, window: float = 0.25,
-                 inline: bool = False) -> None:
+                 inline: bool = False, resilience=None) -> None:
         if n_shards < 2:
             raise ConfigurationError(
                 f"shard engine needs >= 2 shards, got {n_shards}")
         if not window > 0.0:
             raise ConfigurationError(
                 f"shard window must be positive, got {window!r}")
+        from ..resilience.supervisor import (
+            HostRecoveryReport,
+            SupervisorPolicy,
+        )
+
         self.session = session
         self.env = session.env
         self.n_shards = n_shards
         self.window = float(window)
         self.inline = inline
+        if resilience is not None:
+            self.policy = SupervisorPolicy(
+                supervise=resilience.supervise,
+                heartbeat_interval=resilience.heartbeat_interval,
+                hang_deadline=resilience.hang_deadline,
+                max_respawns=resilience.max_respawns,
+                respawn_backoff=resilience.respawn_backoff)
+        else:
+            self.policy = SupervisorPolicy()
+        #: Host-side recovery ledger — every crash/hang incident the
+        #: supervisor healed, surfaced in results and bundles.
+        self.recovery = HostRecoveryReport()
         self.hosts: List[Any] = []
         #: Peak RSS per shard worker [MB], refreshed at every run end.
         self.shard_peak_rss_mb: List[float] = []
@@ -448,8 +700,11 @@ class ShardEngine:
                 trace=session.profiler.enabled,
                 observe=session.obs.registry is not None,
                 faults=fault_spec,
-                telemetry=session.telemetry is not None)
-            host = InlineHost(config) if self.inline else ProcessHost(config)
+                telemetry=session.telemetry is not None,
+                heartbeat=self.policy.heartbeat_interval)
+            host = (InlineHost(config) if self.inline
+                    else ProcessHost(config, policy=self.policy,
+                                     on_incident=self.recovery.record))
             self.hosts.append(host)
             self.shard_telemetry.append(None)
             self._outbox[host] = []

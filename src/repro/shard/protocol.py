@@ -48,6 +48,11 @@ class ShardConfig(NamedTuple):
     #: every window result (defaulted so pickled configs from older
     #: coordinators keep working).
     telemetry: bool = False
+    #: Wall-seconds between worker heartbeats on the pipe (0 = none).
+    #: Heartbeats are pure liveness signals for the coordinator's
+    #: watchdog — they carry no simulation state and the sim never
+    #: sees them, so traces are identical at any heartbeat rate.
+    heartbeat: float = 1.0
 
 
 # -- coordinator -> worker messages ---------------------------------------
@@ -155,6 +160,19 @@ class ShardStats(NamedTuple):
     fault_log: List[Tuple[float, str, str]]
     metrics: Optional[List[dict]]  #: raw family dumps, None when observe off
     peak_rss_mb: float
+
+
+class HeartbeatMsg(NamedTuple):
+    """Worker liveness beacon, interleaved with results on the pipe.
+
+    Sent from a daemon thread every ``ShardConfig.heartbeat`` wall
+    seconds (under the same send lock as results, so frames never
+    interleave).  The coordinator's receive loop consumes them
+    silently; a worker whose beats *and* results stall past the hang
+    deadline is declared hung by the watchdog.
+    """
+
+    wall_time: float      #: sender's ``time.monotonic()``
 
 
 class ErrorMsg(NamedTuple):

@@ -341,6 +341,38 @@ class ShardRunner:
                           metrics, rss_mb)
 
 
+def _start_heartbeat(conn, send_lock, interval: float):
+    """Start the worker's wall-clock heartbeat thread.
+
+    A daemon thread sends a :class:`HeartbeatMsg` every ``interval``
+    seconds under ``send_lock`` (shared with the main loop, so beat
+    and result frames never interleave on the pipe).  Python threads
+    preempt even while the main loop is deep in a simulation window,
+    so beats keep flowing during long computes — which is exactly what
+    lets the coordinator distinguish *busy* from *wedged*.  Returns a
+    stop function.
+    """
+    import threading
+    import time as _time
+
+    from .protocol import HeartbeatMsg
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                with send_lock:
+                    conn.send(HeartbeatMsg(_time.monotonic()))
+            except (BrokenPipeError, OSError):
+                return  # coordinator is gone; the main loop will exit
+
+    thread = threading.Thread(target=beat, name="shard-heartbeat",
+                              daemon=True)
+    thread.start()
+    return stop.set
+
+
 def worker_main(conn) -> None:
     """Entry point of a shard worker process.
 
@@ -349,40 +381,73 @@ def worker_main(conn) -> None:
     ``("stats",)`` and ``("shutdown",)`` requests, each answered in
     order.  Worker-side exceptions are shipped back as
     :class:`ErrorMsg` and re-raised on the coordinator.
+
+    Process workers additionally emit wall-clock heartbeats (see
+    :func:`_start_heartbeat`) and honor the ``REPRO_CRASH_AT=shard:<t>``
+    crash-injection hook.  Both live *here* rather than in
+    :class:`ShardRunner` on purpose: the inline host shares the
+    coordinator's process, where a heartbeat is meaningless and an
+    injected ``os._exit`` would kill the run under test.
     """
+    import threading
+
     from .protocol import ErrorMsg
 
+    send_lock = threading.Lock()
+    stop_heartbeat = None
     runner = None
     try:
         runner = ShardRunner(conn.recv())
-        conn.send(("ready", None))
+        interval = float(getattr(runner.config, "heartbeat", 0.0) or 0.0)
+        if interval > 0.0:
+            stop_heartbeat = _start_heartbeat(conn, send_lock, interval)
+        with send_lock:
+            conn.send(("ready", None))
     except BaseException as exc:  # pragma: no cover - config error
         import traceback
 
         conn.send(ErrorMsg(type(exc).__name__, str(exc),
                            traceback.format_exc()))
         return
-    while True:
-        try:
-            req = conn.recv()
-        except EOFError:
-            return
-        op = req[0]
-        if op == "shutdown":
-            return
-        try:
-            if op == "specs":
-                runner.post_specs(req[1])
-                continue  # fire-and-forget: no reply
-            if op == "window":
-                conn.send(runner.run_window(req[1], req[2]))
-            elif op == "stats":
-                conn.send(runner.stats())
-            else:  # pragma: no cover - protocol bug
-                raise SimulationError(f"unknown worker request {op!r}")
-        except BaseException as exc:
-            import traceback
+    from ..resilience.crash import crash_point, crash_shard_index, crash_value
 
-            conn.send(ErrorMsg(type(exc).__name__, str(exc),
-                               traceback.format_exc()))
-            return
+    crash_armed = (crash_value("shard") is not None
+                   and runner.config.shard_index == crash_shard_index())
+    try:
+        while True:
+            try:
+                req = conn.recv()
+            except EOFError:
+                return
+            op = req[0]
+            if op == "shutdown":
+                return
+            try:
+                if op == "specs":
+                    runner.post_specs(req[1])
+                    continue  # fire-and-forget: no reply
+                if op == "window":
+                    if crash_armed:
+                        # Die mid-window: the window's messages are
+                        # received but never simulated or answered —
+                        # the coordinator must replay them.
+                        crash_point("shard", req[1])
+                    result = runner.run_window(req[1], req[2])
+                    with send_lock:
+                        conn.send(result)
+                elif op == "stats":
+                    stats = runner.stats()
+                    with send_lock:
+                        conn.send(stats)
+                else:  # pragma: no cover - protocol bug
+                    raise SimulationError(f"unknown worker request {op!r}")
+            except BaseException as exc:
+                import traceback
+
+                with send_lock:
+                    conn.send(ErrorMsg(type(exc).__name__, str(exc),
+                                       traceback.format_exc()))
+                return
+    finally:
+        if stop_heartbeat is not None:
+            stop_heartbeat()

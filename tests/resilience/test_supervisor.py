@@ -1,0 +1,204 @@
+"""Shard-worker supervision: watchdog, respawn, deterministic replay.
+
+The host-fault side of the tentpole.  Pinned here:
+
+* a shard worker SIGKILLed mid-run is respawned and replayed from the
+  journal, and the recovered run's profile is **byte-identical** to
+  the uninterrupted same-seed run;
+* a SIGSTOPped (hung) worker trips the heartbeat watchdog and is
+  recovered the same way;
+* without supervision a lost worker raises
+  :class:`~repro.exceptions.HostFailureError` (crash *detection* is
+  always on — the run fails fast instead of hanging forever);
+* the respawn budget bounds recovery; modeled simulation errors are
+  never retried;
+* ``ProcessHost.close`` and the atexit reaper leave no orphans.
+"""
+
+import hashlib
+import io
+import os
+import signal
+import time
+
+import pytest
+
+from repro.exceptions import HostFailureError
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.harness import run_experiment
+from repro.platform.latency import FRONTIER_LATENCIES
+from repro.resilience import ResilienceSpec
+from repro.resilience.supervisor import SupervisorPolicy
+from repro.shard.coordinator import _LIVE_WORKERS, ProcessHost
+from repro.shard.protocol import InstanceSpec, ShardConfig
+
+FLUX = dict(exp_id="sup", launcher="flux", workload="null",
+            n_nodes=16, n_partitions=4, duration=0.0, waves=1, seed=11,
+            shards=2)
+
+
+def _digest(result) -> str:
+    from repro.analytics.export import write_event_lines
+
+    buf = io.StringIO()
+    write_event_lines(buf, result.session.profiler._events)
+    return hashlib.sha256(buf.getvalue().encode()).hexdigest()
+
+
+def _run(cfg, **kw):
+    result = run_experiment(cfg, keep_session=True, **kw)
+    digest = _digest(result)
+    result.session.close()
+    return digest, result
+
+
+def _host(policy, incidents=None, heartbeat=0.1):
+    config = ShardConfig(
+        shard_index=0, seed=7, start_time=0.0,
+        latencies=FRONTIER_LATENCIES, cluster_name="frontier",
+        cores_per_node=8, gpus_per_node=0, mem_gb_per_node=64.0,
+        instances=(InstanceSpec(0, "agent.0.flux.000", (0, 1), "fcfs"),),
+        lean=False, trace=True, observe=False, faults=None,
+        heartbeat=heartbeat)
+    sink = incidents.append if incidents is not None else None
+    return ProcessHost(config, policy=policy, on_incident=sink)
+
+
+SUPERVISED = SupervisorPolicy(supervise=True, heartbeat_interval=0.1,
+                              hang_deadline=1.5, max_respawns=2,
+                              respawn_backoff=0.0)
+
+
+class TestProcessHostRecovery:
+    def test_sigkill_is_recovered(self):
+        incidents = []
+        host = _host(SUPERVISED, incidents)
+        try:
+            host.post(1.0, [])
+            host.collect()
+            os.kill(host.proc.pid, signal.SIGKILL)
+            host.post(2.0, [])
+            result = host.collect()
+            assert result.next_time == float("inf")
+            assert [i.kind for i in incidents] == ["crash"]
+            assert incidents[0].windows_replayed == 2
+            assert host.respawns == 1
+        finally:
+            host.close()
+
+    def test_sigstop_trips_hang_watchdog(self):
+        incidents = []
+        host = _host(SUPERVISED, incidents)
+        try:
+            host.post(1.0, [])
+            host.collect()
+            os.kill(host.proc.pid, signal.SIGSTOP)
+            host.post(2.0, [])
+            result = host.collect()
+            assert result.next_time == float("inf")
+            assert [i.kind for i in incidents] == ["hang"]
+        finally:
+            host.close()
+
+    def test_unsupervised_loss_raises_host_failure(self):
+        host = _host(SupervisorPolicy(supervise=False,
+                                      heartbeat_interval=0.1,
+                                      hang_deadline=1.5))
+        try:
+            os.kill(host.proc.pid, signal.SIGKILL)
+            host.post(1.0, [])
+            with pytest.raises(HostFailureError, match="supervision off"):
+                host.collect()
+        finally:
+            host.close()
+
+    def test_respawn_budget_exhaustion_raises(self):
+        host = _host(SUPERVISED)
+        try:
+            for boundary in (1.0, 2.0):  # burn the budget of 2
+                os.kill(host.proc.pid, signal.SIGKILL)
+                host.post(boundary, [])
+                host.collect()
+            os.kill(host.proc.pid, signal.SIGKILL)
+            host.post(3.0, [])
+            with pytest.raises(HostFailureError, match="budget"):
+                host.collect()
+        finally:
+            host.close()
+
+    def test_stats_survive_worker_loss(self):
+        host = _host(SUPERVISED)
+        try:
+            host.post(1.0, [])
+            host.collect()
+            os.kill(host.proc.pid, signal.SIGKILL)
+            stats = host.stats()
+            assert stats.peak_rss_mb > 0
+        finally:
+            host.close()
+
+    def test_close_reaps_the_worker(self):
+        host = _host(SUPERVISED)
+        proc = host.proc
+        host.close()
+        assert not proc.is_alive()
+        assert proc not in _LIVE_WORKERS
+
+    def test_recovery_latency_is_bounded(self):
+        # The crash path (dead pid) must recover promptly — it is
+        # detected by polling, not by waiting out the hang deadline.
+        host = _host(SUPERVISED)
+        try:
+            host.post(1.0, [])
+            host.collect()
+            os.kill(host.proc.pid, signal.SIGKILL)
+            t0 = time.monotonic()
+            host.post(2.0, [])
+            host.collect()
+            assert time.monotonic() - t0 < SUPERVISED.hang_deadline
+        finally:
+            host.close()
+
+
+class TestSupervisedRunDeterminism:
+    def test_killed_shard_worker_replays_byte_identical(
+            self, tmp_path, monkeypatch):
+        """End to end: SIGKILL a live shard worker as it receives a
+        window, supervise the run, and require the recovered profile
+        byte-identical to the uninterrupted same-seed run."""
+        d_ref, _ = _run(ExperimentConfig(**FLUX))
+
+        marker = tmp_path / "crash.marker"
+        monkeypatch.setenv("REPRO_CRASH_AT", "shard:0")
+        monkeypatch.setenv("REPRO_CRASH_SHARD", "1")
+        monkeypatch.setenv("REPRO_CRASH_ONCE", str(marker))
+        spec = ResilienceSpec(supervise=True, respawn_backoff=0.0)
+        d_rec, result = _run(ExperimentConfig(**FLUX), resilience=spec)
+        assert marker.exists(), "crash hook never fired"
+        assert d_rec == d_ref
+        report = result.host_recovery
+        assert report is not None
+        assert report["n_crashes"] == 1
+        assert report["incidents"][0]["shard"] == 1
+
+    def test_incident_free_supervised_run_is_inert(self):
+        d_ref, _ = _run(ExperimentConfig(**FLUX))
+        spec = ResilienceSpec(supervise=True)
+        d_sup, result = _run(ExperimentConfig(**FLUX), resilience=spec)
+        assert d_sup == d_ref
+        assert result.host_recovery is None
+
+    def test_modeled_faults_are_not_host_recovered(self, monkeypatch):
+        """A modeled node failure (sim-side fault) rides through a
+        supervised run untouched — the supervisor only heals *host*
+        faults, never simulation outcomes."""
+        from repro.experiments.configs import DEFAULT_FAULTS
+
+        cfg = ExperimentConfig(faults=DEFAULT_FAULTS,
+                               **{**FLUX, "waves": 2})
+        d_ref, r_ref = _run(cfg)
+        spec = ResilienceSpec(supervise=True)
+        d_sup, r_sup = _run(cfg, resilience=spec)
+        assert d_sup == d_ref
+        assert r_sup.host_recovery is None
+        assert r_sup.faults.to_text() == r_ref.faults.to_text()

@@ -23,7 +23,7 @@ class TestExtractRates:
             "other": 5.0,
             "points": [{"tasks_per_wall_second": 50.0, "n_nodes": 9408}],
         }
-        rates = dict(bench_gate.extract_rates(doc))
+        rates = {p: v for p, v, _ in bench_gate.extract_rates(doc)}
         assert rates == {
             "tasks_per_wall_second": 100.0,
             "tasks_per_wall_second_disabled": 90.0,
@@ -31,8 +31,8 @@ class TestExtractRates:
         }
 
     def test_non_numeric_metric_ignored(self):
-        assert dict(bench_gate.extract_rates(
-            {"tasks_per_wall_second": "fast"})) == {}
+        assert list(bench_gate.extract_rates(
+            {"tasks_per_wall_second": "fast"})) == []
 
     def test_labels_are_content_derived_not_positional(self):
         # Reordering or inserting points must not shift the labels:
@@ -40,16 +40,18 @@ class TestExtractRates:
         a = {"n_nodes": 588, "n_partitions": 4, "tasks_per_wall_second": 1.0}
         b = {"n_nodes": 9408, "n_partitions": 64, "n_shards": 2,
              "tasks_per_wall_second": 2.0}
-        forward = dict(bench_gate.extract_rates({"points": [a, b]}))
-        reordered = dict(bench_gate.extract_rates({"points": [b, a]}))
+        forward = {p: v for p, v, _ in
+                   bench_gate.extract_rates({"points": [a, b]})}
+        reordered = {p: v for p, v, _ in
+                     bench_gate.extract_rates({"points": [b, a]})}
         assert forward == reordered == {
             "points.588n4p.tasks_per_wall_second": 1.0,
             "points.9408n64px2shards.tasks_per_wall_second": 2.0,
         }
 
     def test_unlabelled_entries_stay_positional(self):
-        rates = dict(bench_gate.extract_rates(
-            {"runs": [{"tasks_per_wall_second": 3.0}]}))
+        rates = {p: v for p, v, _ in bench_gate.extract_rates(
+            {"runs": [{"tasks_per_wall_second": 3.0}]})}
         assert rates == {"runs[0].tasks_per_wall_second": 3.0}
 
 
@@ -85,6 +87,37 @@ class TestCompare:
             {"points": [{"tasks_per_wall_second": 10.0}]},
             {"points": [{"tasks_per_wall_second": 100.0}]}, threshold=0.25)
         assert len(failures) == 1
+
+    def test_cost_metric_is_extracted_as_cost(self):
+        kinds = {p: k for p, _, k in bench_gate.extract_rates(
+            {"checkpoint_overhead": 0.02, "recovery_seconds_median": 0.01,
+             "tasks_per_wall_second": 10.0})}
+        assert kinds["checkpoint_overhead"] == "cost"
+        assert kinds["recovery_seconds_median"] == "cost"
+        assert kinds["tasks_per_wall_second"] == "rate"
+
+    def test_cost_within_ceiling_passes(self):
+        # Costs gate the other way: rising is the regression.  The
+        # slack is absolute, so a 0 -> 0.05 move on a near-zero cost
+        # does not trip a ratio explosion.
+        failures, notes = bench_gate.compare(
+            {"checkpoint_overhead": 0.05},
+            {"checkpoint_overhead": 0.0}, threshold=0.25)
+        assert failures == []
+        assert "ceiling" in notes[0]
+
+    def test_cost_rise_past_ceiling_fails(self):
+        failures, _ = bench_gate.compare(
+            {"checkpoint_overhead": 0.40},
+            {"checkpoint_overhead": 0.02}, threshold=0.25)
+        assert len(failures) == 1
+        assert "ceiling" in failures[0]
+
+    def test_cost_drop_passes(self):
+        failures, _ = bench_gate.compare(
+            {"recovery_seconds_median": 0.001},
+            {"recovery_seconds_median": 0.5}, threshold=0.25)
+        assert failures == []
 
 
 class TestEndToEnd:

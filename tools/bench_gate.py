@@ -18,9 +18,12 @@ Only ``tasks_per_wall_second*`` and ``per_seed_speedup*`` keys are
 compared (recursively, so BENCH_scale.json's per-point entries are
 covered; BENCH_ensemble.json's ensemble-vs-independent speedup is
 gated like a rate — a drop means the ensemble engine lost its edge).
-A file or key missing from the baseline is reported and skipped —
-new benchmarks must not fail the gate on the commit that introduces
-them.
+``checkpoint_overhead*`` and ``recovery_seconds*`` are **cost**
+metrics gated the other way around: they fail when the fresh value
+*rises* more than the threshold above the baseline (absolute slack —
+costs sit near zero, where ratios explode on noise).  A file or key
+missing from the baseline is reported and skipped — new benchmarks
+must not fail the gate on the commit that introduces them.
 """
 
 from __future__ import annotations
@@ -33,8 +36,10 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Tuple
 
 #: Metric keys compared by the gate (prefix match, tuple form as
-#: accepted by ``str.startswith``).
+#: accepted by ``str.startswith``).  Rates fail when they *drop*,
+#: costs fail when they *rise*.
 METRIC_PREFIX = ("tasks_per_wall_second", "per_seed_speedup")
+COST_PREFIX = ("checkpoint_overhead", "recovery_seconds")
 
 
 def entry_label(entry, index: int) -> str:
@@ -58,16 +63,20 @@ def entry_label(entry, index: int) -> str:
     return f"[{index}]"
 
 
-def extract_rates(doc, prefix: str = "") -> Iterator[Tuple[str, float]]:
-    """Yield ``(dotted.path, value)`` for every throughput metric."""
+def extract_rates(doc, prefix: str = ""
+                  ) -> Iterator[Tuple[str, float, str]]:
+    """Yield ``(dotted.path, value, kind)`` for every gated metric,
+    where ``kind`` is ``"rate"`` or ``"cost"``."""
     if isinstance(doc, dict):
         for key, value in doc.items():
             path = f"{prefix}.{key}" if prefix else str(key)
-            if key.startswith(METRIC_PREFIX) and isinstance(
-                    value, (int, float)):
-                yield path, float(value)
-            else:
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool):
                 yield from extract_rates(value, path)
+            elif key.startswith(METRIC_PREFIX):
+                yield path, float(value), "rate"
+            elif key.startswith(COST_PREFIX):
+                yield path, float(value), "cost"
     elif isinstance(doc, list):
         for i, value in enumerate(doc):
             label = entry_label(value, i)
@@ -78,14 +87,25 @@ def extract_rates(doc, prefix: str = "") -> Iterator[Tuple[str, float]]:
 
 def compare(fresh: dict, baseline: dict, threshold: float
             ) -> Tuple[List[str], List[str]]:
-    """Compare throughput metrics; returns (failures, notes)."""
+    """Compare gated metrics; returns (failures, notes)."""
     failures: List[str] = []
     notes: List[str] = []
-    base_rates: Dict[str, float] = dict(extract_rates(baseline))
-    for path, rate in extract_rates(fresh):
+    base_rates: Dict[str, float] = {
+        path: value for path, value, _ in extract_rates(baseline)}
+    for path, rate, kind in extract_rates(fresh):
         base = base_rates.get(path)
         if base is None:
             notes.append(f"{path}: no baseline (new metric), skipped")
+            continue
+        if kind == "cost":
+            # Ceiling gate with absolute slack: costs live near zero,
+            # where a ratio gate would flag pure noise.
+            line = (f"{path}: {rate:.3f} vs baseline {base:.3f} "
+                    f"(ceiling {base + threshold:.3f})")
+            if rate > base + threshold:
+                failures.append(line)
+            else:
+                notes.append(line)
             continue
         if base <= 0:
             notes.append(f"{path}: non-positive baseline {base}, skipped")
@@ -148,8 +168,8 @@ def main(argv: List[str] = None) -> int:
         any_failures = any_failures or bool(failures)
 
     if any_failures:
-        print(f"bench-gate: throughput regressed more than "
-              f"{args.threshold:.0%}", file=sys.stderr)
+        print(f"bench-gate: metrics regressed past the "
+              f"{args.threshold:.0%} threshold", file=sys.stderr)
         return 1
     print("bench-gate: ok")
     return 0
