@@ -58,23 +58,32 @@ def rate_stats(fn, rounds: int = None, warmup: bool = True) -> dict:
     slow outlier, which is the dominant noise shape observed (runs
     are only ever *slowed down* by interference, never sped up).
 
-    Returns ``{"min", "median", "max", "rounds"}`` so the BENCH JSONs
-    record the whole spread — when the regression gate trips, the
-    baseline's min/max show whether the median moved outside the
-    machine's observed noise band or the run was just unlucky.
+    Returns ``{"min", "median", "max", "rounds", "store"}`` so the
+    BENCH JSONs record the whole spread — when the regression gate
+    trips, the baseline's min/max show whether the median moved
+    outside the machine's observed noise band or the run was just
+    unlucky.  ``store`` is the run-store counter delta across the
+    measured rounds (hits/misses/stored, from
+    :data:`repro.store.STATS`): an all-zero delta *proves* the
+    numbers were produced cache-cold, with no memoized simulation
+    quietly inflating a rate.
     """
     import statistics
+
+    from repro.store import STATS
 
     if rounds is None:
         rounds = BENCH_ROUNDS
     if warmup:
         fn()
+    before = STATS.snapshot()
     rates = sorted(fn() for _ in range(rounds))
     return {
         "min": rates[0],
         "median": statistics.median(rates),
         "max": rates[-1],
         "rounds": rounds,
+        "store": STATS.delta(before),
     }
 
 

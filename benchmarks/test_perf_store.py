@@ -1,0 +1,164 @@
+"""Run-store benchmark: cold-vs-warm speedup and sweep hit rates.
+
+Two legs, both written to ``BENCH_store.json``:
+
+**Cold vs warm.**  The reference config (flux_n at 64 nodes / 4
+partitions, one null wave = 3584 tasks) is simulated into a fresh
+store, then served from it.  A warm hit skips the whole DES run —
+workload build, kernel, metric pass — and pays only digest
+computation, one ``flock``-guarded index touch and a verified
+``result.json`` parse, so the committed gate demands a ≥100× wall
+speedup.  The hit's soundness (float-equal metrics, byte-identical
+profile) is pinned by ``tests/store``; this file only guards the
+economics.
+
+**Zipf sweep.**  A 96-request stream whose seeds follow a Zipf
+distribution (the reference-hot/tail-cold shape of real parameter
+studies) runs through one shared store.  The stream is seeded, so its
+distinct-seed count — and therefore the exact hit rate — is
+deterministic: every repeated request must hit, every first
+occurrence must miss and populate.
+
+``tools/bench_gate.py`` gates ``tasks_per_wall_second*``,
+``warm_speedup`` and ``hit_rate`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.store import STATS, RunStore
+
+from .conftest import BENCH_ROUNDS, rate_stats, run_once, write_bench
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+
+#: Reference config for the cold/warm pair: deep enough (3584 tasks,
+#: ~0.5s of simulation) that the ~1.5ms warm lookup clears the 100x
+#: gate with an order of magnitude to spare.
+CFG = ExperimentConfig(exp_id="perf_store", launcher="flux",
+                       workload="null", n_nodes=64, n_partitions=4,
+                       waves=1, seed=0)
+N_TASKS = 3584
+
+#: The acceptance gate: a warm hit at least 100x cheaper than the
+#: simulation it replaces.
+MIN_WARM_SPEEDUP = 100.0
+
+#: Zipf request stream: 96 draws, exponent 1.3, seeds folded into
+#: [0, 32).  Seeded, so the distinct count and hit rate are exact.
+ZIPF_REQUESTS = 96
+ZIPF_EXPONENT = 1.3
+ZIPF_SEED_SPACE = 32
+
+
+def _zipf_seeds() -> list:
+    rng = np.random.default_rng(2026)
+    return [int(s) % ZIPF_SEED_SPACE
+            for s in rng.zipf(ZIPF_EXPONENT, size=ZIPF_REQUESTS)]
+
+
+def _merge_bench(updates: dict) -> None:
+    """Update ``BENCH_store.json`` in place: the two tests own
+    disjoint key sets, so either can run alone without clobbering the
+    other's committed numbers."""
+    doc = (json.loads(BENCH_FILE.read_text())
+           if BENCH_FILE.exists() else {})
+    doc.update(updates)
+    write_bench(BENCH_FILE, doc)
+
+
+def test_store_cold_vs_warm(tmp_path, benchmark, emit):
+    root = tmp_path / "store"
+
+    def _cold_wall() -> float:
+        shutil.rmtree(root, ignore_errors=True)
+        wall0 = time.perf_counter()
+        result = run_experiment(CFG, cache=root)
+        wall = time.perf_counter() - wall0
+        assert result.provenance == "fresh"
+        assert result.n_done == result.n_tasks == N_TASKS
+        return wall
+
+    def _warm_wall() -> float:
+        wall0 = time.perf_counter()
+        result = run_experiment(CFG, cache=root)
+        wall = time.perf_counter() - wall0
+        assert result.provenance == "cached"
+        assert result.n_tasks == N_TASKS
+        return wall
+
+    def _measure():
+        # rate form (tasks per wall second) so the regression gate
+        # treats a slowdown on either leg as a drop.
+        cold = rate_stats(lambda: N_TASKS / _cold_wall())
+        warm = rate_stats(lambda: N_TASKS / _warm_wall())
+        return cold, warm
+
+    cold, warm = run_once(benchmark, _measure)
+    speedup = warm["median"] / cold["median"]
+
+    _merge_bench({
+        "config": {"exp_id": CFG.exp_id, "launcher": CFG.launcher,
+                   "n_nodes": CFG.n_nodes,
+                   "n_partitions": CFG.n_partitions, "waves": CFG.waves},
+        "n_tasks": N_TASKS,
+        "tasks_per_wall_second_cold": cold["median"],
+        "tasks_per_wall_second_warm": warm["median"],
+        "warm_speedup": speedup,
+        "spread": {"cold": cold, "warm": warm},
+        "rounds": BENCH_ROUNDS,
+    })
+
+    emit(f"store: cold {N_TASKS / cold['median'] * 1e3:,.0f}ms/run  "
+         f"warm {N_TASKS / warm['median'] * 1e3:,.2f}ms/run  "
+         f"-> {speedup:.0f}x warm speedup ({N_TASKS} tasks)\n"
+         f"wrote {BENCH_FILE}")
+
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm store hit is only {speedup:.1f}x cheaper than a cold "
+        f"simulation (gate: {MIN_WARM_SPEEDUP:.0f}x)")
+
+
+def test_store_zipf_hit_rate(tmp_path, emit):
+    seeds = _zipf_seeds()
+    distinct = len(set(seeds))
+    expected_rate = (len(seeds) - distinct) / len(seeds)
+    cfg = ExperimentConfig(exp_id="perf_store_zipf", launcher="srun",
+                           workload="null", n_nodes=1, waves=1, seed=0)
+    store = RunStore(tmp_path / "store")
+    before = STATS.snapshot()
+    total_tasks = 0
+    wall0 = time.perf_counter()
+    for seed in seeds:
+        result = run_experiment(cfg.with_seed(seed), cache=store)
+        total_tasks += result.n_tasks
+    wall = time.perf_counter() - wall0
+    delta = STATS.delta(before)
+
+    assert delta["hits"] == len(seeds) - distinct
+    assert delta["misses"] == distinct
+    assert delta["stored"] == distinct
+    assert delta["integrity_failures"] == 0
+    hit_rate = delta["hits"] / len(seeds)
+    assert hit_rate == expected_rate
+
+    _merge_bench({"zipf": {
+        "requests": len(seeds),
+        "distinct_seeds": distinct,
+        "hit_rate": hit_rate,
+        "tasks_per_wall_second_memoized": total_tasks / wall,
+        "exponent": ZIPF_EXPONENT,
+        "seed_space": ZIPF_SEED_SPACE,
+    }})
+
+    emit(f"store zipf: {len(seeds)} requests over {distinct} distinct "
+         f"seeds -> hit rate {hit_rate:.1%}, "
+         f"{total_tasks / wall:,.0f} tasks/s memoized\n"
+         f"wrote {BENCH_FILE}")

@@ -37,7 +37,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analytics.profiler import Profiler
 from ..exceptions import ConfigurationError
@@ -81,6 +81,18 @@ class EnsembleResult:
     def wall_seconds_per_seed(self) -> float:
         return self.wall_seconds / max(len(self.members), 1)
 
+    @property
+    def provenance(self) -> Dict[str, int]:
+        """How each member was obtained: counts by ``fresh`` /
+        ``cached`` / ``resumed`` (same shape as
+        :attr:`~repro.experiments.harness.AggregateResult.provenance`).
+        """
+        counts: Dict[str, int] = {}
+        for member in self.members:
+            kind = member.result.provenance
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def aggregate(self) -> "AggregateResult":  # noqa: F821
         """Across-seed aggregation, same formulas as ``run_repetitions``."""
         from ..experiments.harness import AggregateResult
@@ -121,7 +133,7 @@ def _select_engine(cfg, latencies: LatencyModel,
 def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
                  engine: str, keep_profiles: bool,
                  profile_dir: Optional[str],
-                 telemetry=None) -> List[EnsembleMember]:
+                 telemetry=None, store=None) -> List[EnsembleMember]:
     """Run one batch of seeds in-process with the chosen engine.
 
     ``telemetry`` (a
@@ -130,41 +142,87 @@ def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
     engine, after the cohort recurrence (which feeds the intra-run
     :meth:`~repro.observability.telemetry.SweepTelemetry.cohort` hook
     instead) for the vectorized one.
+
+    ``store`` (a :class:`~repro.store.RunStore`) memoizes at per-seed
+    granularity: seeds already stored are delivered from the store
+    (profile exports come from the cached bytes — identical by the
+    determinism contract), and only the missing seeds reach the
+    engine, which then populates the store with them.
+    ``keep_profiles`` needs live profiler objects, so it bypasses the
+    cache *read* (every seed simulates) while still populating.
     """
     need_records = keep_profiles or profile_dir is not None
     on_member = None
     if telemetry is not None:
         def on_member(result):
             telemetry.member_done(result.n_tasks, result.n_done,
-                                  result.n_failed)
-    if engine == ENGINE_VECTORIZED:
-        results, profilers = run_vectorized(
-            cfg, seeds, latencies, keep_profiles=need_records,
-            progress=telemetry.cohort if telemetry is not None else None)
-        if on_member is not None:
-            for result in results:
-                on_member(result)
-    else:
-        results, profilers = _run_replay(cfg, seeds, latencies,
-                                         keep_profiles=need_records,
-                                         on_member=on_member)
+                                  result.n_failed,
+                                  provenance=result.provenance)
+    cached_runs = {}
+    digests = {}
+    if store is not None:
+        for seed in seeds:
+            digests[seed] = store.digest_for(cfg, seed=seed)
+        if not keep_profiles:
+            for seed in seeds:
+                hit = store.fetch(digests[seed])
+                if hit is not None:
+                    cached_runs[seed] = hit
+    missing = [seed for seed in seeds if seed not in cached_runs]
+    results, profilers = [], []
+    if missing:
+        if engine == ENGINE_VECTORIZED:
+            results, profilers = run_vectorized(
+                cfg, missing, latencies,
+                keep_profiles=need_records or store is not None,
+                progress=telemetry.cohort if telemetry is not None
+                else None)
+            if store is not None:
+                for seed, result, profiler in zip(missing, results,
+                                                  profilers):
+                    stored = store.put(digests[seed], cfg.with_seed(seed),
+                                       result, profiler=profiler)
+                    result.cache = {"digest": digests[seed],
+                                    "hit": False, "stored": stored}
+        else:
+            results, profilers = _run_replay(cfg, missing, latencies,
+                                             keep_profiles=need_records,
+                                             store=store, digests=digests)
+    fresh = dict(zip(missing, zip(results, profilers)))
     members = []
-    for seed, result, profiler in zip(seeds, results, profilers):
-        path = None
-        if profile_dir is not None:
-            from ..analytics import save_profile
+    for seed in seeds:
+        if seed in cached_runs:
+            hit = cached_runs[seed]
+            result = hit.to_result(cfg.with_seed(seed))
+            path = None
+            if profile_dir is not None:
+                from ..resilience.atomic import atomic_write_bytes
 
-            path = _profile_path(profile_dir, seed)
-            save_profile(profiler, path)
-        members.append(EnsembleMember(
-            seed=seed, result=result,
-            profiler=profiler if keep_profiles else None,
-            profile_path=path))
+                path = _profile_path(profile_dir, seed)
+                atomic_write_bytes(path, hit.profile_bytes())
+            members.append(EnsembleMember(seed=seed, result=result,
+                                          profiler=None,
+                                          profile_path=path))
+        else:
+            result, profiler = fresh[seed]
+            path = None
+            if profile_dir is not None:
+                from ..analytics import save_profile
+
+                path = _profile_path(profile_dir, seed)
+                save_profile(profiler, path)
+            members.append(EnsembleMember(
+                seed=seed, result=result,
+                profiler=profiler if keep_profiles else None,
+                profile_path=path))
+        if on_member is not None:
+            on_member(members[-1].result)
     return members
 
 
 def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
-                keep_profiles: bool, on_member=None):
+                keep_profiles: bool, on_member=None,
+                store=None, digests=None):
     """Generic engine: sequential per-seed runs, setup hoisted.
 
     The workload descriptions are built once for the whole batch and
@@ -172,25 +230,35 @@ def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
     construction is seed-independent, and the per-run task objects are
     built *from* the shared descriptions, so sharing them is exactly
     the kernel's own bulk-submission idiom.
+
+    ``store``/``digests`` populate the run store as each seed lands
+    (the caller already established these seeds are misses, so no
+    cache *read* happens here).
     """
     from ..experiments.harness import build_workload, run_experiment
 
     descriptions = (build_workload(cfg)
                     if cfg.workload != "impeccable" else None)
+    need_session = keep_profiles or store is not None
     results, profilers = [], []
     for seed in seeds:
         member_cfg = cfg.with_seed(seed)
         result = run_experiment(member_cfg, latencies,
-                                keep_session=keep_profiles,
+                                keep_session=need_session,
                                 descriptions=descriptions)
         profiler = None
-        if keep_profiles and result.session is not None:
+        if need_session and result.session is not None:
             profiler = result.session.profiler
             result.session.close()
+            if store is not None:
+                stored = store.put(digests[seed], member_cfg, result,
+                                   profiler=profiler)
+                result.cache = {"digest": digests[seed],
+                                "hit": False, "stored": stored}
         result.session = None
         result.tasks = []
         results.append(result)
-        profilers.append(profiler)
+        profilers.append(profiler if keep_profiles else None)
         if on_member is not None:
             on_member(result)
     return results, profilers
@@ -200,8 +268,9 @@ def _run_batch(payload):
     """Worker entry point for parallel ensembles (module-level so the
     pool can pickle it).  Profilers cannot cross the process boundary;
     traces only come back via ``profile_dir`` exports."""
-    cfg, seeds, latencies, engine, profile_dir = payload
+    cfg, seeds, latencies, engine, profile_dir, cache = payload
     from ..resilience.crash import crash_point, crash_value
+    from ..store import RunStore
 
     # Crash-injection hook (tests only; inert without the env var):
     # ``REPRO_CRASH_AT=pool:<seed>`` kills the worker holding that
@@ -210,7 +279,8 @@ def _run_batch(payload):
         for seed in seeds:
             crash_point("pool", float(seed))
     members = _run_members(cfg, seeds, latencies, engine,
-                           keep_profiles=False, profile_dir=profile_dir)
+                           keep_profiles=False, profile_dir=profile_dir,
+                           store=RunStore.resolve(cache))
     for member in members:
         member.profiler = None
     return members
@@ -286,7 +356,8 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
                  parallel=None,
                  engine: Optional[str] = None,
                  progress=None,
-                 bundle=None) -> EnsembleResult:
+                 bundle=None,
+                 cache=None) -> EnsembleResult:
     """Run ``cfg`` under many seeds and return all members.
 
     Parameters
@@ -322,6 +393,15 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
         Write an observability bundle into this directory via
         :func:`write_ensemble_bundle`.  Per-seed profiles are
         exported into it unless ``profile_dir`` redirects them.
+    cache:
+        A :class:`~repro.store.RunStore` (or a directory path for
+        one) memoizing members at per-seed granularity: seeds with a
+        stored run are delivered from the store without simulating
+        (``result.provenance == "cached"``, profile exports
+        byte-identical by the determinism contract); only the missing
+        seeds reach the engine, which populates the store with them.
+        ``keep_profiles`` needs live profilers, so it bypasses cache
+        reads while still populating.
     """
     if seeds is not None and n_reps is not None:
         raise ConfigurationError("pass seeds= or n_reps=, not both")
@@ -363,7 +443,7 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
         from ..exceptions import HostFailureError
         from ..experiments.parallel import POOL_RETRIES, POOL_RETRY_BACKOFF
 
-        payloads = [(cfg, batch, latencies, chosen, profile_dir)
+        payloads = [(cfg, batch, latencies, chosen, profile_dir, cache)
                     for batch in _split_batches(seed_list, n_workers)]
         # submit + as_completed (not pool.map): progress is reported
         # the moment each batch lands, while the result list is still
@@ -378,7 +458,8 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
             if telemetry is not None:
                 for member in batch:
                     r = member.result
-                    telemetry.member_done(r.n_tasks, r.n_done, r.n_failed)
+                    telemetry.member_done(r.n_tasks, r.n_done, r.n_failed,
+                                          provenance=r.provenance)
 
         pending = list(range(len(payloads)))
         retries = 0
@@ -409,9 +490,12 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
         members = [m for batch in batches for m in batch]
     else:
         n_workers = 1
+        from ..store import RunStore
+
         members = _run_members(cfg, seed_list, latencies, chosen,
                                keep_profiles, profile_dir,
-                               telemetry=telemetry)
+                               telemetry=telemetry,
+                               store=RunStore.resolve(cache))
     wall = time.perf_counter() - wall0
     per_seed = wall / max(len(members), 1)
     for member in members:

@@ -85,6 +85,12 @@ class CheckpointError(ReproError):
     the checkpointed state (non-deterministic code or code drift)."""
 
 
+class StoreError(ReproError):
+    """Raised for unusable run-store state: a root that is not a
+    store, a digest-scheme mismatch, an ambiguous digest prefix, or a
+    blob whose content no longer matches its recorded hash."""
+
+
 class HostFailureError(SimulationError):
     """Raised when a *host-side* worker process (shard worker, pool
     worker) is lost — crashed pid or hung heartbeat — and supervision

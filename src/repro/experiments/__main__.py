@@ -62,6 +62,31 @@ def _print_recovery(result) -> None:
           f"{doc['total_recovery_seconds']:.2f}s wall", file=sys.stderr)
 
 
+def _print_cache(result) -> None:
+    """Echo one run's store outcome (``run --cache`` only)."""
+    doc = getattr(result, "cache", None)
+    if not doc:
+        return
+    digest = (doc.get("digest") or "")[:12]
+    if doc.get("hit"):
+        print(f"cache: hit {digest}", file=sys.stderr)
+    elif doc.get("stored"):
+        print(f"cache: miss {digest} (stored)", file=sys.stderr)
+    else:
+        print(f"cache: miss {digest} (lost write race)", file=sys.stderr)
+
+
+def _print_cache_summary(provenance) -> None:
+    """Echo a sweep's provenance mix (``run --cache`` only)."""
+    hits = provenance.get("cached", 0)
+    resumed = provenance.get("resumed", 0)
+    fresh = provenance.get("fresh", 0)
+    line = f"cache: {hits} hit(s), {fresh} simulated"
+    if resumed:
+        line += f", {resumed} resumed"
+    print(line, file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     overrides = {}
     if args.nodes:
@@ -94,6 +119,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     bundle = getattr(args, "bundle", "") or None
     spill_dir = getattr(args, "spill_dir", "") or None
     seeds = getattr(args, "seeds", "") or None
+    cache = getattr(args, "cache", "") or None
     progress = _progress_sink(getattr(args, "progress", ""))
     checkpoint = getattr(args, "checkpoint", "") or None
     multi = args.reps > 1 or seeds or getattr(args, "ensemble", False)
@@ -116,7 +142,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            or None,
                            parallel=args.parallel,
                            progress=progress,
-                           bundle=bundle)
+                           bundle=bundle,
+                           cache=cache)
+        if cache:
+            _print_cache_summary(ens.provenance)
         agg = ens.aggregate()
         print(format_table(
             ["exp", "nodes", "parts", "seeds", "engine", "avg tasks/s",
@@ -135,7 +164,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.summary or args.profile or bundle:
         result = run_experiment(cfg, keep_session=True, bundle=bundle,
                                 spill_dir=spill_dir, progress=progress,
-                                resilience=resilience)
+                                resilience=resilience, cache=cache)
+        _print_cache(result)
         _print_recovery(result)
         if bundle:
             print(f"wrote observability bundle to {bundle}")
@@ -157,7 +187,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         agg = run_repetitions(cfg, n_reps=args.reps, parallel=args.parallel,
                               seeds=seeds, progress=progress,
                               checkpoint=checkpoint,
-                              resilience=resilience)
+                              resilience=resilience, cache=cache)
+        if cache:
+            _print_cache_summary(agg.provenance)
         print(format_table(
             ["exp", "nodes", "parts", "reps", "avg tasks/s", "max tasks/s",
              "util", "makespan[s]"],
@@ -166,7 +198,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               agg.makespan_avg)]))
     else:
         r = run_experiment(cfg, spill_dir=spill_dir, progress=progress,
-                           resilience=resilience)
+                           resilience=resilience, cache=cache)
+        _print_cache(r)
         _print_recovery(r)
         print(format_table(
             ["exp", "nodes", "parts", "tasks", "done", "failed",
@@ -459,6 +492,13 @@ def main(argv: List[str] = None) -> int:
                        help="watchdog + deterministic replay recovery "
                             "for crashed or hung shard workers "
                             "(sharded runs)")
+    p_run.add_argument("--cache", default="", metavar="DIR",
+                       help="memoize runs through a content-addressed "
+                            "store rooted at DIR: an exact match "
+                            "(config, seed, workload, code version) is "
+                            "delivered without simulating; misses "
+                            "populate the store (see the 'store' "
+                            "subcommand)")
 
     p_res = sub.add_parser(
         "resume", help="resume a checkpointed run to completion")
@@ -490,6 +530,10 @@ def main(argv: List[str] = None) -> int:
                        help="figure ids (default: all), e.g. fig4 fig6")
     p_fig.add_argument("--quick", action="store_true",
                        help="reduced scales for a fast smoke run")
+
+    from ..store.cli import add_store_parser
+
+    add_store_parser(sub)
 
     p_tr = sub.add_parser(
         "trace", help="observability bundles and Perfetto traces")
@@ -529,6 +573,10 @@ def main(argv: List[str] = None) -> int:
             return _cmd_resume(args)
         if args.command == "table1":
             return _cmd_table1(args)
+        if args.command == "store":
+            from ..store.cli import cmd_store
+
+            return cmd_store(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "figures":

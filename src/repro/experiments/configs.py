@@ -84,6 +84,20 @@ class ExperimentConfig:
         """Copy with a different seed (for repetitions)."""
         return replace(self, seed=seed)
 
+    def cache_key(self) -> str:
+        """Canonical content key of this config's *behavior*.
+
+        sha256 of the normalized config document: stable field order,
+        defaults filled, label fields (``exp_id``, ``tags``) and
+        trace-neutral execution knobs (``seed``, ``bulk``, ``lean``,
+        ``shards``) excluded — two configs with equal keys denote the
+        same simulated run modulo seed.  See
+        :mod:`repro.store.keys` for the full identity scheme.
+        """
+        from ..store.keys import cache_key
+
+        return cache_key(self)
+
     def scaled(self, waves: int) -> "ExperimentConfig":
         """Copy with a different wave count (cheaper test runs)."""
         return replace(self, waves=waves)

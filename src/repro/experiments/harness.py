@@ -78,6 +78,16 @@ class ExperimentResult:
     #: replayed); ``None`` when nothing was recovered.  Wall-clock
     #: metadata only — recovery never changes the trace.
     host_recovery: Optional[dict] = None
+    #: How this result was produced: ``"fresh"`` (simulated in this
+    #: call), ``"cached"`` (delivered from a content-addressed run
+    #: store), or ``"resumed"`` (rebuilt from a sweep ledger instead
+    #: of re-running).  Identical metrics either way — provenance is
+    #: bookkeeping, never a behavior difference.
+    provenance: str = "fresh"
+    #: Run-store interaction record (``None`` when caching was off):
+    #: ``{"digest": ..., "hit": bool}`` plus ``"stored"`` on misses
+    #: that populated the store.
+    cache: Optional[dict] = None
 
     @property
     def throughput_avg(self) -> float:
@@ -179,7 +189,9 @@ def run_experiment(cfg: ExperimentConfig,
                    descriptions: Optional[List[TaskDescription]] = None,
                    progress=None,
                    resilience=None,
-                   _resume_verify=None
+                   cache=None,
+                   _resume_verify=None,
+                   _derived_descriptions: bool = False
                    ) -> ExperimentResult:
     """Run one experiment end-to-end and compute its metrics.
 
@@ -219,8 +231,37 @@ def run_experiment(cfg: ExperimentConfig,
     trace-inert (see ``docs/RESILIENCE.md``).  ``_resume_verify`` is
     internal resume plumbing — the checkpointed state document the
     replay must match (see :func:`resume_experiment`).
+
+    ``cache`` memoizes the run through a content-addressed store (a
+    :class:`~repro.store.RunStore` or a directory path; ``None`` —
+    the default — leaves every path exactly as before).  The run is
+    keyed by a digest of (normalized config, seed, workload, code
+    fingerprint); a verified hit returns the stored metrics (and the
+    byte-exact profile, via the store API) in milliseconds without
+    building a session, and a miss simulates then populates the
+    store.  Hits are task-free (``tasks=[]``, ``session=None``, like
+    parallel results), so runs that need live state — ``keep_session``,
+    ``bundle``, checkpoint resume — always simulate fresh; they still
+    populate the store on the way out.  ``_derived_descriptions``
+    marks a caller-supplied ``descriptions`` list as the canonical
+    :func:`build_workload` output (sweep callers hoist construction),
+    keeping its digest identical to a derive-it-yourself run.
     """
     wall0 = time.perf_counter()
+    store = run_key = None
+    if cache is not None:
+        from ..store import RunStore
+
+        store = RunStore.resolve(cache)
+        run_key = store.digest_for(
+            cfg, descriptions=descriptions,
+            derived=_derived_descriptions or descriptions is None)
+        if keep_session is False and bundle is None and \
+                _resume_verify is None:
+            cached = store.load_result(cfg, run_key)
+            if cached is not None:
+                cached.wall_seconds = time.perf_counter() - wall0
+                return cached
     observe = observe or bundle is not None or progress is not None
     checkpointer = None
     if resilience is not None and resilience.checkpointing:
@@ -313,6 +354,16 @@ def run_experiment(cfg: ExperimentConfig,
                        if session.engine is not None
                        and session.engine.recovery else None),
     )
+    if store is not None:
+        # Populate on miss (or bypassed read): the profile export is
+        # the same ``save_profile`` bytes a fresh export produces, so
+        # a later hit delivers a byte-identical trace.  Losing a
+        # publication race to a concurrent writer costs nothing — the
+        # winner's entry is byte-identical by the determinism
+        # contract.
+        stored = store.put(run_key, cfg, result,
+                           profiler=session.profiler)
+        result.cache = {"digest": run_key, "hit": False, "stored": stored}
     if checkpointer is not None:
         # The final (complete) checkpoint — and, on a resume, the
         # point where a replay that never crossed the watermark fails
@@ -400,12 +451,23 @@ class AggregateResult:
     makespan_avg: float
     results: Tuple[ExperimentResult, ...] = field(repr=False, default=())
 
+    @property
+    def provenance(self) -> dict:
+        """Per-seed provenance counts (``fresh``/``cached``/
+        ``resumed``) across the repetitions — how many were actually
+        simulated vs delivered from the run store or sweep ledger."""
+        counts: dict = {}
+        for result in self.results:
+            kind = getattr(result, "provenance", "fresh")
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
 
 def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                     latencies: LatencyModel = FRONTIER_LATENCIES,
                     parallel=None, seeds=None,
                     progress=None, checkpoint=None,
-                    resilience=None) -> AggregateResult:
+                    resilience=None, cache=None) -> AggregateResult:
     """Run several seeds of one configuration and aggregate.
 
     ``seeds`` names the repetition seeds explicitly — a sequence of
@@ -438,6 +500,15 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     repetition (see :class:`~repro.resilience.ResilienceSpec`); its
     ``checkpoint_dir`` must be unset — per-rep run checkpoints would
     clobber each other, the sweep ledger is the durable state here.
+
+    ``cache`` memoizes each repetition through a content-addressed
+    run store at **per-seed granularity** — a 64-seed sweep with 60
+    seeds already stored simulates only the missing 4.  Each
+    result's :attr:`~ExperimentResult.provenance` says whether it was
+    simulated (``fresh``), delivered from the store (``cached``), or
+    rebuilt from the ledger (``resumed``); the aggregate's
+    :attr:`~AggregateResult.provenance` counts them, and sweep
+    telemetry records carry the same per-member classification.
     """
     if resilience is not None and resilience.checkpointing:
         raise ConfigurationError(
@@ -462,7 +533,8 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
     def rep_done(result):
         if telemetry is not None:
             telemetry.member_done(result.n_tasks, result.n_done,
-                                  result.n_failed)
+                                  result.n_failed,
+                                  provenance=result.provenance)
     # Per-sweep setup is paid once: the synthetic workload is
     # seed-independent, so every repetition submits the same immutable
     # descriptions (the campaign workload generates its own tasks).
@@ -483,7 +555,7 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                 cfgs, latencies, jobs=parallel,
                 progress=(lambda done, total, r: rep_done(r))
                 if telemetry is not None else None,
-                ledger=ledger)
+                ledger=ledger, cache=cache)
     if serial:
         from ..resilience.checkpoint import result_from_doc
 
@@ -495,11 +567,13 @@ def run_repetitions(cfg: ExperimentConfig, n_reps: int = 3,
                     # Finished before the interruption: rebuild from
                     # the ledger instead of re-simulating.
                     result = result_from_doc(c, doc)
+                    result.provenance = "resumed"
                     results.append(result)
                     rep_done(result)
                     continue
             result = run_experiment(c, latencies, descriptions=shared,
-                                    resilience=resilience)
+                                    resilience=resilience, cache=cache,
+                                    _derived_descriptions=True)
             if ledger is not None:
                 ledger.record(c, result)
             results.append(result)

@@ -78,7 +78,7 @@ def _run_one(payload):
     import of the harness is deferred to avoid a circular import —
     ``harness`` imports :func:`run_many` lazily for the same reason.
     """
-    cfg, latencies, profile_path, bundle_path = payload
+    cfg, latencies, profile_path, bundle_path, cache = payload
     from ..resilience.crash import crash_point, crash_value
     from .harness import run_experiment
 
@@ -90,7 +90,7 @@ def _run_one(payload):
         crash_point("pool", float(cfg.seed))
     keep = profile_path is not None
     result = run_experiment(cfg, latencies, keep_session=keep,
-                            bundle=bundle_path)
+                            bundle=bundle_path, cache=cache)
     if keep:
         from ..analytics import save_profile
 
@@ -105,6 +105,7 @@ def run_many(configs: Sequence[ExperimentConfig],
              bundle_paths: Optional[Sequence[Optional[str]]] = None,
              progress: Optional[Callable] = None,
              ledger=None,
+             cache=None,
              ) -> List["ExperimentResult"]:  # noqa: F821
     """Run several independent experiments, fanned out over processes.
 
@@ -132,6 +133,12 @@ def run_many(configs: Sequence[ExperimentConfig],
     fresh pool (with backoff, up to :data:`POOL_RETRIES` times).
     A *deterministic* simulation error is never retried — it would
     fail identically — and propagates as-is.
+
+    ``cache`` (a :class:`~repro.store.RunStore` or directory path)
+    memoizes each unit through the content-addressed run store: hits
+    are delivered inside the worker without simulating, misses
+    populate the store there (concurrent workers racing on one digest
+    resolve to one winner via atomic rename).
     """
     configs = list(configs)
     if profile_paths is None:
@@ -144,7 +151,7 @@ def run_many(configs: Sequence[ExperimentConfig],
     elif len(bundle_paths) != len(configs):
         raise ConfigurationError(
             f"{len(bundle_paths)} bundle paths for {len(configs)} configs")
-    payloads = [(cfg, latencies, path, bpath)
+    payloads = [(cfg, latencies, path, bpath, cache)
                 for cfg, path, bpath in zip(configs, profile_paths,
                                             bundle_paths)]
     results: List[Optional["ExperimentResult"]] = [None] * len(payloads)
@@ -165,7 +172,9 @@ def run_many(configs: Sequence[ExperimentConfig],
         if doc is not None:
             from ..resilience.checkpoint import result_from_doc
 
-            land(i, result_from_doc(cfg, doc), record=False)
+            result = result_from_doc(cfg, doc)
+            result.provenance = "resumed"
+            land(i, result, record=False)
         else:
             pending.append(i)
     n_workers = resolve_jobs(jobs, n_items=len(pending))

@@ -143,6 +143,15 @@ def build_manifest(config: Optional["ExperimentConfig"] = None,
         recovery = getattr(result, "host_recovery", None)
         if recovery:
             manifest["host_recovery"] = recovery
+        # Run-store provenance — recorded only when a store was in
+        # play, so store-off manifests stay byte-identical to runs
+        # predating the cache entirely.
+        provenance = getattr(result, "provenance", "fresh")
+        cache = getattr(result, "cache", None)
+        if cache is not None or provenance != "fresh":
+            manifest["result"]["provenance"] = provenance
+            if cache is not None:
+                manifest["result"]["cache"] = dict(cache)
     if extra:
         manifest.update(extra)
     return manifest

@@ -368,6 +368,10 @@ class SweepTelemetry:
         #: ``(done, total)`` task counts from a lock-stepped engine's
         #: mid-flight cohort hook; superseded once members complete.
         self._cohort: Optional[tuple] = None
+        #: Members delivered without simulating: run-store hits and
+        #: sweep-ledger rehydrations (see ``ExperimentResult.provenance``).
+        self.members_cached = 0
+        self.members_resumed = 0
         self.eta = EtaEstimator(self.members_total)
 
     @classmethod
@@ -395,6 +399,8 @@ class SweepTelemetry:
             "tasks_total": tasks_total,
             "tasks_done": tasks_done,
             "tasks_failed": self.tasks_failed,
+            "members_cached": self.members_cached,
+            "members_resumed": self.members_resumed,
             "progress": round(done / total, 6) if total else 0.0,
             "eta_seconds": self.eta.estimate(self.bus.elapsed(), done),
             "eta_basis": "wall",
@@ -402,10 +408,20 @@ class SweepTelemetry:
         }
 
     def member_done(self, n_tasks: int = 0, n_done: int = 0,
-                    n_failed: int = 0) -> Optional[Dict[str, Any]]:
+                    n_failed: int = 0,
+                    provenance: str = "fresh") -> Optional[Dict[str, Any]]:
         """Record one completed member; emits unconditionally when it
-        is the last one so every sweep produces at least one record."""
+        is the last one so every sweep produces at least one record.
+
+        ``provenance`` mirrors ``ExperimentResult.provenance`` —
+        ``"cached"`` (run-store hit) and ``"resumed"`` (sweep-ledger
+        rehydration) members are counted separately so the stream
+        shows how much of a sweep was actually simulated."""
         self.members_done += 1
+        if provenance == "cached":
+            self.members_cached += 1
+        elif provenance == "resumed":
+            self.members_resumed += 1
         self.tasks_total = (self.tasks_total or 0) + int(n_tasks)
         self.tasks_done += int(n_done)
         self.tasks_failed += int(n_failed)
@@ -461,6 +477,12 @@ def render_progress_line(record: Dict[str, Any]) -> str:
     members = record.get("members_total")
     if members is not None:
         parts.append(f"seeds {record.get('members_done', 0)}/{members}")
+        cached = record.get("members_cached", 0)
+        resumed = record.get("members_resumed", 0)
+        if cached:
+            parts.append(f"cached {cached}")
+        if resumed:
+            parts.append(f"resumed {resumed}")
     if record.get("nodes_down"):
         parts.append(f"down {record['nodes_down']}")
     shards = record.get("shards")

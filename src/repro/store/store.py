@@ -1,0 +1,598 @@
+"""The content-addressed on-disk run store.
+
+Layout (everything under one root directory)::
+
+    <root>/
+      store.json        format marker + digest-scheme version
+      index.json        digest -> {summary, last_access, hits, bytes}
+      index.lock        advisory lock serializing index/eviction updates
+      objects/ab/<digest>/
+        entry.json      full config doc, cache key, fingerprint,
+                        artifact hashes + sizes
+        result.json     the run's metrics document
+        profile.jsonl   byte-exact trace export (save_profile format)
+      tmp/              staging dirs (one atomic rename publishes each)
+      trash/            eviction staging (renamed out, then deleted)
+
+Correctness properties, each pinned by ``tests/store``:
+
+* **Atomic publication.**  A writer stages the whole entry in
+  ``tmp/`` and publishes it with one ``os.rename``; concurrent
+  writers of the same digest race to one winner (``rename`` onto an
+  existing directory fails; the loser discards its staging copy).
+  Readers never observe a partial entry.
+* **Integrity on read.**  ``entry.json`` records the sha256 of every
+  artifact; every artifact a read *delivers* is verified against it
+  first.  A corrupt entry is quarantined (counted, removed) and
+  reported as a miss — never served.
+* **Safe eviction.**  Eviction renames the entry directory into
+  ``trash/`` before deleting; a reader holding open file handles
+  keeps its POSIX data, and no half-deleted entry is ever visible at
+  its content address.
+* **LRU / size caps.**  ``max_bytes`` / ``max_entries`` evict
+  least-recently-used entries after each write (and on demand via
+  :meth:`RunStore.gc`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import errno
+import hashlib
+import json
+import os
+import shutil
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..exceptions import StoreError
+from .keys import KEY_SCHEME, cache_key, run_digest
+
+try:  # pragma: no cover - POSIX (the supported platform) has fcntl
+    import fcntl
+except ImportError:  # pragma: no cover - win fallback: no inter-proc lock
+    fcntl = None
+
+PathLike = Union[str, Path]
+
+STORE_FORMAT = "repro-run-store"
+STORE_VERSION = 1
+
+#: Artifact names every complete entry carries.
+ARTIFACT_RESULT = "result.json"
+ARTIFACT_PROFILE = "profile.jsonl"
+ENTRY_NAME = "entry.json"
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss/write counters (per store instance and process-wide).
+
+    The process-wide instance (:data:`STATS`) is what the benchmark
+    harness snapshots to prove its numbers were produced cache-cold
+    (see ``benchmarks/conftest.rate_stats``).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    lost_races: int = 0
+    evicted: int = 0
+    integrity_failures: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        now = self.snapshot()
+        return {key: now[key] - before.get(key, 0) for key in now}
+
+
+#: Process-wide counters, aggregated across every store instance.
+STATS = StoreStats()
+
+
+def _sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _sha256_file(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+# -- result (de)serialization ------------------------------------------------
+
+
+def result_to_doc(result) -> Dict[str, Any]:
+    """The store's metrics document for one finished run.
+
+    The sweep ledger's document plus the fault report — everything an
+    :class:`~repro.experiments.harness.ExperimentResult` carries
+    except per-task objects and the live session (the same contract
+    parallel repetitions already have).
+    """
+    from ..resilience.checkpoint import result_to_doc as ledger_doc
+
+    doc = ledger_doc(result)
+    doc["faults"] = (dataclasses.asdict(result.faults)
+                     if result.faults is not None else None)
+    doc["shard_peak_rss_mb"] = list(result.shard_peak_rss_mb)
+    return doc
+
+
+def result_from_doc(cfg, doc: Dict[str, Any]):
+    """Rebuild a task-free ``ExperimentResult`` from its document."""
+    from ..resilience.checkpoint import result_from_doc as ledger_result
+
+    result = ledger_result(cfg, doc)
+    faults = doc.get("faults")
+    if faults is not None:
+        from ..faults import FaultReport
+
+        faults = dict(faults)
+        faults["schedule"] = tuple(
+            tuple(item) for item in faults.get("schedule", ()))
+        result.faults = FaultReport(**faults)
+    result.shard_peak_rss_mb = [
+        float(v) for v in doc.get("shard_peak_rss_mb", [])]
+    return result
+
+
+@dataclasses.dataclass
+class CachedRun:
+    """One verified store entry, ready to deliver."""
+
+    digest: str
+    path: Path
+    entry: Dict[str, Any]
+    result_doc: Dict[str, Any]
+
+    def to_result(self, cfg):
+        """The run's (task-free) ``ExperimentResult``, marked cached."""
+        result = result_from_doc(cfg, self.result_doc)
+        result.provenance = "cached"
+        result.cache = {"hit": True, "digest": self.digest}
+        return result
+
+    def profile_bytes(self) -> bytes:
+        """The byte-exact profile export, integrity-verified."""
+        path = self.path / ARTIFACT_PROFILE
+        data = path.read_bytes()
+        recorded = self.entry["artifacts"][ARTIFACT_PROFILE]["sha256"]
+        if _sha256_bytes(data) != recorded:
+            raise StoreError(
+                f"store entry {self.digest[:12]}: profile blob corrupt "
+                f"(sha256 mismatch against {ENTRY_NAME})")
+        return data
+
+
+class RunStore:
+    """Content-addressed store of finished runs, keyed by run digest."""
+
+    def __init__(self, root: PathLike,
+                 max_bytes: Optional[int] = None,
+                 max_entries: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+        marker = self.root / "store.json"
+        if not marker.exists():
+            from ..resilience.atomic import atomic_write_json
+
+            atomic_write_json(marker, {
+                "format": STORE_FORMAT,
+                "version": STORE_VERSION,
+                "key_scheme": KEY_SCHEME,
+            })
+        else:
+            doc = json.loads(marker.read_text(encoding="utf-8"))
+            if doc.get("format") != STORE_FORMAT:
+                raise StoreError(f"{self.root}: not a repro run store")
+            if doc.get("key_scheme") != KEY_SCHEME:
+                raise StoreError(
+                    f"{self.root}: digest scheme {doc.get('key_scheme')!r} "
+                    f"does not match this code's scheme {KEY_SCHEME}")
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def resolve(cls, cache) -> Optional["RunStore"]:
+        """Coerce a ``cache=`` argument: ``None`` stays off, a
+        :class:`RunStore` passes through, anything path-like opens a
+        store rooted there."""
+        if cache is None:
+            return None
+        if isinstance(cache, RunStore):
+            return cache
+        return cls(cache)
+
+    def digest_for(self, cfg, seed: Optional[int] = None,
+                   descriptions: Optional[Sequence] = None,
+                   derived: bool = True,
+                   fingerprint: Optional[str] = None) -> str:
+        """The run digest this store would file ``cfg`` under."""
+        return run_digest(cfg, seed=seed, descriptions=descriptions,
+                          derived=derived, fingerprint=fingerprint)
+
+    # -- paths and locking -------------------------------------------------
+
+    def _object_dir(self, digest: str) -> Path:
+        return self.root / "objects" / digest[:2] / digest
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory inter-process lock for index and eviction updates."""
+        lock_path = self.root / "index.lock"
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            if fcntl is not None:
+                with contextlib.suppress(OSError):
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _read_index(self) -> Dict[str, Dict[str, Any]]:
+        path = self.root / "index.json"
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            # The index is a derived structure; a torn or missing one
+            # is rebuilt from the object directories, never fatal.
+            return self._scan_objects()
+        return dict(doc.get("entries", {}))
+
+    def _write_index(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        from ..resilience.atomic import atomic_write_json
+
+        atomic_write_json(self.root / "index.json", {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "entries": entries,
+        })
+
+    def _scan_objects(self) -> Dict[str, Dict[str, Any]]:
+        """Rebuild index entries from the object directories."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return entries
+        for entry_path in objects.glob("*/*/" + ENTRY_NAME):
+            try:
+                entry = json.loads(entry_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            digest = entry.get("digest")
+            if digest:
+                entries[digest] = self._index_meta(entry)
+        return entries
+
+    @staticmethod
+    def _index_meta(entry: Dict[str, Any]) -> Dict[str, Any]:
+        cfg = entry.get("config", {})
+        total = sum(a.get("bytes", 0)
+                    for a in entry.get("artifacts", {}).values())
+        return {
+            "exp_id": cfg.get("exp_id"),
+            "launcher": cfg.get("launcher"),
+            "workload": cfg.get("workload"),
+            "n_nodes": cfg.get("n_nodes"),
+            "n_partitions": cfg.get("n_partitions"),
+            "seed": entry.get("seed"),
+            "created": entry.get("created"),
+            "last_access": entry.get("created"),
+            "bytes": total,
+            "hits": 0,
+        }
+
+    # -- write path --------------------------------------------------------
+
+    def put(self, digest: str, cfg, result,
+            profile_bytes: Optional[bytes] = None,
+            profiler=None) -> bool:
+        """Store one finished run under ``digest``.
+
+        The profile comes either as the exact bytes of a
+        ``save_profile`` export or as a live profiler (exported here
+        with the same helper, hence the same bytes).  Returns ``True``
+        when this call published the entry, ``False`` when another
+        writer won the race (their copy is byte-identical by the
+        determinism contract, so losing costs nothing).
+        """
+        final = self._object_dir(digest)
+        if final.exists():
+            return False
+        if profile_bytes is None:
+            if profiler is None:
+                raise StoreError("put needs profile_bytes or a profiler")
+            profile_bytes = export_profile_bytes(profiler)
+        stage = self.root / "tmp" / f"{digest}.{os.getpid()}.{uuid.uuid4().hex}"
+        stage.mkdir(parents=True)
+        try:
+            (stage / ARTIFACT_PROFILE).write_bytes(profile_bytes)
+            result_text = json.dumps(result_to_doc(result), sort_keys=True,
+                                     indent=2) + "\n"
+            result_bytes = result_text.encode("utf-8")
+            (stage / ARTIFACT_RESULT).write_bytes(result_bytes)
+            entry = {
+                "format": STORE_FORMAT,
+                "version": STORE_VERSION,
+                "digest": digest,
+                "cache_key": cache_key(cfg),
+                "seed": cfg.seed,
+                "config": dataclasses.asdict(cfg),
+                "created": time.time(),
+                "artifacts": {
+                    ARTIFACT_RESULT: {
+                        "sha256": _sha256_bytes(result_bytes),
+                        "bytes": len(result_bytes),
+                    },
+                    ARTIFACT_PROFILE: {
+                        "sha256": _sha256_bytes(profile_bytes),
+                        "bytes": len(profile_bytes),
+                    },
+                },
+            }
+            entry_bytes = (json.dumps(entry, sort_keys=True, indent=2,
+                                      default=repr) + "\n").encode("utf-8")
+            (stage / ENTRY_NAME).write_bytes(entry_bytes)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(stage, final)
+            except OSError as exc:
+                if exc.errno in (errno.EEXIST, errno.ENOTEMPTY,
+                                 errno.EPERM):
+                    # Another writer published the same digest first;
+                    # by the determinism contract its bytes equal ours.
+                    self.stats.lost_races += 1
+                    STATS.lost_races += 1
+                    return False
+                raise
+        finally:
+            if stage.exists():
+                shutil.rmtree(stage, ignore_errors=True)
+        with self._locked():
+            entries = self._read_index()
+            entries[digest] = self._index_meta(entry)
+            self._enforce_caps(entries, protect=digest)
+            self._write_index(entries)
+        self.stats.stored += 1
+        STATS.stored += 1
+        return True
+
+    # -- read path ---------------------------------------------------------
+
+    def fetch(self, digest: str, touch: bool = True) -> Optional[CachedRun]:
+        """The verified entry at ``digest``, or ``None`` (a miss).
+
+        Verifies the result document against the hashes recorded in
+        ``entry.json`` before delivering it; the (much larger) profile
+        blob is verified by :meth:`CachedRun.profile_bytes` when it is
+        actually read.  A corrupt entry is quarantined and counted.
+        """
+        path = self._object_dir(digest)
+        entry_path = path / ENTRY_NAME
+        if not entry_path.exists():
+            self._miss()
+            return None
+        try:
+            entry = json.loads(entry_path.read_text(encoding="utf-8"))
+            result_bytes = (path / ARTIFACT_RESULT).read_bytes()
+        except (OSError, ValueError):
+            self._quarantine(digest, "unreadable entry")
+            self._miss()
+            return None
+        recorded = entry.get("artifacts", {}).get(
+            ARTIFACT_RESULT, {}).get("sha256")
+        if recorded != _sha256_bytes(result_bytes):
+            self._quarantine(digest, "result document corrupt")
+            self._miss()
+            return None
+        result_doc = json.loads(result_bytes.decode("utf-8"))
+        if touch:
+            with self._locked():
+                entries = self._read_index()
+                meta = entries.get(digest)
+                if meta is None:
+                    meta = entries[digest] = self._index_meta(entry)
+                meta["last_access"] = time.time()
+                meta["hits"] = int(meta.get("hits", 0)) + 1
+                self._write_index(entries)
+        self.stats.hits += 1
+        STATS.hits += 1
+        return CachedRun(digest=digest, path=path, entry=entry,
+                         result_doc=result_doc)
+
+    def load_result(self, cfg, digest: str):
+        """Convenience: fetch + rebuild the cached result, or ``None``."""
+        cached = self.fetch(digest)
+        return cached.to_result(cfg) if cached is not None else None
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        STATS.misses += 1
+
+    def _quarantine(self, digest: str, reason: str) -> None:
+        self.stats.integrity_failures += 1
+        STATS.integrity_failures += 1
+        self._remove(digest)
+
+    # -- maintenance -------------------------------------------------------
+
+    def _remove(self, digest: str) -> None:
+        """Delete one entry via rename-then-delete (readers holding
+        open handles keep their data; the address vanishes atomically).
+        """
+        path = self._object_dir(digest)
+        if not path.exists():
+            return
+        trash = self.root / "trash"
+        trash.mkdir(parents=True, exist_ok=True)
+        target = trash / f"{digest}.{uuid.uuid4().hex}"
+        try:
+            os.rename(path, target)
+        except OSError:  # pragma: no cover - concurrent removal
+            return
+        shutil.rmtree(target, ignore_errors=True)
+
+    def _enforce_caps(self, entries: Dict[str, Dict[str, Any]],
+                      protect: Optional[str] = None,
+                      max_bytes: Optional[int] = None,
+                      max_entries: Optional[int] = None) -> List[str]:
+        """Evict LRU entries until within the caps; returns evictees.
+
+        Called with the index lock held.  ``protect`` exempts the
+        entry being written right now — a store too small for one
+        bundle keeps the newest rather than thrashing it.
+        """
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        max_entries = (max_entries if max_entries is not None
+                       else self.max_entries)
+        if max_bytes is None and max_entries is None:
+            return []
+        evicted: List[str] = []
+        by_age = sorted(
+            entries,
+            key=lambda d: entries[d].get("last_access")
+            or entries[d].get("created") or 0.0)
+
+        def over() -> bool:
+            if max_entries is not None and len(entries) > max_entries:
+                return True
+            if max_bytes is not None:
+                total = sum(int(m.get("bytes", 0))
+                            for m in entries.values())
+                return total > max_bytes
+            return False
+
+        for digest in by_age:
+            if not over():
+                break
+            if digest == protect:
+                continue
+            self._remove(digest)
+            entries.pop(digest, None)
+            evicted.append(digest)
+            self.stats.evicted += 1
+            STATS.evicted += 1
+        return evicted
+
+    def gc(self, max_bytes: Optional[int] = None,
+           max_entries: Optional[int] = None) -> List[str]:
+        """Evict down to the given caps (defaults to the store's own);
+        also reconciles the index with the object directories."""
+        with self._locked():
+            entries = self._scan_objects()
+            index = self._read_index()
+            for digest, meta in index.items():
+                if digest in entries:
+                    entries[digest]["last_access"] = meta.get("last_access")
+                    entries[digest]["hits"] = meta.get("hits", 0)
+            evicted = self._enforce_caps(entries, max_bytes=max_bytes,
+                                         max_entries=max_entries)
+            self._write_index(entries)
+        return evicted
+
+    def verify(self) -> List[str]:
+        """Integrity-check every artifact of every entry; returns a
+        list of problems (empty = clean).  Read-only: nothing is
+        quarantined, so operators see the full damage report first."""
+        problems: List[str] = []
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return problems
+        for entry_path in sorted(objects.glob("*/*/" + ENTRY_NAME)):
+            label = entry_path.parent.name[:12]
+            try:
+                entry = json.loads(entry_path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                problems.append(f"{label}: unreadable entry.json ({exc})")
+                continue
+            for name, meta in entry.get("artifacts", {}).items():
+                blob = entry_path.parent / name
+                if not blob.exists():
+                    problems.append(f"{label}: missing artifact {name}")
+                    continue
+                if _sha256_file(blob) != meta.get("sha256"):
+                    problems.append(f"{label}: sha256 mismatch on {name}")
+        return problems
+
+    # -- enumeration -------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Index rows (summary metadata) for every stored run."""
+        index = self._read_index()
+        missing = [d for d in index if not self._object_dir(d).exists()]
+        for digest in missing:
+            index.pop(digest)
+        rows = [dict(meta, digest=digest)
+                for digest, meta in index.items()]
+        rows.sort(key=lambda m: m.get("created") or 0.0)
+        return rows
+
+    def get(self, digest: str) -> Optional[CachedRun]:
+        """Like :meth:`fetch` but without bumping the LRU clock; also
+        accepts an unambiguous digest prefix."""
+        if len(digest) < 64:
+            matches = [row["digest"] for row in self.entries()
+                       if row["digest"].startswith(digest)]
+            if not matches:
+                return None
+            if len(matches) > 1:
+                raise StoreError(
+                    f"digest prefix {digest!r} is ambiguous "
+                    f"({len(matches)} matches)")
+            digest = matches[0]
+        return self.fetch(digest, touch=False)
+
+    def export(self, digest: str, out_dir: PathLike) -> Dict[str, Path]:
+        """Copy one entry's artifacts into ``out_dir`` (verified)."""
+        cached = self.get(digest)
+        if cached is None:
+            raise StoreError(f"no store entry matches {digest!r}")
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        from ..resilience.atomic import atomic_write_bytes
+
+        written = {
+            ARTIFACT_PROFILE: atomic_write_bytes(
+                out / ARTIFACT_PROFILE, cached.profile_bytes()),
+            ARTIFACT_RESULT: atomic_write_bytes(
+                out / ARTIFACT_RESULT,
+                (json.dumps(cached.result_doc, sort_keys=True, indent=2)
+                 + "\n").encode("utf-8")),
+            ENTRY_NAME: atomic_write_bytes(
+                out / ENTRY_NAME,
+                (self._object_dir(cached.digest) / ENTRY_NAME)
+                .read_bytes()),
+        }
+        return written
+
+
+def export_profile_bytes(profiler) -> bytes:
+    """A profiler's ``save_profile`` export as bytes.
+
+    Byte-identical to :func:`repro.analytics.save_profile`'s file
+    output — the store reuses the exporter itself (via a temp file, so
+    spilled-chunk concatenation stays verbatim) rather than
+    reimplementing the wire format.
+    """
+    import tempfile
+
+    from ..analytics import save_profile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "profile.jsonl"
+        save_profile(profiler, path)
+        return path.read_bytes()

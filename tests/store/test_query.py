@@ -1,0 +1,109 @@
+"""Query API: filters, metric vectors, neighbours, comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.experiments.configs import config_by_id
+from repro.experiments.harness import run_experiment
+from repro.store import RunStore
+from repro.store.query import (
+    METRIC_FIELDS,
+    compare,
+    metric_vector,
+    nearest,
+    query,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A store holding a small mixed population of real runs."""
+    root = tmp_path_factory.mktemp("qstore") / "store"
+    for cfg in (config_by_id("srun", n_nodes=1, waves=1),
+                config_by_id("srun", n_nodes=1, waves=1, seed=1),
+                config_by_id("srun", n_nodes=2, waves=1),
+                config_by_id("flux_1", n_nodes=1, waves=1)):
+        run_experiment(cfg, cache=root)
+    return RunStore(root)
+
+
+class TestQuery:
+    def test_equality_filter(self, store):
+        docs = query(store, where={"launcher": "flux"})
+        assert len(docs) == 1
+        assert docs[0]["config"]["launcher"] == "flux"
+
+    def test_comparison_operator_suffix(self, store):
+        docs = query(store, where={"n_nodes__ge": 2})
+        assert len(docs) == 1
+        assert docs[0]["config"]["n_nodes"] == 2
+
+    def test_entry_and_result_fields_resolve(self, store):
+        assert len(query(store, where={"seed": 1})) == 1
+        docs = query(store, where={"n_tasks__gt": 0})
+        assert len(docs) == 4
+
+    def test_callable_predicate(self, store):
+        docs = query(store, where={"seed": lambda s: s in (0,)})
+        assert len(docs) == 3
+
+    def test_limit_and_order(self, store):
+        docs = query(store, limit=2)
+        assert len(docs) == 2
+        created = [d["created"] for d in query(store)]
+        assert created == sorted(created, reverse=True)
+
+    def test_unknown_operator_raises(self, store):
+        with pytest.raises(StoreError, match="unknown query operator"):
+            query(store, where={"n_nodes__approx": 1})
+
+    def test_unmatchable_field_returns_nothing(self, store):
+        assert query(store, where={"no_such_field": 1}) == []
+
+
+class TestMetricSpace:
+    def test_metric_vector_shape(self, store):
+        doc = query(store)[0]
+        vec = metric_vector(doc)
+        assert len(vec) == len(METRIC_FIELDS)
+        assert all(isinstance(v, float) for v in vec)
+        assert vec[METRIC_FIELDS.index("n_tasks")] > 0
+
+    def test_nearest_excludes_self_and_ranks(self, store):
+        target = query(store, where={"launcher": "srun",
+                                     "n_nodes": 1, "seed": 0})[0]
+        pairs = nearest(store, target["digest"], k=3)
+        assert len(pairs) == 3
+        assert all(doc["digest"] != target["digest"] for doc, _ in pairs)
+        distances = [dist for _, dist in pairs]
+        assert distances == sorted(distances)
+        # the same config at another seed is nearer than another scale
+        nearest_doc = pairs[0][0]
+        assert nearest_doc["config"]["n_nodes"] == 1
+
+    def test_nearest_with_filter(self, store):
+        target = query(store, where={"launcher": "flux"})[0]
+        pairs = nearest(store, target["digest"], k=5,
+                        where={"launcher": "srun"})
+        assert 0 < len(pairs) <= 3
+        assert all(doc["config"]["launcher"] == "srun"
+                   for doc, _ in pairs)
+
+    def test_nearest_unknown_digest(self, store):
+        with pytest.raises(StoreError, match="no store entry"):
+            nearest(store, "0" * 64)
+
+    def test_compare_rows(self, store):
+        docs = query(store, where={"launcher": "srun", "n_nodes": 1})
+        digests = [d["digest"] for d in docs[:2]]
+        rows = compare(store, digests)
+        assert [r["metric"] for r in rows] == list(METRIC_FIELDS)
+        for row in rows:
+            assert len(row["values"]) == 2
+            assert row["delta"][0] == 0.0
+
+    def test_compare_needs_two(self, store):
+        with pytest.raises(StoreError, match="at least two"):
+            compare(store, [query(store)[0]["digest"]])

@@ -14,10 +14,13 @@ Usage::
     python tools/bench_gate.py BENCH_kernel.json     # a subset
     python tools/bench_gate.py --ref origin/main --threshold 0.3
 
-Only ``tasks_per_wall_second*`` and ``per_seed_speedup*`` keys are
-compared (recursively, so BENCH_scale.json's per-point entries are
-covered; BENCH_ensemble.json's ensemble-vs-independent speedup is
-gated like a rate — a drop means the ensemble engine lost its edge).
+Only ``tasks_per_wall_second*``, ``per_seed_speedup*``,
+``warm_speedup*`` and ``hit_rate*`` keys are compared (recursively,
+so BENCH_scale.json's per-point entries are covered;
+BENCH_ensemble.json's ensemble-vs-independent speedup and
+BENCH_store.json's cold-vs-warm speedup and memoized hit rate are
+gated like rates — a drop means the engine or the store lost its
+edge).
 ``checkpoint_overhead*`` and ``recovery_seconds*`` are **cost**
 metrics gated the other way around: they fail when the fresh value
 *rises* more than the threshold above the baseline (absolute slack —
@@ -37,8 +40,12 @@ from typing import Dict, Iterator, List, Tuple
 
 #: Metric keys compared by the gate (prefix match, tuple form as
 #: accepted by ``str.startswith``).  Rates fail when they *drop*,
-#: costs fail when they *rise*.
-METRIC_PREFIX = ("tasks_per_wall_second", "per_seed_speedup")
+#: costs fail when they *rise*.  ``warm_speedup`` and ``hit_rate``
+#: (BENCH_store.json) gate like rates: a drop means warm store hits
+#: got slower relative to cold runs, or the memoized sweep stopped
+#: hitting.
+METRIC_PREFIX = ("tasks_per_wall_second", "per_seed_speedup",
+                 "warm_speedup", "hit_rate")
 COST_PREFIX = ("checkpoint_overhead", "recovery_seconds")
 
 
