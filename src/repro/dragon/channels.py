@@ -23,11 +23,14 @@ from typing import Any, Deque, Optional
 from ..exceptions import ChannelError
 from ..sim import Environment, Event, Store
 
+#: Default per-message latency of the executor <-> Dragon ZMQ hop [s].
+ZMQ_HOP_LATENCY = 0.2e-3
+
 
 class ZmqPipe:
     """Unidirectional FIFO pipe with per-message delivery latency."""
 
-    def __init__(self, env: Environment, latency: float = 0.2e-3,
+    def __init__(self, env: Environment, latency: float = ZMQ_HOP_LATENCY,
                  name: str = "pipe") -> None:
         self.env = env
         self.latency = latency

@@ -15,13 +15,18 @@ from ..exceptions import DragonError
 from ..platform.cluster import Allocation
 from ..sim import Environment, Resource
 
+#: Dispatch cost of reusing a pooled worker process (no exec) [s].
+WARM_START_COST = 0.5e-3
+#: Dispatch cost of a fresh fork+exec — every executable task pays it [s].
+COLD_START_COST = 15e-3
+
 
 class WorkerPool:
     """One worker slot per core of the backing allocation."""
 
     def __init__(self, env: Environment, allocation: Allocation,
-                 warm_start_cost: float = 0.5e-3,
-                 cold_start_cost: float = 15e-3,
+                 warm_start_cost: float = WARM_START_COST,
+                 cold_start_cost: float = COLD_START_COST,
                  metrics=None, instance_id: str = "dragon") -> None:
         self.env = env
         self.allocation = allocation

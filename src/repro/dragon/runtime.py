@@ -309,11 +309,22 @@ class DragonRuntime:
 
     # -- internals ----------------------------------------------------------
 
+    @staticmethod
+    def gs_exec_mean(latencies, n_nodes: int) -> float:
+        """Mean global-services bookkeeping cost per executable task
+        [s], with the per-node coordination penalty.
+
+        A static shared with the vectorized ensemble engine
+        (:mod:`repro.ensemble.vec_dragon`) so the recurrence draws
+        from the same lognormal parameters as the DES kernel.
+        """
+        return (latencies.dragon_gs_exec_cost
+                * (1.0 + latencies.dragon_gs_pernode_penalty * n_nodes))
+
     def _gs_cost(self, mode: str) -> float:
         lat = self.latencies
         if mode == MODE_EXEC:
-            mean = (lat.dragon_gs_exec_cost
-                    * (1.0 + lat.dragon_gs_pernode_penalty * self.n_nodes))
+            mean = self.gs_exec_mean(lat, self.n_nodes)
         else:
             mean = (lat.dragon_func_cost
                     * (1.0 + lat.dragon_func_pernode_penalty * self.n_nodes))

@@ -6,12 +6,15 @@ makes per-seed cost the dominant term in reproduction cost.  This
 package attacks it at three price points:
 
 * :func:`run_ensemble` — many seeds of one config in one process.
-  Configs on the srun fast path (:mod:`repro.ensemble.vectorized`)
-  advance all members in lock-stepped structure-of-arrays cohorts
-  through the launch pipeline's exact queueing recurrence; everything
-  else replays the real stack per seed with the per-sweep setup
-  hoisted.  Either way, per-seed results and exported profiles are
-  byte-identical to independent sequential runs.
+  Configs on the vectorized fast path
+  (:mod:`repro.ensemble.vectorized`: single-partition srun, flux and
+  dragon) advance all members in lock-stepped structure-of-arrays
+  cohorts through the launch pipeline's exact queueing recurrence —
+  srun/dragon over the task index, flux over scheduler-cycle
+  boundaries; everything else replays the real stack per seed with the
+  per-sweep setup hoisted (auto-sharded over the process pool for
+  sweeps of four seeds or more).  Either way, per-seed results and
+  exported profiles are byte-identical to independent sequential runs.
 * :class:`FluidSurrogate` — a calibrated mean-value model answering
   throughput/utilization what-ifs in microseconds, within the
   EXPERIMENTS.md error bands.

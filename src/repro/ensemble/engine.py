@@ -8,17 +8,23 @@ the correctness contract:
 ``vectorized``
     The structure-of-arrays fast path in
     :mod:`repro.ensemble.vectorized` — all members advance in
-    lock-stepped task cohorts through the (exact) srun pipeline
-    recurrence, sharing the captured bootstrap preamble, the workload
-    descriptions and the platform topology.  Per-seed cost is an
-    order of magnitude below a kernel run (gated by
-    ``benchmarks/test_perf_ensemble.py``).
+    lock-stepped cohorts through the (exact) launcher pipeline
+    recurrence (srun/dragon over the task index, single-instance flux
+    over scheduler-cycle boundaries — see
+    :mod:`repro.ensemble.vec_flux` / :mod:`repro.ensemble.vec_dragon`),
+    sharing the captured bootstrap preamble, the workload descriptions
+    and the platform topology.  Per-seed cost is an order of magnitude
+    below a kernel run (gated by ``benchmarks/test_perf_ensemble.py``).
 
 ``replay``
     Generic fallback: one real :func:`run_experiment` per seed with
     the per-sweep setup (workload construction, config validation)
     hoisted out of the loop.  Used for launchers/workloads the
-    recurrence does not cover.
+    recurrences do not cover (multi-partition hierarchies, staged or
+    faulty workloads, degenerate zero-cv latencies).  Replay sweeps of
+    :data:`_AUTO_REPLAY_MIN_SEEDS` or more seeds are sharded over the
+    process pool automatically unless the caller pinned ``parallel``,
+    so no launcher is left at 1x per-seed cost.
 
 Either way the results are *identical* to N independent sequential
 runs — same metric floats, byte-identical exported profiles.  The
@@ -49,6 +55,11 @@ from .vectorized import run_vectorized, supports_vectorized
 ENGINE_VECTORIZED = "vectorized"
 ENGINE_REPLAY = "replay"
 _ENGINES = (ENGINE_VECTORIZED, ENGINE_REPLAY)
+
+#: Smallest replay sweep that auto-shards over the process pool when
+#: the caller left ``parallel`` unset.  Below this the pool spawn
+#: overhead dominates the handful of kernel runs it would hide.
+_AUTO_REPLAY_MIN_SEEDS = 4
 
 
 @dataclass
@@ -126,7 +137,8 @@ def _select_engine(cfg, latencies: LatencyModel,
                                                                latencies):
         raise ConfigurationError(
             f"config {cfg.exp_id!r} does not qualify for the vectorized "
-            "ensemble engine (srun + null/dummy workload only)")
+            "ensemble engine (single-partition srun/flux/dragon with a "
+            "uniform synthetic workload and stochastic latencies only)")
     return engine
 
 
@@ -170,6 +182,7 @@ def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
                     cached_runs[seed] = hit
     missing = [seed for seed in seeds if seed not in cached_runs]
     results, profilers = [], []
+    notified = set()
     if missing:
         if engine == ENGINE_VECTORIZED:
             results, profilers = run_vectorized(
@@ -187,7 +200,11 @@ def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
         else:
             results, profilers = _run_replay(cfg, missing, latencies,
                                              keep_profiles=need_records,
+                                             on_member=on_member,
                                              store=store, digests=digests)
+            # Replay members already streamed their telemetry live
+            # (seed by seed, as each run lands); don't re-fire below.
+            notified = set(missing)
     fresh = dict(zip(missing, zip(results, profilers)))
     members = []
     for seed in seeds:
@@ -215,7 +232,7 @@ def _run_members(cfg, seeds: Sequence[int], latencies: LatencyModel,
                 seed=seed, result=result,
                 profiler=profiler if keep_profiles else None,
                 profile_path=path))
-        if on_member is not None:
+        if on_member is not None and seed not in notified:
             on_member(members[-1].result)
     return members
 
@@ -233,7 +250,9 @@ def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
 
     ``store``/``digests`` populate the run store as each seed lands
     (the caller already established these seeds are misses, so no
-    cache *read* happens here).
+    cache *read* happens here).  ``on_member`` fires the moment a
+    seed's simulation returns — before the store write, so progress
+    telemetry is never delayed behind a disk ``put``.
     """
     from ..experiments.harness import build_workload, run_experiment
 
@@ -246,21 +265,25 @@ def _run_replay(cfg, seeds: Sequence[int], latencies: LatencyModel,
         result = run_experiment(member_cfg, latencies,
                                 keep_session=need_session,
                                 descriptions=descriptions)
+        result.tasks = []
+        results.append(result)
+        if on_member is not None:
+            on_member(result)
         profiler = None
-        if need_session and result.session is not None:
-            profiler = result.session.profiler
-            result.session.close()
+        if need_session:
+            # Session teardown bookkeeping only exists when a session
+            # was actually kept; the plain fast path (no profiles, no
+            # store) never materializes one.
+            if result.session is not None:
+                profiler = result.session.profiler
+                result.session.close()
+                result.session = None
             if store is not None:
                 stored = store.put(digests[seed], member_cfg, result,
                                    profiler=profiler)
                 result.cache = {"digest": digests[seed],
                                 "hit": False, "stored": stored}
-        result.session = None
-        result.tasks = []
-        results.append(result)
         profilers.append(profiler if keep_profiles else None)
-        if on_member is not None:
-            on_member(result)
     return results, profilers
 
 
@@ -379,6 +402,9 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
         Fan batches of seeds out over worker processes
         (``"auto"``/``0`` = one per core; an int = that many), via the
         same pool semantics as :mod:`repro.experiments.parallel`.
+        When unset, replay sweeps of ``>= 4`` seeds without
+        ``keep_profiles`` auto-shard (``"auto"``) — pass
+        ``parallel=1`` to force a serial replay.
     engine:
         Force ``"vectorized"`` or ``"replay"``; default picks
         vectorized whenever the config qualifies.
@@ -413,6 +439,13 @@ def run_ensemble(cfg, seeds: Optional[SeedsLike] = None,
     else:
         seed_list = resolve_seeds(seeds)
     chosen = _select_engine(cfg, latencies, engine)
+    if (parallel is None and chosen == ENGINE_REPLAY
+            and not keep_profiles
+            and len(seed_list) >= _AUTO_REPLAY_MIN_SEEDS):
+        # Cohort-sharded parallel replay: configs the recurrences
+        # cannot cover still amortize — contiguous seed batches on the
+        # process pool, reusing the salvage/resubmit machinery below.
+        parallel = "auto"
     if bundle is not None and profile_dir is None:
         profile_dir = str(bundle)
     if profile_dir is not None:

@@ -1,0 +1,226 @@
+"""Vectorized flux_1 ensembles: the scheduler-cycle cohort recurrence.
+
+Unlike srun's pipeline, flux does not grant in task order — the
+scheduler wakes in duty *cycles* separated by heavy-tailed gap draws
+and grants a whole FCFS prefix per cycle.  The cohort therefore cannot
+advance over a shared task index; it advances over **cycle
+boundaries**: every iteration of the lock-step loop is "each still
+-active member runs its next scheduler cycle", and members fall out of
+lock-step in *cycle count* (one member may need 40 cycles, another 60)
+while staying fully vectorized per iteration.
+
+Per member the single-instance flux timeline is an exact recurrence in
+four named streams (the instance is the only consumer of each, so
+batch pre-draws are bitwise-identical to the kernel's interleaved
+draws — flux_n breaks exactly this property, see
+:attr:`FluxHierarchy.is_trivial`):
+
+* ``agent.dispatch`` — serialized agent stage, cumulative chain ``D``;
+* ``flux.ingest`` — serialized job-manager ingest:
+  ``I[j] = max(D[j], prev) + ing[j]`` (``I`` is sorted by
+  construction, which is what makes the per-cycle eligible set a
+  binary-searchable prefix);
+* ``flux.cycle`` — one gap draw per scheduler wake-up.  The cycle
+  count is data-dependent (parked cycles draw too), so the draws come
+  from a lazily-extended :class:`~repro.sim.random.StreamCursor`
+  rather than a fixed pre-draw;
+* ``flux.spawn`` — per-lane job-shell spawn, drawn in grant order
+  (= job order, because FCFS grants are queue prefixes).
+
+One scheduler cycle at wake time ``T`` with gap ``g`` (match instant
+``M = T + g``):
+
+1. eligible = ingest-order prefix arrived by ``M`` minus already
+   granted; free = cores with free-time <= ``M``; the grant size is
+   :meth:`FcfsPolicy.grant_count` — ``min(eligible, free)``.
+2. ``k == 0`` — park: next wake is the earlier of the next ingest
+   append and the next core release after ``M`` (both event sources
+   re-kick the scheduler, and both must be considered — a core can
+   free before the next arrival).
+3. ``k > 0`` — grant jobs ``ms .. ms+k`` in order: each pops the
+   earliest-free TBON lane (``start = max(M, lane_free) + spawn``),
+   runs for the payload duration, and pushes its finish onto the
+   earliest-free core slot.
+4. next wake: ``M`` itself while eligible jobs remain pending (the
+   scheduler re-arms immediately), else the next ingest append.
+
+Task records then sit at fixed offsets: ``scheduled`` at ``D``,
+``exec_start``/``exec_stop``/``done`` at start/finish plus the event
+-stream delivery delay.  Byte-identity with sequential runs is pinned
+by the determinism suite and the reference digests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..flux.events import DELIVERY_DELAY
+from ..flux.instance import FluxInstance
+from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
+from ..platform.profiles import frontier
+from .vectorized import (
+    _PROGRESS_STEP,
+    _workload,
+    assemble_results,
+    capture_preamble,
+    dispatch_chain,
+    dispatch_mean,
+)
+
+#: Lock-step iteration ceiling per member-cycle loop.  Every iteration
+#: consumes one cycle draw per active member and either grants >= 1 job
+#: or parks to a strictly later wake event (arrival or core release),
+#: so real cycle counts are O(tasks); the guard only trips on a logic
+#: regression, turning a hang into a loud failure.
+_MAX_CYCLES_PER_TASK = 64
+_MAX_CYCLES_BASE = 4096
+
+
+def _serialized_chain(base: np.ndarray, draws: np.ndarray) -> np.ndarray:
+    """``out[:, j] = max(base[:, j], out[:, j-1]) + draws[:, j]`` —
+    a single-server FIFO stage, in kernel float order."""
+    out = np.empty_like(draws)
+    prev = np.full(draws.shape[0], -np.inf)
+    for j in range(draws.shape[1]):
+        prev = np.maximum(base[:, j], prev) + draws[:, j]
+        out[:, j] = prev
+    return out
+
+
+def run_flux_vectorized(cfg, seeds: Sequence[int],
+                        latencies: LatencyModel = FRONTIER_LATENCIES,
+                        keep_profiles: bool = False, progress=None):
+    """All member seeds of a single-instance flux config, lock-step.
+
+    Same contract as the srun engine: per-seed metrics float-identical
+    and profiles byte-identical to independent sequential runs.
+    """
+    from ..sim.random import RngStreams, StreamCursor
+
+    descriptions = _workload(cfg)
+    description = descriptions[0]
+    n_tasks = len(descriptions)
+    duration = float(description.duration)
+    n_members = len(seeds)
+    n_lanes = FluxInstance.lane_count(cfg.n_nodes, latencies)
+    n_cores = cfg.n_nodes * frontier(1).cores_per_node
+
+    # Flux bootstraps draw per-seed randomness (startup + background
+    # load), so the preamble capture runs once per member; the drawn
+    # load factor parameterizes that member's spawn-time stream.
+    preambles = []
+    for seed in seeds:
+        preamble = capture_preamble(cfg, latencies, seed=seed)
+        if preamble is None:
+            raise ValueError("flux bootstrap consumed unexpected "
+                             "randomness; vectorized engine unavailable")
+        assert preamble.backend_meta.get("lanes") == n_lanes
+        preambles.append(preamble)
+
+    disp_mean = dispatch_mean(cfg, latencies)
+    disp = np.empty((n_members, n_tasks))
+    ing = np.empty_like(disp)
+    spw = np.empty_like(disp)
+    cursors = []
+    for m, seed in enumerate(seeds):
+        rng = RngStreams(seed)
+        disp[m] = rng.lognormal_latency_batch(
+            "agent.dispatch", disp_mean, cv=latencies.agent_cv, n=n_tasks)
+        ing[m] = rng.lognormal_latency_batch(
+            "flux.ingest", latencies.flux_ingest_cost,
+            cv=latencies.flux_spawn_cv, n=n_tasks)
+        spw[m] = rng.lognormal_latency_batch(
+            "flux.spawn",
+            FluxInstance.spawn_mean(
+                latencies, preambles[m].backend_meta["load_factor"]),
+            cv=latencies.flux_spawn_cv, n=n_tasks)
+        cursors.append(StreamCursor(rng, "flux.cycle",
+                                    latencies.flux_sched_cycle,
+                                    cv=latencies.flux_cycle_cv))
+
+    t_ready = np.array([p.t_ready for p in preambles])
+    D = dispatch_chain(disp, t_ready)
+    I = _serialized_chain(D, ing)
+
+    S = np.empty_like(D)
+    F = np.empty_like(D)
+    core_free = np.full((n_members, min(n_cores, n_tasks)), -np.inf)
+    lane_free = np.full((n_members, min(n_lanes, n_tasks)), -np.inf)
+    ms = np.zeros(n_members, dtype=np.int64)   # jobs granted so far
+    T = I[:, 0].copy()   # first wake: job 0's ingest append
+    active = np.ones(n_members, dtype=bool)
+    max_iters = _MAX_CYCLES_PER_TASK * n_tasks + _MAX_CYCLES_BASE
+    iteration = 0
+    while active.any():
+        iteration += 1
+        if iteration > max_iters:
+            raise RuntimeError("flux cycle recurrence failed to "
+                               f"converge within {max_iters} cycles")
+        if progress is not None and iteration % _PROGRESS_STEP == 1:
+            progress(int(ms.sum()), n_tasks * n_members)
+        a = np.nonzero(active)[0]
+        gaps = np.array([cursors[m].next() for m in a])
+        Mt = T[a] + gaps
+        counts = (I[a] <= Mt[:, None]).sum(axis=1)
+        navail = counts - ms[a]
+        nfree = (core_free[a] <= Mt[:, None]).sum(axis=1)
+        k = np.minimum(navail, nfree)
+
+        parked = k == 0
+        if parked.any():
+            p = a[parked]
+            # Wake at the earlier of next ingest append and next core
+            # release strictly after M — both, always (the park fix).
+            idx_arr = ms[p] + navail[parked]
+            nxt_arrival = np.where(
+                idx_arr < n_tasks,
+                I[p, np.minimum(idx_arr, n_tasks - 1)], np.inf)
+            cf = core_free[p]
+            release = np.where(cf > Mt[parked][:, None], cf,
+                               np.inf).min(axis=1)
+            T[p] = np.minimum(nxt_arrival, release)
+
+        granting = k > 0
+        if granting.any():
+            g_all = a[granting]
+            kg = k[granting]
+            Mg = Mt[granting]
+            # Grants happen job-by-job inside a cycle (lane and core
+            # pop-mins are sequential per member); step s of every
+            # granting member is vectorized together, and state
+            # written at step s is visible at step s + 1.
+            for step in range(int(kg.max())):
+                sel = kg > step
+                g = g_all[sel]
+                j = ms[g] + step
+                li = np.argmin(lane_free[g], axis=1)
+                started = np.maximum(Mg[sel], lane_free[g, li]) + spw[g, j]
+                lane_free[g, li] = started
+                finished = started + duration if duration > 0 else started
+                S[g, j] = started
+                F[g, j] = finished
+                ci = np.argmin(core_free[g], axis=1)
+                core_free[g, ci] = finished
+            ms[g_all] = ms[g_all] + kg
+            done = ms[g_all] >= n_tasks
+            still = ~done
+            if still.any():
+                sg = g_all[still]
+                # Pending jobs left at M -> the scheduler re-arms at M;
+                # queue drained -> sleep until the next ingest append.
+                pending = counts[granting][still] - ms[sg]
+                T[sg] = np.where(pending > 0, Mg[still],
+                                 I[sg, np.minimum(ms[sg], n_tasks - 1)])
+            active[g_all[done]] = False
+    if progress is not None:
+        progress(n_tasks * n_members, n_tasks * n_members)
+
+    # Executor-visible times trail the job event stream by its RPC
+    # delivery delay; ``scheduled`` is stamped at agent dispatch.
+    exec_start = S + DELIVERY_DELAY
+    exec_stop = F + DELIVERY_DELAY
+    return assemble_results(cfg, seeds, preambles, D, exec_start,
+                            exec_stop, description, keep_profiles,
+                            backend="flux")

@@ -1,37 +1,61 @@
-"""Vectorized multi-seed execution of the srun launch pipeline.
+"""Vectorized multi-seed execution of the launch pipelines.
 
-The srun synthetic experiments (null/dummy single-core workloads) put
-every task through the same FIFO queueing network:
+The synthetic experiments (null/dummy single-core workloads) put every
+task through a launcher-specific queueing network whose grant structure
+is *deterministic given the latency draws*:
 
-    serial agent dispatch -> partition scheduler (``nodes * cpn``
-    core slots) -> srun concurrency ceiling (112 slots) -> serialized
-    slurmctld launch pipeline -> step setup -> payload execution
+``srun``
+    serial agent dispatch -> partition scheduler (``nodes * cpn`` core
+    slots) -> srun concurrency ceiling (112 slots) -> serialized
+    slurmctld launch pipeline -> step setup -> payload execution.
+    Every stage grants strictly in task-submission order, so the event
+    timestamps are an exact recurrence in the *task index*.
 
-Every stage grants strictly in task-submission order, so the event
-timestamps of a whole run are an exact recurrence in the task index —
-no discrete-event kernel needed.  This module evaluates that
-recurrence for *all ensemble members at once* (structure-of-arrays:
-``(members,)`` vectors per pipeline stage, ``(members, slots)``
-free-time tables for the two semaphores), advancing the member cohort
-in lock-step over the task index.
+``flux`` (single instance)
+    serial agent dispatch -> serialized job-manager ingest ->
+    scheduler duty cycles (bursts of FCFS matching separated by
+    heavy-tailed gaps) -> TBON dispatch lanes -> payload execution.
+    Grants happen in batched scheduler cycles, not per-task order, so
+    the recurrence advances over *cycle boundaries* instead: per cycle,
+    the eligible set is the ingest-order prefix that has arrived by the
+    cycle instant, and the grant count is the FCFS closed form
+    ``min(eligible, free cores)`` (:meth:`FcfsPolicy.grant_count`).
+    :mod:`repro.ensemble.vec_flux` implements the cohort state machine.
 
-Exactness is the contract, not an approximation: the per-stage
-latency draws come from the same named RNG streams via
+``dragon`` (single partition)
+    serial agent dispatch -> ZMQ task pipe -> serialized GS bookkeeping
+    -> worker-pool slot (cold exec spawn) -> payload execution — a
+    per-task recurrence like srun's, with the completion record
+    *backdated* relative to its ZMQ-delayed emission
+    (:mod:`repro.ensemble.vec_dragon`).
+
+This module holds the shared machinery (eligibility, bootstrap-preamble
+capture, trace synthesis, result assembly) plus the srun engine, and
+dispatches qualifying configs to the launcher-specific engines.  All of
+them evaluate their recurrence for *all ensemble members at once*
+(structure-of-arrays: ``(members,)`` vectors per pipeline stage,
+``(members, slots)`` free-time tables for the counted semaphores),
+advancing the member cohort in lock-step.
+
+Exactness is the contract, not an approximation: the per-stage latency
+draws come from the same named RNG streams via
 :meth:`~repro.sim.random.RngStreams.lognormal_latency_batch` (bitwise
 identical to the kernel's sequential draws), the float arithmetic
-reproduces the kernel's one-addition-per-event order, and the
-bootstrap preamble (allocation grant, agent + backend bring-up) is
-not modelled at all — it is *captured* by running the real session
-machinery once per config (it consumes no randomness, so it is
-identical across members).  Synthesized per-seed profiles are
+reproduces the kernel's one-addition-per-event order, and the bootstrap
+preamble (allocation grant, agent + backend bring-up) is not modelled
+at all — it is *captured* by running the real session machinery with an
+empty intake.  For srun the bootstrap consumes no randomness, so one
+capture serves every member; flux and dragon bootstraps draw their
+startup (and flux its background-load factor) from per-seed streams, so
+the capture runs once per member.  Synthesized per-seed profiles are
 byte-identical to independent sequential runs; the determinism tests
 pin this.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,36 +78,80 @@ from ..core.session import Session
 from ..platform.latency import FRONTIER_LATENCIES, LatencyModel
 from ..platform.profiles import frontier
 
-#: Launcher handled by this fast path (the other runtimes interleave
-#: non-FIFO stages — scheduler cycles, TBON lanes — and go through the
-#: generic per-member replay engine instead).
 _SRUN = "srun"
+_FLUX = "flux"
+_DRAGON = "dragon"
 _SYNTHETIC = ("null", "dummy")
+
+#: RNG streams each launcher's bootstrap legitimately consumes while
+#: the intake is empty.  A capture that drew from anything else is
+#: rejected (the recurrence could no longer re-draw the run streams
+#: from a fresh family) — a guard against future backends violating
+#: the assumption, not a path any current config takes.
+_BOOTSTRAP_STREAMS = {
+    _SRUN: frozenset(),
+    _FLUX: frozenset({"flux.startup", "flux.load"}),
+    _DRAGON: frozenset({"dragon.startup"}),
+}
 
 
 def supports_vectorized(cfg, latencies: LatencyModel = FRONTIER_LATENCIES
                         ) -> bool:
-    """Whether ``cfg`` qualifies for the vectorized srun engine.
+    """Whether ``cfg`` qualifies for a vectorized ensemble engine.
 
-    The recurrence is exact only for the FIFO pipeline above: srun
-    launcher, uniform single-core no-staging null/dummy tasks, no
-    fault injection and no partition sharding.  Everything else falls
-    back to the generic engine (same results, per-member replay).
+    Common requirements: a uniform single-core no-staging null/dummy
+    workload, no fault injection, no partition sharding.  On top of
+    that, per launcher:
+
+    * ``srun`` — always (the pipeline is FIFO in task order, ties
+      cannot reorder grants);
+    * ``flux`` — a single instance (sibling instances interleave
+      unscoped session streams chronologically and couple through
+      least-loaded routing — see
+      :attr:`~repro.flux.hierarchy.FluxHierarchy.is_trivial`) and
+      strictly positive dispatch/spawn/cycle noise: with degenerate
+      (zero-cv) latencies, coincident events are ordered by kernel
+      insertion order, which the closed-form recurrence does not model;
+    * ``dragon`` — a single partition with positive dispatch/GS noise,
+      for the same tie-ordering reason.
+
+    Everything else falls back to the generic engine (same results,
+    per-member replay — parallelized over seed shards by
+    :func:`~repro.ensemble.run_ensemble`).
     """
-    if cfg.launcher != _SRUN or cfg.workload not in _SYNTHETIC:
+    if cfg.workload not in _SYNTHETIC:
         return False
     if cfg.faults is not None or cfg.shards is not None:
         return False
+    if _uniform_description(cfg) is None:
+        return False
+    if cfg.launcher == _SRUN:
+        return True
+    if cfg.n_partitions != 1 or latencies.agent_cv <= 0:
+        return False
+    if cfg.launcher == _FLUX:
+        return (latencies.flux_cycle_cv > 0
+                and latencies.flux_spawn_cv > 0)
+    if cfg.launcher == _DRAGON:
+        return latencies.dragon_cv > 0
+    return False
+
+
+def _uniform_description(cfg):
+    """The shared task description when the workload is uniform
+    single-core executable with no staging/retries, else ``None``."""
     descriptions = _workload(cfg)
     first = descriptions[0]
     if any(d is not first and d != first for d in descriptions):
-        return False
+        return None
     res = first.resources
-    return (first.mode == MODE_EXECUTABLE
-            and first.backend in (None, _SRUN)
+    if (first.mode == MODE_EXECUTABLE
+            and first.backend in (None, cfg.launcher)
             and res.cores == 1 and res.gpus == 0
             and first.input_staging == 0 and first.output_staging == 0
-            and first.retries == 0)
+            and first.retries == 0):
+        return first
+    return None
 
 
 def _workload(cfg):
@@ -94,66 +162,109 @@ def _workload(cfg):
 
 @dataclass(frozen=True)
 class _Preamble:
-    """Seed-independent run prefix captured from the real stack."""
+    """A run prefix captured from the real stack (one seed's bootstrap)."""
 
     records: Tuple[TraceEvent, ...]   #: alloc grant + agent/backend events
     t_ready: float                    #: dispatch-loop start time
     overheads: List[Tuple[str, float]]  #: startup_overheads() rows
+    #: The backend's ``backend_ready`` meta (flux: lanes + per-seed
+    #: load factor; dragon: pool capacity); empty for srun.
+    backend_meta: Dict = field(default_factory=dict)
 
 
-def capture_preamble(cfg, latencies: LatencyModel = FRONTIER_LATENCIES
-                     ) -> Optional[_Preamble]:
+def capture_preamble(cfg, latencies: LatencyModel = FRONTIER_LATENCIES,
+                     seed: Optional[int] = None) -> Optional[_Preamble]:
     """Run the real bootstrap (no tasks) and capture its trace.
 
     With an empty intake the simulation runs allocation grant, agent
     bootstrap and backend bring-up, then the dispatch loop blocks and
-    the event queue drains.  None of that consumes randomness for the
-    srun backend, so the captured records and the agent-ready time are
-    identical for every member seed; the capture is reused across the
-    whole ensemble.  Returns ``None`` (caller falls back to the
-    generic engine) if the preamble unexpectedly drew from any RNG
-    stream — a guard against future backends violating the
-    assumption, not a path any current config takes.
+    the event queue drains.  The dispatch-anchor time is the
+    ``pilot_active`` record — *not* the drained clock, which a stray
+    bootstrap watchdog timer (dragon's startup timeout) can leave far
+    past the pilot's activation.
+
+    For srun the capture consumes no randomness and is reused across
+    the whole ensemble; flux/dragon captures draw their bootstrap
+    streams and run once per member ``seed``.  Returns ``None``
+    (caller falls back to the generic engine) if the preamble drew
+    from any stream outside the launcher's bootstrap set.
     """
     from ..experiments.harness import build_pilot_description
 
+    allowed = _BOOTSTRAP_STREAMS.get(cfg.launcher, frozenset())
     session = Session(cluster=frontier(max(cfg.n_nodes, 1)),
-                      latencies=latencies, seed=cfg.seed)
+                      latencies=latencies,
+                      seed=cfg.seed if seed is None else seed)
     try:
         pmgr = session.pilot_manager()
         tmgr = session.task_manager()
         pilot = pmgr.submit_pilots(build_pilot_description(cfg))
         tmgr.add_pilot(pilot)
         session.env.run()
-        if session.rng._streams:
+        if not set(session.rng._streams) <= allowed:
             return None
-        return _Preamble(records=tuple(session.profiler),
-                         t_ready=session.env.now,
-                         overheads=startup_overheads(session.profiler))
+        records = tuple(session.profiler)
+        t_ready = max((r.time for r in records
+                       if r.name == "pilot_active"),
+                      default=session.env.now)
+        backend_meta: Dict = {}
+        for record in records:
+            if record.name == "backend_ready":
+                backend_meta = dict(record.meta)
+        return _Preamble(records=records,
+                         t_ready=t_ready,
+                         overheads=startup_overheads(session.profiler),
+                         backend_meta=backend_meta)
     finally:
         session.close()
 
 
-def _stage_means(cfg, latencies: LatencyModel) -> Tuple[float, float, float]:
-    """Exact mean service times of the three stochastic stages.
+def dispatch_mean(cfg, latencies: LatencyModel) -> float:
+    """Mean of the agent's serialized task-management cost [s].
 
-    Mirrors :meth:`Agent._dispatch_mean` (zero Flux instances on a
-    pure-srun pilot) and :meth:`SlurmController.launch_service_time`
-    term by term so the cached lognormal parameters match bitwise.
+    Mirrors :meth:`Agent._dispatch_mean` term by term (the coordination
+    surcharge counts *flux* instances only) so the cached lognormal
+    parameters match bitwise.
+    """
+    mean = (latencies.agent_dispatch_base
+            + latencies.agent_dispatch_per_node * cfg.n_nodes)
+    n_flux = cfg.n_partitions if cfg.launcher == _FLUX else 0
+    return mean * (1.0 + latencies.agent_coord_per_instance * n_flux)
+
+
+def dispatch_chain(dispatch: np.ndarray, t_ready: np.ndarray) -> np.ndarray:
+    """Cumulative dispatch times ``D[m, i]`` from per-task draws.
+
+    Accumulated task-by-task (one addition per event), matching the
+    kernel's serialized dispatch stage float-for-float — ``np.cumsum``
+    is not guaranteed to use the same summation order.
+    """
+    n_members, n_tasks = dispatch.shape
+    out = np.empty_like(dispatch)
+    t = np.asarray(t_ready, dtype=float).copy()
+    for i in range(n_tasks):
+        t = t + dispatch[:, i]
+        out[:, i] = t
+    return out
+
+
+def _stage_means(cfg, latencies: LatencyModel) -> Tuple[float, float, float]:
+    """Exact mean service times of srun's three stochastic stages.
+
+    Mirrors :func:`dispatch_mean` (zero Flux instances on a pure-srun
+    pilot) and :meth:`SlurmController.launch_service_time` term by
+    term.
     """
     n = cfg.n_nodes
-    dispatch = (latencies.agent_dispatch_base
-                + latencies.agent_dispatch_per_node * n)
-    dispatch = dispatch * (1.0 + latencies.agent_coord_per_instance * 0)
     ctl = (latencies.srun_ctl_base
            + latencies.srun_ctl_per_node * n
            + latencies.srun_ctl_per_node15 * n ** 1.5)
-    return dispatch, ctl, latencies.srun_step_setup
+    return dispatch_mean(cfg, latencies), ctl, latencies.srun_step_setup
 
 
 def _member_draws(seeds: Sequence[int], cfg, latencies: LatencyModel,
                   n_tasks: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Whole-run latency draws for every member, ``(M, n_tasks)`` each.
+    """Whole-run srun latency draws for every member, ``(M, n_tasks)``.
 
     Per member this extends PR 4's per-wave ``lognormal_batch`` idiom
     to the full run: all three streams are pre-drawn in one batch,
@@ -163,14 +274,14 @@ def _member_draws(seeds: Sequence[int], cfg, latencies: LatencyModel,
     """
     from ..sim.random import RngStreams
 
-    dispatch_mean, ctl_mean, setup_mean = _stage_means(cfg, latencies)
+    disp_mean, ctl_mean, setup_mean = _stage_means(cfg, latencies)
     dispatch = np.empty((len(seeds), n_tasks))
     ctl = np.empty_like(dispatch)
     setup = np.empty_like(dispatch)
     for m, seed in enumerate(seeds):
         rng = RngStreams(seed)
         dispatch[m] = rng.lognormal_latency_batch(
-            "agent.dispatch", dispatch_mean, cv=latencies.agent_cv,
+            "agent.dispatch", disp_mean, cv=latencies.agent_cv,
             n=n_tasks)
         ctl[m] = rng.lognormal_latency_batch(
             "slurm.ctl", ctl_mean, cv=latencies.srun_cv, n=n_tasks)
@@ -244,99 +355,88 @@ def _cohort_recurrence(dispatch: np.ndarray, ctl: np.ndarray,
 
 def synthesize_profiler(preamble: _Preamble, scheduled: np.ndarray,
                         exec_start: np.ndarray, exec_stop: np.ndarray,
-                        description) -> Profiler:
+                        description, backend: str = _SRUN,
+                        emit_times: Optional[np.ndarray] = None,
+                        record_times: Optional[np.ndarray] = None
+                        ) -> Profiler:
     """One member's full trace, in the kernel's emission order.
 
-    Record streams are chronological; the only coincident-timestamp
-    records the pipeline produces are one task's own exec-start /
-    exec-stop / done cascade (zero-duration payloads), ordered by a
-    per-record subkey under the stable merge sort.  Meta dicts are
-    shared across records exactly like the kernel's bulk path shares
-    them — they are read-only once recorded.
+    Record streams are chronological in *emission* time; the only
+    coincident-timestamp records the pipelines produce are one task's
+    own exec-start / exec-stop / done cascade (zero-duration payloads,
+    flux's synchronous finish), ordered by a per-record subkey under
+    the stable merge sort.  Meta dicts are shared across records
+    exactly like the kernel's bulk path shares them — they are
+    read-only once recorded.
+
+    By default the four per-task record streams are
+    ``(scheduled, exec_start, exec_stop, exec_stop)`` and each record's
+    ``time`` field equals its emission instant.  Backends that backdate
+    a record relative to its emission (dragon stamps ``exec_stop`` at
+    payload completion but *emits* it after the ZMQ completion hop)
+    pass ``emit_times``/``record_times`` explicitly — both flat
+    ``(4 * n_tasks,)`` stacks in (scheduled, start, stop, done) order;
+    the sort runs on emission, the ``time`` field comes from the
+    record stack.
     """
     n_tasks = scheduled.shape[0]
     res = description.resources
     meta_created = {"cores": res.cores, "gpus": res.gpus,
                     "mode": description.mode}
     meta_sched = {"cores": res.cores, "gpus": res.gpus}
-    meta_exec = {"cores": res.cores, "gpus": res.gpus, "backend": _SRUN}
+    meta_exec = {"cores": res.cores, "gpus": res.gpus, "backend": backend}
     uids = [f"task.{i:06d}" for i in range(n_tasks)]
     events = [TraceEvent(0.0, uid, TASK_CREATED, meta_created)
               for uid in uids]
     events.extend(preamble.records)
-    times = np.concatenate([scheduled, exec_start, exec_stop, exec_stop])
+    if emit_times is None:
+        emit_times = np.concatenate(
+            [scheduled, exec_start, exec_stop, exec_stop])
+    if record_times is None:
+        record_times = emit_times
     cascade = np.repeat(np.arange(4.0), n_tasks)
     names = (TASK_SCHEDULED, TASK_EXEC_START, TASK_EXEC_STOP, TASK_DONE)
     metas = (meta_sched, meta_exec, meta_exec, meta_exec)
-    for flat in np.lexsort((cascade, times)):
+    for flat in np.lexsort((cascade, emit_times)):
         kind, i = divmod(int(flat), n_tasks)
-        events.append(TraceEvent(times[flat], uids[i], names[kind],
+        events.append(TraceEvent(record_times[flat], uids[i], names[kind],
                                  metas[kind]))
     profiler = Profiler(None, enabled=True)
     profiler._events = events
     return profiler
 
 
-def run_vectorized(cfg, seeds: Sequence[int],
-                   latencies: LatencyModel = FRONTIER_LATENCIES,
-                   keep_profiles: bool = False,
-                   progress=None):
-    """Run all member seeds of ``cfg`` through the vectorized engine.
+def assemble_results(cfg, seeds: Sequence[int],
+                     preambles: Sequence[_Preamble],
+                     scheduled: np.ndarray, exec_start: np.ndarray,
+                     exec_stop: np.ndarray, description,
+                     keep_profiles: bool, backend: str,
+                     emit_times=None, record_times=None):
+    """Per-member :class:`ExperimentResult` + profiler construction.
 
-    Returns ``(results, profilers)``: per-seed
-    :class:`~repro.experiments.harness.ExperimentResult` objects whose
-    metrics are float-identical to independent
-    :func:`~repro.experiments.harness.run_experiment` calls, and (when
-    ``keep_profiles``) per-seed profilers whose exported traces are
-    byte-identical to those runs.  Falls back by raising
-    ``ValueError`` when the config does not qualify — callers check
-    :func:`supports_vectorized` first.
-
-    ``progress(tasks_done, tasks_total)`` (cohort-level counts summed
-    over members) is invoked periodically during the recurrence — the
-    ensemble engine wires it to the telemetry bus.
+    Shared tail of every vectorized engine: same rows, order and float
+    ops as ``metrics.exec_intervals`` / ``exec_start_times`` over the
+    kernel's task list.  ``emit_times``/``record_times``, when given,
+    are per-member callables returning the flat stacks documented on
+    :func:`synthesize_profiler`.
     """
     from ..experiments.harness import ExperimentResult
 
-    if not supports_vectorized(cfg, latencies):
-        raise ValueError(f"config {cfg.exp_id!r} does not qualify for "
-                         "the vectorized ensemble engine")
-    preamble = capture_preamble(cfg, latencies)
-    if preamble is None:
-        raise ValueError("bootstrap preamble consumed randomness; "
-                         "vectorized engine unavailable")
-    descriptions = _workload(cfg)
-    description = descriptions[0]
-    n_tasks = len(descriptions)
-    duration = float(description.duration)
+    n_tasks = scheduled.shape[1]
     cluster_cores = cfg.n_nodes * frontier(1).cores_per_node
     total_gpus = cfg.n_nodes * frontier(1).gpus_per_node
-    dispatch, ctl, setup = _member_draws(seeds, cfg, latencies, n_tasks)
-    cohort_progress = None
-    if progress is not None:
-        n_members = len(seeds)
-
-        def cohort_progress(i, total):
-            progress(i * n_members, total * n_members)
-    scheduled, exec_start, exec_stop = _cohort_recurrence(
-        dispatch, ctl, setup, preamble.t_ready, duration,
-        core_slots=cluster_cores, ceiling_slots=latencies.srun_ceiling,
-        progress=cohort_progress)
-
     results = []
     profilers: List[Optional[Profiler]] = []
     ones = np.ones(n_tasks)
     zeros = np.zeros(n_tasks)
     for m, seed in enumerate(seeds):
         starts, stops = exec_start[m], exec_stop[m]
-        # Same rows, order and float ops as metrics.exec_intervals /
-        # exec_start_times over the kernel's task list.
+        preamble = preambles[m]
         intervals = np.stack(
             [starts, stops, ones * description.resources.cores,
              zeros + description.resources.gpus], axis=1)
-        member_cfg = cfg.with_seed(seed)
         results.append(ExperimentResult(
-            config=member_cfg,
+            config=cfg.with_seed(seed),
             n_tasks=n_tasks,
             n_done=n_tasks,
             n_failed=0,
@@ -352,7 +452,82 @@ def run_vectorized(cfg, seeds: Sequence[int],
             session=None,
         ))
         profilers.append(
-            synthesize_profiler(preamble, scheduled[m], starts, stops,
-                                description)
+            synthesize_profiler(
+                preamble, scheduled[m], starts, stops, description,
+                backend=backend,
+                emit_times=emit_times(m) if emit_times is not None
+                else None,
+                record_times=record_times(m) if record_times is not None
+                else None)
             if keep_profiles else None)
     return results, profilers
+
+
+def run_vectorized(cfg, seeds: Sequence[int],
+                   latencies: LatencyModel = FRONTIER_LATENCIES,
+                   keep_profiles: bool = False,
+                   progress=None):
+    """Run all member seeds of ``cfg`` through a vectorized engine.
+
+    Dispatches to the launcher-specific recurrence (srun here,
+    :mod:`~repro.ensemble.vec_flux` / :mod:`~repro.ensemble.vec_dragon`
+    otherwise).  Returns ``(results, profilers)``: per-seed
+    :class:`~repro.experiments.harness.ExperimentResult` objects whose
+    metrics are float-identical to independent
+    :func:`~repro.experiments.harness.run_experiment` calls, and (when
+    ``keep_profiles``) per-seed profilers whose exported traces are
+    byte-identical to those runs.  Falls back by raising
+    ``ValueError`` when the config does not qualify — callers check
+    :func:`supports_vectorized` first.
+
+    ``progress(tasks_done, tasks_total)`` (cohort-level counts summed
+    over members) is invoked periodically during the recurrence — the
+    ensemble engine wires it to the telemetry bus.
+    """
+    if not supports_vectorized(cfg, latencies):
+        raise ValueError(f"config {cfg.exp_id!r} does not qualify for "
+                         "the vectorized ensemble engine")
+    if cfg.launcher == _FLUX:
+        from .vec_flux import run_flux_vectorized
+
+        return run_flux_vectorized(cfg, seeds, latencies,
+                                   keep_profiles=keep_profiles,
+                                   progress=progress)
+    if cfg.launcher == _DRAGON:
+        from .vec_dragon import run_dragon_vectorized
+
+        return run_dragon_vectorized(cfg, seeds, latencies,
+                                     keep_profiles=keep_profiles,
+                                     progress=progress)
+    return _run_srun_vectorized(cfg, seeds, latencies,
+                                keep_profiles=keep_profiles,
+                                progress=progress)
+
+
+def _run_srun_vectorized(cfg, seeds: Sequence[int],
+                         latencies: LatencyModel,
+                         keep_profiles: bool, progress=None):
+    """The original task-index lock-step engine for srun."""
+    preamble = capture_preamble(cfg, latencies)
+    if preamble is None:
+        raise ValueError("bootstrap preamble consumed unexpected "
+                         "randomness; vectorized engine unavailable")
+    descriptions = _workload(cfg)
+    description = descriptions[0]
+    n_tasks = len(descriptions)
+    duration = float(description.duration)
+    cluster_cores = cfg.n_nodes * frontier(1).cores_per_node
+    dispatch, ctl, setup = _member_draws(seeds, cfg, latencies, n_tasks)
+    cohort_progress = None
+    if progress is not None:
+        n_members = len(seeds)
+
+        def cohort_progress(i, total):
+            progress(i * n_members, total * n_members)
+    scheduled, exec_start, exec_stop = _cohort_recurrence(
+        dispatch, ctl, setup, preamble.t_ready, duration,
+        core_slots=cluster_cores, ceiling_slots=latencies.srun_ceiling,
+        progress=cohort_progress)
+    return assemble_results(cfg, seeds, [preamble] * len(seeds),
+                            scheduled, exec_start, exec_stop,
+                            description, keep_profiles, backend=_SRUN)

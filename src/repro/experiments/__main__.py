@@ -141,6 +141,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            profile_dir=getattr(args, "profile_dir", "")
                            or None,
                            parallel=args.parallel,
+                           engine=getattr(args, "engine", None),
                            progress=progress,
                            bundle=bundle,
                            cache=cache)
@@ -462,6 +463,13 @@ def main(argv: List[str] = None) -> int:
                        help="explicit seed list, e.g. 1,2,5-20 "
                             "(default: cfg.seed + rep for --reps "
                             "repetitions)")
+    p_run.add_argument("--engine", choices=["vectorized", "replay"],
+                       default=None,
+                       help="with --ensemble: force the member engine "
+                            "instead of auto-selecting (replay is the "
+                            "generic per-seed fallback; vectorized "
+                            "errors out if the config does not "
+                            "qualify)")
     p_run.add_argument("--profile-dir", default="", metavar="DIR",
                        help="with --ensemble: export each seed's trace "
                             "to DIR/profile-seed<seed>.jsonl")

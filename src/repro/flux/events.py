@@ -12,6 +12,9 @@ from typing import Any, Dict, List, NamedTuple
 
 from ..sim import Environment, Store
 
+#: Default per-event RPC delivery delay of the job event stream [s].
+DELIVERY_DELAY = 0.3e-3
+
 #: Canonical job event names (mirrors flux job-manager events).
 EV_SUBMIT = "submit"
 EV_ALLOC = "alloc"
@@ -40,7 +43,8 @@ class EventStream:
     """Fan-out event bus: each subscriber gets every event it asked
     for, in publication order."""
 
-    def __init__(self, env: Environment, delivery_delay: float = 0.3e-3,
+    def __init__(self, env: Environment,
+                 delivery_delay: float = DELIVERY_DELAY,
                  keep_history: bool = True) -> None:
         self.env = env
         self.delivery_delay = delivery_delay

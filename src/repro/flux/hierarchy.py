@@ -48,6 +48,19 @@ class FluxHierarchy:
         return len(self.instances)
 
     @property
+    def is_trivial(self) -> bool:
+        """Whether the hierarchy is a single instance.
+
+        Only trivial hierarchies are closed-form-predictable: sibling
+        instances draw from the *session-scoped* latency streams in
+        chronological interleaving order, and least-loaded routing
+        couples each submission to every sibling's outstanding count —
+        both make per-instance timelines depend on the global event
+        order, which the vectorized ensemble recurrence does not model.
+        """
+        return len(self.instances) == 1
+
+    @property
     def all_ready(self) -> bool:
         return all(inst.is_ready for inst in self.instances)
 

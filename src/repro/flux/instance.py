@@ -116,9 +116,8 @@ class FluxInstance:
         self._epoch = 0
         self._load_factor = 1.0
 
-        n = allocation.n_nodes
         self._lanes = Resource(
-            env, capacity=max(1, math.ceil(n ** latencies.flux_lane_alpha)))
+            env, capacity=self.lane_count(allocation.n_nodes, latencies))
 
         # Counters for introspection / tests.
         self.n_submitted = 0
@@ -179,6 +178,28 @@ class FluxInstance:
     @property
     def is_ready(self) -> bool:
         return self.state == InstanceState.READY
+
+    # -- closed-form structure -----------------------------------------------
+    # These two statics ARE the kernel's parameters, not copies: the
+    # constructor and the dispatch path call them, and the vectorized
+    # ensemble engine (repro.ensemble.vec_flux) calls the same
+    # functions so its recurrence cannot drift from the DES.
+
+    @staticmethod
+    def lane_count(n_nodes: int, latencies) -> int:
+        """TBON dispatch-lane fan-out for an ``n_nodes`` instance.
+
+        Sublinear in the node count (``ceil(n ** flux_lane_alpha)``):
+        the tree widens with the allocation but lane concurrency is
+        bounded by the broker topology, not the core count.
+        """
+        return max(1, math.ceil(n_nodes ** latencies.flux_lane_alpha))
+
+    @staticmethod
+    def spawn_mean(latencies, load_factor: float) -> float:
+        """Mean per-lane job-shell spawn time [s] under ``load_factor``
+        (the instance's drawn background-load degradation)."""
+        return 1.0 / (latencies.flux_lane_rate * load_factor)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -503,10 +524,9 @@ class FluxInstance:
             with self._lanes.request(direct=True) as lane:
                 if not lane.triggered:
                     yield lane
-                spawn_mean = 1.0 / (self.latencies.flux_lane_rate
-                                    * self._load_factor)
                 yield self.env.timeout(self.rng.lognormal_latency(
-                    "flux.spawn", spawn_mean,
+                    "flux.spawn",
+                    self.spawn_mean(self.latencies, self._load_factor),
                     cv=self.latencies.flux_spawn_cv))
             if not self._alive or job.exception is not None:
                 self._retire(job, canceled=True)

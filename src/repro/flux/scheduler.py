@@ -56,6 +56,20 @@ class FcfsPolicy:
 
     name = "fcfs"
 
+    @staticmethod
+    def grant_count(n_eligible: int, n_free_slots: int) -> int:
+        """Closed form of one FCFS matching pass over uniform
+        single-core jobs: the grant is the queue-order prefix bounded
+        by free capacity, so its size is ``min(eligible, free)``.
+
+        This is what makes single-instance flux ensembles vectorizable
+        (see :mod:`repro.ensemble.vec_flux`): per scheduler cycle the
+        whole grant set is determined by two counts, no per-job
+        placement search needed.  Kept on the policy so the ensemble
+        engine and the DES share one definition of FCFS semantics.
+        """
+        return min(n_eligible, n_free_slots)
+
     def match(self, queue: List[FluxJob], allocation: Allocation,
               running: List[FluxJob], now: float,
               limit: Optional[int] = None,

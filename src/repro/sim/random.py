@@ -199,6 +199,48 @@ class RngStreams:
         return float(scale * self.stream(name).weibull(shape))
 
 
+class StreamCursor:
+    """Lazy forward cursor over one stream's lognormal draw sequence.
+
+    Some consumers need "the next draw" an *unbounded* number of times
+    — the flux scheduler's cycle gaps, whose count depends on the very
+    timeline the draws produce.  Pre-drawing a fixed batch would either
+    waste draws or (worse) under-shoot and shift the stream.  The
+    cursor extends in ``chunk``-sized batches instead; because
+    :meth:`RngStreams.lognormal_latency_batch` is bitwise-identical to
+    sequential draws regardless of how they are chunked, the sequence
+    this cursor yields is independent of ``chunk`` and identical to
+    what a simulation loop calling :meth:`lognormal_latency` once per
+    cycle would have consumed.
+    """
+
+    __slots__ = ("_rng", "_name", "_mean", "_cv", "_chunk", "_buf", "_pos",
+                 "n_drawn")
+
+    def __init__(self, rng: "RngStreams", name: str, mean: float,
+                 cv: float = 0.25, chunk: int = 256) -> None:
+        self._rng = rng
+        self._name = name
+        self._mean = mean
+        self._cv = cv
+        self._chunk = max(1, chunk)
+        self._buf: List[float] = []
+        self._pos = 0
+        #: Total draws consumed — the cycle count, for diagnostics.
+        self.n_drawn = 0
+
+    def next(self) -> float:
+        """The next draw from the stream (extends lazily)."""
+        if self._pos >= len(self._buf):
+            self._buf = self._rng.lognormal_latency_batch(
+                self._name, self._mean, cv=self._cv, n=self._chunk)
+            self._pos = 0
+        value = self._buf[self._pos]
+        self._pos += 1
+        self.n_drawn += 1
+        return value
+
+
 class ScopedRng:
     """A view of an :class:`RngStreams` with every stream name prefixed.
 

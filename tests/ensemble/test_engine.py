@@ -73,9 +73,12 @@ class TestRunEnsemble:
             run_ensemble(CFG, seeds=[0], engine="warp")
 
     def test_forced_vectorized_rejects_unsupported_config(self):
-        flux = config_by_id("flux_1", n_nodes=1, waves=1)
+        # Multi-instance flux is the canonical ineligible config:
+        # single-instance flux_1 and dragon qualify nowadays.
+        flux_n = config_by_id("flux_n", n_nodes=2, n_partitions=2,
+                              waves=1)
         with pytest.raises(ConfigurationError):
-            run_ensemble(flux, seeds=[0], engine="vectorized")
+            run_ensemble(flux_n, seeds=[0], engine="vectorized")
 
     def test_parallel_equals_serial(self, tmp_path):
         serial = run_ensemble(CFG, seeds="0-5",

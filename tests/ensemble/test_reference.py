@@ -3,11 +3,11 @@
 An ensemble member's exported profile is specified to be a pure
 function of (config, seed) — not of the engine, the seed grouping,
 the host, or hash randomization.  This test regenerates the CI smoke
-configuration (srun, 4 nodes, 1 wave, vectorized engine) and compares
-the per-seed exports against the sha256 values committed in
-``reference_digests.json`` — which are, by the N-for-N identity
-contract, also the digests of independent sequential runs at those
-seeds.
+configurations (srun 4 nodes, flux_1 1 node, dragon 1 node — all one
+wave, all on the vectorized engine) and compares the per-seed exports
+against the sha256 values committed in ``reference_digests.json`` —
+which are, by the N-for-N identity contract, also the digests of
+independent sequential runs at those seeds.
 
 If an *intentional* model change shifts the trace, regenerate the
 digests (command in the JSON) and commit them alongside the change.
@@ -17,22 +17,29 @@ import hashlib
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.ensemble import run_ensemble
 
 REFERENCE = Path(__file__).with_name("reference_digests.json")
 
 
-def test_ensemble_reference_digests(tmp_path):
+@pytest.mark.parametrize("exp_id, n_nodes, key", [
+    ("srun", 4, "srun-4n-w1"),
+    ("flux_1", 1, "flux_1-1n-w1"),
+    ("dragon", 1, "dragon-1n-w1"),
+])
+def test_ensemble_reference_digests(tmp_path, exp_id, n_nodes, key):
     expected = json.loads(REFERENCE.read_text())
     from repro.experiments.configs import config_by_id
 
-    cfg = config_by_id("srun", waves=1)
+    cfg = config_by_id(exp_id, n_nodes=n_nodes, waves=1)
     ens = run_ensemble(cfg, seeds=[0, 3, 7], profile_dir=str(tmp_path))
     assert ens.engine == "vectorized"
     for member in ens.members:
         digest = hashlib.sha256(
             Path(member.profile_path).read_bytes()).hexdigest()
-        assert digest == expected[f"srun-4n-w1-seed{member.seed}"], (
-            f"ensemble reference trace drifted at seed {member.seed} — "
-            "if the model change is intentional, regenerate "
-            "tests/ensemble/reference_digests.json")
+        assert digest == expected[f"{key}-seed{member.seed}"], (
+            f"ensemble reference trace drifted at {key} seed "
+            f"{member.seed} — if the model change is intentional, "
+            "regenerate tests/ensemble/reference_digests.json")

@@ -4,9 +4,8 @@ For any small config across the three single-backend launchers, any
 random seed list, and any grouping of that list into separate
 ensemble calls (batch boundaries must be invisible), every member's
 exported profile must be byte-identical to an independent sequential
-``run_experiment`` at that seed — on whichever engine the config
-selects (vectorized for srun, replay for flux/dragon), and on the
-replay engine when forced.
+``run_experiment`` at that seed — on the vectorized engine all three
+launchers now select, and on the replay engine when forced.
 """
 
 import hashlib
@@ -54,9 +53,11 @@ class TestEnsembleTraceEquivalence:
             duration=3.0 if dummy else 0.0, waves=1, seed=0)
         # Any grouping of the seed list into ensemble calls must be
         # invisible in the per-seed bytes.
-        members = [m for batch in _split(seeds, batch_size)
-                   for m in run_ensemble(cfg, seeds=batch,
-                                         keep_profiles=True).members]
+        members = []
+        for batch in _split(seeds, batch_size):
+            ens = run_ensemble(cfg, seeds=batch, keep_profiles=True)
+            assert ens.engine == "vectorized", launcher
+            members.extend(ens.members)
         for member, seed in zip(members, seeds):
             assert member.seed == seed
             path = tmp_dir / f"member-{seed}.jsonl"
@@ -67,12 +68,12 @@ class TestEnsembleTraceEquivalence:
                 f"{launcher} seed={seed} batch={batch_size}: ensemble "
                 f"member trace drifted from the independent run")
 
-    @settings(max_examples=4, deadline=None)
-    @given(seeds=seed_lists)
+    @settings(max_examples=6, deadline=None)
+    @given(launcher=launchers, seeds=seed_lists)
     def test_forced_replay_matches_vectorized(self, tmp_path_factory,
-                                              seeds):
+                                              launcher, seeds):
         tmp_dir = tmp_path_factory.mktemp("ens-replay-prop")
-        cfg = ExperimentConfig(exp_id="prop", launcher="srun",
+        cfg = ExperimentConfig(exp_id="prop", launcher=launcher,
                                workload="null", n_nodes=1,
                                n_partitions=1, duration=0.0, waves=1,
                                seed=0)

@@ -152,7 +152,9 @@ class TestEnsemble:
             assert a.makespan == b.makespan
 
     def test_replay_engine_uses_store(self, tmp_path):
-        cfg = config_by_id("flux_1", n_nodes=1, waves=1)
+        # flux_n with real partitions stays on the replay engine
+        # (flux_1/dragon vectorize nowadays).
+        cfg = config_by_id("flux_n", n_nodes=2, n_partitions=2, waves=1)
         store = tmp_path / "store"
         first = run_ensemble(cfg, seeds=[0, 1], cache=store)
         assert first.engine == "replay"
